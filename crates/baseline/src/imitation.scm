@@ -1,0 +1,69 @@
+;; The paper's figure 3: an imitation of built-in continuation-attachment
+;; support using only call/cc and global state. Loading this file
+;; *replaces* the runtime's attachment operations, so every
+;; with-continuation-mark (compiled in the uniform, unspecialized mode)
+;; and every attachment primitive goes through this library instead.
+;;
+;; `eq?` on continuations detects whether an attachment should replace an
+;; existing one: a capture at an already-reified point returns the same
+;; underflow record, so the continuations compare eq (as in Chez Scheme).
+
+(define $imitate-ks '(#f))    ; stack of frames with attachments
+(define $imitate-atts '())    ; stack of attachments
+(define $imitate-none (make-record '$imitate-none))
+
+(define (imitate-call-setting v thunk)
+  (call/cc
+   (lambda (k)
+     (if (eq? k (car $imitate-ks))
+         (begin
+           ;; Same frame: replace the existing attachment, thunk in tail
+           ;; position.
+           (set! $imitate-atts (cons v (cdr $imitate-atts)))
+           (thunk))
+         (let ([r (call/cc
+                   (lambda (nested-k)
+                     (set! $imitate-ks (cons nested-k $imitate-ks))
+                     (set! $imitate-atts (cons v $imitate-atts))
+                     (thunk)))])
+           (set! $imitate-ks (cdr $imitate-ks))
+           (set! $imitate-atts (cdr $imitate-atts))
+           r)))))
+
+(define (imitate-call-getting dflt proc)
+  (call/cc
+   (lambda (k)
+     (if (eq? k (car $imitate-ks))
+         (let ([v (car $imitate-atts)])
+           (if (eq? v $imitate-none) (proc dflt) (proc v)))
+         (proc dflt)))))
+
+(define (imitate-call-consuming dflt proc)
+  (call/cc
+   (lambda (k)
+     (if (eq? k (car $imitate-ks))
+         (let ([v (car $imitate-atts)])
+           ;; Blank out (rather than pop) so the frame's pop-on-return
+           ;; bookkeeping in imitate-call-setting stays balanced.
+           (set! $imitate-atts (cons $imitate-none (cdr $imitate-atts)))
+           (if (eq? v $imitate-none) (proc dflt) (proc v)))
+         (proc dflt)))))
+
+(define (imitate-current-attachments)
+  (filter (lambda (a) (not (eq? a $imitate-none))) $imitate-atts))
+
+;; Install over both the runtime names (used by the uniform
+;; with-continuation-mark expansion) and the public names.
+(define $call-setting-attachment imitate-call-setting)
+(define $call-getting-attachment imitate-call-getting)
+(define $call-consuming-attachment imitate-call-consuming)
+(define call-setting-continuation-attachment imitate-call-setting)
+(define call-getting-continuation-attachment imitate-call-getting)
+(define call-consuming-continuation-attachment imitate-call-consuming)
+(define current-continuation-attachments imitate-current-attachments)
+
+;; The marks layer reads attachments through these, so marks keep working
+;; over the imitation (continuation-marks on a continuation value is not
+;; supported by the imitation).
+(define (current-continuation-marks)
+  (make-record '$mark-set (imitate-current-attachments)))

@@ -1,0 +1,160 @@
+//! Baseline implementations the paper compares against:
+//!
+//! * [`imitation_engine`] — the figure-3 *imitation* of continuation
+//!   attachments, built from `call/cc` and global state with no compiler
+//!   or runtime support. Used for the §8.3 speedup measurements and the
+//!   §8.4 "imitate" columns.
+//! * [`old_racket_engine`] — the old Racket implementation model (eager
+//!   per-frame mark stack, slow continuation capture), used as the
+//!   figure-5 comparison and the §8.1 "Racket" row.
+//! * [`chez_engine`] / [`racket_cs_engine`] — conveniences for the
+//!   measured systems themselves.
+
+use cm_core::{Engine, EngineConfig};
+
+const IMITATION: &str = include_str!("imitation.scm");
+
+/// Configuration for the imitation engine: the compiler performs *no*
+/// attachment specialization, and every operation goes through the
+/// figure-3 library.
+pub fn imitation_config() -> EngineConfig {
+    let mut c = EngineConfig::racket_cs();
+    c.compiler.attachment_opt = false;
+    c
+}
+
+/// An engine whose attachment operations are the paper's figure-3
+/// imitation (call/cc + globals), loaded over the standard prelude.
+///
+/// # Examples
+///
+/// ```
+/// let mut e = cm_baseline::imitation_engine();
+/// let v = e
+///     .eval_to_string("(with-continuation-mark 'k 1 (continuation-mark-set->list #f 'k))")
+///     .unwrap();
+/// assert_eq!(v, "(1)");
+/// ```
+pub fn imitation_engine() -> Engine {
+    let mut e = Engine::new(imitation_config());
+    e.eval(IMITATION).expect("imitation library loads");
+    e
+}
+
+/// The full system without wrapper overhead — "Chez Scheme" rows.
+pub fn chez_engine() -> Engine {
+    Engine::new(EngineConfig::full())
+}
+
+/// The full system with the control wrapper — "Racket CS" rows.
+pub fn racket_cs_engine() -> Engine {
+    Engine::new(EngineConfig::racket_cs())
+}
+
+/// The old Racket model: eager mark stack, expensive capture.
+pub fn old_racket_engine() -> Engine {
+    Engine::new(EngineConfig::old_racket())
+}
+
+/// The §8.2 "unmod" variant: no attachment support at all.
+pub fn unmodified_chez_engine() -> Engine {
+    Engine::new(EngineConfig::unmodified_chez())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imitation_supports_basic_marks() {
+        let mut e = imitation_engine();
+        assert_eq!(
+            e.eval_to_string(
+                "(with-continuation-mark 'k \"red\"
+                   (continuation-mark-set-first #f 'k \"?\"))"
+            )
+            .unwrap(),
+            "\"red\""
+        );
+    }
+
+    #[test]
+    fn imitation_tail_set_replaces() {
+        let mut e = imitation_engine();
+        assert_eq!(
+            e.eval_to_string(
+                "(define (go)
+                   (with-continuation-mark 'k 1
+                     (with-continuation-mark 'k 2
+                       (continuation-mark-set->list #f 'k))))
+                 (go)"
+            )
+            .unwrap(),
+            "(2)"
+        );
+    }
+
+    #[test]
+    fn imitation_nontail_marks_nest() {
+        let mut e = imitation_engine();
+        assert_eq!(
+            e.eval_to_string(
+                "(with-continuation-mark 'k 'outer
+                   (car (cons (with-continuation-mark 'k 'inner
+                                (continuation-mark-set->list #f 'k))
+                              0)))"
+            )
+            .unwrap(),
+            "(inner outer)"
+        );
+    }
+
+    #[test]
+    fn imitation_attachment_ops_work() {
+        let mut e = imitation_engine();
+        assert_eq!(
+            e.eval_to_string(
+                "(define (f)
+                   (call-setting-continuation-attachment 'mine
+                     (lambda ()
+                       (call-getting-continuation-attachment 'none
+                         (lambda (v) v)))))
+                 (f)"
+            )
+            .unwrap(),
+            "mine"
+        );
+    }
+
+    #[test]
+    fn imitation_consume_then_get_is_empty() {
+        let mut e = imitation_engine();
+        assert_eq!(
+            e.eval_to_string(
+                "(define (f)
+                   (call-setting-continuation-attachment 'mine
+                     (lambda ()
+                       (call-consuming-continuation-attachment 'none
+                         (lambda (v)
+                           (cons v (call-getting-continuation-attachment 'gone
+                                     (lambda (w) w))))))))
+                 (f)"
+            )
+            .unwrap(),
+            "(mine . gone)"
+        );
+    }
+
+    #[test]
+    fn engine_constructors_are_distinct() {
+        assert!(!imitation_config().compiler.attachment_opt);
+        let mut chez = chez_engine();
+        assert_eq!(chez.eval_to_string("(+ 1 2)").unwrap(), "3");
+        let mut old = old_racket_engine();
+        assert_eq!(
+            old.eval_to_string("(with-continuation-mark 'k 7 (continuation-mark-set-first #f 'k 0))")
+                .unwrap(),
+            "7"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 4: continuation-attachment microbenchmarks, builtin support
+//! vs the figure-3 imitation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cm_workloads::{attachment_micros, load_into, run_scaled};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4-attachments");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for w in attachment_micros() {
+        let n = (w.bench_n / 60).max(1);
+        let mut builtin = cm_baseline::chez_engine();
+        load_into(&mut builtin, w);
+        group.bench_with_input(BenchmarkId::new("builtin", w.name), &n, |b, &n| {
+            b.iter(|| run_scaled(&mut builtin, w, n).unwrap())
+        });
+        let mut imitate = cm_baseline::imitation_engine();
+        load_into(&mut imitate, w);
+        group.bench_with_input(BenchmarkId::new("imitate", w.name), &n, |b, &n| {
+            b.iter(|| run_scaled(&mut imitate, w, n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

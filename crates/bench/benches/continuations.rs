@@ -1,0 +1,52 @@
+//! §8.1 and figure 1: the ctak and triple continuation benchmarks
+//! across implementation strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cm_workloads::{ctak, load_into, run_scaled, triple};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t8.1-ctak");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let w = &ctak()[0];
+    for (label, mk) in [
+        ("chez", cm_baseline::chez_engine as fn() -> cm_core::Engine),
+        ("racket-cs", cm_baseline::racket_cs_engine),
+        ("old-racket", cm_baseline::old_racket_engine),
+    ] {
+        let mut engine = mk();
+        load_into(&mut engine, w);
+        group.bench_function(BenchmarkId::new(label, "ctak"), |b| {
+            b.iter(|| run_scaled(&mut engine, w, 0).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig1-triple");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for w in triple() {
+        let n = (w.bench_n / 10).max(1);
+        for (label, mk) in [
+            ("chez", cm_baseline::chez_engine as fn() -> cm_core::Engine),
+            ("racket-cs", cm_baseline::racket_cs_engine),
+            ("unmod", cm_baseline::unmodified_chez_engine),
+        ] {
+            let mut engine = mk();
+            load_into(&mut engine, w);
+            group.bench_with_input(BenchmarkId::new(label, w.name), &n, |b, &n| {
+                b.iter(|| run_scaled(&mut engine, w, n).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

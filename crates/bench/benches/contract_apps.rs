@@ -1,0 +1,58 @@
+//! §8.4: the contract microbenchmark and the five application
+//! workloads, builtin vs the figure-3 imitation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cm_workloads::{applications, contract, load_into, run_scaled};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t8.4-contract");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for w in contract() {
+        let n = (w.bench_n / 60).max(1);
+        for (label, mk) in [
+            (
+                "builtin",
+                cm_baseline::racket_cs_engine as fn() -> cm_core::Engine,
+            ),
+            ("imitate", cm_baseline::imitation_engine),
+        ] {
+            let mut engine = mk();
+            load_into(&mut engine, w);
+            group.bench_with_input(BenchmarkId::new(label, w.name), &n, |b, &n| {
+                b.iter(|| run_scaled(&mut engine, w, n).unwrap())
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("t8.4-apps");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for w in applications() {
+        let n = (w.bench_n / 60).max(1);
+        for (label, mk) in [
+            (
+                "builtin",
+                cm_baseline::racket_cs_engine as fn() -> cm_core::Engine,
+            ),
+            ("imitate", cm_baseline::imitation_engine),
+        ] {
+            let mut engine = mk();
+            load_into(&mut engine, w);
+            group.bench_with_input(BenchmarkId::new(label, w.name), &n, |b, &n| {
+                b.iter(|| run_scaled(&mut engine, w, n).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 2: traditional Scheme benchmarks on the unmodified vs the
+//! attachment-supporting engine (the "pay-as-you-go" check).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cm_workloads::{gabriel, load_into, run_scaled};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2-gabriel");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for w in gabriel() {
+        let n = (w.bench_n / 60).max(1);
+        for (label, mk) in [
+            (
+                "unmod",
+                cm_baseline::unmodified_chez_engine as fn() -> cm_core::Engine,
+            ),
+            ("attach", cm_baseline::chez_engine),
+            ("all-mods", cm_baseline::racket_cs_engine),
+        ] {
+            let mut engine = mk();
+            load_into(&mut engine, w);
+            group.bench_with_input(BenchmarkId::new(label, w.name), &n, |b, &n| {
+                b.iter(|| run_scaled(&mut engine, w, n).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

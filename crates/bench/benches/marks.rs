@@ -1,0 +1,58 @@
+//! Figure 5: continuation-mark microbenchmarks, Racket CS (attachments)
+//! vs the old-Racket eager mark-stack model — plus the figure-6 ablation
+//! variants (no 1cc / no opt / no prim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cm_core::{Engine, EngineConfig};
+use cm_workloads::{load_into, mark_micros, run_scaled};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5-marks");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for w in mark_micros() {
+        let n = (w.bench_n / 60).max(1);
+        for (label, config) in [
+            ("racket-cs", EngineConfig::racket_cs()),
+            ("old-racket", EngineConfig::old_racket()),
+        ] {
+            let mut engine = Engine::new(config);
+            load_into(&mut engine, w);
+            group.bench_with_input(BenchmarkId::new(label, w.name), &n, |b, &n| {
+                b.iter(|| run_scaled(&mut engine, w, n).unwrap())
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig6-ablations");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for w in mark_micros()
+        .iter()
+        .filter(|w| matches!(w.name, "set-loop" | "set-arg-call-loop" | "set-arg-prim-loop"))
+    {
+        let n = (w.bench_n / 60).max(1);
+        for (label, config) in [
+            ("no-1cc", EngineConfig::no_one_shot()),
+            ("no-opt", EngineConfig::no_attachment_opt()),
+            ("no-prim", EngineConfig::no_prim_opt()),
+        ] {
+            let mut engine = Engine::new(config);
+            load_into(&mut engine, w);
+            group.bench_with_input(BenchmarkId::new(label, w.name), &n, |b, &n| {
+                b.iter(|| run_scaled(&mut engine, w, n).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,392 @@
+//! Regenerates every table and figure of the paper's evaluation (§8)
+//! with measured numbers, printing the paper's reported ratios alongside
+//! for comparison.
+//!
+//! Usage:
+//!
+//! ```text
+//! tables [--quick | --full] [table ...]
+//! tables --list
+//! ```
+//!
+//! Tables: `ctak`, `triple`, `modified-chez`, `gabriel`, `attachments`,
+//! `marks`, `contract`, `apps`, `ablations`. Default runs all at the
+//! standard scale; `--quick` runs a fast smoke-scale pass.
+
+use std::time::Instant;
+
+use cm_bench::{fmt_ratio, measure, paper, Measurement};
+use cm_core::{Engine, EngineConfig};
+use cm_workloads as wl;
+
+#[derive(Clone, Copy)]
+struct Scale {
+    /// Divide each workload's bench_n by this.
+    divisor: i64,
+    /// Timed runs per measurement.
+    runs: usize,
+}
+
+fn engine(kind: &str) -> Engine {
+    match kind {
+        "chez" => cm_baseline::chez_engine(),
+        "racket-cs" => cm_baseline::racket_cs_engine(),
+        "imitate" => cm_baseline::imitation_engine(),
+        "old-racket" => cm_baseline::old_racket_engine(),
+        "unmod" => cm_baseline::unmodified_chez_engine(),
+        "no-1cc" => Engine::new(EngineConfig::no_one_shot()),
+        "no-opt" => Engine::new(EngineConfig::no_attachment_opt()),
+        "no-prim" => Engine::new(EngineConfig::no_prim_opt()),
+        other => panic!("unknown engine kind {other}"),
+    }
+}
+
+fn scaled(w: &wl::Workload, s: Scale) -> i64 {
+    (w.bench_n / s.divisor).max(1)
+}
+
+fn run_one(kind: &str, w: &wl::Workload, s: Scale) -> Measurement {
+    let mut e = engine(kind);
+    measure(&mut e, w, scaled(w, s), s.runs)
+}
+
+fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+// ----------------------------------------------------------------------
+// T-8.1: ctak across implementation strategies
+// ----------------------------------------------------------------------
+
+fn table_ctak(s: Scale) {
+    header("T-8.1  ctak across implementation strategies");
+    let w = &wl::ctak()[0];
+    let size = if s.divisor > 1 { 0 } else { 1 };
+    let mut rows: Vec<(String, f64)> = Vec::new();
+
+    // Heap-allocated frames (the reference model) ≈ Pycket's strategy.
+    {
+        let src = w.source.to_owned();
+        let mut interp = cm_refmodel::RefInterp::new();
+        interp.eval(&src).expect("ctak loads in refmodel");
+        let t0 = Instant::now();
+        interp.eval(&format!("(ctak-bench {size})")).expect("runs");
+        rows.push((
+            "heap frames (refmodel ≈ Pycket)".into(),
+            t0.elapsed().as_secs_f64() * 1000.0,
+        ));
+    }
+    for (label, kind) in [
+        ("segmented stack (≈ Chez Scheme)", "chez"),
+        ("wrapped control (≈ Racket CS)", "racket-cs"),
+        ("eager mark stack (≈ old Racket)", "old-racket"),
+    ] {
+        let mut e = engine(kind);
+        let m = measure(&mut e, w, size, s.runs);
+        rows.push((label.into(), m.mean_ms));
+    }
+    let chez = rows[1].1.max(0.000_1);
+    println!("{:38} {:>12}  {:>9}", "strategy", "measured", "vs chez");
+    for (label, ms) in &rows {
+        println!("{label:38} {ms:9.2} ms  {:>9}", fmt_ratio(ms / chez));
+    }
+    println!("paper (ms): {:?}", paper::CTAK);
+}
+
+// ----------------------------------------------------------------------
+// F-1: triple across encodings and engines
+// ----------------------------------------------------------------------
+
+fn table_triple(s: Scale) {
+    header("F-1  triple: delimited control, three encodings");
+    println!(
+        "{:16} {:>24} {:>24} {:>24}",
+        "encoding", "chez", "racket-cs", "old-racket"
+    );
+    for w in wl::triple() {
+        let mut cells = Vec::new();
+        for kind in ["chez", "racket-cs", "old-racket"] {
+            cells.push(run_one(kind, w, s));
+        }
+        println!(
+            "{:16} {:>24} {:>24} {:>24}",
+            w.name,
+            cells[0].to_string(),
+            cells[1].to_string(),
+            cells[2].to_string()
+        );
+    }
+    println!("paper (ms): {:?}", paper::TRIPLE);
+}
+
+// ----------------------------------------------------------------------
+// T-8.2: unmod vs attach vs all-mods on triple
+// ----------------------------------------------------------------------
+
+fn table_modified_chez(s: Scale) {
+    header("T-8.2  cost of the modifications (triple)");
+    println!(
+        "{:16} {:>24} {:>9} {:>9}",
+        "encoding", "unmod", "attach", "all mods"
+    );
+    for w in wl::triple().iter().filter(|w| w.name != "triple-native") {
+        let unmod = run_one("unmod", w, s);
+        let attach = run_one("chez", w, s);
+        let allmods = run_one("racket-cs", w, s);
+        println!(
+            "{:16} {:>24} {:>9} {:>9}",
+            w.name,
+            unmod.to_string(),
+            fmt_ratio(unmod.speedup_of(&attach)),
+            fmt_ratio(unmod.speedup_of(&allmods))
+        );
+    }
+    println!("paper: {:?}", paper::MODIFIED_CHEZ);
+}
+
+// ----------------------------------------------------------------------
+// F-2: traditional Scheme benchmarks
+// ----------------------------------------------------------------------
+
+fn table_gabriel(s: Scale) {
+    header("F-2  traditional Scheme benchmarks (attach should be ~×1.00)");
+    println!(
+        "{:12} {:>24} {:>9} {:>9}",
+        "benchmark", "unmod", "attach", "all mods"
+    );
+    for w in wl::gabriel() {
+        let unmod = run_one("unmod", w, s);
+        let attach = run_one("chez", w, s);
+        let allmods = run_one("racket-cs", w, s);
+        println!(
+            "{:12} {:>24} {:>9} {:>9}",
+            w.name,
+            unmod.to_string(),
+            fmt_ratio(unmod.speedup_of(&attach)),
+            fmt_ratio(unmod.speedup_of(&allmods))
+        );
+    }
+    println!("paper figure 2: attach within one stdev of unmod on 22/38 suites; shown rows within ×0.94–×1.05");
+}
+
+// ----------------------------------------------------------------------
+// F-4: builtin vs imitation attachments
+// ----------------------------------------------------------------------
+
+fn table_attachments(s: Scale) {
+    header("F-4  continuation attachments: builtin vs figure-3 imitation");
+    println!(
+        "{:20} {:>24} {:>24} {:>9} {:>9}",
+        "benchmark", "builtin", "imitate", "speedup", "paper"
+    );
+    for (i, w) in wl::attachment_micros().iter().enumerate() {
+        let builtin = run_one("chez", w, s);
+        let imitate = run_one("imitate", w, s);
+        let paper_ratio = paper::ATTACHMENTS[i].2;
+        println!(
+            "{:20} {:>24} {:>24} {:>9} {:>9}",
+            w.name,
+            builtin.to_string(),
+            imitate.to_string(),
+            fmt_ratio(builtin.speedup_of(&imitate)),
+            fmt_ratio(paper_ratio)
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// F-5: Racket CS vs old Racket on mark benchmarks
+// ----------------------------------------------------------------------
+
+fn table_marks(s: Scale) {
+    header("F-5  continuation marks: Racket CS vs old Racket model");
+    println!(
+        "{:20} {:>24} {:>24} {:>9} {:>9}",
+        "benchmark", "racket-cs", "old-racket", "ratio", "paper"
+    );
+    for (i, w) in wl::mark_micros().iter().enumerate() {
+        let cs = run_one("racket-cs", w, s);
+        let old = run_one("old-racket", w, s);
+        let paper_ratio = paper::MARKS[i].2;
+        println!(
+            "{:20} {:>24} {:>24} {:>9} {:>9}",
+            w.name,
+            cs.to_string(),
+            old.to_string(),
+            fmt_ratio(cs.speedup_of(&old)),
+            fmt_ratio(paper_ratio)
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// T-8.4a: contract benchmark
+// ----------------------------------------------------------------------
+
+fn table_contract(s: Scale) {
+    header("T-8.4a  contract checking: builtin vs imitate");
+    println!(
+        "{:12} {:>24} {:>24} {:>9} {:>9}",
+        "mode", "builtin", "imitate", "ratio", "paper"
+    );
+    for (i, w) in wl::contract().iter().enumerate() {
+        let builtin = run_one("racket-cs", w, s);
+        let imitate = run_one("imitate", w, s);
+        println!(
+            "{:12} {:>24} {:>24} {:>9} {:>9}",
+            w.name,
+            builtin.to_string(),
+            imitate.to_string(),
+            fmt_ratio(builtin.speedup_of(&imitate)),
+            fmt_ratio(paper::CONTRACT[i].2)
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// T-8.4b: applications
+// ----------------------------------------------------------------------
+
+fn table_apps(s: Scale) {
+    header("T-8.4b  applications: builtin vs imitate");
+    println!(
+        "{:20} {:>24} {:>24} {:>9} {:>9}",
+        "application", "builtin", "imitate", "ratio", "paper"
+    );
+    for (i, w) in wl::applications().iter().enumerate() {
+        let builtin = run_one("racket-cs", w, s);
+        let imitate = run_one("imitate", w, s);
+        println!(
+            "{:20} {:>24} {:>24} {:>9} {:>9}",
+            w.name,
+            builtin.to_string(),
+            imitate.to_string(),
+            fmt_ratio(builtin.speedup_of(&imitate)),
+            fmt_ratio(paper::APPLICATIONS[i].2)
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// F-6: ablations
+// ----------------------------------------------------------------------
+
+fn table_ablations(s: Scale) {
+    header("F-6  ablations (ratios vs full Racket CS; paper in parens)");
+    println!(
+        "{:20} {:>24} {:>16} {:>16} {:>16}",
+        "benchmark", "racket-cs", "no 1cc", "no opt", "no prim"
+    );
+    let paper_of = |name: &str| {
+        paper::ABLATIONS_MARKS
+            .iter()
+            .find(|(n, _, _, _)| *n == name)
+            .map(|(_, a, b, c)| (*a, *b, *c))
+    };
+    for w in wl::mark_micros().iter().filter(|w| {
+        // The paper's figure 6 covers the mark benchmarks that involve
+        // set/get operations plus base-deep.
+        paper_of(w.name).is_some()
+    }) {
+        let full = run_one("racket-cs", w, s);
+        let no1cc = run_one("no-1cc", w, s);
+        let noopt = run_one("no-opt", w, s);
+        let noprim = run_one("no-prim", w, s);
+        let (pa, pb, pc) = paper_of(w.name).expect("filtered");
+        println!(
+            "{:20} {:>24} {:>7} ({:>5}) {:>7} ({:>5}) {:>7} ({:>5})",
+            w.name,
+            full.to_string(),
+            fmt_ratio(full.speedup_of(&no1cc)),
+            fmt_ratio(pa),
+            fmt_ratio(full.speedup_of(&noopt)),
+            fmt_ratio(pb),
+            fmt_ratio(full.speedup_of(&noprim)),
+            fmt_ratio(pc),
+        );
+    }
+    for (i, w) in wl::contract().iter().enumerate() {
+        let full = run_one("racket-cs", w, s);
+        let no1cc = run_one("no-1cc", w, s);
+        let noopt = run_one("no-opt", w, s);
+        let noprim = run_one("no-prim", w, s);
+        let (_, pa, pb, pc) = paper::ABLATIONS_CONTRACT[i];
+        println!(
+            "{:20} {:>24} {:>7} ({:>5}) {:>7} ({:>5}) {:>7} ({:>5})",
+            format!("contract-{}", w.name),
+            full.to_string(),
+            fmt_ratio(full.speedup_of(&no1cc)),
+            fmt_ratio(pa),
+            fmt_ratio(full.speedup_of(&noopt)),
+            fmt_ratio(pb),
+            fmt_ratio(full.speedup_of(&noprim)),
+            fmt_ratio(pc),
+        );
+    }
+    for w in wl::applications() {
+        let full = run_one("racket-cs", w, s);
+        let no1cc = run_one("no-1cc", w, s);
+        let noopt = run_one("no-opt", w, s);
+        let noprim = run_one("no-prim", w, s);
+        println!(
+            "{:20} {:>24} {:>16} {:>16} {:>16}",
+            w.name,
+            full.to_string(),
+            fmt_ratio(full.speedup_of(&no1cc)),
+            fmt_ratio(full.speedup_of(&noopt)),
+            fmt_ratio(full.speedup_of(&noprim)),
+        );
+    }
+}
+
+const ALL_TABLES: &[(&str, fn(Scale))] = &[
+    ("ctak", table_ctak),
+    ("triple", table_triple),
+    ("modified-chez", table_modified_chez),
+    ("gabriel", table_gabriel),
+    ("attachments", table_attachments),
+    ("marks", table_marks),
+    ("contract", table_contract),
+    ("apps", table_apps),
+    ("ablations", table_ablations),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in ALL_TABLES {
+            println!("{name}");
+        }
+        return;
+    }
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale {
+            divisor: 10,
+            runs: 2,
+        }
+    } else {
+        Scale {
+            divisor: 1,
+            runs: 5,
+        }
+    };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let start = Instant::now();
+    for (name, f) in ALL_TABLES {
+        if selected.is_empty() || selected.contains(name) {
+            f(scale);
+        }
+    }
+    println!();
+    println!(
+        "total: {:.1} s  (scale: 1/{}, {} runs)",
+        start.elapsed().as_secs_f64(),
+        scale.divisor,
+        scale.runs
+    );
+}

@@ -1,0 +1,113 @@
+//! Measurement harness for reproducing the paper's evaluation tables.
+//!
+//! [`measure`] times a workload entry over several runs (mean ± stdev,
+//! like the paper's five-run methodology), and the `tables` binary prints
+//! each table/figure of §8 with measured numbers next to the paper's
+//! reported shape. Criterion benches under `benches/` cover the same
+//! workloads for regression tracking.
+
+use std::time::Instant;
+
+use cm_core::Engine;
+use cm_workloads::{load_into, run_scaled, Workload};
+
+pub mod paper;
+
+/// A timing result over several runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Mean wall-clock milliseconds.
+    pub mean_ms: f64,
+    /// Standard deviation in milliseconds.
+    pub stdev_ms: f64,
+}
+
+impl Measurement {
+    /// Ratio of `other` to `self` (how many times slower `other` is).
+    pub fn speedup_of(&self, other: &Measurement) -> f64 {
+        if self.mean_ms == 0.0 {
+            f64::NAN
+        } else {
+            other.mean_ms / self.mean_ms
+        }
+    }
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:9.2} ms ±{:6.2}", self.mean_ms, self.stdev_ms)
+    }
+}
+
+/// Times `(entry n)` in `engine` over `runs` runs (after one warmup).
+///
+/// # Panics
+///
+/// Panics if the workload fails to run — benchmark workloads are
+/// validated by the test suite first.
+pub fn measure(engine: &mut Engine, w: &Workload, n: i64, runs: usize) -> Measurement {
+    load_into(engine, w);
+    // Warmup run (also validates).
+    run_scaled(engine, w, n).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        run_scaled(engine, w, n).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        samples.push(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples
+        .iter()
+        .map(|s| (s - mean) * (s - mean))
+        .sum::<f64>()
+        / samples.len() as f64;
+    Measurement {
+        mean_ms: mean,
+        stdev_ms: var.sqrt(),
+    }
+}
+
+/// Builds a fresh engine per configuration and measures `w` on it.
+pub fn measure_on(
+    mk_engine: impl Fn() -> Engine,
+    w: &Workload,
+    n: i64,
+    runs: usize,
+) -> Measurement {
+    let mut engine = mk_engine();
+    measure(&mut engine, w, n, runs)
+}
+
+/// Formats a ratio like the paper's "×1.24" columns.
+pub fn fmt_ratio(r: f64) -> String {
+    if r.is_nan() {
+        "  —  ".to_owned()
+    } else {
+        format!("×{r:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::EngineConfig;
+
+    #[test]
+    fn measurement_is_positive_and_ratio_works() {
+        let w = &cm_workloads::gabriel()[0]; // tak
+        let mut e = Engine::new(EngineConfig::full());
+        let m = measure(&mut e, w, 1, 2);
+        assert!(m.mean_ms >= 0.0);
+        let double = Measurement {
+            mean_ms: m.mean_ms * 2.0 + 1.0,
+            stdev_ms: 0.0,
+        };
+        assert!(m.speedup_of(&double) > 1.0);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(1.239), "×1.24");
+        assert_eq!(fmt_ratio(f64::NAN), "  —  ");
+    }
+}

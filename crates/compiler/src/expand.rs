@@ -1,0 +1,1259 @@
+//! The expander: surface syntax → core [`Expr`].
+//!
+//! Handles the special forms (`lambda`, `let` family, `cond`, `case`,
+//! `do`, `and`/`or`, `quasiquote`, `with-continuation-mark`, ...),
+//! non-hygienic `syntax-rules` macros, internal definitions, and
+//! alpha-renaming of every binding to a unique [`VarId`].
+
+use std::collections::HashMap;
+
+use cm_sexpr::{sym, Datum, DatumKind, Span, Sym};
+use cm_vm::Value;
+
+use crate::ast::{Expr, LambdaExpr, TopForm, VarId};
+use crate::CompileError;
+
+/// A `syntax-rules` macro definition.
+#[derive(Debug, Clone)]
+pub struct MacroDef {
+    literals: Vec<Sym>,
+    rules: Vec<(Datum, Datum)>,
+}
+
+/// The expander state.
+#[derive(Debug, Default)]
+pub struct Expander {
+    scopes: Vec<HashMap<Sym, VarId>>,
+    macros: HashMap<Sym, MacroDef>,
+    next_var: VarId,
+}
+
+const MAX_EXPANSION_DEPTH: usize = 500;
+
+fn err(span: Span, message: impl Into<String>) -> CompileError {
+    CompileError {
+        message: message.into(),
+        span,
+    }
+}
+
+impl Expander {
+    /// Creates a fresh expander.
+    pub fn new() -> Expander {
+        Expander::default()
+    }
+
+    /// Registers a macro without going through `define-syntax` (used to
+    /// preload library macros).
+    pub fn define_macro(
+        &mut self,
+        name: Sym,
+        literals: Vec<Sym>,
+        rules: Vec<(Datum, Datum)>,
+    ) {
+        self.macros.insert(name, MacroDef { literals, rules });
+    }
+
+    fn fresh(&mut self) -> VarId {
+        let v = self.next_var;
+        self.next_var += 1;
+        v
+    }
+
+    /// Number of variable ids allocated so far (lowering allocates above
+    /// this).
+    pub fn var_count(&self) -> VarId {
+        self.next_var
+    }
+
+    fn lookup(&self, s: Sym) -> Option<VarId> {
+        self.scopes.iter().rev().find_map(|m| m.get(&s).copied())
+    }
+
+    fn bind(&mut self, s: Sym) -> VarId {
+        let v = self.fresh();
+        self.scopes
+            .last_mut()
+            .expect("bind outside scope")
+            .insert(s, v);
+        v
+    }
+
+    /// Expands a whole program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] for malformed syntax.
+    pub fn expand_program(&mut self, data: &[Datum]) -> Result<Vec<TopForm>, CompileError> {
+        let mut out = Vec::new();
+        for d in data {
+            self.expand_top(d, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn expand_top(&mut self, d: &Datum, out: &mut Vec<TopForm>) -> Result<(), CompileError> {
+        if let Some((head, _)) = d.as_pair() {
+            if let Some(s) = head.as_sym() {
+                if self.lookup(s).is_none() {
+                    match s.name() {
+                        "define-syntax" => return self.do_define_syntax(d),
+                        "begin" => {
+                            for sub in d.list_iter().skip(1) {
+                                self.expand_top(sub, out)?;
+                            }
+                            return Ok(());
+                        }
+                        "define" => {
+                            let (name, expr) = self.parse_define(d)?;
+                            let expr = self.expand_expr(&expr, 0)?;
+                            out.push(TopForm::Define(name, expr));
+                            return Ok(());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let e = self.expand_expr(d, 0)?;
+        out.push(TopForm::Expr(e));
+        Ok(())
+    }
+
+    /// Parses `(define name expr)` / `(define (name . args) body...)` into
+    /// a name and an expression datum.
+    fn parse_define(&mut self, d: &Datum) -> Result<(Sym, Datum), CompileError> {
+        let items: Vec<&Datum> = d.list_iter().collect();
+        if items.len() < 2 {
+            return Err(err(d.span, "malformed define"));
+        }
+        match &items[1].kind {
+            DatumKind::Symbol(name) => {
+                let expr = if items.len() == 3 {
+                    items[2].clone()
+                } else if items.len() == 2 {
+                    Datum::list([Datum::symbol("void")])
+                } else {
+                    return Err(err(d.span, "define: too many forms"));
+                };
+                Ok((*name, expr))
+            }
+            DatumKind::Pair(p) => {
+                // (define (name . formals) body...) => (define name (lambda formals body...))
+                let name = p
+                    .0
+                    .as_sym()
+                    .ok_or_else(|| err(items[1].span, "define: expected procedure name"))?;
+                let formals = p.1.clone();
+                let mut lam = vec![Datum::symbol("lambda"), formals];
+                lam.extend(items[2..].iter().map(|d| (*d).clone()));
+                Ok((name, Datum::list(lam)))
+            }
+            _ => Err(err(items[1].span, "define: expected name")),
+        }
+    }
+
+    fn do_define_syntax(&mut self, d: &Datum) -> Result<(), CompileError> {
+        let items: Vec<&Datum> = d.list_iter().collect();
+        if items.len() != 3 {
+            return Err(err(d.span, "malformed define-syntax"));
+        }
+        let name = items[1]
+            .as_sym()
+            .ok_or_else(|| err(items[1].span, "define-syntax: expected name"))?;
+        let rules: Vec<&Datum> = items[2].list_iter().collect();
+        if rules.is_empty() || !rules[0].is_sym("syntax-rules") {
+            return Err(err(items[2].span, "define-syntax: expected syntax-rules"));
+        }
+        let literals = rules
+            .get(1)
+            .and_then(|d| d.proper_list())
+            .ok_or_else(|| err(items[2].span, "syntax-rules: expected literals list"))?
+            .iter()
+            .filter_map(Datum::as_sym)
+            .collect();
+        let mut parsed = Vec::new();
+        for rule in &rules[2..] {
+            let parts = rule
+                .proper_list()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| err(rule.span, "syntax-rules: expected (pattern template)"))?;
+            parsed.push((parts[0].clone(), parts[1].clone()));
+        }
+        self.macros.insert(
+            name,
+            MacroDef {
+                literals,
+                rules: parsed,
+            },
+        );
+        Ok(())
+    }
+
+    /// Expands one expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] for malformed syntax.
+    pub fn expand_expr(&mut self, d: &Datum, depth: usize) -> Result<Expr, CompileError> {
+        if depth > MAX_EXPANSION_DEPTH {
+            return Err(err(d.span, "macro expansion too deep"));
+        }
+        match &d.kind {
+            DatumKind::Fixnum(_)
+            | DatumKind::Flonum(_)
+            | DatumKind::Bool(_)
+            | DatumKind::Char(_)
+            | DatumKind::Str(_)
+            | DatumKind::Vector(_) => Ok(Expr::Quote(Value::from_datum(d))),
+            DatumKind::Symbol(s) => Ok(match self.lookup(*s) {
+                Some(v) => Expr::LocalRef(v),
+                None => Expr::GlobalRef(*s),
+            }),
+            DatumKind::Nil => Err(err(d.span, "empty application ()")),
+            DatumKind::Pair(p) => {
+                let head = &p.0;
+                if let Some(s) = head.as_sym() {
+                    if self.lookup(s).is_none() {
+                        if let Some(e) = self.expand_form(s, d, depth)? {
+                            return Ok(e);
+                        }
+                        if self.macros.contains_key(&s) {
+                            let expanded = self.apply_macro(s, d)?;
+                            return self.expand_expr(&expanded, depth + 1);
+                        }
+                    }
+                }
+                // Ordinary application.
+                let items = d
+                    .proper_list()
+                    .ok_or_else(|| err(d.span, "improper application form"))?;
+                let rator = self.expand_expr(&items[0], depth)?;
+                let rands = items[1..]
+                    .iter()
+                    .map(|a| self.expand_expr(a, depth))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Expr::Call {
+                    rator: Box::new(rator),
+                    rands,
+                })
+            }
+        }
+    }
+
+    /// Handles the built-in special forms; `Ok(None)` means "not a special
+    /// form" (fall through to macros / application).
+    fn expand_form(
+        &mut self,
+        s: Sym,
+        d: &Datum,
+        depth: usize,
+    ) -> Result<Option<Expr>, CompileError> {
+        let items: Vec<Datum> = match d.proper_list() {
+            Some(v) => v,
+            None => return Ok(None),
+        };
+        let span = d.span;
+        let form = s.name();
+        let e = match form {
+            "quote" => {
+                expect_len(&items, 2, span, "quote")?;
+                Expr::Quote(Value::from_datum(&items[1]))
+            }
+            "if" => {
+                if items.len() != 3 && items.len() != 4 {
+                    return Err(err(span, "if: expected 2 or 3 subforms"));
+                }
+                let test = self.expand_expr(&items[1], depth)?;
+                let conseq = self.expand_expr(&items[2], depth)?;
+                let altern = if items.len() == 4 {
+                    self.expand_expr(&items[3], depth)?
+                } else {
+                    Expr::void()
+                };
+                Expr::If(Box::new(test), Box::new(conseq), Box::new(altern))
+            }
+            "begin" => {
+                if items.len() == 1 {
+                    Expr::void()
+                } else {
+                    let es = items[1..]
+                        .iter()
+                        .map(|e| self.expand_expr(e, depth))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    seq(es)
+                }
+            }
+            "lambda" | "λ" => {
+                if items.len() < 3 {
+                    return Err(err(span, "lambda: missing body"));
+                }
+                return Ok(Some(self.expand_lambda("lambda", &items[1], &items[2..], depth)?));
+            }
+            "set!" => {
+                expect_len(&items, 3, span, "set!")?;
+                let name = items[1]
+                    .as_sym()
+                    .ok_or_else(|| err(items[1].span, "set!: expected variable"))?;
+                let value = self.expand_expr(&items[2], depth)?;
+                match self.lookup(name) {
+                    Some(v) => Expr::SetLocal(v, Box::new(value)),
+                    None => Expr::SetGlobal(name, Box::new(value)),
+                }
+            }
+            "define" => {
+                return Err(err(span, "define: not allowed in expression position"));
+            }
+            "let" => {
+                // Named let?
+                if items.len() >= 3 && items[1].as_sym().is_some() {
+                    let name = items[1].as_sym().unwrap();
+                    let bindings = parse_bindings(&items[2])?;
+                    let (vars, inits): (Vec<Datum>, Vec<Datum>) = bindings.into_iter().unzip();
+                    // (letrec ([name (lambda (vars...) body...)]) (name inits...))
+                    let lam = {
+                        let mut l = vec![Datum::symbol("lambda"), Datum::list(vars)];
+                        l.extend(items[3..].iter().cloned());
+                        Datum::list(l)
+                    };
+                    let bind = Datum::list([Datum::from_sym(name), lam]);
+                    let mut call = vec![Datum::from_sym(name)];
+                    call.extend(inits);
+                    let rewritten = Datum::list([
+                        Datum::symbol("letrec"),
+                        Datum::list([bind]),
+                        Datum::list(call),
+                    ]);
+                    return Ok(Some(self.expand_expr(&rewritten, depth + 1)?));
+                }
+                if items.len() < 3 {
+                    return Err(err(span, "let: missing body"));
+                }
+                let bindings = parse_bindings(&items[1])?;
+                let inits = bindings
+                    .iter()
+                    .map(|(_, i)| self.expand_expr(i, depth))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.scopes.push(HashMap::new());
+                let vars: Vec<VarId> = bindings
+                    .iter()
+                    .map(|(n, _)| {
+                        let s = n.as_sym().expect("checked by parse_bindings");
+                        self.bind(s)
+                    })
+                    .collect();
+                let body = self.expand_body(&items[2..], depth);
+                self.scopes.pop();
+                Expr::Let {
+                    bindings: vars.into_iter().zip(inits).collect(),
+                    body: Box::new(body?),
+                }
+            }
+            "let*" => {
+                if items.len() < 3 {
+                    return Err(err(span, "let*: missing body"));
+                }
+                let bindings = parse_bindings(&items[1])?;
+                // Nest.
+                let mut scopes_pushed = 0;
+                let mut acc: Vec<(VarId, Expr)> = Vec::new();
+                #[allow(unused_assignments)]
+                let mut result: Result<Expr, CompileError> = Err(err(span, "unreachable"));
+                'build: {
+                    for (n, i) in &bindings {
+                        let init = match self.expand_expr(i, depth) {
+                            Ok(e) => e,
+                            Err(e) => {
+                                result = Err(e);
+                                break 'build;
+                            }
+                        };
+                        self.scopes.push(HashMap::new());
+                        scopes_pushed += 1;
+                        let v = self.bind(n.as_sym().expect("checked"));
+                        acc.push((v, init));
+                    }
+                    if scopes_pushed == 0 {
+                        self.scopes.push(HashMap::new());
+                        scopes_pushed = 1;
+                    }
+                    result = self.expand_body(&items[2..], depth);
+                }
+                for _ in 0..scopes_pushed {
+                    self.scopes.pop();
+                }
+                let body = result?;
+                // Sequential semantics preserved because each binding was
+                // expanded before the next scope was pushed.
+                let mut out = body;
+                for (v, init) in acc.into_iter().rev() {
+                    out = Expr::Let {
+                        bindings: vec![(v, init)],
+                        body: Box::new(out),
+                    };
+                }
+                out
+            }
+            "letrec" | "letrec*" => {
+                if items.len() < 3 {
+                    return Err(err(span, "letrec: missing body"));
+                }
+                let bindings = parse_bindings(&items[1])?;
+                self.scopes.push(HashMap::new());
+                let vars: Vec<VarId> = bindings
+                    .iter()
+                    .map(|(n, _)| self.bind(n.as_sym().expect("checked")))
+                    .collect();
+                let result = (|| {
+                    let inits = bindings
+                        .iter()
+                        .map(|(_, i)| self.expand_expr(i, depth))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let body = self.expand_body(&items[2..], depth)?;
+                    Ok::<_, CompileError>((inits, body))
+                })();
+                self.scopes.pop();
+                let (inits, body) = result?;
+                letrec_expr(vars, inits, body)
+            }
+            "cond" => return Ok(Some(self.expand_cond(&items[1..], span, depth)?)),
+            "case" => return Ok(Some(self.expand_case(&items, span, depth)?)),
+            "and" => {
+                let mut out = Expr::Quote(Value::Bool(true));
+                for test in items[1..].iter().rev() {
+                    let t = self.expand_expr(test, depth)?;
+                    if matches!(out, Expr::Quote(Value::Bool(true))) {
+                        out = t;
+                    } else {
+                        out = Expr::If(Box::new(t), Box::new(out), Box::new(Expr::Quote(Value::Bool(false))));
+                    }
+                }
+                out
+            }
+            "or" => {
+                let mut out = Expr::Quote(Value::Bool(false));
+                for test in items[1..].iter().rev() {
+                    let t = self.expand_expr(test, depth)?;
+                    if matches!(out, Expr::Quote(Value::Bool(false))) {
+                        out = t;
+                    } else {
+                        // (let ([t test]) (if t t rest))
+                        self.scopes.push(HashMap::new());
+                        let v = self.bind(sym("$or-tmp"));
+                        self.scopes.pop();
+                        out = Expr::Let {
+                            bindings: vec![(v, t)],
+                            body: Box::new(Expr::If(
+                                Box::new(Expr::LocalRef(v)),
+                                Box::new(Expr::LocalRef(v)),
+                                Box::new(out),
+                            )),
+                        };
+                    }
+                }
+                out
+            }
+            "when" => {
+                if items.len() < 3 {
+                    return Err(err(span, "when: missing body"));
+                }
+                let test = self.expand_expr(&items[1], depth)?;
+                let body = items[2..]
+                    .iter()
+                    .map(|e| self.expand_expr(e, depth))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Expr::If(Box::new(test), Box::new(seq(body)), Box::new(Expr::void()))
+            }
+            "unless" => {
+                if items.len() < 3 {
+                    return Err(err(span, "unless: missing body"));
+                }
+                let test = self.expand_expr(&items[1], depth)?;
+                let body = items[2..]
+                    .iter()
+                    .map(|e| self.expand_expr(e, depth))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Expr::If(Box::new(test), Box::new(Expr::void()), Box::new(seq(body)))
+            }
+            "do" => return Ok(Some(self.expand_do(&items, span, depth)?)),
+            "quasiquote" => {
+                expect_len(&items, 2, span, "quasiquote")?;
+                let rewritten = expand_quasiquote(&items[1], 1);
+                return Ok(Some(self.expand_expr(&rewritten, depth + 1)?));
+            }
+            "with-continuation-mark" => {
+                expect_len(&items, 4, span, "with-continuation-mark")?;
+                let key = self.expand_expr(&items[1], depth)?;
+                let val = self.expand_expr(&items[2], depth)?;
+                let body = self.expand_expr(&items[3], depth)?;
+                Expr::Wcm {
+                    key: Box::new(key),
+                    val: Box::new(val),
+                    body: Box::new(body),
+                }
+            }
+            _ => return Ok(None),
+        };
+        Ok(Some(e))
+    }
+
+    fn expand_lambda(
+        &mut self,
+        name: &str,
+        formals: &Datum,
+        body: &[Datum],
+        depth: usize,
+    ) -> Result<Expr, CompileError> {
+        self.scopes.push(HashMap::new());
+        let mut params = Vec::new();
+        let mut rest = None;
+        match &formals.kind {
+            DatumKind::Symbol(s) => rest = Some(self.bind(*s)),
+            DatumKind::Nil | DatumKind::Pair(_) => {
+                let mut it = formals.list_iter();
+                for p in it.by_ref() {
+                    match p.as_sym() {
+                        Some(s) => params.push(self.bind(s)),
+                        None => {
+                            self.scopes.pop();
+                            return Err(err(p.span, "lambda: expected parameter name"));
+                        }
+                    }
+                }
+                match &it.tail().kind {
+                    DatumKind::Nil => {}
+                    DatumKind::Symbol(s) => rest = Some(self.bind(*s)),
+                    _ => {
+                        self.scopes.pop();
+                        return Err(err(formals.span, "lambda: malformed parameter list"));
+                    }
+                }
+            }
+            _ => {
+                self.scopes.pop();
+                return Err(err(formals.span, "lambda: malformed parameter list"));
+            }
+        }
+        let body = self.expand_body(body, depth);
+        self.scopes.pop();
+        Ok(Expr::Lambda(std::rc::Rc::new(LambdaExpr {
+            name: name.to_owned(),
+            params,
+            rest,
+            body: body?,
+        })))
+    }
+
+    /// Expands a body with leading internal definitions (letrec* scope).
+    fn expand_body(&mut self, forms: &[Datum], depth: usize) -> Result<Expr, CompileError> {
+        // Split off leading defines.
+        let mut defines: Vec<(Sym, Datum)> = Vec::new();
+        let mut rest = forms;
+        while let Some(first) = rest.first() {
+            let is_define = first
+                .as_pair()
+                .and_then(|(h, _)| h.as_sym())
+                .is_some_and(|s| s.name() == "define" && self.lookup(s).is_none());
+            if !is_define {
+                break;
+            }
+            defines.push(self.parse_define(first)?);
+            rest = &rest[1..];
+        }
+        if rest.is_empty() {
+            return Err(err(
+                forms.first().map_or(Span::SYNTH, |d| d.span),
+                "body has no expressions",
+            ));
+        }
+        if defines.is_empty() {
+            let es = rest
+                .iter()
+                .map(|e| self.expand_expr(e, depth))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(seq(es));
+        }
+        // letrec* over the defines.
+        self.scopes.push(HashMap::new());
+        let vars: Vec<VarId> = defines.iter().map(|(n, _)| self.bind(*n)).collect();
+        let result = (|| {
+            let inits = defines
+                .iter()
+                .map(|(_, i)| self.expand_expr(i, depth))
+                .collect::<Result<Vec<_>, _>>()?;
+            let es = rest
+                .iter()
+                .map(|e| self.expand_expr(e, depth))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok::<_, CompileError>((inits, seq(es)))
+        })();
+        self.scopes.pop();
+        let (inits, body) = result?;
+        Ok(letrec_expr(vars, inits, body))
+    }
+
+    fn expand_cond(
+        &mut self,
+        clauses: &[Datum],
+        span: Span,
+        depth: usize,
+    ) -> Result<Expr, CompileError> {
+        let Some((first, rest)) = clauses.split_first() else {
+            return Ok(Expr::void());
+        };
+        let parts = first
+            .proper_list()
+            .ok_or_else(|| err(first.span, "cond: malformed clause"))?;
+        if parts.is_empty() {
+            return Err(err(first.span, "cond: empty clause"));
+        }
+        if parts[0].is_sym("else") {
+            let es = parts[1..]
+                .iter()
+                .map(|e| self.expand_expr(e, depth))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(seq(es));
+        }
+        let test = self.expand_expr(&parts[0], depth)?;
+        let else_part = self.expand_cond(rest, span, depth)?;
+        if parts.len() == 1 {
+            // (cond (test) ...) — value of test if true.
+            self.scopes.push(HashMap::new());
+            let v = self.bind(sym("$cond-tmp"));
+            self.scopes.pop();
+            return Ok(Expr::Let {
+                bindings: vec![(v, test)],
+                body: Box::new(Expr::If(
+                    Box::new(Expr::LocalRef(v)),
+                    Box::new(Expr::LocalRef(v)),
+                    Box::new(else_part),
+                )),
+            });
+        }
+        if parts.len() == 3 && parts[1].is_sym("=>") {
+            let recv = self.expand_expr(&parts[2], depth)?;
+            self.scopes.push(HashMap::new());
+            let v = self.bind(sym("$cond-tmp"));
+            self.scopes.pop();
+            return Ok(Expr::Let {
+                bindings: vec![(v, test)],
+                body: Box::new(Expr::If(
+                    Box::new(Expr::LocalRef(v)),
+                    Box::new(Expr::Call {
+                        rator: Box::new(recv),
+                        rands: vec![Expr::LocalRef(v)],
+                    }),
+                    Box::new(else_part),
+                )),
+            });
+        }
+        let body = parts[1..]
+            .iter()
+            .map(|e| self.expand_expr(e, depth))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Expr::If(
+            Box::new(test),
+            Box::new(seq(body)),
+            Box::new(else_part),
+        ))
+    }
+
+    fn expand_case(
+        &mut self,
+        items: &[Datum],
+        span: Span,
+        depth: usize,
+    ) -> Result<Expr, CompileError> {
+        if items.len() < 3 {
+            return Err(err(span, "case: missing clauses"));
+        }
+        let scrutinee = self.expand_expr(&items[1], depth)?;
+        self.scopes.push(HashMap::new());
+        let v = self.bind(sym("$case-tmp"));
+        self.scopes.pop();
+        let mut out = Expr::void();
+        for clause in items[2..].iter().rev() {
+            let parts = clause
+                .proper_list()
+                .ok_or_else(|| err(clause.span, "case: malformed clause"))?;
+            if parts.is_empty() {
+                return Err(err(clause.span, "case: empty clause"));
+            }
+            let body = parts[1..]
+                .iter()
+                .map(|e| self.expand_expr(e, depth))
+                .collect::<Result<Vec<_>, _>>()?;
+            if parts[0].is_sym("else") {
+                out = seq(body);
+            } else {
+                let data = parts[0]
+                    .proper_list()
+                    .ok_or_else(|| err(parts[0].span, "case: expected datum list"))?;
+                let test = Expr::Call {
+                    rator: Box::new(Expr::GlobalRef(sym("memv"))),
+                    rands: vec![
+                        Expr::LocalRef(v),
+                        Expr::Quote(Value::from_datum(&Datum::list(data))),
+                    ],
+                };
+                out = Expr::If(Box::new(test), Box::new(seq(body)), Box::new(out));
+            }
+        }
+        Ok(Expr::Let {
+            bindings: vec![(v, scrutinee)],
+            body: Box::new(out),
+        })
+    }
+
+    fn expand_do(
+        &mut self,
+        items: &[Datum],
+        span: Span,
+        depth: usize,
+    ) -> Result<Expr, CompileError> {
+        if items.len() < 3 {
+            return Err(err(span, "do: malformed"));
+        }
+        // (do ((var init step)...) (test result...) command...)
+        let specs = items[1]
+            .proper_list()
+            .ok_or_else(|| err(items[1].span, "do: expected bindings"))?;
+        let mut vars = Vec::new();
+        let mut inits = Vec::new();
+        let mut steps = Vec::new();
+        for spec in &specs {
+            let parts = spec
+                .proper_list()
+                .ok_or_else(|| err(spec.span, "do: malformed binding"))?;
+            if parts.len() < 2 || parts.len() > 3 {
+                return Err(err(spec.span, "do: malformed binding"));
+            }
+            vars.push(parts[0].clone());
+            inits.push(parts[1].clone());
+            steps.push(if parts.len() == 3 {
+                parts[2].clone()
+            } else {
+                parts[0].clone()
+            });
+        }
+        let exit = items[2]
+            .proper_list()
+            .ok_or_else(|| err(items[2].span, "do: expected exit clause"))?;
+        if exit.is_empty() {
+            return Err(err(items[2].span, "do: empty exit clause"));
+        }
+        // Rewrite to a named let.
+        let loop_name = Datum::from_sym(Sym::gensym("$do-loop"));
+        let mut recur = vec![loop_name.clone()];
+        recur.extend(steps);
+        let result = if exit.len() > 1 {
+            let mut b = vec![Datum::symbol("begin")];
+            b.extend(exit[1..].iter().cloned());
+            Datum::list(b)
+        } else {
+            Datum::list([Datum::symbol("void")])
+        };
+        let mut commands = vec![Datum::symbol("begin")];
+        commands.extend(items[3..].iter().cloned());
+        commands.push(Datum::list(recur));
+        let body = Datum::list([
+            Datum::symbol("if"),
+            exit[0].clone(),
+            result,
+            Datum::list(commands),
+        ]);
+        let bindings: Vec<Datum> = vars
+            .into_iter()
+            .zip(inits)
+            .map(|(v, i)| Datum::list([v, i]))
+            .collect();
+        let rewritten = Datum::list([
+            Datum::symbol("let"),
+            loop_name,
+            Datum::list(bindings),
+            body,
+        ]);
+        self.expand_expr(&rewritten, depth + 1)
+    }
+
+    // ------------------------------------------------------------------
+    // syntax-rules
+    // ------------------------------------------------------------------
+
+    fn apply_macro(&mut self, name: Sym, d: &Datum) -> Result<Datum, CompileError> {
+        let def = self.macros.get(&name).expect("caller checked").clone();
+        for (pattern, template) in &def.rules {
+            let mut bindings = HashMap::new();
+            if match_pattern_top(pattern, d, &def.literals, &mut bindings) {
+                return Ok(instantiate(template, &bindings));
+            }
+        }
+        Err(err(d.span, format!("no matching syntax rule for {name}")))
+    }
+}
+
+fn expect_len(items: &[Datum], n: usize, span: Span, who: &str) -> Result<(), CompileError> {
+    if items.len() == n {
+        Ok(())
+    } else {
+        Err(err(span, format!("{who}: expected {} subforms", n - 1)))
+    }
+}
+
+fn seq(mut es: Vec<Expr>) -> Expr {
+    if es.len() == 1 {
+        es.pop().unwrap()
+    } else {
+        Expr::Seq(es)
+    }
+}
+
+fn parse_bindings(d: &Datum) -> Result<Vec<(Datum, Datum)>, CompileError> {
+    let list = d
+        .proper_list()
+        .ok_or_else(|| err(d.span, "expected binding list"))?;
+    let mut out = Vec::new();
+    for b in list {
+        let parts = b
+            .proper_list()
+            .filter(|p| p.len() == 2 && p[0].as_sym().is_some())
+            .ok_or_else(|| err(b.span, "expected (name init) binding"))?;
+        out.push((parts[0].clone(), parts[1].clone()));
+    }
+    Ok(out)
+}
+
+/// `letrec*` encoding: bind all names to void, then assign in order.
+/// Assignment conversion later boxes the mutated variables.
+fn letrec_expr(vars: Vec<VarId>, inits: Vec<Expr>, body: Expr) -> Expr {
+    let mut seq_items: Vec<Expr> = vars
+        .iter()
+        .zip(inits)
+        .map(|(v, i)| Expr::SetLocal(*v, Box::new(i)))
+        .collect();
+    seq_items.push(body);
+    Expr::Let {
+        bindings: vars.into_iter().map(|v| (v, Expr::void())).collect(),
+        body: Box::new(Expr::Seq(seq_items)),
+    }
+}
+
+/// Rewrites quasiquote syntax into `cons`/`append`/`quote` calls.
+fn expand_quasiquote(d: &Datum, level: usize) -> Datum {
+    match &d.kind {
+        DatumKind::Pair(p) => {
+            if d.is_sym_head("unquote") {
+                let arg = datum_car(&p.1).expect("unquote arg");
+                if level == 1 {
+                    return arg;
+                }
+                return list3(
+                    "list",
+                    Datum::list([Datum::symbol("quote"), Datum::symbol("unquote")]),
+                    expand_quasiquote(&arg, level - 1),
+                );
+            }
+            if d.is_sym_head("quasiquote") {
+                let arg = datum_car(&p.1).expect("quasiquote arg");
+                return list3(
+                    "list",
+                    Datum::list([Datum::symbol("quote"), Datum::symbol("quasiquote")]),
+                    expand_quasiquote(&arg, level + 1),
+                );
+            }
+            // Check for splicing in head position.
+            if let Some((head, tail)) = d.as_pair() {
+                if head.is_sym_head("unquote-splicing") && level == 1 {
+                    let spliced = datum_car(head.as_pair().unwrap().1).expect("splice arg");
+                    return list3("append", spliced, expand_quasiquote(tail, level));
+                }
+                return list3(
+                    "cons",
+                    expand_quasiquote(head, level),
+                    expand_quasiquote(tail, level),
+                );
+            }
+            unreachable!("pair handled above")
+        }
+        DatumKind::Vector(items) => {
+            let lst = expand_quasiquote(&Datum::list(items.iter().cloned()), level);
+            Datum::list([Datum::symbol("list->vector"), lst])
+        }
+        _ => Datum::list([Datum::symbol("quote"), d.clone()]),
+    }
+}
+
+fn datum_car(d: &Datum) -> Option<Datum> {
+    d.as_pair().map(|(h, _)| h.clone())
+}
+
+fn list3(f: &str, a: Datum, b: Datum) -> Datum {
+    Datum::list([Datum::symbol(f), a, b])
+}
+
+trait SymHead {
+    fn is_sym_head(&self, name: &str) -> bool;
+}
+
+impl SymHead for Datum {
+    fn is_sym_head(&self, name: &str) -> bool {
+        self.as_pair().is_some_and(|(h, _)| h.is_sym(name))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pattern matching for syntax-rules
+// ----------------------------------------------------------------------
+
+/// A value bound to a pattern variable.
+#[derive(Debug, Clone)]
+enum MatchVal {
+    One(Datum),
+    Many(Vec<MatchVal>),
+}
+
+type Bindings = HashMap<Sym, MatchVal>;
+
+/// Matches a top-level rule pattern against a use; the first element of
+/// the pattern (the macro keyword position) is ignored.
+fn match_pattern_top(pattern: &Datum, d: &Datum, literals: &[Sym], out: &mut Bindings) -> bool {
+    match (pattern.as_pair(), d.as_pair()) {
+        (Some((_, prest)), Some((_, drest))) => match_pattern(prest, drest, literals, out),
+        _ => false,
+    }
+}
+
+fn is_ellipsis(d: &Datum) -> bool {
+    d.is_sym("...")
+}
+
+fn match_pattern(pattern: &Datum, d: &Datum, literals: &[Sym], out: &mut Bindings) -> bool {
+    match &pattern.kind {
+        DatumKind::Symbol(s) => {
+            if s.name() == "_" {
+                return true;
+            }
+            if literals.contains(s) {
+                return d.as_sym() == Some(*s);
+            }
+            out.insert(*s, MatchVal::One(d.clone()));
+            true
+        }
+        DatumKind::Nil => matches!(d.kind, DatumKind::Nil),
+        DatumKind::Pair(p) => {
+            // Ellipsis pattern: (sub ... . tailpats)
+            if let Some((maybe_ellipsis, after)) = p.1.as_pair() {
+                if is_ellipsis(maybe_ellipsis) {
+                    let sub = &p.0;
+                    // Collect fixed tail patterns after the ellipsis.
+                    let tail_pats: Vec<&Datum> = after.list_iter().collect();
+                    let tail_tail = {
+                        let mut it = after.list_iter();
+                        for _ in it.by_ref() {}
+                        it.tail().clone()
+                    };
+                    // Gather input elements.
+                    let mut elems: Vec<Datum> = Vec::new();
+                    let mut it = d.list_iter();
+                    for e in it.by_ref() {
+                        elems.push(e.clone());
+                    }
+                    let input_tail = it.tail().clone();
+                    if elems.len() < tail_pats.len() {
+                        return false;
+                    }
+                    let split = elems.len() - tail_pats.len();
+                    // Match the repeated part.
+                    let vars = pattern_vars(sub, literals);
+                    let mut collected: HashMap<Sym, Vec<MatchVal>> =
+                        vars.iter().map(|v| (*v, Vec::new())).collect();
+                    for e in &elems[..split] {
+                        let mut sub_out = Bindings::new();
+                        if !match_pattern(sub, e, literals, &mut sub_out) {
+                            return false;
+                        }
+                        for v in &vars {
+                            collected.get_mut(v).expect("var collected").push(
+                                sub_out
+                                    .get(v)
+                                    .cloned()
+                                    .unwrap_or(MatchVal::One(Datum::nil())),
+                            );
+                        }
+                    }
+                    for (v, vals) in collected {
+                        out.insert(v, MatchVal::Many(vals));
+                    }
+                    // Match the fixed tail.
+                    for (tp, e) in tail_pats.iter().zip(&elems[split..]) {
+                        if !match_pattern(tp, e, literals, out) {
+                            return false;
+                        }
+                    }
+                    return match_pattern(&tail_tail, &input_tail, literals, out);
+                }
+            }
+            match d.as_pair() {
+                Some((dh, dt)) => {
+                    match_pattern(&p.0, dh, literals, out) && match_pattern(&p.1, dt, literals, out)
+                }
+                None => false,
+            }
+        }
+        _ => datum_literal_eq(pattern, d),
+    }
+}
+
+fn datum_literal_eq(a: &Datum, b: &Datum) -> bool {
+    cm_sexpr::write_datum(a) == cm_sexpr::write_datum(b)
+}
+
+/// The pattern variables bound by `pattern`.
+fn pattern_vars(pattern: &Datum, literals: &[Sym]) -> Vec<Sym> {
+    let mut out = Vec::new();
+    fn go(p: &Datum, literals: &[Sym], out: &mut Vec<Sym>) {
+        match &p.kind {
+            DatumKind::Symbol(s) => {
+                if s.name() != "_" && s.name() != "..." && !literals.contains(s) {
+                    out.push(*s);
+                }
+            }
+            DatumKind::Pair(pp) => {
+                go(&pp.0, literals, out);
+                go(&pp.1, literals, out);
+            }
+            _ => {}
+        }
+    }
+    go(pattern, literals, &mut out);
+    out
+}
+
+/// Instantiates a template with pattern bindings.
+fn instantiate(template: &Datum, bindings: &Bindings) -> Datum {
+    match &template.kind {
+        DatumKind::Symbol(s) => match bindings.get(s) {
+            Some(MatchVal::One(d)) => d.clone(),
+            // A bare many-binding without ellipsis: leave as symbol (an
+            // error in strict syntax-rules; harmless here).
+            _ => template.clone(),
+        },
+        DatumKind::Pair(p) => {
+            // (sub ... . rest)
+            if let Some((maybe_ellipsis, after)) = p.1.as_pair() {
+                if is_ellipsis(maybe_ellipsis) {
+                    let sub = &p.0;
+                    let vars = template_vars(sub, bindings);
+                    let n = vars
+                        .iter()
+                        .filter_map(|v| match bindings.get(v) {
+                            Some(MatchVal::Many(vals)) => Some(vals.len()),
+                            _ => None,
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    let mut items = Vec::new();
+                    for i in 0..n {
+                        let mut sub_bindings = bindings.clone();
+                        for v in &vars {
+                            if let Some(MatchVal::Many(vals)) = bindings.get(v) {
+                                if let Some(val) = vals.get(i) {
+                                    sub_bindings.insert(*v, val.clone());
+                                }
+                            }
+                        }
+                        items.push(instantiate(sub, &sub_bindings));
+                    }
+                    let rest = instantiate(after, bindings);
+                    let mut out = rest;
+                    for item in items.into_iter().rev() {
+                        out = Datum::cons(item, out);
+                    }
+                    return out;
+                }
+            }
+            Datum::cons(instantiate(&p.0, bindings), instantiate(&p.1, bindings))
+        }
+        _ => template.clone(),
+    }
+}
+
+fn template_vars(template: &Datum, bindings: &Bindings) -> Vec<Sym> {
+    let mut out = Vec::new();
+    fn go(t: &Datum, bindings: &Bindings, out: &mut Vec<Sym>) {
+        match &t.kind {
+            DatumKind::Symbol(s) => {
+                if bindings.contains_key(s) {
+                    out.push(*s);
+                }
+            }
+            DatumKind::Pair(p) => {
+                go(&p.0, bindings, out);
+                go(&p.1, bindings, out);
+            }
+            _ => {}
+        }
+    }
+    go(template, bindings, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_sexpr::parse_str;
+
+    fn expand_one(src: &str) -> Expr {
+        let data = parse_str(src).unwrap();
+        let mut ex = Expander::new();
+        let forms = ex.expand_program(&data).unwrap();
+        match forms.into_iter().last().unwrap() {
+            TopForm::Expr(e) => e,
+            TopForm::Define(_, e) => e,
+        }
+    }
+
+    #[test]
+    fn atoms_expand_to_quotes_and_refs() {
+        assert!(matches!(expand_one("42"), Expr::Quote(_)));
+        assert!(matches!(expand_one("foo"), Expr::GlobalRef(_)));
+    }
+
+    #[test]
+    fn lambda_binds_locals() {
+        let e = expand_one("(lambda (x) x)");
+        let Expr::Lambda(l) = e else { panic!("not a lambda") };
+        assert_eq!(l.params.len(), 1);
+        assert!(matches!(l.body, Expr::LocalRef(v) if v == l.params[0]));
+    }
+
+    #[test]
+    fn rest_parameters() {
+        let e = expand_one("(lambda (a . rest) rest)");
+        let Expr::Lambda(l) = e else { panic!("not a lambda") };
+        assert_eq!(l.params.len(), 1);
+        assert!(l.rest.is_some());
+    }
+
+    #[test]
+    fn let_and_shadowing() {
+        let e = expand_one("(let ([x 1]) (let ([x 2]) x))");
+        let Expr::Let { body, .. } = e else { panic!("not a let") };
+        let Expr::Let { bindings, body } = *body else { panic!("not nested let") };
+        assert!(matches!(*body, Expr::LocalRef(v) if v == bindings[0].0));
+    }
+
+    #[test]
+    fn named_let_becomes_letrec() {
+        let e = expand_one("(let loop ([i 0]) (if (< i 10) (loop (+ i 1)) i))");
+        // Shape: Let { [loop = void], Seq[SetLocal(loop, lambda), Call(loop, 0)] }
+        assert!(matches!(e, Expr::Let { .. }));
+    }
+
+    #[test]
+    fn cond_with_arrow() {
+        let e = expand_one("(cond [(assq 'a lst) => cdr] [else #f])");
+        assert!(matches!(e, Expr::Let { .. }));
+    }
+
+    #[test]
+    fn wcm_is_a_special_form() {
+        let e = expand_one("(with-continuation-mark 'k 1 (f))");
+        assert!(matches!(e, Expr::Wcm { .. }));
+    }
+
+    #[test]
+    fn quasiquote_rewrites_to_constructors() {
+        let e = expand_one("`(a ,b ,@c)");
+        // (cons 'a (append c '()))-ish: a Call at top.
+        assert!(matches!(e, Expr::Call { .. }));
+    }
+
+    #[test]
+    fn define_syntax_swap() {
+        let src = r#"
+            (define-syntax my-if
+              (syntax-rules () ((_ c t e) (if c t e))))
+            (my-if #t 1 2)
+        "#;
+        let e = expand_one(src);
+        assert!(matches!(e, Expr::If(..)));
+    }
+
+    #[test]
+    fn syntax_rules_ellipsis() {
+        let src = r#"
+            (define-syntax my-list
+              (syntax-rules () ((_ x ...) (list x ...))))
+            (my-list 1 2 3)
+        "#;
+        let e = expand_one(src);
+        let Expr::Call { rands, .. } = e else { panic!("not a call") };
+        assert_eq!(rands.len(), 3);
+    }
+
+    #[test]
+    fn syntax_rules_nested_ellipsis_let_like() {
+        let src = r#"
+            (define-syntax my-let
+              (syntax-rules () ((_ ((n v) ...) body) ((lambda (n ...) body) v ...))))
+            (my-let ((a 1) (b 2)) (+ a b))
+        "#;
+        let e = expand_one(src);
+        let Expr::Call { rator, rands } = e else { panic!("not a call") };
+        assert!(matches!(*rator, Expr::Lambda(_)));
+        assert_eq!(rands.len(), 2);
+    }
+
+    #[test]
+    fn ellipsis_with_fixed_tail() {
+        let src = r#"
+            (define-syntax last-of
+              (syntax-rules () ((_ x ... y) y)))
+            (last-of 1 2 3)
+        "#;
+        let e = expand_one(src);
+        assert!(matches!(e, Expr::Quote(Value::Fixnum(3))));
+    }
+
+    #[test]
+    fn macro_shadowed_by_local_binding() {
+        let src = r#"
+            (define-syntax m (syntax-rules () ((_ x) (list x))))
+            (let ([m car]) (m '(1 2)))
+        "#;
+        let e = expand_one(src);
+        // m is a local, so (m ...) is a plain call.
+        let Expr::Let { body, .. } = e else { panic!("not let") };
+        assert!(matches!(*body, Expr::Call { .. }));
+    }
+
+    #[test]
+    fn internal_defines_are_letrec() {
+        let e = expand_one("(lambda () (define x 1) (define (f) x) (f))");
+        let Expr::Lambda(l) = e else { panic!("not lambda") };
+        assert!(matches!(&l.body, Expr::Let { .. }));
+    }
+
+    #[test]
+    fn do_loop_expands() {
+        let e = expand_one("(do ([i 0 (+ i 1)] [acc 0 (+ acc i)]) ((= i 5) acc))");
+        assert!(matches!(e, Expr::Let { .. }));
+    }
+
+    #[test]
+    fn errors_on_bad_syntax() {
+        let data = parse_str("(if)").unwrap();
+        assert!(Expander::new().expand_program(&data).is_err());
+        let data = parse_str("(lambda (1) x)").unwrap();
+        assert!(Expander::new().expand_program(&data).is_err());
+        let data = parse_str("()").unwrap();
+        assert!(Expander::new().expand_program(&data).is_err());
+    }
+
+    #[test]
+    fn case_expands_to_memv() {
+        let e = expand_one("(case x [(1 2) 'small] [else 'big])");
+        assert!(matches!(e, Expr::Let { .. }));
+    }
+}

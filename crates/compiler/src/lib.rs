@@ -1,0 +1,203 @@
+//! The compile-time half of the continuation-marks system: a Scheme
+//! compiler targeting the `cm-vm` bytecode machine, with the paper's §7
+//! compiler support for continuation attachments.
+//!
+//! Pipeline: read → [`expand`](expand::Expander) (special forms +
+//! `syntax-rules`) → [`cp0`] (folding/inlining with the §7.4 attachment
+//! restriction and the §7.3 mark elision) → [`lower`](lower::lower)
+//! (attachment-primitive recognition, `with-continuation-mark` expansion,
+//! assignment conversion) → [`codegen`](codegen::gen_program) (the §7.2
+//! position categorization).
+//!
+//! # Examples
+//!
+//! ```
+//! use cm_compiler::{Compiler, CompilerConfig};
+//! use cm_vm::{Machine, MachineConfig, Value};
+//! use std::{cell::RefCell, rc::Rc};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let globals = Rc::new(RefCell::new(cm_vm::Globals::new()));
+//! let mut machine = Machine::with_globals(MachineConfig::default(), globals.clone());
+//! let mut compiler = Compiler::new(CompilerConfig::default(), globals);
+//! let code = compiler.compile_str("(define (fact n) (if (zero? n) 1 (* n (fact (- n 1))))) (fact 10)")?;
+//! let result = machine.run_code(code)?;
+//! assert!(result.eq_value(&Value::fixnum(3628800)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod cp0;
+pub mod expand;
+pub mod lower;
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use cm_sexpr::{Datum, Span};
+use cm_vm::{Code, Globals, MarkModel};
+
+use ast::TopForm;
+use expand::Expander;
+
+/// A compile-time error with its source location.
+#[derive(Debug, Clone)]
+pub struct CompileError {
+    /// Human-readable description.
+    pub message: String,
+    /// Source location (synthetic for programmatic input).
+    pub span: Span,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<cm_sexpr::ReadError> for CompileError {
+    fn from(e: cm_sexpr::ReadError) -> CompileError {
+        CompileError {
+            message: e.message,
+            span: e.span,
+        }
+    }
+}
+
+/// Compiler switches; the defaults are the paper's full system, each
+/// switch reproduces one evaluation variant (§8.2, §8.5).
+#[derive(Debug, Clone)]
+pub struct CompilerConfig {
+    /// §7.4: restrict cp0 simplifications that would collapse observable
+    /// continuation frames. `false` = the "unmod" Chez variant.
+    pub cp0_attachment_restriction: bool,
+    /// §7.3: drop marks whose body cannot observe them.
+    pub elide_irrelevant_marks: bool,
+    /// §7.2: recognize the attachment primitives and specialize by
+    /// position. `false` = the "no opt" ablation (uniform native calls
+    /// with closure allocation).
+    pub attachment_opt: bool,
+    /// Recognize attachment-transparent primitives inside mark bodies.
+    /// `false` = the "no prim" ablation (reify around primitives).
+    pub prim_attachment_opt: bool,
+    /// Mark representation the code is generated for (must match the
+    /// machine's [`MarkModel`]).
+    pub mark_model: MarkModel,
+}
+
+impl Default for CompilerConfig {
+    fn default() -> CompilerConfig {
+        CompilerConfig {
+            cp0_attachment_restriction: true,
+            elide_irrelevant_marks: true,
+            attachment_opt: true,
+            prim_attachment_opt: true,
+            mark_model: MarkModel::Attachments,
+        }
+    }
+}
+
+impl CompilerConfig {
+    /// Whether the eager (old Racket) mark model is targeted.
+    pub fn eager_marks(&self) -> bool {
+        self.mark_model == MarkModel::EagerMarkStack
+    }
+}
+
+/// A compilation session: an expander whose macro definitions persist
+/// across [`Compiler::compile_str`] calls (so a prelude can define macros
+/// used by later programs) and a global table shared with the machine.
+pub struct Compiler {
+    expander: Expander,
+    globals: Rc<RefCell<Globals>>,
+    config: CompilerConfig,
+    var_counter: u32,
+}
+
+impl Compiler {
+    /// Creates a session over a shared global table.
+    pub fn new(config: CompilerConfig, globals: Rc<RefCell<Globals>>) -> Compiler {
+        Compiler {
+            expander: Expander::new(),
+            globals,
+            config,
+            var_counter: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// Compiles source text to a runnable code object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] on read or expansion errors.
+    pub fn compile_str(&mut self, src: &str) -> Result<Rc<Code>, CompileError> {
+        let data = cm_sexpr::parse_str(src)?;
+        self.compile_data(&data)
+    }
+
+    /// Compiles already-read data to a runnable code object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] on expansion errors.
+    pub fn compile_data(&mut self, data: &[Datum]) -> Result<Rc<Code>, CompileError> {
+        let forms = self.expander.expand_program(data)?;
+        let user = cp0::user_defined_names(&forms);
+        let cp0_opts = cp0::Cp0Options {
+            attachment_restriction: self.config.cp0_attachment_restriction,
+            elide_irrelevant_marks: self.config.elide_irrelevant_marks,
+        };
+        // The expander allocates ids monotonically across calls; continue
+        // above anything it has produced so far.
+        self.var_counter = self.var_counter.max(self.expander.var_count()).max(1_000_000);
+        let mut supply = lower::VarSupply::starting_at(self.var_counter);
+        let forms: Vec<TopForm> = forms
+            .into_iter()
+            .map(|f| {
+                let mut run = |e| {
+                    lower::lower(
+                        cp0::optimize(cp0::recognize_prims(e, &user), &cp0_opts),
+                        &self.config,
+                        &mut supply,
+                    )
+                };
+                match f {
+                    TopForm::Define(n, e) => TopForm::Define(n, run(e)),
+                    TopForm::Expr(e) => TopForm::Expr(run(e)),
+                }
+            })
+            .collect();
+        Ok(codegen::gen_program(&forms, &self.globals, &self.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_full_system() {
+        let c = CompilerConfig::default();
+        assert!(c.cp0_attachment_restriction && c.attachment_opt && c.prim_attachment_opt);
+        assert!(!c.eager_marks());
+    }
+
+    #[test]
+    fn compile_error_displays() {
+        let e = CompileError {
+            message: "boom".into(),
+            span: Span::new(1, 2),
+        };
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,355 @@
+//! Continuation marks for a Scheme with first-class continuations — the
+//! user-facing engine reproducing Flatt & Dybvig, *Compiler and Runtime
+//! Support for Continuation Marks* (PLDI 2020).
+//!
+//! An [`Engine`] bundles a [`cm_vm::Machine`] and a
+//! [`cm_compiler::Compiler`] over a shared global table, preloads the
+//! runtime library (list utilities, `dynamic-wind`, the marks layer,
+//! exceptions, parameters, contracts), and evaluates programs.
+//!
+//! The full continuation-marks API is available to evaluated programs:
+//!
+//! * `with-continuation-mark`, `current-continuation-marks`,
+//!   `continuation-marks`, `continuation-mark-set-first` (amortized O(1)),
+//!   `continuation-mark-set->list`, `continuation-mark-set->iterator`,
+//!   `call-with-immediate-continuation-mark`;
+//! * the §7.1 attachment primitives
+//!   (`call-setting/-getting/-consuming-continuation-attachment`,
+//!   `current-continuation-attachments`);
+//! * `call/cc`, `call/1cc`, `dynamic-wind`, and multi-prompt delimited
+//!   control (`%call-with-prompt`, `%abort`,
+//!   `%call-with-composable-continuation`);
+//! * library-level features built from marks: `catch`/`throw` (§2.3),
+//!   `make-parameter`/`parameterize`, and `contract->`.
+//!
+//! # Examples
+//!
+//! The paper's §2 team-color example:
+//!
+//! ```
+//! use cm_core::{Engine, EngineConfig};
+//!
+//! # fn main() -> Result<(), cm_core::EngineError> {
+//! let mut engine = Engine::new(EngineConfig::default());
+//! let result = engine.eval(
+//!     r#"
+//!     (define (current-team-color)
+//!       (continuation-mark-set-first #f 'team-color "?"))
+//!     (with-continuation-mark 'team-color "red"
+//!       (current-team-color))
+//!     "#,
+//! )?;
+//! assert_eq!(result.display_string(), "red");
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use cm_compiler::{Compiler, CompileError, CompilerConfig};
+use cm_vm::{Globals, Machine, MachineConfig, MachineStats, MarkModel, Value, VmError};
+
+/// The runtime library sources, concatenated per mark model.
+const PRELUDE_COMMON: &str = include_str!("prelude_common.scm");
+const MARKS_ATTACHMENTS: &str = include_str!("marks_attachments.scm");
+const MARKS_EAGER: &str = include_str!("marks_eager.scm");
+const FEATURES: &str = include_str!("features.scm");
+
+/// An error from compiling or running a program.
+#[derive(Debug, Clone)]
+pub enum EngineError {
+    /// A compile-time error.
+    Compile(CompileError),
+    /// A runtime error.
+    Runtime(VmError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Compile(e) => write!(f, "{e}"),
+            EngineError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> EngineError {
+        EngineError::Compile(e)
+    }
+}
+
+impl From<VmError> for EngineError {
+    fn from(e: VmError) -> EngineError {
+        EngineError::Runtime(e)
+    }
+}
+
+/// Full configuration of an engine: machine plus compiler switches.
+///
+/// The named constructors correspond to the paper's measured variants.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Runtime switches.
+    pub machine: MachineConfig,
+    /// Compile-time switches.
+    pub compiler: CompilerConfig,
+}
+
+impl EngineConfig {
+    /// The full system ("attach" / Racket CS without wrapper overhead —
+    /// i.e. modified Chez Scheme).
+    pub fn full() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    /// The full system plus the Racket CS control-operation wrapper
+    /// overhead (what §8.3–§8.5 measure as "Racket CS").
+    pub fn racket_cs() -> EngineConfig {
+        let mut c = EngineConfig::default();
+        c.machine.wrapped_control = true;
+        c
+    }
+
+    /// §8.2 "unmod": no attachment specialization, no cp0 restriction —
+    /// the baseline Chez Scheme.
+    pub fn unmodified_chez() -> EngineConfig {
+        let mut c = EngineConfig::default();
+        c.compiler.attachment_opt = false;
+        c.compiler.cp0_attachment_restriction = false;
+        c.compiler.elide_irrelevant_marks = false;
+        c
+    }
+
+    /// §8.5 "no 1cc": opportunistic one-shot fusion disabled.
+    pub fn no_one_shot() -> EngineConfig {
+        let mut c = EngineConfig::racket_cs();
+        c.machine.one_shot_fusion = false;
+        c
+    }
+
+    /// §8.5 "no opt": the compiler does not specialize attachment
+    /// operations (uniform native calls with closure allocation).
+    pub fn no_attachment_opt() -> EngineConfig {
+        let mut c = EngineConfig::racket_cs();
+        c.compiler.attachment_opt = false;
+        c
+    }
+
+    /// §8.5 "no prim": primitives are not assumed attachment-transparent.
+    pub fn no_prim_opt() -> EngineConfig {
+        let mut c = EngineConfig::racket_cs();
+        c.compiler.prim_attachment_opt = false;
+        c
+    }
+
+    /// The old-Racket model (figure 5 baseline): eager per-frame mark
+    /// stack, expensive capture, wrapper overhead.
+    pub fn old_racket() -> EngineConfig {
+        let mut c = EngineConfig::default();
+        c.machine.mark_model = MarkModel::EagerMarkStack;
+        c.machine.wrapped_control = true;
+        c.compiler.mark_model = MarkModel::EagerMarkStack;
+        c
+    }
+}
+
+/// A ready-to-use Scheme engine with continuation-marks support.
+pub struct Engine {
+    machine: Machine,
+    compiler: Compiler,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine and loads the runtime library.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled prelude fails to compile or run (a build
+    /// defect, not a user error).
+    pub fn new(config: EngineConfig) -> Engine {
+        let globals = Rc::new(RefCell::new(Globals::new()));
+        let machine = Machine::with_globals(config.machine.clone(), globals.clone());
+        let compiler = Compiler::new(config.compiler.clone(), globals.clone());
+        let mut engine = Engine {
+            machine,
+            compiler,
+            config,
+        };
+        // Uniform-native aliases for the §7.1 primitives; installed from
+        // Rust so the compiler's immediate-lambda recognition is not
+        // suppressed by a user-definition check.
+        {
+            let mut g = globals.borrow_mut();
+            for (alias, native) in [
+                (
+                    "call-setting-continuation-attachment",
+                    "$call-setting-attachment",
+                ),
+                (
+                    "call-getting-continuation-attachment",
+                    "$call-getting-attachment",
+                ),
+                (
+                    "call-consuming-continuation-attachment",
+                    "$call-consuming-attachment",
+                ),
+            ] {
+                let v = g.lookup(cm_sexpr::sym(native)).expect("native installed");
+                g.define(cm_sexpr::sym(alias), v);
+            }
+        }
+        let marks_layer = if engine.config.compiler.eager_marks() {
+            MARKS_EAGER
+        } else {
+            MARKS_ATTACHMENTS
+        };
+        for (what, src) in [
+            ("prelude", PRELUDE_COMMON),
+            ("marks layer", marks_layer),
+            ("features", FEATURES),
+        ] {
+            engine
+                .eval(src)
+                .unwrap_or_else(|e| panic!("failed to load {what}: {e}"));
+        }
+        engine
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Evaluates source text, returning the value of the last form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] for compile-time or runtime errors.
+    pub fn eval(&mut self, src: &str) -> Result<Value, EngineError> {
+        let code = self.compiler.compile_str(src)?;
+        self.machine.refuel();
+        Ok(self.machine.run_code(code)?)
+    }
+
+    /// Evaluates and renders the result in `write` notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] for compile-time or runtime errors.
+    pub fn eval_to_string(&mut self, src: &str) -> Result<String, EngineError> {
+        Ok(self.eval(src)?.write_string())
+    }
+
+    /// Calls a global procedure by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] if the global is unbound or the call
+    /// fails.
+    pub fn call_global(&mut self, name: &str, args: Vec<Value>) -> Result<Value, EngineError> {
+        let f = self
+            .machine
+            .globals
+            .borrow()
+            .lookup(cm_sexpr::sym(name))
+            .ok_or_else(|| EngineError::Runtime(VmError::Unbound(name.to_owned())))?;
+        self.machine.refuel();
+        Ok(self.machine.call_value(f, args)?)
+    }
+
+    /// Takes and clears output captured from `display`/`write`/`newline`.
+    pub fn take_output(&mut self) -> String {
+        self.machine.take_output()
+    }
+
+    /// The machine's event counters.
+    pub fn stats(&self) -> MachineStats {
+        self.machine.stats
+    }
+
+    /// Resets the machine's event counters.
+    pub fn reset_stats(&mut self) {
+        self.machine.stats.reset();
+    }
+
+    /// Direct access to the underlying machine.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str) -> String {
+        Engine::new(EngineConfig::default())
+            .eval_to_string(src)
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_evaluation() {
+        assert_eq!(eval("(+ 1 2)"), "3");
+        assert_eq!(eval("(let ([x 2]) (* x x))"), "4");
+        assert_eq!(eval("((lambda (a . rest) (cons a rest)) 1 2 3)"), "(1 2 3)");
+    }
+
+    #[test]
+    fn prelude_utilities_work() {
+        assert_eq!(eval("(map add1 '(1 2 3))"), "(2 3 4)");
+        assert_eq!(eval("(filter even? (iota 6))"), "(0 2 4)");
+        assert_eq!(eval("(fold-left + 0 '(1 2 3 4))"), "10");
+        assert_eq!(eval("(map + '(1 2) '(10 20))"), "(11 22)");
+    }
+
+    #[test]
+    fn config_constructors_differ() {
+        assert!(!EngineConfig::no_one_shot().machine.one_shot_fusion);
+        assert!(!EngineConfig::no_attachment_opt().compiler.attachment_opt);
+        assert!(!EngineConfig::no_prim_opt().compiler.prim_attachment_opt);
+        assert!(EngineConfig::old_racket().compiler.eager_marks());
+        assert!(!EngineConfig::unmodified_chez()
+            .compiler
+            .cp0_attachment_restriction);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut e = Engine::new(EngineConfig::default());
+        assert!(matches!(
+            e.eval("(car 5)"),
+            Err(EngineError::Runtime(VmError::WrongType { .. }))
+        ));
+        assert!(matches!(e.eval("(if)"), Err(EngineError::Compile(_))));
+        // The machine recovers after an error.
+        assert_eq!(e.eval_to_string("(+ 1 1)").unwrap(), "2");
+    }
+
+    #[test]
+    fn output_capture() {
+        let mut e = Engine::new(EngineConfig::default());
+        e.eval(r#"(display "hi") (newline) (write "hi")"#).unwrap();
+        assert_eq!(e.take_output(), "hi\n\"hi\"");
+    }
+
+    #[test]
+    fn call_global_works() {
+        let mut e = Engine::new(EngineConfig::default());
+        e.eval("(define (double x) (* 2 x))").unwrap();
+        let v = e.call_global("double", vec![Value::fixnum(21)]).unwrap();
+        assert!(v.eq_value(&Value::fixnum(42)));
+    }
+}

@@ -1,0 +1,85 @@
+;; The continuation-marks layer over continuation attachments (§7.5).
+;;
+;; Each attachment installed by `with-continuation-mark` is a
+;; `$mark-frame` record: field 0 is an eq?-keyed association list (the
+;; per-frame key/value dictionary), field 1 is #f or the path-compression
+;; cache table maintained by the runtime's `$marks-first`.
+
+;; Functional update of a frame dictionary (persistent: shared tails keep
+;; the runtime's caches sound).
+(define ($dict-set dict key val)
+  (cond [(null? dict) (list (cons key val))]
+        [(eq? (car (car dict)) key) (cons (cons key val) (cdr dict))]
+        [else (cons (car dict) ($dict-set (cdr dict) key val))]))
+
+;; Called by the expansion of with-continuation-mark: merge (key -> val)
+;; into the consumed attachment (or start a fresh frame dictionary).
+(define ($wcm-merge frame key val)
+  (if (record-is? frame '$mark-frame)
+      (make-record '$mark-frame ($dict-set (record-ref frame 0) key val) #f)
+      (make-record '$mark-frame (list (cons key val)) #f)))
+
+;; ---------------------------------------------------------------------
+;; Mark sets
+;; ---------------------------------------------------------------------
+
+;; A mark set captures a continuation's attachment list without its code
+;; (§2.2); #f is accepted as shorthand for the current marks.
+(define (current-continuation-marks)
+  (make-record '$mark-set (current-continuation-attachments)))
+
+(define (continuation-marks k)
+  (make-record '$mark-set ($cont-attachments k)))
+
+(define (continuation-mark-set? s)
+  (record-is? s '$mark-set))
+
+(define ($mark-set-atts set)
+  (cond [(eq? set #f) (current-continuation-attachments)]
+        [(record-is? set '$mark-set) (record-ref set 0)]
+        [else (error "expected a mark set or #f, got:" set)]))
+
+;; Amortized O(1): $marks-first caches a depth-N hit at depth N/2 (§7.5).
+(define (continuation-mark-set-first set key dflt)
+  ($marks-first ($mark-set-atts set) key dflt))
+
+;; All values for key, newest first; O(continuation size).
+(define (continuation-mark-set->list set key)
+  ($marks->list ($mark-set-atts set) key))
+
+;; Steps through frames holding at least one of the given keys. Calling
+;; the iterator yields #f at the end, or a pair of (a) a list of values
+;; parallel to keys (#f where a key is absent from the frame) and (b) the
+;; iterator for the remaining frames. Work per step is proportional to
+;; the continuation prefix explored (§2.2).
+(define (continuation-mark-set->iterator set keys)
+  (define (frame-hits dict)
+    (let loop ([ks keys] [vals '()] [any #f])
+      (if (null? ks)
+          (and any (reverse vals))
+          (let ([hit (assq (car ks) dict)])
+            (loop (cdr ks)
+                  (cons (if hit (cdr hit) #f) vals)
+                  (or any (if hit #t #f)))))))
+  (define (make-iter atts)
+    (lambda ()
+      (let loop ([l atts])
+        (cond [(null? l) #f]
+              [(record-is? (car l) '$mark-frame)
+               (let ([vals (frame-hits (record-ref (car l) 0))])
+                 (if vals
+                     (cons vals (make-iter (cdr l)))
+                     (loop (cdr l))))]
+              [else (loop (cdr l))]))))
+  (make-iter ($mark-set-atts set)))
+
+;; The first mark for key *on the immediate frame only*, delivered to proc
+;; in tail position (§2.2).
+(define (call-with-immediate-continuation-mark key proc dflt)
+  (call-getting-continuation-attachment
+   #f
+   (lambda (frame)
+     (if (record-is? frame '$mark-frame)
+         (let ([hit (assq key (record-ref frame 0))])
+           (if hit (proc (cdr hit)) (proc dflt)))
+         (proc dflt)))))

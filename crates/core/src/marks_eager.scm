@@ -1,0 +1,60 @@
+;; The continuation-marks layer over the *eager mark stack* — the old
+;; Racket implementation model used as the comparison baseline for the
+;; paper's figure 5. `with-continuation-mark` compiles directly to mark
+;; stack writes; lookups walk the mark stack natively.
+
+;; $wcm-merge is never called in this model (the compiler emits
+;; EagerMarkSet), but keep a definition so shared code links.
+(define ($wcm-merge frame key val) (error "$wcm-merge unused in the eager model"))
+
+(define (current-continuation-marks)
+  (make-record '$mark-set-eager ($eager-all-marks)))
+
+(define (continuation-marks k)
+  (error "continuation-marks on a continuation value is not supported in the eager model"))
+
+(define (continuation-mark-set? s)
+  (record-is? s '$mark-set-eager))
+
+(define ($entries-of set)
+  (cond [(eq? set #f) ($eager-all-marks)]
+        [(record-is? set '$mark-set-eager) (record-ref set 0)]
+        [else (error "expected a mark set or #f, got:" set)]))
+
+(define (continuation-mark-set-first set key dflt)
+  (if (eq? set #f)
+      ($eager-first key dflt)
+      (let loop ([entries (record-ref set 0)])
+        (cond [(null? entries) dflt]
+              [(assq key (car entries)) => cdr]
+              [else (loop (cdr entries))]))))
+
+(define (continuation-mark-set->list set key)
+  (if (eq? set #f)
+      ($eager-marks key)
+      (let loop ([entries (record-ref set 0)])
+        (cond [(null? entries) '()]
+              [(assq key (car entries))
+               => (lambda (hit) (cons (cdr hit) (loop (cdr entries))))]
+              [else (loop (cdr entries))]))))
+
+(define (continuation-mark-set->iterator set keys)
+  (define (frame-hits dict)
+    (let loop ([ks keys] [vals '()] [any #f])
+      (if (null? ks)
+          (and any (reverse vals))
+          (let ([hit (assq (car ks) dict)])
+            (loop (cdr ks)
+                  (cons (if hit (cdr hit) #f) vals)
+                  (or any (if hit #t #f)))))))
+  (define (make-iter entries)
+    (lambda ()
+      (let loop ([l entries])
+        (cond [(null? l) #f]
+              [(frame-hits (car l))
+               => (lambda (vals) (cons vals (make-iter (cdr l))))]
+              [else (loop (cdr l))]))))
+  (make-iter ($entries-of set)))
+
+(define (call-with-immediate-continuation-mark key proc dflt)
+  (proc ($eager-immediate key dflt)))

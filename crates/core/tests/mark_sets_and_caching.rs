@@ -1,0 +1,151 @@
+//! Mark sets as first-class values and the §7.5 path-compression cache:
+//! correctness under repetition, key mixes, and shared tails.
+
+use cm_core::{Engine, EngineConfig};
+
+fn eval(src: &str) -> String {
+    Engine::new(EngineConfig::default())
+        .eval_to_string(src)
+        .unwrap_or_else(|e| panic!("error: {e}\nprogram: {src}"))
+}
+
+#[test]
+fn mark_set_outlives_its_continuation() {
+    // A mark set captures the marks without the continuation (§2.2): it
+    // stays queryable after the frames are long gone.
+    assert_eq!(
+        eval(
+            r#"
+            (define stash #f)
+            (define (snap)
+              (set! stash (current-continuation-marks))
+              'ok)
+            (with-continuation-mark 'k 'kept (car (cons (snap) 0)))
+            (continuation-mark-set->list stash 'k)
+            "#
+        ),
+        "(kept)"
+    );
+}
+
+#[test]
+fn repeated_deep_first_lookups_stay_correct() {
+    // The first lookup walks ~200 frames and populates the cache; later
+    // lookups must hit the cache and return the same answer.
+    assert_eq!(
+        eval(
+            r#"
+            (define (grow depth)
+              (if (zero? depth)
+                  (let loop ([i 0] [acc '()])
+                    (if (= i 50)
+                        acc
+                        (loop (+ i 1)
+                              (cons (continuation-mark-set-first #f 'deep 'no) acc))))
+                  (with-continuation-mark (cons 'pad depth) depth
+                    (car (cons (grow (- depth 1)) 0)))))
+            (define answers
+              (with-continuation-mark 'deep 'yes (car (cons (grow 200) 0))))
+            (list (length answers)
+                  (filter (lambda (a) (not (eq? a 'yes))) answers))
+            "#
+        ),
+        "(50 ())"
+    );
+}
+
+#[test]
+fn cache_does_not_confuse_distinct_keys() {
+    assert_eq!(
+        eval(
+            r#"
+            (define (grow depth k)
+              (if (zero? depth)
+                  (list (continuation-mark-set-first #f 'a 'no-a)
+                        (continuation-mark-set-first #f 'b 'no-b)
+                        (continuation-mark-set-first #f 'a 'no-a)
+                        (continuation-mark-set-first #f 'b 'no-b))
+                  (with-continuation-mark (cons 'pad depth) depth
+                    (car (cons (grow (- depth 1) k) 0)))))
+            (with-continuation-mark 'a 1
+              (car (cons
+                (with-continuation-mark 'b 2
+                  (car (cons (grow 64 'x) 0)))
+                0)))
+            "#
+        ),
+        "(1 2 1 2)"
+    );
+}
+
+#[test]
+fn shared_tails_with_different_heads_answer_differently() {
+    // Two mark sets share a deep tail but differ in their newest frame;
+    // cache entries written for one list must not leak into the other.
+    assert_eq!(
+        eval(
+            r#"
+            (define set-a #f)
+            (define set-b #f)
+            (define (grow depth)
+              (if (zero? depth)
+                  (begin
+                    (with-continuation-mark 'k 'from-a
+                      (car (cons (set! set-a (current-continuation-marks)) 0)))
+                    (with-continuation-mark 'k 'from-b
+                      (car (cons (set! set-b (current-continuation-marks)) 0)))
+                    'done)
+                  (with-continuation-mark (cons 'pad depth) depth
+                    (car (cons (grow (- depth 1)) 0)))))
+            (with-continuation-mark 'k 'deep-k (car (cons (grow 64) 0)))
+            ;; Prime the caches by looking everything up repeatedly.
+            (define (probe set) (continuation-mark-set-first set 'k 'none))
+            (list (probe set-a) (probe set-b) (probe set-a) (probe set-b))
+            "#
+        ),
+        "(from-a from-b from-a from-b)"
+    );
+}
+
+#[test]
+fn list_and_first_agree_on_newest() {
+    assert_eq!(
+        eval(
+            r#"
+            (define (deep n)
+              (if (zero? n)
+                  (let ([set (current-continuation-marks)])
+                    (eq? (continuation-mark-set-first set 'k 'none)
+                         (car (continuation-mark-set->list set 'k))))
+                  (with-continuation-mark 'k n
+                    (car (cons (deep (- n 1)) 0)))))
+            (deep 40)
+            "#
+        ),
+        "#t"
+    );
+}
+
+#[test]
+fn iterator_agrees_with_list() {
+    assert_eq!(
+        eval(
+            r#"
+            (define (drain iter)
+              (let ([step (iter)])
+                (if step
+                    (cons (car (car step)) (drain (cdr step)))
+                    '())))
+            (define (deep n)
+              (if (zero? n)
+                  (let ([set (current-continuation-marks)])
+                    (equal? (continuation-mark-set->list set 'k)
+                            (drain (continuation-mark-set->iterator set '(k)))))
+                  (with-continuation-mark 'k n
+                    (car (cons (deep (- n 1)) 0)))))
+            (deep 25)
+            "#
+        ),
+        "#t"
+    );
+}

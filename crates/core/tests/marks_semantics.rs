@@ -1,0 +1,329 @@
+//! Semantics tests for continuation marks, following the paper's §2
+//! examples — run against *every* engine variant, which must agree on
+//! observable behavior (they differ only in cost).
+
+use cm_core::{Engine, EngineConfig};
+
+/// The configurations that must agree semantically.
+fn all_configs() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("full", EngineConfig::full()),
+        ("racket-cs", EngineConfig::racket_cs()),
+        ("no-1cc", EngineConfig::no_one_shot()),
+        ("no-opt", EngineConfig::no_attachment_opt()),
+        ("no-prim", EngineConfig::no_prim_opt()),
+        ("old-racket", EngineConfig::old_racket()),
+    ]
+}
+
+fn check_all(src: &str, expected: &str) {
+    for (name, config) in all_configs() {
+        let mut e = Engine::new(config);
+        let got = e
+            .eval_to_string(src)
+            .unwrap_or_else(|err| panic!("[{name}] error: {err}\nprogram: {src}"));
+        assert_eq!(got, expected, "[{name}] program: {src}");
+    }
+}
+
+#[test]
+fn team_color_first() {
+    // §2.1/§2.2: the newest mark wins for -first.
+    check_all(
+        r#"
+        (define (current-team-color)
+          (continuation-mark-set-first #f 'team-color "?"))
+        (with-continuation-mark 'team-color "red"
+          (current-team-color))
+        "#,
+        "\"red\"",
+    );
+}
+
+#[test]
+fn team_color_default() {
+    check_all(
+        r#"(continuation-mark-set-first #f 'team-color "?")"#,
+        "\"?\"",
+    );
+}
+
+#[test]
+fn team_color_nested_list() {
+    // §2.1: nested non-tail marks stack; ->list returns newest first.
+    check_all(
+        r#"
+        (define (all-team-colors)
+          (continuation-mark-set->list (current-continuation-marks) 'team-color))
+        (define (place-in-game a b) (cons a b))
+        (with-continuation-mark 'team-color "red"
+          (place-in-game
+            (continuation-mark-set-first #f 'team-color "?")
+            (with-continuation-mark 'team-color "blue"
+              (all-team-colors))))
+        "#,
+        "(\"red\" \"blue\" \"red\")",
+    );
+}
+
+#[test]
+fn tail_mark_replaces_same_key() {
+    // §2.1: a wcm in tail position replaces the frame's mapping.
+    check_all(
+        r#"
+        (define (colors) (continuation-mark-set->list #f 'k))
+        (define (go)
+          (with-continuation-mark 'k 1
+            (with-continuation-mark 'k 2
+              (colors))))
+        (go)
+        "#,
+        "(2)",
+    );
+}
+
+#[test]
+fn tail_marks_different_keys_share_frame() {
+    // §3: two keys in tail position land on the same frame.
+    check_all(
+        r#"
+        (define (go)
+          (with-continuation-mark 'a 1
+            (with-continuation-mark 'b 2
+              (cons (continuation-mark-set->list #f 'a)
+                    (continuation-mark-set->list #f 'b)))))
+        (go)
+        "#,
+        "((1) 2)",
+    );
+}
+
+#[test]
+fn nontail_marks_nest() {
+    check_all(
+        r#"
+        (define (listing) (continuation-mark-set->list #f 'k))
+        (define (f)
+          (with-continuation-mark 'k 'outer
+            (car (cons (with-continuation-mark 'k 'inner (listing)) 0))))
+        (f)
+        "#,
+        "(inner outer)",
+    );
+}
+
+#[test]
+fn immediate_mark_only_sees_current_frame() {
+    check_all(
+        r#"
+        (define (probe) (call-with-immediate-continuation-mark 'k (lambda (v) v) 'none))
+        (cons
+          ;; In tail position of the wcm: same frame, sees the mark.
+          (with-continuation-mark 'k 'here (probe))
+          ;; Non-tail: a fresh frame, must see the default.
+          (with-continuation-mark 'k 'deeper (car (cons (probe) 0))))
+        "#,
+        "(here . none)",
+    );
+}
+
+#[test]
+fn marks_survive_continuation_capture_and_invoke() {
+    check_all(
+        r#"
+        (define saved #f)
+        (define (observe) (continuation-mark-set->list #f 'k))
+        (define r1
+          (with-continuation-mark 'k 'live
+            (car (cons (call/cc (lambda (k) (set! saved k) (observe))) 1))))
+        ;; Re-enter the captured continuation once: the marks must be
+        ;; restored inside the re-entered extent.
+        (define r2
+          (let ([k saved])
+            (if k (begin (set! saved #f) (k '(reinvoked))) 'done)))
+        r1
+        "#,
+        "(reinvoked)",
+    );
+}
+
+#[test]
+fn continuation_marks_of_captured_continuation() {
+    // continuation-marks on a continuation value (attachments model only:
+    // the old-Racket model documents this as unsupported).
+    let src = r#"
+        (define k-marks #f)
+        (with-continuation-mark 'k 'v
+          (car (cons (call/cc (lambda (k)
+                        (set! k-marks (continuation-mark-set->list (continuation-marks k) 'k))
+                        0)) 0)))
+        k-marks
+    "#;
+    for (name, config) in all_configs() {
+        if config.compiler.eager_marks() {
+            continue;
+        }
+        let mut e = Engine::new(config);
+        assert_eq!(e.eval_to_string(src).unwrap(), "(v)", "[{name}]");
+    }
+}
+
+#[test]
+fn iterator_steps_through_frames() {
+    check_all(
+        r#"
+        (define (walk iter acc)
+          (let ([step (iter)])
+            (if step
+                (walk (cdr step) (cons (car step) acc))
+                (reverse acc))))
+        (define (go)
+          (with-continuation-mark 'a 1
+            (car (cons
+              (with-continuation-mark 'b 2
+                (car (cons
+                  (walk (continuation-mark-set->iterator
+                          (current-continuation-marks) '(a b))
+                        '())
+                  0)))
+              0))))
+        (go)
+        "#,
+        "((#f 2) (1 #f))",
+    );
+}
+
+#[test]
+fn deep_marks_list_order() {
+    check_all(
+        r#"
+        (define (build n)
+          (if (zero? n)
+              (continuation-mark-set->list #f 'depth)
+              (with-continuation-mark 'depth n
+                (car (cons (build (- n 1)) 0)))))
+        (build 5)
+        "#,
+        "(1 2 3 4 5)",
+    );
+}
+
+#[test]
+fn first_is_found_through_deep_continuations() {
+    check_all(
+        r#"
+        (define (deep n)
+          (if (zero? n)
+              (continuation-mark-set-first #f 'top 'missing)
+              (car (cons (deep (- n 1)) 0))))
+        (with-continuation-mark 'top 'found (deep 100))
+        "#,
+        "found",
+    );
+}
+
+#[test]
+fn attachments_primitives_roundtrip() {
+    // Raw §7.1 attachment operations (attachments models only).
+    let src = r#"
+        (define (f)
+          (call-setting-continuation-attachment 'mine
+            (lambda ()
+              (call-getting-continuation-attachment 'none
+                (lambda (v) v)))))
+        (f)
+    "#;
+    for (name, config) in all_configs() {
+        if config.compiler.eager_marks() {
+            continue;
+        }
+        let mut e = Engine::new(config);
+        assert_eq!(e.eval_to_string(src).unwrap(), "mine", "[{name}]");
+    }
+}
+
+#[test]
+fn consuming_removes_attachment() {
+    let src = r#"
+        (define (f)
+          (call-setting-continuation-attachment 'mine
+            (lambda ()
+              (call-consuming-continuation-attachment 'none
+                (lambda (v)
+                  (cons v (call-getting-continuation-attachment 'gone
+                            (lambda (w) w))))))))
+        (f)
+    "#;
+    for (name, config) in all_configs() {
+        if config.compiler.eager_marks() {
+            continue;
+        }
+        let mut e = Engine::new(config);
+        assert_eq!(e.eval_to_string(src).unwrap(), "(mine . gone)", "[{name}]");
+    }
+}
+
+#[test]
+fn setting_in_tail_position_replaces() {
+    let src = r#"
+        (define (g)
+          (call-setting-continuation-attachment 'second
+            (lambda () (current-continuation-attachments))))
+        (define (f)
+          (call-setting-continuation-attachment 'first
+            (lambda () (g))))
+        (f)
+    "#;
+    for (name, config) in all_configs() {
+        if config.compiler.eager_marks() {
+            continue;
+        }
+        let mut e = Engine::new(config);
+        assert_eq!(e.eval_to_string(src).unwrap(), "(second)", "[{name}]");
+    }
+}
+
+#[test]
+fn paper_7_4_let_restriction_is_observable() {
+    // (let ([x (wcm 'k 'v (work))]) x) is NOT (work): during (work) the
+    // mark must be on a deeper frame than the caller's.
+    check_all(
+        r#"
+        (define (work) (continuation-mark-set->list #f 'k))
+        (define (probe)
+          (with-continuation-mark 'k 'outer
+            (let ([x (with-continuation-mark 'k 'inner (work))])
+              x)))
+        (probe)
+        "#,
+        "(inner outer)",
+    );
+}
+
+#[test]
+fn wcm_key_and_value_evaluated_each_time() {
+    check_all(
+        r#"
+        (define count 0)
+        (define (tick) (set! count (+ count 1)) count)
+        (define (go)
+          (with-continuation-mark 'k (tick)
+            (continuation-mark-set-first #f 'k 0)))
+        (list (go) (go))
+        "#,
+        "(1 2)",
+    );
+}
+
+#[test]
+fn marks_do_not_leak_across_helper_returns() {
+    check_all(
+        r#"
+        (define (helper)
+          (with-continuation-mark 'k 'transient (continuation-mark-set-first #f 'k #f)))
+        (define (after) (continuation-mark-set->list #f 'k))
+        (begin (helper) (after))
+        "#,
+        "()",
+    );
+}

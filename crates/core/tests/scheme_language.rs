@@ -1,0 +1,217 @@
+//! Language-conformance tests for the Scheme surface: special forms,
+//! derived forms, the numeric tower subset, strings, vectors, hash
+//! tables, records, and the prelude utilities.
+
+use cm_core::{Engine, EngineConfig};
+
+fn eval(src: &str) -> String {
+    Engine::new(EngineConfig::default())
+        .eval_to_string(src)
+        .unwrap_or_else(|e| panic!("error: {e}\nprogram: {src}"))
+}
+
+fn check(src: &str, expected: &str) {
+    assert_eq!(eval(src), expected, "program: {src}");
+}
+
+#[test]
+fn special_forms() {
+    check("(if #f 'yes)", "#<void>");
+    check("(let* ([x 1] [y (+ x 1)] [z (* y 2)]) (list x y z))", "(1 2 4)");
+    check(
+        "(letrec ([even? (lambda (n) (if (zero? n) #t (odd? (- n 1))))]
+                  [odd? (lambda (n) (if (zero? n) #f (even? (- n 1))))])
+           (list (even? 10) (odd? 10)))",
+        "(#t #f)",
+    );
+    check("(and)", "#t");
+    check("(or)", "#f");
+    check("(and 1 2 3)", "3");
+    check("(or #f #f 7)", "7");
+    check("(and 1 #f (error \"not reached\"))", "#f");
+    check("(when (> 2 1) 'a 'b)", "b");
+    check("(unless (> 2 1) 'a)", "#<void>");
+    check("(cond [#f 1] [else 2])", "2");
+    check("(cond [(assq 'b '((a 1) (b 2))) => cadr] [else 'no])", "2");
+    check("(case (* 2 3) [(2 3 5 7) 'prime] [(1 4 6 8 9) 'composite])", "composite");
+    check("(do ([i 0 (+ i 1)] [acc 1 (* acc 2)]) ((= i 8) acc))", "256");
+}
+
+#[test]
+fn quasiquote() {
+    check("`(1 2 3)", "(1 2 3)");
+    check("(let ([x 5]) `(a ,x))", "(a 5)");
+    check("(let ([xs '(2 3)]) `(1 ,@xs 4))", "(1 2 3 4)");
+    check("`(1 `(2 ,(3)))", "(1 (quasiquote (2 (unquote (3)))))");
+    check("(let ([x 7]) `#(a ,x))", "#(a 7)");
+}
+
+#[test]
+fn numeric_tower_subset() {
+    check("(quotient 17 5)", "3");
+    check("(remainder 17 5)", "2");
+    check("(modulo -7 3)", "2");
+    check("(modulo 7 -3)", "-2");
+    check("(expt 2 10)", "1024");
+    check("(sqrt 49)", "7");
+    check("(list (min 3 1 2) (max 3 1 2))", "(1 3)");
+    check("(exact->inexact 1)", "1.0");
+    check("(inexact->exact 2.0)", "2");
+    check("(floor 2.7)", "2.0");
+    check("(list (number? 1) (number? 1.5) (number? 'x))", "(#t #t #f)");
+    check("(< 1 2 3 4)", "#t");
+    check("(< 1 3 2)", "#f");
+    check("(+ 1 2.5)", "3.5");
+    check("(abs -4)", "4");
+    check("(list (even? 4) (odd? 4) (positive? -1) (negative? -1))", "(#t #f #f #t)");
+}
+
+#[test]
+fn strings_and_chars() {
+    check(r#"(string-length "hello")"#, "5");
+    check(r#"(string-ref "hello" 1)"#, r"#\e");
+    check(r#"(substring "hello" 1 4)"#, "\"ell\"");
+    check(r#"(string-append "foo" "bar" "baz")"#, "\"foobarbaz\"");
+    check(r#"(string->symbol "abc")"#, "abc");
+    check("(symbol->string 'abc)", "\"abc\"");
+    check(r#"(string->number "42")"#, "42");
+    check(r#"(string->number "2.5")"#, "2.5");
+    check("(number->string 42)", "\"42\"");
+    check(r#"(string->list "ab")"#, r"(#\a #\b)");
+    check(r#"(list->string (list #\a #\b))"#, "\"ab\"");
+    check(r#"(string=? "a" "a")"#, "#t");
+    check(r#"(string<? "a" "b")"#, "#t");
+    check(r"(char->integer #\A)", "65");
+    check("(integer->char 97)", r"#\a");
+    check(r"(char-upcase #\a)", r"#\A");
+    check(r"(list (char-alphabetic? #\a) (char-numeric? #\5))", "(#t #t)");
+}
+
+#[test]
+fn pairs_and_lists() {
+    check("(append '(1) '(2) '(3 4))", "(1 2 3 4)");
+    check("(append)", "()");
+    check("(append '(1) 2)", "(1 . 2)");
+    check("(reverse '(1 2 3))", "(3 2 1)");
+    check("(list-tail '(a b c d) 2)", "(c d)");
+    check("(list-ref '(a b c) 1)", "b");
+    check("(memq 'c '(a b c d))", "(c d)");
+    check("(member '(1) '((1) (2)))", "((1) (2))");
+    check("(assq 'b '((a . 1) (b . 2)))", "(b . 2)");
+    check("(assoc \"k\" '((\"k\" . 1)))", "(\"k\" . 1)");
+    check("(let ([p (cons 1 2)]) (set-car! p 'x) (set-cdr! p 'y) p)", "(x . y)");
+    check("(list? '(1 2))", "#t");
+    check("(list? '(1 . 2))", "#f");
+    check("(caar '((1 2) 3))", "1");
+    check("(cadddr '(1 2 3 4 5))", "4");
+}
+
+#[test]
+fn vectors_tables_boxes_records() {
+    check("(let ([v (make-vector 3 'x)]) (vector-set! v 1 'y) (vector->list v))", "(x y x)");
+    check("(vector-length #(1 2 3))", "3");
+    check("(list->vector '(1 2))", "#(1 2)");
+    check("(let ([v (vector 1 2 3)]) (vector-fill! v 0) v)", "#(0 0 0)");
+    check(
+        "(let ([t (make-hashtable)])
+           (hashtable-set! t 'a 1)
+           (hashtable-set! t 'a 2)
+           (list (hashtable-ref t 'a 0) (hashtable-size t)
+                 (hashtable-contains? t 'b)))",
+        "(2 1 #f)",
+    );
+    check("(let ([b (box 1)]) (set-box! b (+ (unbox b) 1)) (unbox b))", "2");
+    check(
+        "(let ([r (make-record 'point 1 2)])
+           (record-set! r 0 10)
+           (list (record? r) (record-is? r 'point) (record-tag r)
+                 (record-ref r 0) (record-ref r 1)))",
+        "(#t #t point 10 2)",
+    );
+}
+
+#[test]
+fn prelude_utilities() {
+    check("(map (lambda (x) (* x x)) '(1 2 3))", "(1 4 9)");
+    check("(map cons '(1 2) '(a b))", "((1 . a) (2 . b))");
+    check("(filter odd? '(1 2 3 4 5))", "(1 3 5)");
+    check("(fold-left cons '() '(1 2 3))", "(((() . 1) . 2) . 3)");
+    check("(fold-right cons '() '(1 2 3))", "(1 2 3)");
+    check("(iota 4)", "(0 1 2 3)");
+    check("(last-pair '(1 2 3))", "(3)");
+    check("(vector-map add1 #(1 2))", "#(2 3)");
+    check(
+        "(let ([acc '()])
+           (for-each (lambda (x) (set! acc (cons x acc))) '(1 2 3))
+           acc)",
+        "(3 2 1)",
+    );
+    check(
+        "(let ([l '(1 2)]) (let ([c (list-copy l)]) (list (equal? l c) (eq? l c))))",
+        "(#t #f)",
+    );
+}
+
+#[test]
+fn closures_and_variadics() {
+    check("((lambda args args) 1 2 3)", "(1 2 3)");
+    check("((lambda (a . rest) (cons a rest)) 1)", "(1)");
+    check("(define (adder n) (lambda (x) (+ x n))) ((adder 4) 38)", "42");
+    check(
+        "(define count
+           (let ([n 0]) (lambda () (set! n (+ n 1)) n)))
+         (count) (count) (count)",
+        "3",
+    );
+    check("(apply + 1 2 '(3 4))", "10");
+    check("(apply list '())", "()");
+}
+
+#[test]
+fn equality_predicates() {
+    check("(eq? 'a 'a)", "#t");
+    check("(eq? '(a) '(a))", "#f");
+    check("(equal? '(a (b)) '(a (b)))", "#t");
+    check("(equal? \"ab\" \"ab\")", "#t");
+    check("(equal? 1 1.0)", "#f");
+    check("(eqv? 1.5 1.5)", "#t");
+    check("(let ([x '(a)]) (eq? x x))", "#t");
+}
+
+#[test]
+fn tail_call_space_safety() {
+    // Mutual recursion in tail position must run in constant space.
+    check(
+        "(define (ping n) (if (zero? n) 'done (pong (- n 1))))
+         (define (pong n) (if (zero? n) 'done (ping (- n 1))))
+         (ping 2000000)",
+        "done",
+    );
+}
+
+#[test]
+fn gensym_and_error() {
+    check("(eq? (gensym) (gensym))", "#f");
+    let mut e = Engine::new(EngineConfig::default());
+    let err = e.eval("(error \"boom:\" 42)").unwrap_err();
+    assert!(err.to_string().contains("boom"), "{err}");
+}
+
+#[test]
+fn define_syntax_with_literals() {
+    check(
+        "(define-syntax for
+           (syntax-rules (in)
+             ((_ x in lst body) (map (lambda (x) body) lst))))
+         (for x in '(1 2 3) (* x 10))",
+        "(10 20 30)",
+    );
+}
+
+#[test]
+fn display_and_write_output() {
+    let mut e = Engine::new(EngineConfig::default());
+    e.eval(r#"(display '(1 "two" #\3)) (newline) (write '(1 "two" #\3))"#)
+        .unwrap();
+    assert_eq!(e.take_output(), "(1 two 3)\n(1 \"two\" #\\3)");
+}

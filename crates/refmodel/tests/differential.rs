@@ -1,0 +1,186 @@
+//! Differential testing: random continuation-mark programs must produce
+//! identical results in the heap-based reference model (§3–§4 semantics)
+//! and in every configuration of the production engine (segmented stacks
+//! + compiler support, §5–§7).
+//!
+//! This is the repo's strongest evidence that the §7.2 position
+//! categorization (tail reify / case-b call / case-c push-pop), the §7.3
+//! elision, and the §7.4 cp0 restriction preserve the model's semantics.
+
+use cm_core::{Engine, EngineConfig};
+use cm_refmodel::RefInterp;
+use proptest::prelude::*;
+
+/// A generable expression; rendered to Scheme source with a scope.
+#[derive(Debug, Clone)]
+enum GExpr {
+    Num(i8),
+    Key(u8),
+    VarRef(u8),
+    Add(Box<GExpr>, Box<GExpr>),
+    If(Box<GExpr>, Box<GExpr>, Box<GExpr>),
+    Begin(Vec<GExpr>),
+    Let(Box<GExpr>, Box<GExpr>),
+    /// ((lambda () body)) — a real call frame in the engine.
+    ThunkCall(Box<GExpr>),
+    /// ((lambda (x) body) arg)
+    AppLambda(Box<GExpr>, Box<GExpr>),
+    Wcm(u8, Box<GExpr>, Box<GExpr>),
+    MarkList(u8),
+    MarkFirst(u8),
+    ZeroP(Box<GExpr>),
+}
+
+fn key_name(k: u8) -> &'static str {
+    match k % 3 {
+        0 => "ka",
+        1 => "kb",
+        _ => "kc",
+    }
+}
+
+fn arb_gexpr() -> impl Strategy<Value = GExpr> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(GExpr::Num),
+        (0u8..3).prop_map(GExpr::Key),
+        (0u8..4).prop_map(GExpr::VarRef),
+        (0u8..3).prop_map(GExpr::MarkList),
+        (0u8..3).prop_map(GExpr::MarkFirst),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| GExpr::If(Box::new(a), Box::new(b), Box::new(c))),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(GExpr::Begin),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GExpr::Let(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| GExpr::ThunkCall(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GExpr::AppLambda(Box::new(a), Box::new(b))),
+            (0u8..3, inner.clone(), inner.clone())
+                .prop_map(|(k, v, b)| GExpr::Wcm(k, Box::new(v), Box::new(b))),
+            inner.clone().prop_map(|a| GExpr::ZeroP(Box::new(a))),
+        ]
+    })
+}
+
+/// Renders to source; `scope` = number of bound variables.
+fn render(e: &GExpr, scope: u32, out: &mut String) {
+    use std::fmt::Write as _;
+    match e {
+        GExpr::Num(n) => {
+            let _ = write!(out, "{n}");
+        }
+        GExpr::Key(k) => {
+            let _ = write!(out, "'{}", key_name(*k));
+        }
+        GExpr::VarRef(i) => {
+            if scope == 0 {
+                out.push('0');
+            } else {
+                let _ = write!(out, "v{}", (*i as u32) % scope);
+            }
+        }
+        GExpr::Add(a, b) => {
+            out.push_str("(+ ");
+            render(a, scope, out);
+            out.push(' ');
+            render(b, scope, out);
+            out.push(')');
+        }
+        GExpr::If(t, c, a) => {
+            out.push_str("(if ");
+            render(t, scope, out);
+            out.push(' ');
+            render(c, scope, out);
+            out.push(' ');
+            render(a, scope, out);
+            out.push(')');
+        }
+        GExpr::Begin(es) => {
+            out.push_str("(begin");
+            for x in es {
+                out.push(' ');
+                render(x, scope, out);
+            }
+            out.push(')');
+        }
+        GExpr::Let(init, body) => {
+            let _ = write!(out, "(let ([v{scope} ");
+            render(init, scope, out);
+            out.push_str("]) ");
+            render(body, scope + 1, out);
+            out.push(')');
+        }
+        GExpr::ThunkCall(body) => {
+            out.push_str("((lambda () ");
+            render(body, scope, out);
+            out.push_str("))");
+        }
+        GExpr::AppLambda(arg, body) => {
+            let _ = write!(out, "((lambda (v{scope}) ");
+            render(body, scope + 1, out);
+            out.push_str(") ");
+            render(arg, scope, out);
+            out.push(')');
+        }
+        GExpr::Wcm(k, v, body) => {
+            let _ = write!(out, "(with-continuation-mark '{} ", key_name(*k));
+            render(v, scope, out);
+            out.push(' ');
+            render(body, scope, out);
+            out.push(')');
+        }
+        GExpr::MarkList(k) => {
+            let _ = write!(out, "(mark-list '{})", key_name(*k));
+        }
+        GExpr::MarkFirst(k) => {
+            let _ = write!(out, "(mark-first '{} 'absent)", key_name(*k));
+        }
+        GExpr::ZeroP(a) => {
+            out.push_str("(zero? ");
+            render(a, scope, out);
+            out.push(')');
+        }
+    }
+}
+
+const ENGINE_HELPERS: &str = r#"
+(define (mark-list k) (continuation-mark-set->list #f k))
+(define (mark-first k d) (continuation-mark-set-first #f k d))
+"#;
+
+fn engine_variants() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("full", EngineConfig::full()),
+        ("no-1cc", EngineConfig::no_one_shot()),
+        ("no-opt", EngineConfig::no_attachment_opt()),
+        ("no-prim", EngineConfig::no_prim_opt()),
+        ("old-racket", EngineConfig::old_racket()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn engines_agree_with_reference_model(e in arb_gexpr()) {
+        let mut src = String::new();
+        render(&e, 0, &mut src);
+        let oracle = RefInterp::new().eval(&src);
+        // Fixnum overflow aborts both sides; only compare successes.
+        let Ok(expected) = oracle else { return Ok(()) };
+        for (name, config) in engine_variants() {
+            let mut engine = Engine::new(config);
+            engine.eval(ENGINE_HELPERS).unwrap();
+            let got = engine
+                .eval_to_string(&src)
+                .unwrap_or_else(|err| panic!("[{name}] error {err}\nprogram: {src}"));
+            prop_assert_eq!(
+                &got, &expected,
+                "[{}] diverged from reference model\nprogram: {}", name, src
+            );
+        }
+    }
+}

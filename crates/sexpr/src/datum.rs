@@ -1,0 +1,225 @@
+//! Parsed S-expressions.
+
+use std::rc::Rc;
+
+use crate::intern::{sym, Sym};
+use crate::span::Span;
+
+/// A parsed S-expression with its source [`Span`].
+///
+/// `Datum` is the interchange type between the reader and the expander.
+/// Compound data is reference-counted, so cloning a datum is cheap.
+///
+/// # Examples
+///
+/// ```
+/// use cm_sexpr::{parse_str, sym};
+/// # fn main() -> Result<(), cm_sexpr::ReadError> {
+/// let d = &parse_str("(a b c)")?[0];
+/// let elems = d.proper_list().unwrap();
+/// assert_eq!(elems[1].as_sym(), Some(sym("b")));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datum {
+    /// The shape of the datum.
+    pub kind: DatumKind,
+    /// Where the datum came from ([`Span::SYNTH`] if synthesized).
+    pub span: Span,
+}
+
+/// The shape of a [`Datum`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatumKind {
+    /// An exact integer.
+    Fixnum(i64),
+    /// An inexact real.
+    Flonum(f64),
+    /// `#t` / `#f`.
+    Bool(bool),
+    /// A character literal.
+    Char(char),
+    /// A string literal.
+    Str(Rc<str>),
+    /// An interned symbol.
+    Symbol(Sym),
+    /// The empty list `()`.
+    Nil,
+    /// A cons pair.
+    Pair(Rc<(Datum, Datum)>),
+    /// A vector literal `#(...)`.
+    Vector(Rc<Vec<Datum>>),
+}
+
+impl Datum {
+    /// Creates a datum with a synthesized span.
+    pub fn synth(kind: DatumKind) -> Datum {
+        Datum {
+            kind,
+            span: Span::SYNTH,
+        }
+    }
+
+    /// A symbol datum (synthesized span).
+    pub fn symbol(name: &str) -> Datum {
+        Datum::synth(DatumKind::Symbol(sym(name)))
+    }
+
+    /// A symbol datum from an already-interned [`Sym`].
+    pub fn from_sym(s: Sym) -> Datum {
+        Datum::synth(DatumKind::Symbol(s))
+    }
+
+    /// A fixnum datum.
+    pub fn fixnum(n: i64) -> Datum {
+        Datum::synth(DatumKind::Fixnum(n))
+    }
+
+    /// A boolean datum.
+    pub fn bool(b: bool) -> Datum {
+        Datum::synth(DatumKind::Bool(b))
+    }
+
+    /// The empty list.
+    pub fn nil() -> Datum {
+        Datum::synth(DatumKind::Nil)
+    }
+
+    /// A cons pair.
+    pub fn cons(car: Datum, cdr: Datum) -> Datum {
+        Datum::synth(DatumKind::Pair(Rc::new((car, cdr))))
+    }
+
+    /// Builds a proper list from `items`.
+    pub fn list(items: impl IntoIterator<Item = Datum>) -> Datum {
+        let items: Vec<Datum> = items.into_iter().collect();
+        let mut out = Datum::nil();
+        for item in items.into_iter().rev() {
+            out = Datum::cons(item, out);
+        }
+        out
+    }
+
+    /// Returns the symbol if this datum is one.
+    pub fn as_sym(&self) -> Option<Sym> {
+        match self.kind {
+            DatumKind::Symbol(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this datum is the symbol named `name`.
+    pub fn is_sym(&self, name: &str) -> bool {
+        self.as_sym() == Some(sym(name))
+    }
+
+    /// Returns `(car, cdr)` if this datum is a pair.
+    pub fn as_pair(&self) -> Option<(&Datum, &Datum)> {
+        match &self.kind {
+            DatumKind::Pair(p) => Some((&p.0, &p.1)),
+            _ => None,
+        }
+    }
+
+    /// Whether this datum is `()` or a pair chain ending in `()`.
+    pub fn is_list(&self) -> bool {
+        let mut cur = self;
+        loop {
+            match &cur.kind {
+                DatumKind::Nil => return true,
+                DatumKind::Pair(p) => cur = &p.1,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Collects a proper list into a `Vec`, or `None` for improper
+    /// lists/non-lists.
+    pub fn proper_list(&self) -> Option<Vec<Datum>> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match &cur.kind {
+                DatumKind::Nil => return Some(out),
+                DatumKind::Pair(p) => {
+                    out.push(p.0.clone());
+                    cur = &p.1;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Iterates over the elements of a (possibly improper) list; the
+    /// iterator yields each car and stops at the first non-pair tail.
+    pub fn list_iter(&self) -> ListIter<'_> {
+        ListIter { cur: self }
+    }
+}
+
+/// Iterator over the cars of a pair chain; see [`Datum::list_iter`].
+#[derive(Debug, Clone)]
+pub struct ListIter<'a> {
+    cur: &'a Datum,
+}
+
+impl<'a> ListIter<'a> {
+    /// The remaining tail (useful for inspecting improper lists).
+    pub fn tail(&self) -> &'a Datum {
+        self.cur
+    }
+}
+
+impl<'a> Iterator for ListIter<'a> {
+    type Item = &'a Datum;
+
+    fn next(&mut self) -> Option<&'a Datum> {
+        match &self.cur.kind {
+            DatumKind::Pair(p) => {
+                self.cur = &p.1;
+                Some(&p.0)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_round_trip() {
+        let d = Datum::list([Datum::fixnum(1), Datum::fixnum(2), Datum::fixnum(3)]);
+        assert!(d.is_list());
+        let v = d.proper_list().unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[2].kind, DatumKind::Fixnum(3));
+    }
+
+    #[test]
+    fn improper_list_is_not_proper() {
+        let d = Datum::cons(Datum::fixnum(1), Datum::fixnum(2));
+        assert!(!d.is_list());
+        assert!(d.proper_list().is_none());
+        let mut it = d.list_iter();
+        assert_eq!(it.next().unwrap().kind, DatumKind::Fixnum(1));
+        assert!(it.next().is_none());
+        assert_eq!(it.tail().kind, DatumKind::Fixnum(2));
+    }
+
+    #[test]
+    fn sym_helpers() {
+        let d = Datum::symbol("lambda");
+        assert!(d.is_sym("lambda"));
+        assert!(!d.is_sym("define"));
+        assert_eq!(d.as_sym().unwrap().name(), "lambda");
+    }
+
+    #[test]
+    fn empty_list_is_proper() {
+        assert!(Datum::nil().is_list());
+        assert_eq!(Datum::nil().proper_list().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Symbol interning.
+//!
+//! Symbols are the identifier currency of the whole engine: the expander,
+//! the compiler's environments, and the VM's global table all key on
+//! [`Sym`]. Interning makes symbol equality a `u32` compare and keeps
+//! `Datum`/`Value` cheap to clone.
+//!
+//! The interner is process-global and thread-safe so that symbols created on
+//! one thread (e.g. by a test) compare equal to the same spelling created on
+//! another. The engine itself is single-threaded, but `cargo test` is not.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned symbol.
+///
+/// Two `Sym`s are equal iff their names are equal. Use [`sym`] to intern a
+/// name and [`Sym::name`] (or [`sym_name`]) to recover the spelling.
+///
+/// # Examples
+///
+/// ```
+/// use cm_sexpr::sym;
+/// assert_eq!(sym("lambda"), sym("lambda"));
+/// assert_ne!(sym("lambda"), sym("Lambda"));
+/// assert_eq!(sym("car").name(), "car");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+    gensym_counter: u64,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            ids: HashMap::new(),
+            gensym_counter: 0,
+        })
+    })
+}
+
+/// Interns `name`, returning its unique [`Sym`].
+pub fn sym(name: &str) -> Sym {
+    let mut i = interner().lock().expect("interner poisoned");
+    if let Some(&id) = i.ids.get(name) {
+        return Sym(id);
+    }
+    let id = u32::try_from(i.names.len()).expect("interner overflow");
+    // Leaking is fine: the set of distinct symbols in a program is small and
+    // the interner lives for the whole process anyway.
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    i.names.push(leaked);
+    i.ids.insert(leaked, id);
+    Sym(id)
+}
+
+/// Returns the spelling of `s`.
+pub fn sym_name(s: Sym) -> &'static str {
+    let i = interner().lock().expect("interner poisoned");
+    i.names[s.0 as usize]
+}
+
+impl Sym {
+    /// Returns the spelling of this symbol.
+    pub fn name(self) -> &'static str {
+        sym_name(self)
+    }
+
+    /// Creates a fresh symbol guaranteed not to collide with any symbol the
+    /// reader can produce (the spelling contains a `#`).
+    ///
+    /// Used by the expander for hygiene-ish renaming and by library macros
+    /// that need private keys.
+    pub fn gensym(base: &str) -> Sym {
+        let n = {
+            let mut i = interner().lock().expect("interner poisoned");
+            i.gensym_counter += 1;
+            i.gensym_counter
+        };
+        sym(&format!("{base}#{n}"))
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.name())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        assert_eq!(sym("foo"), sym("foo"));
+        assert_eq!(sym("foo").name(), "foo");
+    }
+
+    #[test]
+    fn distinct_names_distinct_syms() {
+        assert_ne!(sym("foo"), sym("bar"));
+    }
+
+    #[test]
+    fn gensym_is_fresh() {
+        let a = Sym::gensym("tmp");
+        let b = Sym::gensym("tmp");
+        assert_ne!(a, b);
+        assert!(a.name().starts_with("tmp#"));
+    }
+
+    #[test]
+    fn symbols_are_shared_across_threads() {
+        let a = sym("cross-thread");
+        let b = std::thread::spawn(|| sym("cross-thread")).join().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(sym("display-me").to_string(), "display-me");
+    }
+}

@@ -1,0 +1,522 @@
+//! The Scheme lexer.
+//!
+//! Produces a stream of [`Token`]s for the [`Reader`](crate::Reader).
+//! Handles line comments (`;`), nestable block comments (`#| ... |#`),
+//! datum-comment markers (`#;`), booleans, characters, strings with escapes,
+//! fixnums, flonums, and identifiers.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[` — treated identically to `(` but must match `]`.
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `'`
+    Quote,
+    /// `` ` ``
+    Quasiquote,
+    /// `,`
+    Unquote,
+    /// `,@`
+    UnquoteSplicing,
+    /// `.` used as the improper-list dot.
+    Dot,
+    /// `#(` — vector open.
+    VecOpen,
+    /// `#;` — comment out the next datum.
+    DatumComment,
+    /// `#t` / `#f`
+    Bool(bool),
+    /// `#\a`, `#\space`, ...
+    Char(char),
+    /// A string literal (contents already unescaped).
+    Str(String),
+    /// An exact integer.
+    Fixnum(i64),
+    /// An inexact real.
+    Flonum(f64),
+    /// An identifier.
+    Ident(String),
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+/// An error produced while tokenizing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Location of the offending text.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// A streaming tokenizer over `&str` input.
+///
+/// # Examples
+///
+/// ```
+/// use cm_sexpr::{Lexer, TokenKind};
+/// let mut lx = Lexer::new("(+ 1 2.5)");
+/// let kinds: Vec<_> = std::iter::from_fn(|| lx.next_token().transpose())
+///     .collect::<Result<Vec<_>, _>>()
+///     .unwrap()
+///     .into_iter()
+///     .map(|t| t.kind)
+///     .collect();
+/// assert_eq!(kinds[0], TokenKind::LParen);
+/// assert_eq!(kinds[2], TokenKind::Fixnum(1));
+/// assert_eq!(kinds[3], TokenKind::Flonum(2.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn err(&self, start: usize, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            span: Span::new(start as u32, self.pos as u32),
+        }
+    }
+
+    fn skip_atmosphere(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b';') => {
+                    while let Some(b) = self.peek() {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'#') if self.peek2() == Some(b'|') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'#'), Some(b'|')) => {
+                                depth += 1;
+                                self.pos += 2;
+                            }
+                            (Some(b'|'), Some(b'#')) => {
+                                depth -= 1;
+                                self.pos += 2;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(self.err(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn is_delimiter(b: u8) -> bool {
+        matches!(b, b'(' | b')' | b'[' | b']' | b'"' | b';') || b.is_ascii_whitespace()
+    }
+
+    fn lex_string(&mut self, start: usize) -> Result<TokenKind, LexError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err(start, "unterminated string literal")),
+                Some(b'"') => return Ok(TokenKind::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'0') => out.push('\0'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    Some(other) => {
+                        return Err(self.err(
+                            start,
+                            format!("unknown string escape '\\{}'", other as char),
+                        ))
+                    }
+                    None => return Err(self.err(start, "unterminated string escape")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Re-decode the UTF-8 sequence we just stepped into.
+                    let rest = &self.src[self.pos - 1..];
+                    let c = rest.chars().next().expect("valid utf-8");
+                    out.push(c);
+                    self.pos += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn lex_char(&mut self, start: usize) -> Result<TokenKind, LexError> {
+        // Called after consuming `#\`.
+        let rest = &self.src[self.pos..];
+        let c = rest
+            .chars()
+            .next()
+            .ok_or_else(|| self.err(start, "unterminated character literal"))?;
+        self.pos += c.len_utf8();
+        // Multi-character names: keep consuming alphabetic chars.
+        if c.is_ascii_alphabetic() {
+            let name_start = self.pos - 1;
+            while let Some(b) = self.peek() {
+                if Self::is_delimiter(b) {
+                    break;
+                }
+                self.pos += 1;
+            }
+            let name = &self.src[name_start..self.pos];
+            if name.len() > 1 {
+                return match name {
+                    "space" => Ok(TokenKind::Char(' ')),
+                    "newline" | "linefeed" => Ok(TokenKind::Char('\n')),
+                    "tab" => Ok(TokenKind::Char('\t')),
+                    "return" => Ok(TokenKind::Char('\r')),
+                    "nul" | "null" => Ok(TokenKind::Char('\0')),
+                    _ => Err(self.err(start, format!("unknown character name '{name}'"))),
+                };
+            }
+        }
+        Ok(TokenKind::Char(c))
+    }
+
+    fn lex_atom(&mut self, start: usize) -> Result<TokenKind, LexError> {
+        while let Some(b) = self.peek() {
+            if Self::is_delimiter(b) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        debug_assert!(!text.is_empty());
+        if text == "." {
+            return Ok(TokenKind::Dot);
+        }
+        if let Some(kind) = parse_number(text) {
+            return Ok(kind);
+        }
+        Ok(TokenKind::Ident(text.to_owned()))
+    }
+
+    /// Returns the next token, `Ok(None)` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] for malformed literals or unterminated
+    /// comments/strings.
+    pub fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        self.skip_atmosphere()?;
+        let start = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(None);
+        };
+        let kind = match b {
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.pos += 1;
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                TokenKind::RBracket
+            }
+            b'\'' => {
+                self.pos += 1;
+                TokenKind::Quote
+            }
+            b'`' => {
+                self.pos += 1;
+                TokenKind::Quasiquote
+            }
+            b',' => {
+                self.pos += 1;
+                if self.peek() == Some(b'@') {
+                    self.pos += 1;
+                    TokenKind::UnquoteSplicing
+                } else {
+                    TokenKind::Unquote
+                }
+            }
+            b'"' => {
+                self.pos += 1;
+                self.lex_string(start)?
+            }
+            b'#' => match self.peek2() {
+                Some(b'(') => {
+                    self.pos += 2;
+                    TokenKind::VecOpen
+                }
+                Some(b';') => {
+                    self.pos += 2;
+                    TokenKind::DatumComment
+                }
+                Some(b't') => {
+                    self.pos += 2;
+                    TokenKind::Bool(true)
+                }
+                Some(b'f') => {
+                    self.pos += 2;
+                    TokenKind::Bool(false)
+                }
+                Some(b'\\') => {
+                    self.pos += 2;
+                    self.lex_char(start)?
+                }
+                Some(b'%') => self.lex_atom(start)?, // #%primitive-style identifiers
+                other => {
+                    self.pos += 1;
+                    return Err(self.err(
+                        start,
+                        format!(
+                            "unknown '#' syntax{}",
+                            other
+                                .map(|b| format!(" '#{}'", b as char))
+                                .unwrap_or_default()
+                        ),
+                    ));
+                }
+            },
+            _ => self.lex_atom(start)?,
+        };
+        Ok(Some(Token {
+            kind,
+            span: Span::new(start as u32, self.pos as u32),
+        }))
+    }
+}
+
+/// Parses `text` as a fixnum or flonum, if it is one.
+fn parse_number(text: &str) -> Option<TokenKind> {
+    let stripped = text.strip_prefix(['+', '-']).unwrap_or(text);
+    if stripped.is_empty() || !stripped.starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+        return None;
+    }
+    if let Ok(n) = text.parse::<i64>() {
+        return Some(TokenKind::Fixnum(n));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Some(TokenKind::Flonum(f));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut lx = Lexer::new(src);
+        let mut out = Vec::new();
+        while let Some(t) = lx.next_token().unwrap() {
+            out.push(t.kind);
+        }
+        out
+    }
+
+    #[test]
+    fn lexes_parens_and_atoms() {
+        assert_eq!(
+            kinds("(foo 42)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("foo".into()),
+                TokenKind::Fixnum(42),
+                TokenKind::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn brackets_are_distinct_tokens() {
+        assert_eq!(
+            kinds("[x]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Ident("x".into()),
+                TokenKind::RBracket
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("-7"), vec![TokenKind::Fixnum(-7)]);
+        assert_eq!(kinds("+3"), vec![TokenKind::Fixnum(3)]);
+        assert_eq!(kinds("3.25"), vec![TokenKind::Flonum(3.25)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Flonum(1000.0)]);
+        // Not numbers:
+        assert_eq!(kinds("+"), vec![TokenKind::Ident("+".into())]);
+        assert_eq!(kinds("1+"), vec![TokenKind::Ident("1+".into())]);
+        assert_eq!(kinds("-"), vec![TokenKind::Ident("-".into())]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![TokenKind::Str("a\nb\"c".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_unicode_strings() {
+        assert_eq!(kinds("\"λx\""), vec![TokenKind::Str("λx".into())]);
+    }
+
+    #[test]
+    fn lexes_chars() {
+        assert_eq!(kinds(r"#\a"), vec![TokenKind::Char('a')]);
+        assert_eq!(kinds(r"#\space"), vec![TokenKind::Char(' ')]);
+        assert_eq!(kinds(r"#\newline"), vec![TokenKind::Char('\n')]);
+        assert_eq!(kinds(r"#\("), vec![TokenKind::Char('(')]);
+    }
+
+    #[test]
+    fn lexes_booleans_and_quotes() {
+        assert_eq!(
+            kinds("#t #f 'x `y ,z ,@w"),
+            vec![
+                TokenKind::Bool(true),
+                TokenKind::Bool(false),
+                TokenKind::Quote,
+                TokenKind::Ident("x".into()),
+                TokenKind::Quasiquote,
+                TokenKind::Ident("y".into()),
+                TokenKind::Unquote,
+                TokenKind::Ident("z".into()),
+                TokenKind::UnquoteSplicing,
+                TokenKind::Ident("w".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("; hello\nx #| block #| nested |# |# y"),
+            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into())]
+        );
+    }
+
+    #[test]
+    fn datum_comment_token() {
+        assert_eq!(
+            kinds("#;(a b) c"),
+            vec![
+                TokenKind::DatumComment,
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::RParen,
+                TokenKind::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_token() {
+        assert_eq!(
+            kinds("(a . b)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::RParen
+            ]
+        );
+        // But `.5` and `a.b` are atoms.
+        assert_eq!(kinds(".5"), vec![TokenKind::Flonum(0.5)]);
+        assert_eq!(kinds("a.b"), vec![TokenKind::Ident("a.b".into())]);
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        let mut lx = Lexer::new("\"abc");
+        assert!(lx.next_token().is_err());
+    }
+
+    #[test]
+    fn errors_on_unterminated_block_comment() {
+        let mut lx = Lexer::new("#| abc");
+        assert!(lx.next_token().is_err());
+    }
+
+    #[test]
+    fn errors_on_unknown_hash() {
+        let mut lx = Lexer::new("#q");
+        assert!(lx.next_token().is_err());
+    }
+
+    #[test]
+    fn spans_track_positions() {
+        let mut lx = Lexer::new("  foo");
+        let t = lx.next_token().unwrap().unwrap();
+        assert_eq!(t.span, Span::new(2, 5));
+    }
+}

@@ -1,0 +1,38 @@
+//! S-expression front end for the continuation-marks engine.
+//!
+//! This crate provides the lexical substrate shared by every other crate in
+//! the workspace:
+//!
+//! * [`Sym`] — cheap interned symbols with O(1) equality,
+//! * [`Datum`] — parsed S-expressions with source [`Span`]s,
+//! * [`Reader`] — a full Scheme reader (quotes, quasiquote, vectors, block
+//!   and datum comments, improper lists, characters),
+//! * [`write_datum`]/[`display_datum`] — printers that round-trip through
+//!   the reader.
+//!
+//! # Examples
+//!
+//! ```
+//! use cm_sexpr::{parse_str, Datum};
+//!
+//! # fn main() -> Result<(), cm_sexpr::ReadError> {
+//! let data = parse_str("(with-continuation-mark 'key 42 (body))")?;
+//! assert_eq!(data.len(), 1);
+//! assert!(data[0].is_list());
+//! # Ok(())
+//! # }
+//! ```
+
+mod datum;
+mod intern;
+mod lexer;
+mod printer;
+mod reader;
+mod span;
+
+pub use datum::{Datum, DatumKind, ListIter};
+pub use intern::{sym, sym_name, Sym};
+pub use lexer::{LexError, Lexer, Token, TokenKind};
+pub use printer::{display_datum, write_datum};
+pub use reader::{parse_str, ReadError, Reader};
+pub use span::Span;

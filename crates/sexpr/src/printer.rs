@@ -1,0 +1,171 @@
+//! Printers for [`Datum`].
+//!
+//! [`write_datum`] produces reader-compatible text (strings quoted and
+//! escaped, characters in `#\x` form); [`display_datum`] produces
+//! human-oriented text (string and character contents verbatim), matching
+//! Scheme's `write`/`display` distinction.
+
+use std::fmt::Write as _;
+
+use crate::datum::{Datum, DatumKind};
+
+/// Renders `d` in `write` (reader-compatible) notation.
+///
+/// # Examples
+///
+/// ```
+/// use cm_sexpr::{parse_str, write_datum};
+/// let d = &parse_str(r#"("hi" #\a (1 . 2))"#).unwrap()[0];
+/// assert_eq!(write_datum(d), r#"("hi" #\a (1 . 2))"#);
+/// ```
+pub fn write_datum(d: &Datum) -> String {
+    let mut out = String::new();
+    print_datum(&mut out, d, true);
+    out
+}
+
+/// Renders `d` in `display` (human-oriented) notation.
+pub fn display_datum(d: &Datum) -> String {
+    let mut out = String::new();
+    print_datum(&mut out, d, false);
+    out
+}
+
+fn print_datum(out: &mut String, d: &Datum, write: bool) {
+    match &d.kind {
+        DatumKind::Fixnum(n) => {
+            let _ = write!(out, "{n}");
+        }
+        DatumKind::Flonum(f) => print_flonum(out, *f),
+        DatumKind::Bool(true) => out.push_str("#t"),
+        DatumKind::Bool(false) => out.push_str("#f"),
+        DatumKind::Char(c) => {
+            if write {
+                print_char(out, *c);
+            } else {
+                out.push(*c);
+            }
+        }
+        DatumKind::Str(s) => {
+            if write {
+                print_string(out, s);
+            } else {
+                out.push_str(s);
+            }
+        }
+        DatumKind::Symbol(s) => out.push_str(s.name()),
+        DatumKind::Nil => out.push_str("()"),
+        DatumKind::Pair(_) => {
+            out.push('(');
+            let mut it = d.list_iter();
+            let mut first = true;
+            for item in it.by_ref() {
+                if !first {
+                    out.push(' ');
+                }
+                first = false;
+                print_datum(out, item, write);
+            }
+            if !matches!(it.tail().kind, DatumKind::Nil) {
+                out.push_str(" . ");
+                print_datum(out, it.tail(), write);
+            }
+            out.push(')');
+        }
+        DatumKind::Vector(v) => {
+            out.push_str("#(");
+            for (i, item) in v.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                print_datum(out, item, write);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Prints a flonum so it reads back as a flonum (always with a decimal
+/// point or exponent).
+pub(crate) fn print_flonum(out: &mut String, f: f64) {
+    if f.is_nan() {
+        out.push_str("+nan.0");
+    } else if f.is_infinite() {
+        out.push_str(if f > 0.0 { "+inf.0" } else { "-inf.0" });
+    } else {
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+pub(crate) fn print_char(out: &mut String, c: char) {
+    out.push_str("#\\");
+    match c {
+        ' ' => out.push_str("space"),
+        '\n' => out.push_str("newline"),
+        '\t' => out.push_str("tab"),
+        '\r' => out.push_str("return"),
+        '\0' => out.push_str("nul"),
+        _ => out.push(c),
+    }
+}
+
+pub(crate) fn print_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::parse_str;
+
+    #[test]
+    fn write_escapes_strings() {
+        let d = &parse_str(r#""a\nb""#).unwrap()[0];
+        assert_eq!(write_datum(d), r#""a\nb""#);
+        assert_eq!(display_datum(d), "a\nb");
+    }
+
+    #[test]
+    fn flonums_keep_a_point() {
+        let d = &parse_str("2.0").unwrap()[0];
+        assert_eq!(write_datum(d), "2.0");
+    }
+
+    #[test]
+    fn chars_write_and_display() {
+        let d = &parse_str(r"#\space").unwrap()[0];
+        assert_eq!(write_datum(d), r"#\space");
+        assert_eq!(display_datum(d), " ");
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        for src in [
+            "(1 2 3)",
+            "(a . b)",
+            "(a b . c)",
+            "#(1 (2) #(3))",
+            "(quote (x))",
+            "()",
+            "(#t #f)",
+        ] {
+            let d = &parse_str(src).unwrap()[0];
+            assert_eq!(write_datum(d), src, "round-trip of {src}");
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! The reader: turns token streams into [`Datum`]s.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::datum::{Datum, DatumKind};
+use crate::intern::sym;
+use crate::lexer::{LexError, Lexer, Token, TokenKind};
+use crate::span::Span;
+
+/// An error produced while reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    /// Human-readable description, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Location of the offending text.
+    pub span: Span,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "read error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<LexError> for ReadError {
+    fn from(e: LexError) -> ReadError {
+        ReadError {
+            message: e.message,
+            span: e.span,
+        }
+    }
+}
+
+/// Reads every datum in `src`.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] on malformed input (unbalanced parentheses,
+/// misplaced dots, bad literals).
+///
+/// # Examples
+///
+/// ```
+/// use cm_sexpr::parse_str;
+/// let data = parse_str("1 (2 3) #(4)").unwrap();
+/// assert_eq!(data.len(), 3);
+/// ```
+pub fn parse_str(src: &str) -> Result<Vec<Datum>, ReadError> {
+    Reader::new(src).read_all()
+}
+
+/// A pull-based reader over source text.
+///
+/// Use [`Reader::read`] to pull one datum at a time or
+/// [`Reader::read_all`] to drain the input.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    lexer: Lexer<'a>,
+    lookahead: Option<Token>,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `src`.
+    pub fn new(src: &'a str) -> Reader<'a> {
+        Reader {
+            lexer: Lexer::new(src),
+            lookahead: None,
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, ReadError> {
+        if let Some(t) = self.lookahead.take() {
+            return Ok(Some(t));
+        }
+        Ok(self.lexer.next_token()?)
+    }
+
+    fn push_back(&mut self, t: Token) {
+        debug_assert!(self.lookahead.is_none());
+        self.lookahead = Some(t);
+    }
+
+    /// Reads the next datum, or `Ok(None)` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReadError`] on malformed input.
+    pub fn read(&mut self) -> Result<Option<Datum>, ReadError> {
+        loop {
+            let Some(tok) = self.next_token()? else {
+                return Ok(None);
+            };
+            match tok.kind {
+                TokenKind::DatumComment => {
+                    // Read and discard the next datum.
+                    if self.read()?.is_none() {
+                        return Err(ReadError {
+                            message: "expected datum after '#;'".into(),
+                            span: tok.span,
+                        });
+                    }
+                }
+                _ => return self.read_after(tok).map(Some),
+            }
+        }
+    }
+
+    /// Reads every remaining datum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReadError`] on malformed input.
+    pub fn read_all(&mut self) -> Result<Vec<Datum>, ReadError> {
+        let mut out = Vec::new();
+        while let Some(d) = self.read()? {
+            out.push(d);
+        }
+        Ok(out)
+    }
+
+    fn must_read(&mut self, after: &Token, what: &str) -> Result<Datum, ReadError> {
+        self.read()?.ok_or_else(|| ReadError {
+            message: format!("expected {what}"),
+            span: after.span,
+        })
+    }
+
+    fn read_after(&mut self, tok: Token) -> Result<Datum, ReadError> {
+        let span = tok.span;
+        match tok.kind {
+            TokenKind::Fixnum(n) => Ok(Datum {
+                kind: DatumKind::Fixnum(n),
+                span,
+            }),
+            TokenKind::Flonum(f) => Ok(Datum {
+                kind: DatumKind::Flonum(f),
+                span,
+            }),
+            TokenKind::Bool(b) => Ok(Datum {
+                kind: DatumKind::Bool(b),
+                span,
+            }),
+            TokenKind::Char(c) => Ok(Datum {
+                kind: DatumKind::Char(c),
+                span,
+            }),
+            TokenKind::Str(s) => Ok(Datum {
+                kind: DatumKind::Str(Rc::from(s.as_str())),
+                span,
+            }),
+            TokenKind::Ident(name) => Ok(Datum {
+                kind: DatumKind::Symbol(sym(&name)),
+                span,
+            }),
+            TokenKind::Quote => self.read_prefixed("quote", &tok),
+            TokenKind::Quasiquote => self.read_prefixed("quasiquote", &tok),
+            TokenKind::Unquote => self.read_prefixed("unquote", &tok),
+            TokenKind::UnquoteSplicing => self.read_prefixed("unquote-splicing", &tok),
+            TokenKind::LParen => self.read_list(span, TokenKind::RParen),
+            TokenKind::LBracket => self.read_list(span, TokenKind::RBracket),
+            TokenKind::VecOpen => self.read_vector(span),
+            TokenKind::RParen | TokenKind::RBracket => Err(ReadError {
+                message: "unexpected close parenthesis".into(),
+                span,
+            }),
+            TokenKind::Dot => Err(ReadError {
+                message: "unexpected '.'".into(),
+                span,
+            }),
+            TokenKind::DatumComment => unreachable!("handled by read"),
+        }
+    }
+
+    fn read_prefixed(&mut self, head: &str, tok: &Token) -> Result<Datum, ReadError> {
+        let inner = self.must_read(tok, &format!("datum after '{head}' prefix"))?;
+        let span = tok.span.merge(inner.span);
+        Ok(Datum {
+            kind: Datum::list([Datum::symbol(head), inner]).kind,
+            span,
+        })
+    }
+
+    fn read_list(&mut self, open: Span, close: TokenKind) -> Result<Datum, ReadError> {
+        let mut items: Vec<Datum> = Vec::new();
+        let mut tail: Option<Datum> = None;
+        loop {
+            let Some(tok) = self.next_token()? else {
+                return Err(ReadError {
+                    message: "unterminated list".into(),
+                    span: open,
+                });
+            };
+            match &tok.kind {
+                k if *k == close => {
+                    let end = tok.span;
+                    let mut out = tail.unwrap_or_else(Datum::nil);
+                    for item in items.into_iter().rev() {
+                        out = Datum::cons(item, out);
+                    }
+                    out.span = open.merge(end);
+                    return Ok(out);
+                }
+                TokenKind::RParen | TokenKind::RBracket => {
+                    return Err(ReadError {
+                        message: "mismatched close parenthesis".into(),
+                        span: tok.span,
+                    });
+                }
+                TokenKind::Dot => {
+                    if items.is_empty() || tail.is_some() {
+                        return Err(ReadError {
+                            message: "misplaced '.' in list".into(),
+                            span: tok.span,
+                        });
+                    }
+                    tail = Some(self.must_read(&tok, "datum after '.'")?);
+                }
+                TokenKind::DatumComment => {
+                    if self.read()?.is_none() {
+                        return Err(ReadError {
+                            message: "expected datum after '#;'".into(),
+                            span: tok.span,
+                        });
+                    }
+                }
+                _ => {
+                    if tail.is_some() {
+                        return Err(ReadError {
+                            message: "more than one datum after '.'".into(),
+                            span: tok.span,
+                        });
+                    }
+                    self.push_back(tok);
+                    let Some(d) = self.read()? else {
+                        return Err(ReadError {
+                            message: "unterminated list".into(),
+                            span: open,
+                        });
+                    };
+                    items.push(d);
+                }
+            }
+        }
+    }
+
+    fn read_vector(&mut self, open: Span) -> Result<Datum, ReadError> {
+        let mut items = Vec::new();
+        loop {
+            let Some(tok) = self.next_token()? else {
+                return Err(ReadError {
+                    message: "unterminated vector".into(),
+                    span: open,
+                });
+            };
+            match tok.kind {
+                TokenKind::RParen => {
+                    let span = open.merge(tok.span);
+                    return Ok(Datum {
+                        kind: DatumKind::Vector(Rc::new(items)),
+                        span,
+                    });
+                }
+                TokenKind::Dot => {
+                    return Err(ReadError {
+                        message: "'.' not allowed in vector".into(),
+                        span: tok.span,
+                    });
+                }
+                _ => {
+                    self.push_back(tok);
+                    let Some(d) = self.read()? else {
+                        return Err(ReadError {
+                            message: "unterminated vector".into(),
+                            span: open,
+                        });
+                    };
+                    items.push(d);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::write_datum;
+
+    fn one(src: &str) -> Datum {
+        let v = parse_str(src).unwrap();
+        assert_eq!(v.len(), 1, "expected one datum in {src:?}");
+        v.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn reads_atoms() {
+        assert_eq!(one("42").kind, DatumKind::Fixnum(42));
+        assert_eq!(one("#t").kind, DatumKind::Bool(true));
+        assert!(one("foo").is_sym("foo"));
+    }
+
+    #[test]
+    fn reads_nested_lists() {
+        let d = one("(a (b c) d)");
+        let v = d.proper_list().unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[1].proper_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn brackets_interchangeable_but_matched() {
+        let d = one("(let ([x 1]) x)");
+        assert!(d.is_list());
+        assert!(parse_str("(a]").is_err());
+        assert!(parse_str("[a)").is_err());
+    }
+
+    #[test]
+    fn reads_improper_list() {
+        let d = one("(1 . 2)");
+        let (car, cdr) = d.as_pair().unwrap();
+        assert_eq!(car.kind, DatumKind::Fixnum(1));
+        assert_eq!(cdr.kind, DatumKind::Fixnum(2));
+    }
+
+    #[test]
+    fn reads_dotted_tail_list() {
+        let d = one("(1 2 . 3)");
+        assert!(!d.is_list());
+        assert_eq!(write_datum(&d), "(1 2 . 3)");
+    }
+
+    #[test]
+    fn quote_expansion() {
+        assert_eq!(write_datum(&one("'x")), "(quote x)");
+        assert_eq!(write_datum(&one("`(a ,b ,@c)")),
+            "(quasiquote (a (unquote b) (unquote-splicing c)))");
+    }
+
+    #[test]
+    fn reads_vectors() {
+        let d = one("#(1 2 3)");
+        match &d.kind {
+            DatumKind::Vector(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected vector, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn datum_comments_drop_data() {
+        let v = parse_str("(a #;(skip me) b)").unwrap();
+        assert_eq!(write_datum(&v[0]), "(a b)");
+        let v = parse_str("#;1 2").unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, DatumKind::Fixnum(2));
+    }
+
+    #[test]
+    fn misplaced_dots_are_errors() {
+        assert!(parse_str("(. a)").is_err());
+        assert!(parse_str("(a . b c)").is_err());
+        assert!(parse_str("(a . b . c)").is_err());
+        assert!(parse_str(".").is_err());
+        assert!(parse_str("#(1 . 2)").is_err());
+    }
+
+    #[test]
+    fn unbalanced_parens_are_errors() {
+        assert!(parse_str("(a b").is_err());
+        assert!(parse_str(")").is_err());
+        assert!(parse_str("#(1 2").is_err());
+        assert!(parse_str("'").is_err());
+    }
+
+    #[test]
+    fn spans_cover_lists() {
+        let d = one("  (a b)");
+        assert_eq!(d.span, Span::new(2, 7));
+    }
+}

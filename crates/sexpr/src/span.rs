@@ -1,0 +1,70 @@
+//! Byte-offset source spans.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text a datum was
+/// read from.
+///
+/// Spans exist for diagnostics only; they never affect evaluation. A datum
+/// constructed programmatically (rather than by the reader) carries
+/// [`Span::SYNTH`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// The span used for synthesized (non-reader-produced) data.
+    pub const SYNTH: Span = Span { start: 0, end: 0 };
+
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Span {
+        Span { start, end }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether this is the synthesized (empty) span.
+    pub fn is_synthetic(self) -> bool {
+        self == Span::SYNTH
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn synthetic_span_is_detectable() {
+        assert!(Span::SYNTH.is_synthetic());
+        assert!(!Span::new(0, 1).is_synthetic());
+    }
+
+    #[test]
+    fn display_formats_range() {
+        assert_eq!(Span::new(1, 4).to_string(), "1..4");
+    }
+}

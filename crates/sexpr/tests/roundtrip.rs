@@ -1,0 +1,40 @@
+//! Property tests: printing a datum and re-reading it yields an equal datum.
+
+use cm_sexpr::{parse_str, write_datum, Datum};
+use proptest::prelude::*;
+
+fn arb_symbolish() -> impl Strategy<Value = String> {
+    // Identifiers that the lexer will read back as a single symbol.
+    "[a-zA-Z*+!?<>=-][a-zA-Z0-9*+!?<>=-]{0,8}".prop_filter("reads back as a symbol", |s| {
+        parse_str(s)
+            .map(|v| v.len() == 1 && v[0].as_sym().is_some())
+            .unwrap_or(false)
+    })
+}
+
+fn arb_datum() -> impl Strategy<Value = Datum> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Datum::fixnum),
+        any::<bool>().prop_map(Datum::bool),
+        arb_symbolish().prop_map(|s| Datum::symbol(&s)),
+        Just(Datum::nil()),
+    ];
+    leaf.prop_recursive(4, 32, 5, |inner| {
+        prop::collection::vec(inner, 0..5).prop_map(Datum::list)
+    })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_round_trip(d in arb_datum()) {
+        let text = write_datum(&d);
+        let parsed = parse_str(&text).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(write_datum(&parsed[0]), text);
+    }
+
+    #[test]
+    fn reader_never_panics(src in "\\PC{0,64}") {
+        let _ = parse_str(&src);
+    }
+}

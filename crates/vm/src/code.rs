@@ -1,0 +1,362 @@
+//! Compiled code objects and the instruction set.
+//!
+//! The machine is a stack machine: each frame owns a region of the value
+//! stack starting at its `base`; every expression leaves exactly one value
+//! on top. The attachment instructions (`PushAttach` .. `CurrentAttachments`)
+//! are the compiled forms of the paper's §7.1 primitives; which one the
+//! compiler emits for a given source expression is decided by the §7.2
+//! categorization implemented in `cm-compiler`.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::values::Value;
+
+/// An inlined primitive operation known to the compiler.
+///
+/// Everything in this enum is *attachment-transparent*: it neither calls
+/// arbitrary code nor inspects continuation attachments. That property is
+/// exactly what the paper's "no prim" ablation (§8.5) toggles: with the
+/// optimization on, the compiler may treat a body built from these
+/// operations as needing no continuation reification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimOp {
+    /// `+` (n-ary)
+    Add,
+    /// `-` (n-ary, unary negates)
+    Sub,
+    /// `*` (n-ary)
+    Mul,
+    /// `/` on flonums, error on inexact division of fixnums
+    Div,
+    /// `quotient`
+    Quotient,
+    /// `remainder`
+    Remainder,
+    /// `modulo`
+    Modulo,
+    /// `=` (binary)
+    NumEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `add1`
+    Add1,
+    /// `sub1`
+    Sub1,
+    /// `zero?`
+    ZeroP,
+    /// `cons`
+    Cons,
+    /// `car`
+    Car,
+    /// `cdr`
+    Cdr,
+    /// `set-car!`
+    SetCar,
+    /// `set-cdr!`
+    SetCdr,
+    /// `pair?`
+    PairP,
+    /// `null?`
+    NullP,
+    /// `eq?`
+    EqP,
+    /// `eqv?` (same as `eq?` here; flonums compare by bits)
+    EqvP,
+    /// `not`
+    Not,
+    /// `symbol?`
+    SymbolP,
+    /// `procedure?`
+    ProcedureP,
+    /// `fixnum?` / `integer?`
+    FixnumP,
+    /// `flonum?`
+    FlonumP,
+    /// `boolean?`
+    BooleanP,
+    /// `string?`
+    StringP,
+    /// `vector?`
+    VectorP,
+    /// `char?`
+    CharP,
+    /// `vector-ref`
+    VectorRef,
+    /// `vector-set!`
+    VectorSet,
+    /// `vector-length`
+    VectorLength,
+    /// `make-vector`
+    MakeVector,
+    /// `box`
+    BoxNew,
+    /// `unbox`
+    Unbox,
+    /// `set-box!`
+    SetBox,
+}
+
+impl PrimOp {
+    /// The Scheme-level name of the primitive.
+    pub fn name(self) -> &'static str {
+        use PrimOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Quotient => "quotient",
+            Remainder => "remainder",
+            Modulo => "modulo",
+            NumEq => "=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Add1 => "add1",
+            Sub1 => "sub1",
+            ZeroP => "zero?",
+            Cons => "cons",
+            Car => "car",
+            Cdr => "cdr",
+            SetCar => "set-car!",
+            SetCdr => "set-cdr!",
+            PairP => "pair?",
+            NullP => "null?",
+            EqP => "eq?",
+            EqvP => "eqv?",
+            Not => "not",
+            SymbolP => "symbol?",
+            ProcedureP => "procedure?",
+            FixnumP => "fixnum?",
+            FlonumP => "flonum?",
+            BooleanP => "boolean?",
+            StringP => "string?",
+            VectorP => "vector?",
+            CharP => "char?",
+            VectorRef => "vector-ref",
+            VectorSet => "vector-set!",
+            VectorLength => "vector-length",
+            MakeVector => "make-vector",
+            BoxNew => "box",
+            Unbox => "unbox",
+            SetBox => "set-box!",
+        }
+    }
+}
+
+/// A machine instruction.
+///
+/// Jump targets are absolute instruction indices within the enclosing
+/// [`Code`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Push `consts[i]`.
+    Const(u16),
+    /// Push the local at `base + i`.
+    LocalRef(u16),
+    /// Pop into the local at `base + i`.
+    LocalSet(u16),
+    /// Push the enclosing closure's capture `i`.
+    CaptureRef(u16),
+    /// Push the global with the given slot id.
+    GlobalRef(u32),
+    /// Pop into the global slot (defining it if unbound).
+    GlobalSet(u32),
+    /// Pop `captures` values (first-pushed = capture 0) and push a closure
+    /// over `codes[code]`.
+    MakeClosure {
+        /// Index into [`Code::codes`].
+        code: u16,
+        /// Number of captured values to pop.
+        captures: u16,
+    },
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump if the popped value is `#f`.
+    JumpIfFalse(u32),
+    /// Pop the result, drop `n` more values, push the result back
+    /// (used to exit `let` scopes).
+    Leave(u16),
+    /// Drop the top of stack.
+    Pop,
+    /// Call with `argc` arguments; stack holds `rator arg0 .. argn`.
+    Call(u16),
+    /// Tail call: replaces the current frame.
+    TailCall(u16),
+    /// The §7.2 case-(b) call: a call in tail position of a
+    /// `with-continuation-mark` body that is itself in non-tail position.
+    /// Reifies the continuation with `(cdr marks)` installed in the
+    /// underflow record, so the attachment pops when the callee returns.
+    CallWithAttachment(u16),
+    /// Return the top of stack to the caller (possibly via underflow).
+    Return,
+    /// Inlined primitive: pops `argc` arguments, pushes the result.
+    PrimCall(PrimOp, u8),
+    /// Pop `v`; `marks := (cons v marks)`. Case (c) entry: a conceptual
+    /// frame with no function call, handled by direct push/pop.
+    PushAttach,
+    /// `marks := (cdr marks)`. Case (c) exit.
+    PopAttach,
+    /// Pop `v`; `marks := (cons v (cdr marks))` — replace the current
+    /// frame's statically-known-present attachment.
+    SetAttach,
+    /// Pop `v`; the §7.2 case-(a) *tail* set: reify the continuation if
+    /// needed, then push or replace the current frame's attachment.
+    /// `check_replace: false` skips the has-attachment check — the
+    /// compiler proves it after a preceding consume (the "consume"+"set"
+    /// fusion of §7.2).
+    ReifySetAttach {
+        /// Whether an existing attachment may need replacing.
+        check_replace: bool,
+    },
+    /// Pop default; push the current frame's attachment if present, else
+    /// the default (dynamic tail-position get).
+    GetAttachDyn,
+    /// Like [`Instr::GetAttachDyn`] but also removes the attachment.
+    ConsumeAttachDyn,
+    /// Push the head of the marks list (compiler proved an attachment is
+    /// present on the current conceptual frame).
+    GetAttachPresent,
+    /// Push and pop the head of the marks list (proved present).
+    ConsumeAttachPresent,
+    /// Push the marks register (a Scheme list) as a value.
+    CurrentAttachments,
+    /// Old-Racket mode: push a fresh mark-stack entry (conceptual frame).
+    EagerPushFrame,
+    /// Old-Racket mode: pop a mark-stack entry.
+    EagerPopFrame,
+    /// Old-Racket mode: pop key and value, set in the current mark-stack
+    /// entry (replacing the key if present).
+    EagerMarkSet,
+    /// Old-Racket mode: a call in tail position of a non-tail
+    /// `with-continuation-mark` body — the callee *shares* the mark-stack
+    /// entry pushed for the mark's conceptual frame (no new entry is
+    /// pushed; the callee's return pops the shared entry).
+    EagerCallShared(u16),
+}
+
+/// A compiled procedure body.
+#[derive(Debug, Clone)]
+pub struct Code {
+    /// Diagnostic name (e.g. the defined name or `lambda`).
+    pub name: String,
+    /// Number of required arguments.
+    pub arity_required: u16,
+    /// Whether extra arguments are collected into a rest list.
+    pub rest: bool,
+    /// The instruction sequence.
+    pub instrs: Vec<Instr>,
+    /// The constant pool.
+    pub consts: Vec<Value>,
+    /// Child code objects referenced by [`Instr::MakeClosure`].
+    pub codes: Vec<Rc<Code>>,
+}
+
+impl Code {
+    /// Builds a code object; a convenience for tests and the compiler.
+    pub fn build(
+        name: impl Into<String>,
+        arity_required: u16,
+        rest: bool,
+        instrs: Vec<Instr>,
+        consts: Vec<Value>,
+        codes: Vec<Rc<Code>>,
+    ) -> Code {
+        Code {
+            name: name.into(),
+            arity_required,
+            rest,
+            instrs,
+            consts,
+            codes,
+        }
+    }
+
+    /// Renders a human-readable disassembly (one instruction per line),
+    /// recursing into child code objects.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        self.disassemble_into(&mut out, 0);
+        out
+    }
+
+    fn disassemble_into(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(indent);
+        let _ = writeln!(
+            out,
+            "{pad}code {} (args {}{}):",
+            self.name,
+            self.arity_required,
+            if self.rest { "+" } else { "" }
+        );
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let _ = writeln!(out, "{pad}  {i:4}: {instr:?}");
+        }
+        for child in &self.codes {
+            child.disassemble_into(out, indent + 1);
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+/// Ids for natives that need machine-level control (defined here so
+/// `cm-compiler` can reference them without depending on primitive
+/// implementation details).
+pub mod control {
+    /// Names of the control natives registered by the machine; the
+    /// compiler treats these as *attachment-sensitive* (they defeat the
+    /// "no prim" optimization by definition).
+    pub const CONTROL_NATIVE_NAMES: &[&str] = &[
+        "call/cc",
+        "call-with-current-continuation",
+        "call/1cc",
+        "apply",
+        "dynamic-wind",
+        "%call-with-prompt",
+        "%abort",
+        "%call-with-composable-continuation",
+        "$call-setting-attachment",
+        "$call-getting-attachment",
+        "$call-consuming-attachment",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prim_names_cover_all_ops() {
+        assert_eq!(PrimOp::Add.name(), "+");
+        assert_eq!(PrimOp::VectorSet.name(), "vector-set!");
+    }
+
+    #[test]
+    fn disassembly_mentions_instructions() {
+        let code = Code::build(
+            "t",
+            1,
+            false,
+            vec![Instr::LocalRef(0), Instr::Return],
+            vec![],
+            vec![],
+        );
+        let d = code.disassemble();
+        assert!(d.contains("LocalRef"));
+        assert!(d.contains("code t"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Machine configuration, including the ablation switches measured in the
+//! paper's §8.5 (figure 6).
+
+/// How continuation marks are represented at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MarkModel {
+    /// Continuation attachments (the paper's design, §6): a `marks`
+    /// register holding a list, popped via underflow records.
+    #[default]
+    Attachments,
+    /// The *old* Racket strategy: an eager side mark stack with an entry
+    /// pushed on every non-tail call. Cheap `with-continuation-mark`,
+    /// expensive continuation capture, overhead on all non-tail calls.
+    /// Used as the figure-5 comparison baseline.
+    EagerMarkStack,
+}
+
+/// Runtime configuration for a [`Machine`](crate::Machine).
+///
+/// The defaults correspond to the paper's full system ("Racket CS"); each
+/// switch disables one mechanism to reproduce an ablation row.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Mark representation strategy.
+    pub mark_model: MarkModel,
+    /// Enable opportunistic one-shot fusion on underflow (§6). Disabling
+    /// this is the paper's "no 1cc" variant: every underflow copies the
+    /// resumed segment as if the continuation were multi-shot.
+    pub one_shot_fusion: bool,
+    /// Maximum number of frames per stack segment before the machine
+    /// splits the stack (the analogue of Chez's stack overflow handling,
+    /// which triggers the same underflow path as `call/cc`).
+    pub segment_frame_limit: usize,
+    /// Optional step budget; `None` means unlimited. Useful for tests that
+    /// must terminate even if a program loops.
+    pub fuel: Option<u64>,
+    /// Model the "Racket CS" control-operation wrapper: `call/cc` arrives
+    /// through an extra closure indirection that also saves/restores
+    /// winders and mark state, costing extra allocation per capture. `false`
+    /// models raw Chez Scheme.
+    pub wrapped_control: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            mark_model: MarkModel::Attachments,
+            one_shot_fusion: true,
+            segment_frame_limit: 2048,
+            fuel: None,
+            wrapped_control: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The paper's "no 1cc" ablation: multi-shot-only continuations.
+    pub fn without_one_shot_fusion(mut self) -> MachineConfig {
+        self.one_shot_fusion = false;
+        self
+    }
+
+    /// The figure-5 baseline: the old Racket eager mark stack.
+    pub fn with_eager_mark_stack(mut self) -> MachineConfig {
+        self.mark_model = MarkModel::EagerMarkStack;
+        self
+    }
+
+    /// Adds a step budget.
+    pub fn with_fuel(mut self, fuel: u64) -> MachineConfig {
+        self.fuel = Some(fuel);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_full_system() {
+        let c = MachineConfig::default();
+        assert_eq!(c.mark_model, MarkModel::Attachments);
+        assert!(c.one_shot_fusion);
+        assert!(c.fuel.is_none());
+    }
+
+    #[test]
+    fn builders_flip_switches() {
+        let c = MachineConfig::default()
+            .without_one_shot_fusion()
+            .with_eager_mark_stack()
+            .with_fuel(10);
+        assert!(!c.one_shot_fusion);
+        assert_eq!(c.mark_model, MarkModel::EagerMarkStack);
+        assert_eq!(c.fuel, Some(10));
+    }
+}

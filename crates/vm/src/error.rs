@@ -1,0 +1,96 @@
+//! Runtime errors.
+
+use std::fmt;
+
+use crate::values::Value;
+
+/// The result type of machine operations.
+pub type VmResult<T> = Result<T, VmError>;
+
+/// An error raised while running machine code.
+///
+/// Library-level exceptions (the paper's §2.3 `catch`/`throw`) are
+/// implemented *above* the VM with continuation marks and never surface as
+/// `VmError`; this type covers genuine runtime faults.
+#[derive(Debug, Clone)]
+pub enum VmError {
+    /// A primitive received an argument of the wrong type.
+    WrongType {
+        /// The primitive or operation name.
+        who: &'static str,
+        /// What was expected (e.g. "pair").
+        expected: &'static str,
+        /// A rendering of the value received.
+        got: String,
+    },
+    /// A procedure was applied to the wrong number of arguments.
+    Arity {
+        /// The procedure name.
+        who: String,
+        /// Expected argument count description (e.g. "2" or "at least 1").
+        expected: String,
+        /// The number of arguments received.
+        got: usize,
+    },
+    /// Application of a non-procedure.
+    NotAProcedure(String),
+    /// A reference to an unbound global variable.
+    Unbound(String),
+    /// A one-shot continuation was invoked a second time.
+    OneShotReused,
+    /// `%abort` or composable capture found no matching prompt.
+    NoMatchingPrompt(String),
+    /// The step-count budget was exhausted (see
+    /// [`MachineConfig::fuel`](crate::MachineConfig)).
+    OutOfFuel,
+    /// An uncaught Scheme-level error raised by the `error` primitive (or
+    /// escaped `raise`), carrying the raised payload rendering.
+    SchemeError(String),
+    /// Some other invariant violation, with a message.
+    Other(String),
+}
+
+impl VmError {
+    /// Convenience constructor for type errors.
+    pub fn wrong_type(who: &'static str, expected: &'static str, got: &Value) -> VmError {
+        VmError::WrongType {
+            who,
+            expected,
+            got: got.write_string(),
+        }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::WrongType { who, expected, got } => {
+                write!(f, "{who}: expected {expected}, got {got}")
+            }
+            VmError::Arity { who, expected, got } => {
+                write!(f, "{who}: expected {expected} arguments, got {got}")
+            }
+            VmError::NotAProcedure(v) => write!(f, "application: not a procedure: {v}"),
+            VmError::Unbound(name) => write!(f, "unbound variable: {name}"),
+            VmError::OneShotReused => write!(f, "one-shot continuation invoked twice"),
+            VmError::NoMatchingPrompt(tag) => write!(f, "no matching prompt for tag {tag}"),
+            VmError::OutOfFuel => write!(f, "step budget exhausted"),
+            VmError::SchemeError(msg) => write!(f, "error: {msg}"),
+            VmError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = VmError::wrong_type("car", "pair", &Value::fixnum(3));
+        assert_eq!(e.to_string(), "car: expected pair, got 3");
+        assert!(VmError::Unbound("x".into()).to_string().contains("x"));
+    }
+}

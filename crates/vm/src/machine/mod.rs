@@ -1,0 +1,1457 @@
+//! The virtual machine: a stack machine with segmented-stack continuations,
+//! continuation attachments, winders, and prompts.
+//!
+//! # Continuation representation (paper §5–§6)
+//!
+//! The live stack is a pair of vectors (`stack` for values, `frames` for
+//! frame metadata). Capturing a continuation *freezes* the live stack — an
+//! O(1) move of both vectors into an [`Underflow`] record — and starts a
+//! fresh, empty stack whose bottom conceptually "returns to the underflow
+//! handler". Returning past the bottom (an *underflow*) resumes the frozen
+//! segment, either by **fusing** it back (moving the vectors, no copying —
+//! the opportunistic one-shot fast path of §6) when the machine holds the
+//! only reference, or by **cloning** it (the multi-shot path) when a
+//! first-class continuation still references it.
+//!
+//! Each underflow record carries the value of the `marks` register to
+//! restore, which is the entire runtime story of continuation attachments:
+//! setting an attachment in tail position reifies the continuation and
+//! pushes onto `marks`; the pop happens for free at underflow.
+
+pub mod control;
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::mem;
+use std::rc::Rc;
+
+use cm_sexpr::Sym;
+
+use crate::code::{Code, Instr};
+use crate::config::{MachineConfig, MarkModel};
+use crate::error::{VmError, VmResult};
+use crate::prims::{self, ControlOp, NativeId};
+use crate::stats::MachineStats;
+use crate::values::{Closure, Value};
+
+use control::{
+    CompChainRec, CompData, ContData, ContKind, MetaFrame, Segment, Underflow, Winder,
+};
+
+/// One entry of the eager (old-Racket model) mark stack: an association
+/// list of key/value marks for one continuation frame.
+pub type MarkEntry = Vec<(Value, Value)>;
+
+/// An activation frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The running code object.
+    pub code: Rc<Code>,
+    /// The closure providing captured variables (`None` for top level).
+    pub closure: Option<Rc<Closure>>,
+    /// Index of the next instruction.
+    pub pc: u32,
+    /// Index into the value stack where this frame's locals start.
+    pub base: u32,
+}
+
+/// The global-variable table, shared between the compiler (which resolves
+/// names to slot ids) and the machine (which reads and writes slots).
+#[derive(Debug, Default)]
+pub struct Globals {
+    names: HashMap<Sym, u32>,
+    slots: Vec<(Sym, Option<Value>)>,
+}
+
+impl Globals {
+    /// Creates an empty table.
+    pub fn new() -> Globals {
+        Globals::default()
+    }
+
+    /// Returns the slot id for `name`, creating an unbound slot if new.
+    pub fn intern(&mut self, name: Sym) -> u32 {
+        if let Some(&id) = self.names.get(&name) {
+            return id;
+        }
+        let id = u32::try_from(self.slots.len()).expect("too many globals");
+        self.slots.push((name, None));
+        self.names.insert(name, id);
+        id
+    }
+
+    /// Defines (or redefines) `name`.
+    pub fn define(&mut self, name: Sym, value: Value) -> u32 {
+        let id = self.intern(name);
+        self.slots[id as usize].1 = Some(value);
+        id
+    }
+
+    /// Reads a slot by id.
+    pub fn get(&self, id: u32) -> Option<&Value> {
+        self.slots[id as usize].1.as_ref()
+    }
+
+    /// The name of a slot.
+    pub fn name_of(&self, id: u32) -> Sym {
+        self.slots[id as usize].0
+    }
+
+    /// Writes a slot by id.
+    pub fn set(&mut self, id: u32, value: Value) {
+        self.slots[id as usize].1 = Some(value);
+    }
+
+    /// Looks up a binding by name.
+    pub fn lookup(&self, name: Sym) -> Option<Value> {
+        self.names
+            .get(&name)
+            .and_then(|&id| self.slots[id as usize].1.clone())
+    }
+}
+
+/// How a call site delivers control (decided by the compiler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallMode {
+    /// An ordinary call: the callee returns to the current frame.
+    NonTail,
+    /// A tail call: the current frame is replaced.
+    Tail,
+    /// §7.2 case (b): a call in tail position of a
+    /// `with-continuation-mark` body that is itself non-tail — reify so
+    /// the attachment pops via underflow when the callee returns.
+    WithAttachment,
+    /// Old-Racket model: the callee shares the caller's current
+    /// mark-stack entry (pushed for a non-tail mark's conceptual frame).
+    EagerShared,
+}
+
+/// State saved around a nested execution (winder thunks).
+struct SavedState {
+    stack: Vec<Value>,
+    frames: Vec<Frame>,
+    next: Option<Rc<Underflow>>,
+    marks: Value,
+    base_marks: Value,
+    winders: Vec<Winder>,
+    meta: Vec<MetaFrame>,
+    mark_stack: Vec<MarkEntry>,
+}
+
+/// The virtual machine.
+///
+/// A machine owns its stacks and registers; globals are shared (with the
+/// compiler) behind `Rc<RefCell<_>>`.
+pub struct Machine {
+    /// The live value stack of the current segment.
+    pub(crate) stack: Vec<Value>,
+    /// The live frames of the current segment.
+    pub(crate) frames: Vec<Frame>,
+    /// The attachments ("marks") register: a Scheme list.
+    pub(crate) marks: Value,
+    /// Marks at the bottom of the current segment chain (program start or
+    /// enclosing prompt entry); the boundary for attachment presence when
+    /// `next` is `None`.
+    pub(crate) base_marks: Value,
+    /// The next-stack register: the underflow chain.
+    pub(crate) next: Option<Rc<Underflow>>,
+    /// Active `dynamic-wind` extents.
+    pub(crate) winders: Vec<Winder>,
+    /// Prompt boundaries.
+    pub(crate) meta: Vec<MetaFrame>,
+    /// Eager-model mark stack (empty in attachments mode).
+    pub(crate) mark_stack: Vec<MarkEntry>,
+    /// Shared global table.
+    pub globals: Rc<RefCell<Globals>>,
+    /// Runtime configuration.
+    pub config: MachineConfig,
+    /// Event counters.
+    pub stats: MachineStats,
+    /// Captured output of `display`/`write`/`newline`.
+    pub output: String,
+    fuel: Option<u64>,
+    nested_depth: usize,
+    winder_counter: u64,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("frames", &self.frames.len())
+            .field("stack", &self.stack.len())
+            .field("meta", &self.meta.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with a fresh global table and the natives
+    /// installed.
+    pub fn new(config: MachineConfig) -> Machine {
+        let globals = Rc::new(RefCell::new(Globals::new()));
+        Machine::with_globals(config, globals)
+    }
+
+    /// Creates a machine over an existing global table (installing the
+    /// natives into it).
+    pub fn with_globals(config: MachineConfig, globals: Rc<RefCell<Globals>>) -> Machine {
+        prims::install(&mut globals.borrow_mut());
+        let fuel = config.fuel;
+        Machine {
+            stack: Vec::new(),
+            frames: Vec::new(),
+            marks: Value::Nil,
+            base_marks: Value::Nil,
+            next: None,
+            winders: Vec::new(),
+            meta: Vec::new(),
+            mark_stack: Vec::new(),
+            globals,
+            config,
+            stats: MachineStats::default(),
+            output: String::new(),
+            fuel,
+            nested_depth: 0,
+            winder_counter: 0,
+        }
+    }
+
+    /// Whether the eager (old Racket) mark model is active.
+    pub fn eager_marks(&self) -> bool {
+        self.config.mark_model == MarkModel::EagerMarkStack
+    }
+
+    /// Takes and clears the captured output.
+    pub fn take_output(&mut self) -> String {
+        mem::take(&mut self.output)
+    }
+
+    /// The current value of the marks (attachments) register.
+    pub(crate) fn marks_snapshot(&self) -> Value {
+        self.marks.clone()
+    }
+
+    /// Resets the step budget to the configured value.
+    pub fn refuel(&mut self) {
+        self.fuel = self.config.fuel;
+    }
+
+    /// Runs a top-level code object to completion.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] raised during execution; the machine is reset to an
+    /// idle state on error.
+    pub fn run_code(&mut self, code: Rc<Code>) -> VmResult<Value> {
+        debug_assert!(self.frames.is_empty() && self.next.is_none());
+        self.push_frame(code, None, Vec::new());
+        self.run_until_done().inspect_err(|_| self.reset())
+    }
+
+    /// Calls a Scheme value from Rust (the machine must be idle).
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] raised during execution.
+    pub fn call_value(&mut self, f: Value, args: Vec<Value>) -> VmResult<Value> {
+        debug_assert!(self.frames.is_empty() && self.next.is_none());
+        let r = (|| match self.do_call(f, args, CallMode::NonTail)? {
+            Some(v) => Ok(v),
+            None => self.run_until_done(),
+        })();
+        r.inspect_err(|_| self.reset())
+    }
+
+    /// Clears all execution state (used after an error escape).
+    fn reset(&mut self) {
+        self.stack.clear();
+        self.frames.clear();
+        self.next = None;
+        self.marks = Value::Nil;
+        self.base_marks = Value::Nil;
+        self.winders.clear();
+        self.meta.clear();
+        self.mark_stack.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // The interpreter loop
+    // ------------------------------------------------------------------
+
+    fn run_until_done(&mut self) -> VmResult<Value> {
+        loop {
+            if let Some(fuel) = self.fuel.as_mut() {
+                if *fuel == 0 {
+                    return Err(VmError::OutOfFuel);
+                }
+                *fuel -= 1;
+            }
+            let instr = {
+                let f = self.frames.last_mut().expect("running without a frame");
+                let i = f.code.instrs[f.pc as usize].clone();
+                f.pc += 1;
+                i
+            };
+            match instr {
+                Instr::Const(i) => {
+                    let v = self.cur_code().consts[i as usize].clone();
+                    self.stack.push(v);
+                }
+                Instr::LocalRef(i) => {
+                    let base = self.frames.last().unwrap().base as usize;
+                    let v = self.stack[base + i as usize].clone();
+                    self.stack.push(v);
+                }
+                Instr::LocalSet(i) => {
+                    let v = self.stack.pop().expect("stack underflow");
+                    let base = self.frames.last().unwrap().base as usize;
+                    self.stack[base + i as usize] = v;
+                }
+                Instr::CaptureRef(i) => {
+                    let f = self.frames.last().unwrap();
+                    let v = f
+                        .closure
+                        .as_ref()
+                        .expect("capture ref outside closure")
+                        .captures[i as usize]
+                        .clone();
+                    self.stack.push(v);
+                }
+                Instr::GlobalRef(id) => {
+                    let v = self.globals.borrow().get(id).cloned();
+                    match v {
+                        Some(v) => self.stack.push(v),
+                        None => {
+                            let name = self.globals.borrow().name_of(id);
+                            return Err(VmError::Unbound(name.name().to_owned()));
+                        }
+                    }
+                }
+                Instr::GlobalSet(id) => {
+                    let v = self.stack.pop().expect("stack underflow");
+                    self.globals.borrow_mut().set(id, v);
+                }
+                Instr::MakeClosure { code, captures } => {
+                    let n = captures as usize;
+                    let caps = self.stack.split_off(self.stack.len() - n);
+                    let code = self.cur_code().codes[code as usize].clone();
+                    self.stack
+                        .push(Value::Closure(Rc::new(Closure { code, captures: caps })));
+                }
+                Instr::Jump(t) => self.frames.last_mut().unwrap().pc = t,
+                Instr::JumpIfFalse(t) => {
+                    let v = self.stack.pop().expect("stack underflow");
+                    if !v.is_true() {
+                        self.frames.last_mut().unwrap().pc = t;
+                    }
+                }
+                Instr::Leave(n) => {
+                    let v = self.stack.pop().expect("stack underflow");
+                    let len = self.stack.len();
+                    self.stack.truncate(len - n as usize);
+                    self.stack.push(v);
+                }
+                Instr::Pop => {
+                    self.stack.pop();
+                }
+                Instr::Call(n) => {
+                    let (rator, args) = self.pop_call(n as usize);
+                    if let Some(v) = self.do_call(rator, args, CallMode::NonTail)? {
+                        return Ok(v);
+                    }
+                }
+                Instr::TailCall(n) => {
+                    let (rator, args) = self.pop_call(n as usize);
+                    if let Some(v) = self.do_call(rator, args, CallMode::Tail)? {
+                        return Ok(v);
+                    }
+                }
+                Instr::CallWithAttachment(n) => {
+                    let (rator, args) = self.pop_call(n as usize);
+                    if let Some(v) = self.do_call(rator, args, CallMode::WithAttachment)? {
+                        return Ok(v);
+                    }
+                }
+                Instr::EagerCallShared(n) => {
+                    let (rator, args) = self.pop_call(n as usize);
+                    if let Some(v) = self.do_call(rator, args, CallMode::EagerShared)? {
+                        return Ok(v);
+                    }
+                }
+                Instr::Return => {
+                    let v = self.stack.pop().expect("return without value");
+                    if let Some(v) = self.return_value(v)? {
+                        return Ok(v);
+                    }
+                }
+                Instr::PrimCall(op, argc) => prims::exec_prim(self, op, argc as usize)?,
+                Instr::PushAttach => {
+                    let v = self.stack.pop().expect("stack underflow");
+                    self.marks = Value::cons(v, self.marks.clone());
+                    self.stats.attachments_pushed += 1;
+                }
+                Instr::PopAttach => {
+                    self.marks = self.marks_rest()?;
+                }
+                Instr::SetAttach => {
+                    let v = self.stack.pop().expect("stack underflow");
+                    let rest = self.marks_rest()?;
+                    self.marks = Value::cons(v, rest);
+                }
+                Instr::ReifySetAttach { check_replace } => {
+                    let v = self.stack.pop().expect("stack underflow");
+                    self.reify_set_attachment(v, check_replace)?;
+                }
+                Instr::GetAttachDyn => {
+                    let dflt = self.stack.pop().expect("stack underflow");
+                    let v = if self.frame_has_attachment() {
+                        self.marks.car().expect("marks invariant")
+                    } else {
+                        dflt
+                    };
+                    self.stack.push(v);
+                }
+                Instr::ConsumeAttachDyn => {
+                    let dflt = self.stack.pop().expect("stack underflow");
+                    let v = if self.frame_has_attachment() {
+                        let v = self.marks.car().expect("marks invariant");
+                        self.marks = self.marks_rest()?;
+                        v
+                    } else {
+                        dflt
+                    };
+                    self.stack.push(v);
+                }
+                Instr::GetAttachPresent => {
+                    let v = self.marks.car().ok_or_else(|| {
+                        VmError::Other("attachment expected but marks register empty".into())
+                    })?;
+                    self.stack.push(v);
+                }
+                Instr::ConsumeAttachPresent => {
+                    let v = self.marks.car().ok_or_else(|| {
+                        VmError::Other("attachment expected but marks register empty".into())
+                    })?;
+                    self.marks = self.marks_rest()?;
+                    self.stack.push(v);
+                }
+                Instr::CurrentAttachments => {
+                    self.stack.push(self.marks.clone());
+                }
+                Instr::EagerPushFrame => {
+                    self.mark_stack.push(Vec::new());
+                    self.stats.mark_stack_pushes += 1;
+                }
+                Instr::EagerPopFrame => {
+                    self.mark_stack.pop();
+                }
+                Instr::EagerMarkSet => {
+                    let val = self.stack.pop().expect("stack underflow");
+                    let key = self.stack.pop().expect("stack underflow");
+                    self.eager_set_mark(key, val);
+                }
+            }
+        }
+    }
+
+    fn cur_code(&self) -> &Rc<Code> {
+        &self.frames.last().unwrap().code
+    }
+
+    fn pop_call(&mut self, argc: usize) -> (Value, Vec<Value>) {
+        let args = self.stack.split_off(self.stack.len() - argc);
+        let rator = self.stack.pop().expect("call without operator");
+        (rator, args)
+    }
+
+    // ------------------------------------------------------------------
+    // Calls and returns
+    // ------------------------------------------------------------------
+
+    /// Applies `rator` to `args` in the given call mode. Returns
+    /// `Ok(Some(v))` if the whole execution finished with `v`.
+    pub(crate) fn do_call(
+        &mut self,
+        rator: Value,
+        args: Vec<Value>,
+        mode: CallMode,
+    ) -> VmResult<Option<Value>> {
+        match rator {
+            Value::Closure(cl) => {
+                self.call_closure(cl, args, mode)?;
+                Ok(None)
+            }
+            Value::Native(id) => self.call_native(id, args, mode),
+            Value::Cont(k) => {
+                let v = one_arg_for_cont(args)?;
+                // The current frame is dead on a tail application; it must
+                // not be captured by a composable splice.
+                self.discard_frame_if_tail(mode)?;
+                self.apply_continuation(k, v)
+            }
+            other => Err(VmError::NotAProcedure(other.write_string())),
+        }
+    }
+
+    fn call_closure(&mut self, cl: Rc<Closure>, args: Vec<Value>, mode: CallMode) -> VmResult<()> {
+        let args = check_arity(&cl.code, args)?;
+        match mode {
+            CallMode::NonTail => {
+                if self.frames.len() >= self.config.segment_frame_limit {
+                    self.stats.overflow_splits += 1;
+                    self.freeze_current(self.marks.clone());
+                }
+                self.push_frame(cl.code.clone(), Some(cl), args);
+            }
+            CallMode::EagerShared => {
+                // Like NonTail, but the callee's frame shares the mark
+                // entry already on top of the mark stack (the conceptual
+                // frame of a non-tail with-continuation-mark); the
+                // callee's return pops it.
+                if self.frames.len() >= self.config.segment_frame_limit {
+                    self.stats.overflow_splits += 1;
+                    self.freeze_current(self.marks.clone());
+                }
+                self.push_frame_no_entry(cl.code.clone(), Some(cl), args);
+            }
+            CallMode::Tail => {
+                let f = self.frames.last_mut().expect("tail call without frame");
+                self.stack.truncate(f.base as usize);
+                self.stack.extend(args);
+                f.pc = 0;
+                f.code = cl.code.clone();
+                f.closure = Some(cl);
+                // The eager mark entry is intentionally retained: a tail
+                // call shares its caller's continuation frame, so the old
+                // Racket model keeps that frame's marks.
+            }
+            CallMode::WithAttachment => {
+                // §7.2 case (b): reify with (cdr marks) in the underflow
+                // record so the attachment pops when the callee returns.
+                let rest = self.marks_rest()?;
+                self.stats.reifications += 1;
+                self.freeze_current(rest);
+                self.push_frame(cl.code.clone(), Some(cl), args);
+            }
+        }
+        Ok(())
+    }
+
+    fn call_native(
+        &mut self,
+        id: NativeId,
+        args: Vec<Value>,
+        mode: CallMode,
+    ) -> VmResult<Option<Value>> {
+        let def = prims::def(id);
+        def.check_arity(args.len())?;
+        match def.imp {
+            prims::NativeImpl::Pure(f) => {
+                let v = f(&args)?;
+                self.deliver_native_result(v, mode)
+            }
+            prims::NativeImpl::Machine(f) => {
+                let v = f(self, args)?;
+                self.deliver_native_result(v, mode)
+            }
+            prims::NativeImpl::Control(op) => self.control_op(op, args, mode),
+        }
+    }
+
+    /// Delivers the result of an inline (native) call according to mode.
+    fn deliver_native_result(&mut self, v: Value, mode: CallMode) -> VmResult<Option<Value>> {
+        match mode {
+            CallMode::NonTail => self.deliver(v),
+            CallMode::Tail => self.return_value(v),
+            CallMode::WithAttachment => {
+                // The callee could not observe or capture anything, so the
+                // reification can be skipped entirely; just pop the
+                // attachment now that the wcm body is done.
+                self.marks = self.marks_rest()?;
+                self.deliver(v)
+            }
+            CallMode::EagerShared => {
+                // The wcm body is done; pop its conceptual frame's entry.
+                self.mark_stack.pop();
+                self.deliver(v)
+            }
+        }
+    }
+
+    /// Pushes `v` as a result into the current context (or underflows if
+    /// there is no live frame).
+    fn deliver(&mut self, v: Value) -> VmResult<Option<Value>> {
+        if self.frames.is_empty() {
+            self.underflow(v)
+        } else {
+            self.stack.push(v);
+            Ok(None)
+        }
+    }
+
+    fn push_frame(&mut self, code: Rc<Code>, closure: Option<Rc<Closure>>, args: Vec<Value>) {
+        self.push_frame_no_entry(code, closure, args);
+        if self.eager_marks() {
+            self.mark_stack.push(Vec::new());
+            self.stats.mark_stack_pushes += 1;
+        }
+    }
+
+    fn push_frame_no_entry(
+        &mut self,
+        code: Rc<Code>,
+        closure: Option<Rc<Closure>>,
+        args: Vec<Value>,
+    ) {
+        let base = u32::try_from(self.stack.len()).expect("stack too deep");
+        self.stack.extend(args);
+        self.frames.push(Frame {
+            code,
+            closure,
+            pc: 0,
+            base,
+        });
+    }
+
+    /// Returns `v` from the current frame; `Ok(Some(_))` means the whole
+    /// execution completed.
+    fn return_value(&mut self, v: Value) -> VmResult<Option<Value>> {
+        let f = self.frames.pop().expect("return without frame");
+        self.stack.truncate(f.base as usize);
+        if self.eager_marks() {
+            self.mark_stack.pop();
+        }
+        self.deliver(v)
+    }
+
+    // ------------------------------------------------------------------
+    // Segments, underflow, reification
+    // ------------------------------------------------------------------
+
+    /// Freezes the entire live stack into a new underflow record whose
+    /// `marks` field is `restore_marks`, leaving the machine with an empty
+    /// segment. O(1): the vectors are moved, not copied.
+    pub(crate) fn freeze_current(&mut self, restore_marks: Value) -> Rc<Underflow> {
+        let seg = Segment {
+            stack: mem::take(&mut self.stack),
+            frames: mem::take(&mut self.frames),
+            mark_entries: mem::take(&mut self.mark_stack),
+        };
+        let u = Rc::new(Underflow {
+            seg: RefCell::new(Some(seg)),
+            marks: restore_marks,
+            next: self.next.take(),
+        });
+        self.next = Some(u.clone());
+        u
+    }
+
+    /// Control has returned past the bottom of the live segment: resume
+    /// the next frozen segment (fusing when possible), or pop a prompt, or
+    /// finish.
+    fn underflow(&mut self, v: Value) -> VmResult<Option<Value>> {
+        loop {
+            match self.next.take() {
+                Some(u) => {
+                    self.stats.underflows += 1;
+                    self.marks = u.marks.clone();
+                    self.next = u.next.clone();
+                    let seg = if self.config.one_shot_fusion && Rc::strong_count(&u) == 1 {
+                        // Opportunistic one-shot: nothing else can resume
+                        // this record, so fuse the segment back without
+                        // copying (§6).
+                        self.stats.fusions += 1;
+                        u.seg.borrow_mut().take().expect("segment already fused")
+                    } else {
+                        self.stats.copies += 1;
+                        u.seg.borrow().as_ref().expect("segment already fused").clone()
+                    };
+                    self.stack = seg.stack;
+                    self.frames = seg.frames;
+                    self.mark_stack = seg.mark_entries;
+                    if self.frames.is_empty() {
+                        // A degenerate segment (e.g. reified around a
+                        // native): keep unwinding.
+                        continue;
+                    }
+                    self.stack.push(v);
+                    return Ok(None);
+                }
+                None => match self.meta.pop() {
+                    Some(mf) => {
+                        self.restore_meta(mf);
+                        if self.frames.is_empty() {
+                            continue;
+                        }
+                        self.stack.push(v);
+                        return Ok(None);
+                    }
+                    None => return Ok(Some(v)),
+                },
+            }
+        }
+    }
+
+    fn restore_meta(&mut self, mf: MetaFrame) {
+        self.stack = mf.stack;
+        self.frames = mf.frames;
+        self.next = mf.next;
+        self.marks = mf.marks;
+        self.base_marks = mf.base_marks;
+        self.winders = mf.winders;
+        self.mark_stack = mf.mark_stack;
+    }
+
+    /// Splits the stack below the current frame so that the current frame
+    /// becomes the base of a fresh segment (`reify-continuation!`). No-op
+    /// if already reified.
+    fn reify_keep_top(&mut self) {
+        if self.frames.len() <= 1 {
+            return;
+        }
+        self.stats.reifications += 1;
+        let mut top = self.frames.pop().expect("frames checked nonempty");
+        let top_base = top.base as usize;
+        let lower_stack: Vec<Value> = self.stack.drain(..top_base).collect();
+        let lower_frames = mem::take(&mut self.frames);
+        let top_entry = if self.eager_marks() {
+            self.mark_stack.pop()
+        } else {
+            None
+        };
+        let lower_entries = mem::take(&mut self.mark_stack);
+        let u = Rc::new(Underflow {
+            seg: RefCell::new(Some(Segment {
+                stack: lower_stack,
+                frames: lower_frames,
+                mark_entries: lower_entries,
+            })),
+            marks: self.marks.clone(),
+            next: self.next.take(),
+        });
+        self.next = Some(u);
+        top.base = 0;
+        self.frames.push(top);
+        if let Some(e) = top_entry {
+            self.mark_stack.push(e);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Attachments
+    // ------------------------------------------------------------------
+
+    fn marks_rest(&self) -> VmResult<Value> {
+        self.marks
+            .cdr()
+            .ok_or_else(|| VmError::Other("attachment pop from empty marks register".into()))
+    }
+
+    /// The marks value at the current segment-chain boundary.
+    fn marks_boundary(&self) -> &Value {
+        match &self.next {
+            Some(u) => &u.marks,
+            None => &self.base_marks,
+        }
+    }
+
+    /// §7.2: the current frame has an attachment iff the continuation is
+    /// reified and the marks register differs from the marks saved in the
+    /// next-stack underflow record.
+    fn frame_has_attachment(&self) -> bool {
+        self.frames.len() <= 1 && !self.marks.eq_value(self.marks_boundary())
+    }
+
+    fn reify_set_attachment(&mut self, v: Value, check_replace: bool) -> VmResult<()> {
+        self.reify_keep_top();
+        let rest = if check_replace && self.frame_has_attachment() {
+            self.marks_rest()?
+        } else {
+            self.marks.clone()
+        };
+        self.marks = Value::cons(v, rest);
+        self.stats.attachments_pushed += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Control operations
+    // ------------------------------------------------------------------
+
+    fn control_op(
+        &mut self,
+        op: ControlOp,
+        mut args: Vec<Value>,
+        mode: CallMode,
+    ) -> VmResult<Option<Value>> {
+        match op {
+            ControlOp::CallCc | ControlOp::Call1cc => {
+                let proc = args.pop().expect("arity checked");
+                self.discard_frame_if_tail(mode)?;
+                let head = if self.frames.is_empty() {
+                    self.next.clone()
+                } else {
+                    Some(self.freeze_current(self.marks.clone()))
+                };
+                // The old-Racket model has no segmented stacks: capturing
+                // a continuation copies the entire stack (and its mark
+                // entries) eagerly, which is what makes its first-class
+                // continuations slow (§8.1).
+                let head = if self.eager_marks() {
+                    head.map(|u| deep_copy_chain(&u))
+                } else {
+                    head
+                };
+                self.stats.captures += 1;
+                if self.config.wrapped_control {
+                    // Model the Racket CS wrapper: extra allocations for
+                    // the wrapper record and saved winder/mark state.
+                    let _wrap = Value::vector(vec![Value::Nil, self.marks.clone()]);
+                    let _winders_copy = self.winders.clone();
+                }
+                let k = Value::Cont(Rc::new(ContData {
+                    kind: ContKind::Full { head },
+                    marks: self.marks.clone(),
+                    base_marks: self.base_marks.clone(),
+                    winders: self.winders.clone(),
+                    meta_depth: self.meta.len(),
+                    nested_depth: self.nested_depth,
+                    one_shot_used: if op == ControlOp::Call1cc {
+                        Some(Cell::new(false))
+                    } else {
+                        None
+                    },
+                }));
+                self.do_call(proc, vec![k], CallMode::NonTail)
+            }
+            ControlOp::Apply => {
+                let lst = args.pop().expect("arity checked");
+                let f = args.remove(0);
+                let tail = lst.list_to_vec().ok_or_else(|| {
+                    VmError::wrong_type("apply", "proper list as last argument", &lst)
+                })?;
+                args.extend(tail);
+                self.do_call(f, args, mode)
+            }
+            ControlOp::PromptCall => {
+                let handler = args.pop().expect("arity checked");
+                let thunk = args.pop().expect("arity checked");
+                let tag = args.pop().expect("arity checked");
+                self.discard_frame_if_tail(mode)?;
+                let mf = MetaFrame {
+                    tag,
+                    handler,
+                    stack: mem::take(&mut self.stack),
+                    frames: mem::take(&mut self.frames),
+                    next: self.next.take(),
+                    marks: self.marks.clone(),
+                    base_marks: mem::replace(&mut self.base_marks, self.marks.clone()),
+                    winders: mem::take(&mut self.winders),
+                    mark_stack: mem::take(&mut self.mark_stack),
+                };
+                self.meta.push(mf);
+                self.do_call(thunk, vec![], CallMode::NonTail)
+            }
+            ControlOp::Abort => {
+                let v = args.pop().expect("arity checked");
+                let tag = args.pop().expect("arity checked");
+                loop {
+                    let Some(mf) = self.meta.pop() else {
+                        return Err(VmError::NoMatchingPrompt(tag.write_string()));
+                    };
+                    if mf.tag.eq_value(&tag) {
+                        let handler = mf.handler.clone();
+                        self.restore_meta(mf);
+                        return self.do_call(handler, vec![v], CallMode::NonTail);
+                    }
+                }
+            }
+            ControlOp::CompCapture => {
+                let proc = args.pop().expect("arity checked");
+                let tag = args.pop().expect("arity checked");
+                self.discard_frame_if_tail(mode)?;
+                let k = self.capture_composable(&tag)?;
+                self.do_call(proc, vec![k], CallMode::NonTail)
+            }
+            ControlOp::CallSettingAttachment => {
+                let thunk = args.pop().expect("arity checked");
+                let val = args.pop().expect("arity checked");
+                self.discard_frame_if_tail(mode)?;
+                if mode == CallMode::Tail {
+                    // Shares the caller's conceptual frame: replace or push.
+                    let rest = if self.frames.is_empty() && !self.marks.eq_value(self.marks_boundary())
+                    {
+                        self.marks_rest()?
+                    } else if self.frames.is_empty() {
+                        self.marks.clone()
+                    } else {
+                        self.stats.reifications += 1;
+                        self.freeze_current(self.marks.clone());
+                        self.marks.clone()
+                    };
+                    self.marks = Value::cons(val, rest);
+                } else {
+                    // Uniform non-tail path: always reify a fresh
+                    // conceptual frame (this is the unoptimized `call/cm`
+                    // expansion the compiler avoids in §7.2).
+                    self.stats.reifications += 1;
+                    self.freeze_current(self.marks.clone());
+                    self.marks = Value::cons(val, self.marks.clone());
+                }
+                self.stats.attachments_pushed += 1;
+                self.do_call(thunk, vec![], CallMode::NonTail)
+            }
+            ControlOp::CallGettingAttachment | ControlOp::CallConsumingAttachment => {
+                let proc = args.pop().expect("arity checked");
+                let dflt = args.pop().expect("arity checked");
+                self.discard_frame_if_tail(mode)?;
+                let present = mode == CallMode::Tail
+                    && self.frames.is_empty()
+                    && !self.marks.eq_value(self.marks_boundary());
+                let v = if present {
+                    let v = self.marks.car().expect("marks invariant");
+                    if op == ControlOp::CallConsumingAttachment {
+                        self.marks = self.marks_rest()?;
+                    }
+                    v
+                } else {
+                    dflt
+                };
+                self.do_call(proc, vec![v], CallMode::NonTail)
+            }
+        }
+    }
+
+    /// For a control operation arriving via a tail call: the current frame
+    /// is dead, so drop it before capturing/saving state.
+    fn discard_frame_if_tail(&mut self, mode: CallMode) -> VmResult<()> {
+        match mode {
+            CallMode::Tail => {
+                let f = self.frames.pop().expect("tail call without frame");
+                self.stack.truncate(f.base as usize);
+                if self.eager_marks() {
+                    self.mark_stack.pop();
+                }
+                Ok(())
+            }
+            CallMode::NonTail => Ok(()),
+            CallMode::WithAttachment => {
+                // Reify so the pending attachment pops on return, then
+                // treat as non-tail on the fresh segment.
+                let rest = self.marks_rest()?;
+                self.stats.reifications += 1;
+                self.freeze_current(rest);
+                Ok(())
+            }
+            CallMode::EagerShared => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Continuation application
+    // ------------------------------------------------------------------
+
+    fn apply_continuation(&mut self, k: Rc<ContData>, v: Value) -> VmResult<Option<Value>> {
+        if k.nested_depth != self.nested_depth {
+            return Err(VmError::Other(
+                "cannot apply a continuation across a winder-thunk boundary".into(),
+            ));
+        }
+        if let Some(used) = &k.one_shot_used {
+            if used.get() {
+                return Err(VmError::OneShotReused);
+            }
+            used.set(true);
+        }
+        match &k.kind {
+            ContKind::Full { head } => {
+                if k.meta_depth > self.meta.len() {
+                    return Err(VmError::Other(
+                        "continuation's prompt is no longer active".into(),
+                    ));
+                }
+                self.meta.truncate(k.meta_depth);
+                self.rewind_winders(&k.winders)?;
+                if self.config.wrapped_control {
+                    let _wrap = Value::vector(vec![Value::Nil, k.marks.clone()]);
+                }
+                self.stack.clear();
+                self.frames.clear();
+                self.mark_stack.clear();
+                self.marks = k.marks.clone();
+                self.base_marks = k.base_marks.clone();
+                self.next = head.clone();
+                self.underflow(v)
+            }
+            ContKind::Composable(comp) => self.apply_composable(comp, v),
+        }
+    }
+
+    /// Runs the winder exits and entries needed to move from the current
+    /// winder stack to `target`.
+    fn rewind_winders(&mut self, target: &[Winder]) -> VmResult<()> {
+        let common = self
+            .winders
+            .iter()
+            .zip(target.iter())
+            .take_while(|(a, b)| a.id == b.id)
+            .count();
+        let exits = self.winders.split_off(common);
+        for w in exits.into_iter().rev() {
+            self.run_winder_thunk(w.post.clone(), w.marks.clone())?;
+        }
+        for w in &target[common..] {
+            self.run_winder_thunk(w.pre.clone(), w.marks.clone())?;
+            self.winders.push(w.clone());
+        }
+        Ok(())
+    }
+
+    /// Runs a winder thunk in a nested execution with the winder's saved
+    /// marks installed (paper footnote 4).
+    fn run_winder_thunk(&mut self, thunk: Value, marks: Value) -> VmResult<()> {
+        self.stats.winders_run += 1;
+        self.run_nested(thunk, Vec::new(), marks).map(drop)
+    }
+
+    /// Runs `f(args)` to completion in a nested execution context.
+    pub(crate) fn run_nested(
+        &mut self,
+        f: Value,
+        args: Vec<Value>,
+        marks: Value,
+    ) -> VmResult<Value> {
+        let saved = self.save_state();
+        self.nested_depth += 1;
+        self.marks = marks.clone();
+        self.base_marks = marks;
+        let result = (|| match self.do_call(f, args, CallMode::NonTail)? {
+            Some(v) => Ok(v),
+            None => self.run_until_done(),
+        })();
+        self.nested_depth -= 1;
+        self.restore_state(saved);
+        result
+    }
+
+    fn save_state(&mut self) -> SavedState {
+        SavedState {
+            stack: mem::take(&mut self.stack),
+            frames: mem::take(&mut self.frames),
+            next: self.next.take(),
+            marks: mem::replace(&mut self.marks, Value::Nil),
+            base_marks: mem::replace(&mut self.base_marks, Value::Nil),
+            winders: mem::take(&mut self.winders),
+            meta: mem::take(&mut self.meta),
+            mark_stack: mem::take(&mut self.mark_stack),
+        }
+    }
+
+    fn restore_state(&mut self, s: SavedState) {
+        self.stack = s.stack;
+        self.frames = s.frames;
+        self.next = s.next;
+        self.marks = s.marks;
+        self.base_marks = s.base_marks;
+        self.winders = s.winders;
+        self.meta = s.meta;
+        self.mark_stack = s.mark_stack;
+    }
+
+    // ------------------------------------------------------------------
+    // Composable continuations
+    // ------------------------------------------------------------------
+
+    fn capture_composable(&mut self, tag: &Value) -> VmResult<Value> {
+        let Some(mf) = self.meta.last() else {
+            return Err(VmError::NoMatchingPrompt(tag.write_string()));
+        };
+        if !mf.tag.eq_value(tag) {
+            return Err(VmError::NoMatchingPrompt(format!(
+                "{} (composable capture across intervening prompts is not supported)",
+                tag.write_string()
+            )));
+        }
+        let boundary = self.base_marks.clone();
+        let top_seg = Rc::new(Segment {
+            stack: self.stack.clone(),
+            frames: self.frames.clone(),
+            mark_entries: self.mark_stack.clone(),
+        });
+        let top_marks_prefix = marks_prefix(&self.marks, &boundary)?;
+        let mut chain = Vec::new();
+        let mut cur = self.next.clone();
+        while let Some(u) = cur {
+            chain.push(CompChainRec {
+                seg: Rc::new(
+                    u.seg
+                        .borrow()
+                        .as_ref()
+                        .expect("segment already fused")
+                        .clone(),
+                ),
+                marks_prefix: marks_prefix(&u.marks, &boundary)?,
+            });
+            cur = u.next.clone();
+        }
+        self.stats.captures += 1;
+        Ok(Value::Cont(Rc::new(ContData {
+            kind: ContKind::Composable(CompData {
+                top_seg,
+                chain,
+                top_marks_prefix,
+            }),
+            marks: self.marks.clone(),
+            base_marks: boundary,
+            winders: Vec::new(),
+            meta_depth: self.meta.len(),
+            nested_depth: self.nested_depth,
+            one_shot_used: None,
+        })))
+    }
+
+    fn apply_composable(&mut self, comp: &CompData, v: Value) -> VmResult<Option<Value>> {
+        let app_marks = self.marks.clone();
+        // Freeze the application-site continuation; the spliced chain
+        // bottoms out into it.
+        let base = if self.frames.is_empty() {
+            self.next.take()
+        } else {
+            self.freeze_current(app_marks.clone());
+            self.next.take()
+        };
+        let mut next = base;
+        for rec in comp.chain.iter().rev() {
+            next = Some(Rc::new(Underflow {
+                seg: RefCell::new(Some((*rec.seg).clone())),
+                marks: cons_prefix(&rec.marks_prefix, app_marks.clone()),
+                next,
+            }));
+        }
+        self.next = next;
+        let top = (*comp.top_seg).clone();
+        self.stack = top.stack;
+        self.frames = top.frames;
+        self.mark_stack = top.mark_entries;
+        self.marks = cons_prefix(&comp.top_marks_prefix, app_marks);
+        if self.frames.is_empty() {
+            self.underflow(v)
+        } else {
+            self.stack.push(v);
+            Ok(None)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Winder bookkeeping (used by the `dynamic-wind` prelude definition)
+    // ------------------------------------------------------------------
+
+    /// Pushes a winder extent; called by the `$push-winder` native.
+    pub(crate) fn push_winder(&mut self, pre: Value, post: Value) {
+        self.winder_counter += 1;
+        self.winders.push(Winder {
+            id: self.winder_counter,
+            pre,
+            post,
+            marks: self.marks.clone(),
+        });
+    }
+
+    /// Pops the innermost winder extent; called by `$pop-winder`.
+    pub(crate) fn pop_winder(&mut self) {
+        self.winders.pop();
+    }
+
+    // ------------------------------------------------------------------
+    // Eager (old Racket) mark-stack operations
+    // ------------------------------------------------------------------
+
+    pub(crate) fn eager_set_mark(&mut self, key: Value, val: Value) {
+        let entry = match self.mark_stack.last_mut() {
+            Some(e) => e,
+            None => {
+                self.mark_stack.push(Vec::new());
+                self.mark_stack.last_mut().unwrap()
+            }
+        };
+        for slot in entry.iter_mut() {
+            if slot.0.eq_value(&key) {
+                slot.1 = val;
+                return;
+            }
+        }
+        entry.push((key, val));
+    }
+
+    /// The newest mark for `key` visible from the current continuation.
+    pub(crate) fn eager_first_mark(&self, key: &Value) -> Option<Value> {
+        for entry in self.mark_stack.iter().rev() {
+            if let Some(v) = lookup_entry(entry, key) {
+                return Some(v);
+            }
+        }
+        let mut cur = self.next.clone();
+        while let Some(u) = cur {
+            if let Some(seg) = u.seg.borrow().as_ref() {
+                for entry in seg.mark_entries.iter().rev() {
+                    if let Some(v) = lookup_entry(entry, key) {
+                        return Some(v);
+                    }
+                }
+            }
+            cur = u.next.clone();
+        }
+        None
+    }
+
+    /// All marks for `key`, newest first.
+    pub(crate) fn eager_marks_list(&self, key: &Value) -> Vec<Value> {
+        let mut out = Vec::new();
+        for entry in self.mark_stack.iter().rev() {
+            if let Some(v) = lookup_entry(entry, key) {
+                out.push(v);
+            }
+        }
+        let mut cur = self.next.clone();
+        while let Some(u) = cur {
+            if let Some(seg) = u.seg.borrow().as_ref() {
+                for entry in seg.mark_entries.iter().rev() {
+                    if let Some(v) = lookup_entry(entry, key) {
+                        out.push(v);
+                    }
+                }
+            }
+            cur = u.next.clone();
+        }
+        out
+    }
+
+    /// The mark for `key` on the immediate frame only.
+    pub(crate) fn eager_immediate_mark(&self, key: &Value) -> Option<Value> {
+        self.mark_stack
+            .last()
+            .and_then(|entry| lookup_entry(entry, key))
+    }
+
+    /// Materializes every mark entry (newest first), following the
+    /// underflow chain.
+    pub(crate) fn eager_all_entries(&self) -> Vec<MarkEntry> {
+        let mut out: Vec<MarkEntry> = self.mark_stack.iter().rev().cloned().collect();
+        let mut cur = self.next.clone();
+        while let Some(u) = cur {
+            if let Some(seg) = u.seg.borrow().as_ref() {
+                out.extend(seg.mark_entries.iter().rev().cloned());
+            }
+            cur = u.next.clone();
+        }
+        out
+    }
+}
+
+fn lookup_entry(entry: &MarkEntry, key: &Value) -> Option<Value> {
+    entry
+        .iter()
+        .find(|(k, _)| k.eq_value(key))
+        .map(|(_, v)| v.clone())
+}
+
+fn one_arg_for_cont(mut args: Vec<Value>) -> VmResult<Value> {
+    if args.len() != 1 {
+        return Err(VmError::Arity {
+            who: "continuation".into(),
+            expected: "1".into(),
+            got: args.len(),
+        });
+    }
+    Ok(args.pop().unwrap())
+}
+
+fn check_arity(code: &Code, mut args: Vec<Value>) -> VmResult<Vec<Value>> {
+    let required = code.arity_required as usize;
+    if args.len() < required || (!code.rest && args.len() > required) {
+        return Err(VmError::Arity {
+            who: code.name.clone(),
+            expected: if code.rest {
+                format!("at least {required}")
+            } else {
+                format!("{required}")
+            },
+            got: args.len(),
+        });
+    }
+    if code.rest {
+        let rest = Value::list(args.split_off(required));
+        args.push(rest);
+    }
+    Ok(args)
+}
+
+/// The marks that `marks` adds relative to `boundary`, newest first.
+fn marks_prefix(marks: &Value, boundary: &Value) -> VmResult<Vec<Value>> {
+    let mut out = Vec::new();
+    let mut cur = marks.clone();
+    loop {
+        if cur.eq_value(boundary) {
+            return Ok(out);
+        }
+        match cur.car() {
+            Some(v) => {
+                out.push(v);
+                cur = cur.cdr().expect("pair has cdr");
+            }
+            None => {
+                return Err(VmError::Other(
+                    "marks register does not extend the prompt boundary".into(),
+                ))
+            }
+        }
+    }
+}
+
+/// Clones an entire underflow chain (segments included) — the eager
+/// (old Racket) model's O(stack size) continuation capture.
+fn deep_copy_chain(head: &Rc<Underflow>) -> Rc<Underflow> {
+    let next = head.next.as_ref().map(|n| deep_copy_chain(n));
+    Rc::new(Underflow {
+        seg: RefCell::new(head.seg.borrow().clone()),
+        marks: head.marks.clone(),
+        next,
+    })
+}
+
+/// Builds `prefix[0] :: prefix[1] :: ... :: tail`.
+fn cons_prefix(prefix: &[Value], tail: Value) -> Value {
+    let mut out = tail;
+    for v in prefix.iter().rev() {
+        out = Value::cons(v.clone(), out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::{Instr, PrimOp};
+
+    fn run(instrs: Vec<Instr>, consts: Vec<Value>) -> Value {
+        let code = Code::build("test", 0, false, instrs, consts, vec![]);
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_code(Rc::new(code)).unwrap()
+    }
+
+    #[test]
+    fn constants_and_prims() {
+        let v = run(
+            vec![
+                Instr::Const(0),
+                Instr::Const(1),
+                Instr::PrimCall(PrimOp::Add, 2),
+                Instr::Return,
+            ],
+            vec![Value::fixnum(40), Value::fixnum(2)],
+        );
+        assert!(v.eq_value(&Value::fixnum(42)));
+    }
+
+    #[test]
+    fn jumps_and_conditionals() {
+        // if #f then 1 else 2
+        let v = run(
+            vec![
+                Instr::Const(0),
+                Instr::JumpIfFalse(4),
+                Instr::Const(1),
+                Instr::Jump(5),
+                Instr::Const(2),
+                Instr::Return,
+            ],
+            vec![Value::Bool(false), Value::fixnum(1), Value::fixnum(2)],
+        );
+        assert!(v.eq_value(&Value::fixnum(2)));
+    }
+
+    #[test]
+    fn attachments_push_and_read() {
+        // Push an attachment, read the attachments list, pop.
+        let v = run(
+            vec![
+                Instr::Const(0),
+                Instr::PushAttach,
+                Instr::CurrentAttachments,
+                Instr::PopAttach,
+                Instr::Return,
+            ],
+            vec![Value::symbol("mark")],
+        );
+        let items = v.list_to_vec().unwrap();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].eq_value(&Value::symbol("mark")));
+    }
+
+    #[test]
+    fn reify_set_attachment_at_top_level() {
+        let v = run(
+            vec![
+                Instr::Const(0),
+                Instr::ReifySetAttach {
+                    check_replace: true,
+                },
+                Instr::CurrentAttachments,
+                Instr::Return,
+            ],
+            vec![Value::fixnum(7)],
+        );
+        assert_eq!(v.list_to_vec().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn tail_set_replaces_existing_attachment() {
+        // Set twice in tail position: second replaces first.
+        let v = run(
+            vec![
+                Instr::Const(0),
+                Instr::ReifySetAttach {
+                    check_replace: true,
+                },
+                Instr::Const(1),
+                Instr::ReifySetAttach {
+                    check_replace: true,
+                },
+                Instr::CurrentAttachments,
+                Instr::Return,
+            ],
+            vec![Value::fixnum(1), Value::fixnum(2)],
+        );
+        let items = v.list_to_vec().unwrap();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].eq_value(&Value::fixnum(2)));
+    }
+
+    #[test]
+    fn fuel_limit_stops_loops() {
+        let code = Code::build(
+            "loop",
+            0,
+            false,
+            vec![Instr::Jump(0)],
+            vec![],
+            vec![],
+        );
+        let mut m = Machine::new(MachineConfig::default().with_fuel(1000));
+        match m.run_code(Rc::new(code)) {
+            Err(VmError::OutOfFuel) => {}
+            other => panic!("expected out-of-fuel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn globals_define_and_lookup() {
+        let mut g = Globals::new();
+        let s = cm_sexpr::sym("x");
+        let id = g.define(s, Value::fixnum(1));
+        assert!(g.get(id).unwrap().eq_value(&Value::fixnum(1)));
+        assert_eq!(g.intern(s), id);
+        assert!(g.lookup(s).unwrap().eq_value(&Value::fixnum(1)));
+        assert_eq!(g.name_of(id), s);
+    }
+}

@@ -1,0 +1,1481 @@
+//! Native (Rust-implemented) primitives and inlined primitive operations.
+//!
+//! Three flavors:
+//!
+//! * **Pure** natives compute a result from their arguments,
+//! * **Machine** natives additionally read or mutate machine registers
+//!   (winders, eager marks, output), and
+//! * **Control** natives ([`ControlOp`]) redirect control flow and are
+//!   dispatched inside the machine's call logic (`call/cc`, prompts, the
+//!   uniform attachment operations of §7).
+//!
+//! The compiler treats everything *except* control natives as
+//! attachment-transparent, which is the knowledge behind the paper's
+//! "no prim" optimization (§7.2, §8.5).
+
+use std::rc::Rc;
+
+use crate::code::PrimOp;
+use crate::error::{VmError, VmResult};
+use crate::machine::Machine;
+use crate::values::Value;
+
+/// Identifies a native procedure in the global native table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NativeId(pub(crate) u16);
+
+impl NativeId {
+    /// Index into the native table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Control operations that must run inside the machine's call dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOp {
+    /// `call/cc` — capture a full continuation.
+    CallCc,
+    /// `call/1cc` — capture a one-shot continuation.
+    Call1cc,
+    /// `apply`.
+    Apply,
+    /// `%call-with-prompt tag thunk handler`.
+    PromptCall,
+    /// `%abort tag value`.
+    Abort,
+    /// `%call-with-composable-continuation tag proc`.
+    CompCapture,
+    /// Uniform (unoptimized) `call-setting-continuation-attachment`.
+    CallSettingAttachment,
+    /// Uniform `call-getting-continuation-attachment`.
+    CallGettingAttachment,
+    /// Uniform `call-consuming-continuation-attachment`.
+    CallConsumingAttachment,
+}
+
+/// Implementation of one native.
+#[derive(Clone, Copy)]
+pub enum NativeImpl {
+    /// Pure function of the arguments.
+    Pure(fn(&[Value]) -> VmResult<Value>),
+    /// Needs machine access (but returns normally).
+    Machine(fn(&mut Machine, Vec<Value>) -> VmResult<Value>),
+    /// Redirects control flow.
+    Control(ControlOp),
+}
+
+/// A native's registration entry.
+pub struct NativeDef {
+    /// The Scheme-level name.
+    pub name: &'static str,
+    /// Minimum argument count.
+    pub min: usize,
+    /// Maximum argument count (`None` = variadic).
+    pub max: Option<usize>,
+    /// The implementation.
+    pub imp: NativeImpl,
+}
+
+impl NativeDef {
+    /// Validates an argument count against this native's arity.
+    pub fn check_arity(&self, got: usize) -> VmResult<()> {
+        let ok = got >= self.min && self.max.map_or(true, |m| got <= m);
+        if ok {
+            Ok(())
+        } else {
+            Err(VmError::Arity {
+                who: self.name.to_owned(),
+                expected: match self.max {
+                    Some(m) if m == self.min => format!("{m}"),
+                    Some(m) => format!("{} to {}", self.min, m),
+                    None => format!("at least {}", self.min),
+                },
+                got,
+            })
+        }
+    }
+}
+
+macro_rules! natives {
+    ($(($name:expr, $min:expr, $max:expr, $imp:expr)),* $(,)?) => {
+        vec![$(NativeDef { name: $name, min: $min, max: $max, imp: $imp }),*]
+    };
+}
+
+use NativeImpl::{Control, Machine as Mach, Pure};
+
+/// The full native table. Index = [`NativeId`].
+pub fn table() -> &'static [NativeDef] {
+    static TABLE: std::sync::OnceLock<Vec<NativeDef>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| natives![
+        // Control
+        ("call/cc", 1, Some(1), Control(ControlOp::CallCc)),
+        ("call-with-current-continuation", 1, Some(1), Control(ControlOp::CallCc)),
+        ("call/1cc", 1, Some(1), Control(ControlOp::Call1cc)),
+        ("apply", 2, None, Control(ControlOp::Apply)),
+        ("%call-with-prompt", 3, Some(3), Control(ControlOp::PromptCall)),
+        ("%abort", 2, Some(2), Control(ControlOp::Abort)),
+        ("%call-with-composable-continuation", 2, Some(2), Control(ControlOp::CompCapture)),
+        ("$call-setting-attachment", 2, Some(2), Control(ControlOp::CallSettingAttachment)),
+        ("$call-getting-attachment", 2, Some(2), Control(ControlOp::CallGettingAttachment)),
+        ("$call-consuming-attachment", 2, Some(2), Control(ControlOp::CallConsumingAttachment)),
+        // Machine
+        ("$push-winder", 2, Some(2), Mach(m_push_winder)),
+        ("$pop-winder", 0, Some(0), Mach(m_pop_winder)),
+        ("current-continuation-attachments", 0, Some(0), Mach(m_current_attachments)),
+        ("$eager-mark-set!", 2, Some(2), Mach(m_eager_set)),
+        ("$eager-first", 2, Some(2), Mach(m_eager_first)),
+        ("$eager-marks", 1, Some(1), Mach(m_eager_marks)),
+        ("$eager-immediate", 2, Some(2), Mach(m_eager_immediate)),
+        ("display", 1, Some(1), Mach(m_display)),
+        ("write", 1, Some(1), Mach(m_write)),
+        ("newline", 0, Some(0), Mach(m_newline)),
+        // Continuation inspection
+        ("$cont-attachments", 1, Some(1), Pure(p_cont_attachments)),
+        // Marks-layer support (§7.5): key lookup over an attachments list
+        // of `$mark-frame` records, with path-compression caching.
+        ("$marks-first", 3, Some(3), Pure(p_marks_first)),
+        ("$marks->list", 2, Some(2), Pure(p_marks_to_list)),
+        ("$eager-all-marks", 0, Some(0), Mach(m_eager_all_marks)),
+        ("continuation?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Cont(_)))))),
+        // Numbers
+        ("+", 0, None, Pure(p_add)),
+        ("-", 1, None, Pure(p_sub)),
+        ("*", 0, None, Pure(p_mul)),
+        ("/", 1, None, Pure(p_div)),
+        ("quotient", 2, Some(2), Pure(p_quotient)),
+        ("remainder", 2, Some(2), Pure(p_remainder)),
+        ("modulo", 2, Some(2), Pure(p_modulo)),
+        ("=", 2, None, Pure(|a| p_cmp(a, "=", |o| o == std::cmp::Ordering::Equal))),
+        ("<", 2, None, Pure(|a| p_cmp(a, "<", |o| o == std::cmp::Ordering::Less))),
+        ("<=", 2, None, Pure(|a| p_cmp(a, "<=", |o| o != std::cmp::Ordering::Greater))),
+        (">", 2, None, Pure(|a| p_cmp(a, ">", |o| o == std::cmp::Ordering::Greater))),
+        (">=", 2, None, Pure(|a| p_cmp(a, ">=", |o| o != std::cmp::Ordering::Less))),
+        ("add1", 1, Some(1), Pure(|a| add_values("add1", &a[0], &Value::Fixnum(1)))),
+        ("sub1", 1, Some(1), Pure(|a| sub_values("sub1", &a[0], &Value::Fixnum(1)))),
+        ("1+", 1, Some(1), Pure(|a| add_values("1+", &a[0], &Value::Fixnum(1)))),
+        ("1-", 1, Some(1), Pure(|a| sub_values("1-", &a[0], &Value::Fixnum(1)))),
+        ("zero?", 1, Some(1), Pure(p_zero)),
+        ("abs", 1, Some(1), Pure(p_abs)),
+        ("min", 1, None, Pure(p_min)),
+        ("max", 1, None, Pure(p_max)),
+        ("expt", 2, Some(2), Pure(p_expt)),
+        ("sqrt", 1, Some(1), Pure(p_sqrt)),
+        ("floor", 1, Some(1), Pure(|a| p_round(a, f64::floor))),
+        ("ceiling", 1, Some(1), Pure(|a| p_round(a, f64::ceil))),
+        ("round", 1, Some(1), Pure(|a| p_round(a, f64::round))),
+        ("truncate", 1, Some(1), Pure(|a| p_round(a, f64::trunc))),
+        ("exact->inexact", 1, Some(1), Pure(p_exact_to_inexact)),
+        ("inexact->exact", 1, Some(1), Pure(p_inexact_to_exact)),
+        ("exact", 1, Some(1), Pure(p_inexact_to_exact)),
+        ("inexact", 1, Some(1), Pure(p_exact_to_inexact)),
+        ("number?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Fixnum(_) | Value::Flonum(_)))))),
+        ("integer?", 1, Some(1), Pure(p_integer_p)),
+        ("real?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Fixnum(_) | Value::Flonum(_)))))),
+        ("fixnum?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Fixnum(_)))))),
+        ("flonum?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Flonum(_)))))),
+        ("exact?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Fixnum(_)))))),
+        ("inexact?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Flonum(_)))))),
+        ("even?", 1, Some(1), Pure(|a| Ok(Value::Bool(as_fixnum("even?", &a[0])? % 2 == 0)))),
+        ("odd?", 1, Some(1), Pure(|a| Ok(Value::Bool(as_fixnum("odd?", &a[0])? % 2 != 0)))),
+        ("positive?", 1, Some(1), Pure(|a| p_cmp(&[a[0].clone(), Value::Fixnum(0)], "positive?", |o| o == std::cmp::Ordering::Greater))),
+        ("negative?", 1, Some(1), Pure(|a| p_cmp(&[a[0].clone(), Value::Fixnum(0)], "negative?", |o| o == std::cmp::Ordering::Less))),
+        // Pairs and lists
+        ("cons", 2, Some(2), Pure(|a| Ok(Value::cons(a[0].clone(), a[1].clone())))),
+        ("car", 1, Some(1), Pure(|a| p_car("car", &a[0]))),
+        ("cdr", 1, Some(1), Pure(|a| p_cdr("cdr", &a[0]))),
+        ("caar", 1, Some(1), Pure(|a| p_car("caar", &p_car("caar", &a[0])?))),
+        ("cadr", 1, Some(1), Pure(|a| p_car("cadr", &p_cdr("cadr", &a[0])?))),
+        ("cdar", 1, Some(1), Pure(|a| p_cdr("cdar", &p_car("cdar", &a[0])?))),
+        ("cddr", 1, Some(1), Pure(|a| p_cdr("cddr", &p_cdr("cddr", &a[0])?))),
+        ("caddr", 1, Some(1), Pure(|a| p_car("caddr", &p_cdr("caddr", &p_cdr("caddr", &a[0])?)?))),
+        ("cdddr", 1, Some(1), Pure(|a| p_cdr("cdddr", &p_cdr("cdddr", &p_cdr("cdddr", &a[0])?)?))),
+        ("cadddr", 1, Some(1), Pure(|a| p_car("cadddr", &p_cdr("cadddr", &p_cdr("cadddr", &p_cdr("cadddr", &a[0])?)?)?))),
+        ("set-car!", 2, Some(2), Pure(p_set_car)),
+        ("set-cdr!", 2, Some(2), Pure(p_set_cdr)),
+        ("pair?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Pair(_)))))),
+        ("null?", 1, Some(1), Pure(|a| Ok(Value::Bool(a[0].is_nil())))),
+        ("list", 0, None, Pure(|a| Ok(Value::list(a.to_vec())))),
+        ("list?", 1, Some(1), Pure(|a| Ok(Value::Bool(a[0].list_to_vec().is_some())))),
+        ("length", 1, Some(1), Pure(p_length)),
+        ("append", 0, None, Pure(p_append)),
+        ("reverse", 1, Some(1), Pure(p_reverse)),
+        ("list-tail", 2, Some(2), Pure(p_list_tail)),
+        ("list-ref", 2, Some(2), Pure(p_list_ref)),
+        ("memq", 2, Some(2), Pure(|a| p_mem(a, |x, y| x.eq_value(y)))),
+        ("memv", 2, Some(2), Pure(|a| p_mem(a, |x, y| x.eq_value(y)))),
+        ("member", 2, Some(2), Pure(|a| p_mem(a, |x, y| x.equal_value(y)))),
+        ("assq", 2, Some(2), Pure(|a| p_ass(a, |x, y| x.eq_value(y)))),
+        ("assv", 2, Some(2), Pure(|a| p_ass(a, |x, y| x.eq_value(y)))),
+        ("assoc", 2, Some(2), Pure(|a| p_ass(a, |x, y| x.equal_value(y)))),
+        // Equality
+        ("eq?", 2, Some(2), Pure(|a| Ok(Value::Bool(a[0].eq_value(&a[1]))))),
+        ("eqv?", 2, Some(2), Pure(|a| Ok(Value::Bool(a[0].eq_value(&a[1]))))),
+        ("equal?", 2, Some(2), Pure(|a| Ok(Value::Bool(a[0].equal_value(&a[1]))))),
+        ("not", 1, Some(1), Pure(|a| Ok(Value::Bool(!a[0].is_true())))),
+        // Predicates
+        ("symbol?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Sym(_)))))),
+        ("boolean?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Bool(_)))))),
+        ("string?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Str(_)))))),
+        ("char?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Char(_)))))),
+        ("vector?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Vector(_)))))),
+        ("procedure?", 1, Some(1), Pure(|a| Ok(Value::Bool(a[0].is_procedure())))),
+        ("box?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Box(_)))))),
+        ("void?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Void))))),
+        // Symbols & strings
+        ("symbol->string", 1, Some(1), Pure(p_symbol_to_string)),
+        ("string->symbol", 1, Some(1), Pure(p_string_to_symbol)),
+        ("gensym", 0, Some(1), Pure(p_gensym)),
+        ("string-length", 1, Some(1), Pure(p_string_length)),
+        ("string-ref", 2, Some(2), Pure(p_string_ref)),
+        ("substring", 3, Some(3), Pure(p_substring)),
+        ("string-append", 0, None, Pure(p_string_append)),
+        ("string=?", 2, Some(2), Pure(|a| p_string_cmp(a, "string=?", |o| o == std::cmp::Ordering::Equal))),
+        ("string<?", 2, Some(2), Pure(|a| p_string_cmp(a, "string<?", |o| o == std::cmp::Ordering::Less))),
+        ("string>?", 2, Some(2), Pure(|a| p_string_cmp(a, "string>?", |o| o == std::cmp::Ordering::Greater))),
+        ("string->list", 1, Some(1), Pure(p_string_to_list)),
+        ("list->string", 1, Some(1), Pure(p_list_to_string)),
+        ("string->number", 1, Some(1), Pure(p_string_to_number)),
+        ("number->string", 1, Some(1), Pure(|a| Ok(Value::string(a[0].display_string())))),
+        ("make-string", 1, Some(2), Pure(p_make_string)),
+        ("string", 0, None, Pure(p_string)),
+        ("string-copy", 1, Some(1), Pure(p_string_copy)),
+        ("char->integer", 1, Some(1), Pure(p_char_to_integer)),
+        ("integer->char", 1, Some(1), Pure(p_integer_to_char)),
+        ("char=?", 2, Some(2), Pure(|a| p_char_cmp(a, "char=?", |o| o == std::cmp::Ordering::Equal))),
+        ("char<?", 2, Some(2), Pure(|a| p_char_cmp(a, "char<?", |o| o == std::cmp::Ordering::Less))),
+        ("char>?", 2, Some(2), Pure(|a| p_char_cmp(a, "char>?", |o| o == std::cmp::Ordering::Greater))),
+        ("char-alphabetic?", 1, Some(1), Pure(|a| Ok(Value::Bool(as_char("char-alphabetic?", &a[0])?.is_alphabetic())))),
+        ("char-numeric?", 1, Some(1), Pure(|a| Ok(Value::Bool(as_char("char-numeric?", &a[0])?.is_numeric())))),
+        ("char-whitespace?", 1, Some(1), Pure(|a| Ok(Value::Bool(as_char("char-whitespace?", &a[0])?.is_whitespace())))),
+        ("char-upcase", 1, Some(1), Pure(|a| Ok(Value::Char(as_char("char-upcase", &a[0])?.to_ascii_uppercase())))),
+        ("char-downcase", 1, Some(1), Pure(|a| Ok(Value::Char(as_char("char-downcase", &a[0])?.to_ascii_lowercase())))),
+        // Vectors
+        ("vector", 0, None, Pure(|a| Ok(Value::vector(a.to_vec())))),
+        ("make-vector", 1, Some(2), Pure(p_make_vector)),
+        ("vector-ref", 2, Some(2), Pure(p_vector_ref)),
+        ("vector-set!", 3, Some(3), Pure(p_vector_set)),
+        ("vector-length", 1, Some(1), Pure(p_vector_length)),
+        ("vector->list", 1, Some(1), Pure(p_vector_to_list)),
+        ("list->vector", 1, Some(1), Pure(p_list_to_vector)),
+        ("vector-fill!", 2, Some(2), Pure(p_vector_fill)),
+        // Boxes
+        ("box", 1, Some(1), Pure(|a| Ok(Value::Box(Rc::new(std::cell::RefCell::new(a[0].clone())))))),
+        ("unbox", 1, Some(1), Pure(p_unbox)),
+        ("set-box!", 2, Some(2), Pure(p_set_box)),
+        // Hash tables
+        ("make-hashtable", 0, Some(0), Pure(|_| Ok(Value::table()))),
+        ("hashtable?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Table(_)))))),
+        ("hashtable-set!", 3, Some(3), Pure(p_hash_set)),
+        ("hashtable-ref", 3, Some(3), Pure(p_hash_ref)),
+        ("hashtable-contains?", 2, Some(2), Pure(p_hash_contains)),
+        ("hashtable-delete!", 2, Some(2), Pure(p_hash_delete)),
+        ("hashtable-size", 1, Some(1), Pure(p_hash_size)),
+        // Records
+        ("make-record", 1, None, Pure(p_make_record)),
+        ("record?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Record(_)))))),
+        ("record-is?", 2, Some(2), Pure(p_record_is)),
+        ("record-tag", 1, Some(1), Pure(p_record_tag)),
+        ("record-ref", 2, Some(2), Pure(p_record_ref)),
+        ("record-set!", 3, Some(3), Pure(p_record_set)),
+        // Misc
+        ("void", 0, None, Pure(|_| Ok(Value::Void))),
+        ("eof-object", 0, Some(0), Pure(|_| Ok(Value::Eof))),
+        ("eof-object?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Eof))))),
+        ("error", 1, None, Pure(p_error)),
+    ])
+}
+
+/// The name of a native by id.
+pub fn native_name(id: NativeId) -> &'static str {
+    table()[id.index()].name
+}
+
+/// The definition of a native by id.
+pub fn def(id: NativeId) -> &'static NativeDef {
+    &table()[id.index()]
+}
+
+/// Looks up a native by name.
+pub fn lookup(name: &str) -> Option<NativeId> {
+    table()
+        .iter()
+        .position(|d| d.name == name)
+        .map(|i| NativeId(i as u16))
+}
+
+/// Installs every native into `globals`.
+pub fn install(globals: &mut crate::machine::Globals) {
+    for (i, d) in table().iter().enumerate() {
+        globals.define(cm_sexpr::sym(d.name), Value::Native(NativeId(i as u16)));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Inlined primitive execution (PrimCall)
+// ----------------------------------------------------------------------
+
+/// Executes an inlined [`PrimOp`]: pops `argc` arguments off the machine
+/// stack and pushes the result.
+///
+/// # Errors
+///
+/// Type and arity errors from the underlying operation.
+pub fn exec_prim(m: &mut Machine, op: PrimOp, argc: usize) -> VmResult<()> {
+    let at = m.stack.len() - argc;
+    let result = {
+        let args = &m.stack[at..];
+        prim_op(op, args)?
+    };
+    m.stack.truncate(at);
+    m.stack.push(result);
+    Ok(())
+}
+
+/// Applies a [`PrimOp`] to arguments.
+pub fn prim_op(op: PrimOp, args: &[Value]) -> VmResult<Value> {
+    use std::cmp::Ordering;
+    match op {
+        PrimOp::Add => p_add(args),
+        PrimOp::Sub => p_sub(args),
+        PrimOp::Mul => p_mul(args),
+        PrimOp::Div => p_div(args),
+        PrimOp::Quotient => p_quotient(args),
+        PrimOp::Remainder => p_remainder(args),
+        PrimOp::Modulo => p_modulo(args),
+        PrimOp::NumEq => p_cmp(args, "=", |o| o == Ordering::Equal),
+        PrimOp::Lt => p_cmp(args, "<", |o| o == Ordering::Less),
+        PrimOp::Le => p_cmp(args, "<=", |o| o != Ordering::Greater),
+        PrimOp::Gt => p_cmp(args, ">", |o| o == Ordering::Greater),
+        PrimOp::Ge => p_cmp(args, ">=", |o| o != Ordering::Less),
+        PrimOp::Add1 => add_values("add1", &args[0], &Value::Fixnum(1)),
+        PrimOp::Sub1 => sub_values("sub1", &args[0], &Value::Fixnum(1)),
+        PrimOp::ZeroP => p_zero(args),
+        PrimOp::Cons => Ok(Value::cons(args[0].clone(), args[1].clone())),
+        PrimOp::Car => p_car("car", &args[0]),
+        PrimOp::Cdr => p_cdr("cdr", &args[0]),
+        PrimOp::SetCar => p_set_car(args),
+        PrimOp::SetCdr => p_set_cdr(args),
+        PrimOp::PairP => Ok(Value::Bool(matches!(args[0], Value::Pair(_)))),
+        PrimOp::NullP => Ok(Value::Bool(args[0].is_nil())),
+        PrimOp::EqP | PrimOp::EqvP => Ok(Value::Bool(args[0].eq_value(&args[1]))),
+        PrimOp::Not => Ok(Value::Bool(!args[0].is_true())),
+        PrimOp::SymbolP => Ok(Value::Bool(matches!(args[0], Value::Sym(_)))),
+        PrimOp::ProcedureP => Ok(Value::Bool(args[0].is_procedure())),
+        PrimOp::FixnumP => Ok(Value::Bool(matches!(args[0], Value::Fixnum(_)))),
+        PrimOp::FlonumP => Ok(Value::Bool(matches!(args[0], Value::Flonum(_)))),
+        PrimOp::BooleanP => Ok(Value::Bool(matches!(args[0], Value::Bool(_)))),
+        PrimOp::StringP => Ok(Value::Bool(matches!(args[0], Value::Str(_)))),
+        PrimOp::VectorP => Ok(Value::Bool(matches!(args[0], Value::Vector(_)))),
+        PrimOp::CharP => Ok(Value::Bool(matches!(args[0], Value::Char(_)))),
+        PrimOp::VectorRef => p_vector_ref(args),
+        PrimOp::VectorSet => p_vector_set(args),
+        PrimOp::VectorLength => p_vector_length(args),
+        PrimOp::MakeVector => p_make_vector(args),
+        PrimOp::BoxNew => Ok(Value::Box(Rc::new(std::cell::RefCell::new(
+            args[0].clone(),
+        )))),
+        PrimOp::Unbox => p_unbox(args),
+        PrimOp::SetBox => p_set_box(args),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Numeric helpers
+// ----------------------------------------------------------------------
+
+fn as_fixnum(who: &'static str, v: &Value) -> VmResult<i64> {
+    match v {
+        Value::Fixnum(n) => Ok(*n),
+        _ => Err(VmError::wrong_type(who, "fixnum", v)),
+    }
+}
+
+fn as_f64(who: &'static str, v: &Value) -> VmResult<f64> {
+    match v {
+        Value::Fixnum(n) => Ok(*n as f64),
+        Value::Flonum(f) => Ok(*f),
+        _ => Err(VmError::wrong_type(who, "number", v)),
+    }
+}
+
+fn add_values(who: &'static str, a: &Value, b: &Value) -> VmResult<Value> {
+    match (a, b) {
+        (Value::Fixnum(x), Value::Fixnum(y)) => x
+            .checked_add(*y)
+            .map(Value::Fixnum)
+            .ok_or_else(|| VmError::Other(format!("{who}: fixnum overflow"))),
+        _ => Ok(Value::Flonum(as_f64(who, a)? + as_f64(who, b)?)),
+    }
+}
+
+fn sub_values(who: &'static str, a: &Value, b: &Value) -> VmResult<Value> {
+    match (a, b) {
+        (Value::Fixnum(x), Value::Fixnum(y)) => x
+            .checked_sub(*y)
+            .map(Value::Fixnum)
+            .ok_or_else(|| VmError::Other(format!("{who}: fixnum overflow"))),
+        _ => Ok(Value::Flonum(as_f64(who, a)? - as_f64(who, b)?)),
+    }
+}
+
+fn mul_values(who: &'static str, a: &Value, b: &Value) -> VmResult<Value> {
+    match (a, b) {
+        (Value::Fixnum(x), Value::Fixnum(y)) => x
+            .checked_mul(*y)
+            .map(Value::Fixnum)
+            .ok_or_else(|| VmError::Other(format!("{who}: fixnum overflow"))),
+        _ => Ok(Value::Flonum(as_f64(who, a)? * as_f64(who, b)?)),
+    }
+}
+
+fn p_add(args: &[Value]) -> VmResult<Value> {
+    let mut acc = Value::Fixnum(0);
+    for a in args {
+        acc = add_values("+", &acc, a)?;
+    }
+    Ok(acc)
+}
+
+fn p_sub(args: &[Value]) -> VmResult<Value> {
+    if args.len() == 1 {
+        return sub_values("-", &Value::Fixnum(0), &args[0]);
+    }
+    let mut acc = args[0].clone();
+    for a in &args[1..] {
+        acc = sub_values("-", &acc, a)?;
+    }
+    Ok(acc)
+}
+
+fn p_mul(args: &[Value]) -> VmResult<Value> {
+    let mut acc = Value::Fixnum(1);
+    for a in args {
+        acc = mul_values("*", &acc, a)?;
+    }
+    Ok(acc)
+}
+
+fn p_div(args: &[Value]) -> VmResult<Value> {
+    let div2 = |a: &Value, b: &Value| -> VmResult<Value> {
+        match (a, b) {
+            (Value::Fixnum(x), Value::Fixnum(y)) if *y != 0 && x % y == 0 => {
+                Ok(Value::Fixnum(x / y))
+            }
+            _ => {
+                let d = as_f64("/", b)?;
+                if d == 0.0 {
+                    return Err(VmError::Other("/: division by zero".into()));
+                }
+                Ok(Value::Flonum(as_f64("/", a)? / d))
+            }
+        }
+    };
+    if args.len() == 1 {
+        return div2(&Value::Fixnum(1), &args[0]);
+    }
+    let mut acc = args[0].clone();
+    for a in &args[1..] {
+        acc = div2(&acc, a)?;
+    }
+    Ok(acc)
+}
+
+fn p_quotient(args: &[Value]) -> VmResult<Value> {
+    let (a, b) = (as_fixnum("quotient", &args[0])?, as_fixnum("quotient", &args[1])?);
+    if b == 0 {
+        return Err(VmError::Other("quotient: division by zero".into()));
+    }
+    Ok(Value::Fixnum(a / b))
+}
+
+fn p_remainder(args: &[Value]) -> VmResult<Value> {
+    let (a, b) = (
+        as_fixnum("remainder", &args[0])?,
+        as_fixnum("remainder", &args[1])?,
+    );
+    if b == 0 {
+        return Err(VmError::Other("remainder: division by zero".into()));
+    }
+    Ok(Value::Fixnum(a % b))
+}
+
+fn p_modulo(args: &[Value]) -> VmResult<Value> {
+    let (a, b) = (as_fixnum("modulo", &args[0])?, as_fixnum("modulo", &args[1])?);
+    if b == 0 {
+        return Err(VmError::Other("modulo: division by zero".into()));
+    }
+    let r = a % b;
+    Ok(Value::Fixnum(if r != 0 && (r < 0) != (b < 0) {
+        r + b
+    } else {
+        r
+    }))
+}
+
+fn num_cmp(who: &'static str, a: &Value, b: &Value) -> VmResult<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Fixnum(x), Value::Fixnum(y)) => Ok(x.cmp(y)),
+        _ => as_f64(who, a)?
+            .partial_cmp(&as_f64(who, b)?)
+            .ok_or_else(|| VmError::Other(format!("{who}: cannot compare NaN"))),
+    }
+}
+
+fn p_cmp(
+    args: &[Value],
+    who: &'static str,
+    ok: fn(std::cmp::Ordering) -> bool,
+) -> VmResult<Value> {
+    for w in args.windows(2) {
+        if !ok(num_cmp(who, &w[0], &w[1])?) {
+            return Ok(Value::Bool(false));
+        }
+    }
+    Ok(Value::Bool(true))
+}
+
+fn p_zero(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Fixnum(n) => Ok(Value::Bool(*n == 0)),
+        Value::Flonum(f) => Ok(Value::Bool(*f == 0.0)),
+        v => Err(VmError::wrong_type("zero?", "number", v)),
+    }
+}
+
+fn p_abs(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Fixnum(n) => Ok(Value::Fixnum(n.abs())),
+        Value::Flonum(f) => Ok(Value::Flonum(f.abs())),
+        v => Err(VmError::wrong_type("abs", "number", v)),
+    }
+}
+
+fn p_min(args: &[Value]) -> VmResult<Value> {
+    let mut best = args[0].clone();
+    for a in &args[1..] {
+        if num_cmp("min", a, &best)? == std::cmp::Ordering::Less {
+            best = a.clone();
+        }
+    }
+    Ok(best)
+}
+
+fn p_max(args: &[Value]) -> VmResult<Value> {
+    let mut best = args[0].clone();
+    for a in &args[1..] {
+        if num_cmp("max", a, &best)? == std::cmp::Ordering::Greater {
+            best = a.clone();
+        }
+    }
+    Ok(best)
+}
+
+fn p_expt(args: &[Value]) -> VmResult<Value> {
+    match (&args[0], &args[1]) {
+        (Value::Fixnum(b), Value::Fixnum(e)) if *e >= 0 => {
+            let mut acc: i64 = 1;
+            for _ in 0..*e {
+                acc = acc
+                    .checked_mul(*b)
+                    .ok_or_else(|| VmError::Other("expt: fixnum overflow".into()))?;
+            }
+            Ok(Value::Fixnum(acc))
+        }
+        (a, b) => Ok(Value::Flonum(as_f64("expt", a)?.powf(as_f64("expt", b)?))),
+    }
+}
+
+fn p_sqrt(args: &[Value]) -> VmResult<Value> {
+    let f = as_f64("sqrt", &args[0])?;
+    let r = f.sqrt();
+    if let Value::Fixnum(_) = args[0] {
+        let ri = r as i64;
+        if ri * ri == as_fixnum("sqrt", &args[0])? {
+            return Ok(Value::Fixnum(ri));
+        }
+    }
+    Ok(Value::Flonum(r))
+}
+
+fn p_round(args: &[Value], f: fn(f64) -> f64) -> VmResult<Value> {
+    match &args[0] {
+        Value::Fixnum(n) => Ok(Value::Fixnum(*n)),
+        Value::Flonum(x) => Ok(Value::Flonum(f(*x))),
+        v => Err(VmError::wrong_type("round", "number", v)),
+    }
+}
+
+fn p_exact_to_inexact(args: &[Value]) -> VmResult<Value> {
+    Ok(Value::Flonum(as_f64("exact->inexact", &args[0])?))
+}
+
+fn p_inexact_to_exact(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Fixnum(n) => Ok(Value::Fixnum(*n)),
+        Value::Flonum(f) if f.fract() == 0.0 => Ok(Value::Fixnum(*f as i64)),
+        v => Err(VmError::wrong_type("inexact->exact", "integral number", v)),
+    }
+}
+
+fn p_integer_p(args: &[Value]) -> VmResult<Value> {
+    Ok(Value::Bool(match &args[0] {
+        Value::Fixnum(_) => true,
+        Value::Flonum(f) => f.fract() == 0.0,
+        _ => false,
+    }))
+}
+
+// ----------------------------------------------------------------------
+// Pairs and lists
+// ----------------------------------------------------------------------
+
+fn p_car(who: &'static str, v: &Value) -> VmResult<Value> {
+    v.car().ok_or_else(|| VmError::wrong_type(who, "pair", v))
+}
+
+fn p_cdr(who: &'static str, v: &Value) -> VmResult<Value> {
+    v.cdr().ok_or_else(|| VmError::wrong_type(who, "pair", v))
+}
+
+fn p_set_car(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Pair(p) => {
+            *p.car.borrow_mut() = args[1].clone();
+            Ok(Value::Void)
+        }
+        v => Err(VmError::wrong_type("set-car!", "pair", v)),
+    }
+}
+
+fn p_set_cdr(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Pair(p) => {
+            *p.cdr.borrow_mut() = args[1].clone();
+            Ok(Value::Void)
+        }
+        v => Err(VmError::wrong_type("set-cdr!", "pair", v)),
+    }
+}
+
+fn p_length(args: &[Value]) -> VmResult<Value> {
+    let v = args[0]
+        .list_to_vec()
+        .ok_or_else(|| VmError::wrong_type("length", "proper list", &args[0]))?;
+    Ok(Value::Fixnum(v.len() as i64))
+}
+
+fn p_append(args: &[Value]) -> VmResult<Value> {
+    if args.is_empty() {
+        return Ok(Value::Nil);
+    }
+    let mut out = args.last().unwrap().clone();
+    for lst in args[..args.len() - 1].iter().rev() {
+        let items = lst
+            .list_to_vec()
+            .ok_or_else(|| VmError::wrong_type("append", "proper list", lst))?;
+        for v in items.into_iter().rev() {
+            out = Value::cons(v, out);
+        }
+    }
+    Ok(out)
+}
+
+fn p_reverse(args: &[Value]) -> VmResult<Value> {
+    let mut out = Value::Nil;
+    let mut cur = args[0].clone();
+    loop {
+        match cur {
+            Value::Nil => return Ok(out),
+            Value::Pair(p) => {
+                out = Value::cons(p.car.borrow().clone(), out);
+                let next = p.cdr.borrow().clone();
+                cur = next;
+            }
+            v => return Err(VmError::wrong_type("reverse", "proper list", &v)),
+        }
+    }
+}
+
+fn p_list_tail(args: &[Value]) -> VmResult<Value> {
+    let mut cur = args[0].clone();
+    let n = as_fixnum("list-tail", &args[1])?;
+    for _ in 0..n {
+        cur = p_cdr("list-tail", &cur)?;
+    }
+    Ok(cur)
+}
+
+fn p_list_ref(args: &[Value]) -> VmResult<Value> {
+    p_car("list-ref", &p_list_tail(args)?)
+}
+
+fn p_mem(args: &[Value], eq: fn(&Value, &Value) -> bool) -> VmResult<Value> {
+    let mut cur = args[1].clone();
+    loop {
+        match &cur {
+            Value::Nil => return Ok(Value::Bool(false)),
+            Value::Pair(p) => {
+                if eq(&p.car.borrow(), &args[0]) {
+                    return Ok(cur.clone());
+                }
+                let next = p.cdr.borrow().clone();
+                cur = next;
+            }
+            v => return Err(VmError::wrong_type("member", "proper list", v)),
+        }
+    }
+}
+
+fn p_ass(args: &[Value], eq: fn(&Value, &Value) -> bool) -> VmResult<Value> {
+    let mut cur = args[1].clone();
+    loop {
+        match &cur {
+            Value::Nil => return Ok(Value::Bool(false)),
+            Value::Pair(p) => {
+                let entry = p.car.borrow().clone();
+                if let Some(key) = entry.car() {
+                    if eq(&key, &args[0]) {
+                        return Ok(entry);
+                    }
+                }
+                let next = p.cdr.borrow().clone();
+                cur = next;
+            }
+            v => return Err(VmError::wrong_type("assoc", "association list", v)),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Strings, chars, symbols
+// ----------------------------------------------------------------------
+
+fn as_string(who: &'static str, v: &Value) -> VmResult<String> {
+    match v {
+        Value::Str(s) => Ok(s.borrow().clone()),
+        _ => Err(VmError::wrong_type(who, "string", v)),
+    }
+}
+
+fn as_char(who: &'static str, v: &Value) -> VmResult<char> {
+    match v {
+        Value::Char(c) => Ok(*c),
+        _ => Err(VmError::wrong_type(who, "character", v)),
+    }
+}
+
+fn p_symbol_to_string(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Sym(s) => Ok(Value::string(s.name())),
+        v => Err(VmError::wrong_type("symbol->string", "symbol", v)),
+    }
+}
+
+fn p_string_to_symbol(args: &[Value]) -> VmResult<Value> {
+    Ok(Value::symbol(&as_string("string->symbol", &args[0])?))
+}
+
+fn p_gensym(args: &[Value]) -> VmResult<Value> {
+    let base = if args.is_empty() {
+        "g".to_owned()
+    } else {
+        as_string("gensym", &args[0])?
+    };
+    Ok(Value::Sym(cm_sexpr::Sym::gensym(&base)))
+}
+
+fn p_string_length(args: &[Value]) -> VmResult<Value> {
+    Ok(Value::Fixnum(
+        as_string("string-length", &args[0])?.chars().count() as i64,
+    ))
+}
+
+fn p_string_ref(args: &[Value]) -> VmResult<Value> {
+    let s = as_string("string-ref", &args[0])?;
+    let i = as_fixnum("string-ref", &args[1])? as usize;
+    s.chars()
+        .nth(i)
+        .map(Value::Char)
+        .ok_or_else(|| VmError::Other(format!("string-ref: index {i} out of range")))
+}
+
+fn p_substring(args: &[Value]) -> VmResult<Value> {
+    let s = as_string("substring", &args[0])?;
+    let start = as_fixnum("substring", &args[1])? as usize;
+    let end = as_fixnum("substring", &args[2])? as usize;
+    let chars: Vec<char> = s.chars().collect();
+    if start > end || end > chars.len() {
+        return Err(VmError::Other(format!(
+            "substring: bad range {start}..{end} for length {}",
+            chars.len()
+        )));
+    }
+    Ok(Value::string(chars[start..end].iter().collect::<String>()))
+}
+
+fn p_string_append(args: &[Value]) -> VmResult<Value> {
+    let mut out = String::new();
+    for a in args {
+        out.push_str(&as_string("string-append", a)?);
+    }
+    Ok(Value::string(out))
+}
+
+fn p_string_cmp(
+    args: &[Value],
+    who: &'static str,
+    ok: fn(std::cmp::Ordering) -> bool,
+) -> VmResult<Value> {
+    let a = as_string(who, &args[0])?;
+    let b = as_string(who, &args[1])?;
+    Ok(Value::Bool(ok(a.cmp(&b))))
+}
+
+fn p_string_to_list(args: &[Value]) -> VmResult<Value> {
+    Ok(Value::list(
+        as_string("string->list", &args[0])?.chars().map(Value::Char),
+    ))
+}
+
+fn p_list_to_string(args: &[Value]) -> VmResult<Value> {
+    let items = args[0]
+        .list_to_vec()
+        .ok_or_else(|| VmError::wrong_type("list->string", "proper list", &args[0]))?;
+    let mut out = String::new();
+    for v in items {
+        out.push(as_char("list->string", &v)?);
+    }
+    Ok(Value::string(out))
+}
+
+fn p_string_to_number(args: &[Value]) -> VmResult<Value> {
+    let s = as_string("string->number", &args[0])?;
+    if let Ok(n) = s.parse::<i64>() {
+        return Ok(Value::Fixnum(n));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Ok(Value::Flonum(f));
+    }
+    Ok(Value::Bool(false))
+}
+
+fn p_make_string(args: &[Value]) -> VmResult<Value> {
+    let n = as_fixnum("make-string", &args[0])? as usize;
+    let c = if args.len() > 1 {
+        as_char("make-string", &args[1])?
+    } else {
+        ' '
+    };
+    Ok(Value::string(std::iter::repeat(c).take(n).collect::<String>()))
+}
+
+fn p_string(args: &[Value]) -> VmResult<Value> {
+    let mut out = String::new();
+    for a in args {
+        out.push(as_char("string", a)?);
+    }
+    Ok(Value::string(out))
+}
+
+fn p_string_copy(args: &[Value]) -> VmResult<Value> {
+    Ok(Value::string(as_string("string-copy", &args[0])?))
+}
+
+fn p_char_to_integer(args: &[Value]) -> VmResult<Value> {
+    Ok(Value::Fixnum(as_char("char->integer", &args[0])? as i64))
+}
+
+fn p_integer_to_char(args: &[Value]) -> VmResult<Value> {
+    let n = as_fixnum("integer->char", &args[0])?;
+    char::from_u32(n as u32)
+        .map(Value::Char)
+        .ok_or_else(|| VmError::Other(format!("integer->char: bad code point {n}")))
+}
+
+fn p_char_cmp(
+    args: &[Value],
+    who: &'static str,
+    ok: fn(std::cmp::Ordering) -> bool,
+) -> VmResult<Value> {
+    let a = as_char(who, &args[0])?;
+    let b = as_char(who, &args[1])?;
+    Ok(Value::Bool(ok(a.cmp(&b))))
+}
+
+// ----------------------------------------------------------------------
+// Vectors
+// ----------------------------------------------------------------------
+
+fn p_make_vector(args: &[Value]) -> VmResult<Value> {
+    let n = as_fixnum("make-vector", &args[0])? as usize;
+    let fill = args.get(1).cloned().unwrap_or(Value::Fixnum(0));
+    Ok(Value::vector(vec![fill; n]))
+}
+
+fn p_vector_ref(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Vector(v) => {
+            let i = as_fixnum("vector-ref", &args[1])? as usize;
+            v.borrow()
+                .get(i)
+                .cloned()
+                .ok_or_else(|| VmError::Other(format!("vector-ref: index {i} out of range")))
+        }
+        v => Err(VmError::wrong_type("vector-ref", "vector", v)),
+    }
+}
+
+fn p_vector_set(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Vector(v) => {
+            let i = as_fixnum("vector-set!", &args[1])? as usize;
+            let mut v = v.borrow_mut();
+            if i >= v.len() {
+                return Err(VmError::Other(format!(
+                    "vector-set!: index {i} out of range"
+                )));
+            }
+            v[i] = args[2].clone();
+            Ok(Value::Void)
+        }
+        v => Err(VmError::wrong_type("vector-set!", "vector", v)),
+    }
+}
+
+fn p_vector_length(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Vector(v) => Ok(Value::Fixnum(v.borrow().len() as i64)),
+        v => Err(VmError::wrong_type("vector-length", "vector", v)),
+    }
+}
+
+fn p_vector_to_list(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Vector(v) => Ok(Value::list(v.borrow().iter().cloned())),
+        v => Err(VmError::wrong_type("vector->list", "vector", v)),
+    }
+}
+
+fn p_list_to_vector(args: &[Value]) -> VmResult<Value> {
+    let items = args[0]
+        .list_to_vec()
+        .ok_or_else(|| VmError::wrong_type("list->vector", "proper list", &args[0]))?;
+    Ok(Value::vector(items))
+}
+
+fn p_vector_fill(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Vector(v) => {
+            for slot in v.borrow_mut().iter_mut() {
+                *slot = args[1].clone();
+            }
+            Ok(Value::Void)
+        }
+        v => Err(VmError::wrong_type("vector-fill!", "vector", v)),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Boxes, tables, records
+// ----------------------------------------------------------------------
+
+fn p_unbox(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Box(b) => Ok(b.borrow().clone()),
+        v => Err(VmError::wrong_type("unbox", "box", v)),
+    }
+}
+
+fn p_set_box(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Box(b) => {
+            *b.borrow_mut() = args[1].clone();
+            Ok(Value::Void)
+        }
+        v => Err(VmError::wrong_type("set-box!", "box", v)),
+    }
+}
+
+fn p_hash_set(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Table(t) => {
+            t.borrow_mut().insert(args[1].eq_key(), args[2].clone());
+            Ok(Value::Void)
+        }
+        v => Err(VmError::wrong_type("hashtable-set!", "hash-table", v)),
+    }
+}
+
+fn p_hash_ref(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Table(t) => Ok(t
+            .borrow()
+            .get(&args[1].eq_key())
+            .cloned()
+            .unwrap_or_else(|| args[2].clone())),
+        v => Err(VmError::wrong_type("hashtable-ref", "hash-table", v)),
+    }
+}
+
+fn p_hash_contains(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Table(t) => Ok(Value::Bool(t.borrow().contains_key(&args[1].eq_key()))),
+        v => Err(VmError::wrong_type("hashtable-contains?", "hash-table", v)),
+    }
+}
+
+fn p_hash_delete(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Table(t) => {
+            t.borrow_mut().remove(&args[1].eq_key());
+            Ok(Value::Void)
+        }
+        v => Err(VmError::wrong_type("hashtable-delete!", "hash-table", v)),
+    }
+}
+
+fn p_hash_size(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Table(t) => Ok(Value::Fixnum(t.borrow().len() as i64)),
+        v => Err(VmError::wrong_type("hashtable-size", "hash-table", v)),
+    }
+}
+
+fn p_make_record(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Sym(tag) => Ok(Value::record(*tag, args[1..].to_vec())),
+        v => Err(VmError::wrong_type("make-record", "symbol tag", v)),
+    }
+}
+
+fn p_record_is(args: &[Value]) -> VmResult<Value> {
+    match (&args[0], &args[1]) {
+        (Value::Record(r), Value::Sym(tag)) => Ok(Value::Bool(r.tag == *tag)),
+        _ => Ok(Value::Bool(false)),
+    }
+}
+
+fn p_record_tag(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Record(r) => Ok(Value::Sym(r.tag)),
+        v => Err(VmError::wrong_type("record-tag", "record", v)),
+    }
+}
+
+fn p_record_ref(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Record(r) => {
+            let i = as_fixnum("record-ref", &args[1])? as usize;
+            r.fields
+                .borrow()
+                .get(i)
+                .cloned()
+                .ok_or_else(|| VmError::Other(format!("record-ref: field {i} out of range")))
+        }
+        v => Err(VmError::wrong_type("record-ref", "record", v)),
+    }
+}
+
+fn p_record_set(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Record(r) => {
+            let i = as_fixnum("record-set!", &args[1])? as usize;
+            let mut f = r.fields.borrow_mut();
+            if i >= f.len() {
+                return Err(VmError::Other(format!(
+                    "record-set!: field {i} out of range"
+                )));
+            }
+            f[i] = args[2].clone();
+            Ok(Value::Void)
+        }
+        v => Err(VmError::wrong_type("record-set!", "record", v)),
+    }
+}
+
+fn p_error(args: &[Value]) -> VmResult<Value> {
+    let mut msg = args[0].display_string();
+    for a in &args[1..] {
+        msg.push(' ');
+        msg.push_str(&a.write_string());
+    }
+    Err(VmError::SchemeError(msg))
+}
+
+fn p_cont_attachments(args: &[Value]) -> VmResult<Value> {
+    match &args[0] {
+        Value::Cont(k) => Ok(k.marks.clone()),
+        v => Err(VmError::wrong_type("$cont-attachments", "continuation", v)),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Marks-layer support (§7.5)
+//
+// The `cm-core` layer represents each `with-continuation-mark` attachment
+// as a `$mark-frame` record: field 0 is an association list mapping keys
+// to values (`eq?` keys), field 1 is `#f` or an `eq?` table used as the
+// path-compression cache. A cache entry maps a key to `(node . value)`
+// where `node` is the attachment-list cons cell the entry was written
+// for — the guard that keeps caching sound when a record is shared by
+// several attachment lists with different tails.
+// ----------------------------------------------------------------------
+
+fn mark_frame_tag() -> cm_sexpr::Sym {
+    cm_sexpr::sym("$mark-frame")
+}
+
+fn dict_lookup(dict: &Value, key: &Value) -> Option<Value> {
+    let mut cur = dict.clone();
+    while let Value::Pair(p) = cur {
+        let entry = p.car.borrow().clone();
+        if let Value::Pair(e) = &entry {
+            if e.car.borrow().eq_value(key) {
+                return Some(e.cdr.borrow().clone());
+            }
+        }
+        let next = p.cdr.borrow().clone();
+        cur = next;
+    }
+    None
+}
+
+/// Minimum search depth at which caching pays for itself.
+const CACHE_MIN_DEPTH: usize = 4;
+
+/// `($marks-first atts key dflt)` — the newest value for `key`, amortized
+/// O(1) via the §7.5 strategy: a search that succeeds at depth N caches
+/// its answer at depth N/2.
+fn p_marks_first(args: &[Value]) -> VmResult<Value> {
+    let (atts, key, dflt) = (&args[0], &args[1], &args[2]);
+    let tag = mark_frame_tag();
+    let mut node = atts.clone();
+    let mut path: Vec<Value> = Vec::new();
+    loop {
+        match node.clone() {
+            Value::Nil => return Ok(dflt.clone()),
+            Value::Pair(p) => {
+                let elem = p.car.borrow().clone();
+                if let Value::Record(r) = &elem {
+                    if r.tag == tag {
+                        let found = {
+                            let fields = r.fields.borrow();
+                            // Cache probe first: a valid hit answers for
+                            // this node's whole tail.
+                            let cached = match fields.get(1) {
+                                Some(Value::Table(cache)) => {
+                                    cache.borrow().get(&key.eq_key()).and_then(|hit| {
+                                        match hit {
+                                            Value::Pair(h)
+                                                if h.car.borrow().eq_value(&node) =>
+                                            {
+                                                Some(h.cdr.borrow().clone())
+                                            }
+                                            _ => None,
+                                        }
+                                    })
+                                }
+                                _ => None,
+                            };
+                            cached.or_else(|| dict_lookup(&fields[0], key))
+                        };
+                        if let Some(v) = found {
+                            cache_halfway(&path, key, &v);
+                            return Ok(v);
+                        }
+                    }
+                }
+                path.push(node.clone());
+                let next = p.cdr.borrow().clone();
+                node = next;
+            }
+            other => {
+                return Err(VmError::wrong_type("$marks-first", "attachment list", &other))
+            }
+        }
+    }
+}
+
+/// Writes the answer into the cache of the mark frame halfway down the
+/// searched prefix (creating the cache table on demand).
+fn cache_halfway(path: &[Value], key: &Value, value: &Value) {
+    let n = path.len();
+    if n < CACHE_MIN_DEPTH {
+        return;
+    }
+    let node = &path[n / 2];
+    let Value::Pair(p) = node else { return };
+    let elem = p.car.borrow().clone();
+    let Value::Record(r) = &elem else { return };
+    if r.tag != mark_frame_tag() {
+        return;
+    }
+    let mut fields = r.fields.borrow_mut();
+    if fields.len() < 2 {
+        return;
+    }
+    if !matches!(fields[1], Value::Table(_)) {
+        fields[1] = Value::table();
+    }
+    if let Value::Table(cache) = &fields[1] {
+        cache
+            .borrow_mut()
+            .insert(key.eq_key(), Value::cons(node.clone(), value.clone()));
+    }
+}
+
+/// `($marks->list atts key)` — every value for `key`, newest first.
+fn p_marks_to_list(args: &[Value]) -> VmResult<Value> {
+    let (atts, key) = (&args[0], &args[1]);
+    let tag = mark_frame_tag();
+    let mut out = Vec::new();
+    let mut node = atts.clone();
+    loop {
+        match node {
+            Value::Nil => return Ok(Value::list(out)),
+            Value::Pair(p) => {
+                let elem = p.car.borrow().clone();
+                if let Value::Record(r) = &elem {
+                    if r.tag == tag {
+                        if let Some(v) = dict_lookup(&r.fields.borrow()[0], key) {
+                            out.push(v);
+                        }
+                    }
+                }
+                let next = p.cdr.borrow().clone();
+                node = next;
+            }
+            other => {
+                return Err(VmError::wrong_type(
+                    "$marks->list",
+                    "attachment list",
+                    &other,
+                ))
+            }
+        }
+    }
+}
+
+fn m_eager_all_marks(m: &mut Machine, _args: Vec<Value>) -> VmResult<Value> {
+    let entries = m.eager_all_entries();
+    Ok(Value::list(entries.into_iter().map(|entry| {
+        Value::list(
+            entry
+                .into_iter()
+                .map(|(k, v)| Value::cons(k, v)),
+        )
+    })))
+}
+
+// ----------------------------------------------------------------------
+// Machine natives
+// ----------------------------------------------------------------------
+
+fn m_push_winder(m: &mut Machine, mut args: Vec<Value>) -> VmResult<Value> {
+    let post = args.pop().expect("arity checked");
+    let pre = args.pop().expect("arity checked");
+    m.push_winder(pre, post);
+    Ok(Value::Void)
+}
+
+fn m_pop_winder(m: &mut Machine, _args: Vec<Value>) -> VmResult<Value> {
+    m.pop_winder();
+    Ok(Value::Void)
+}
+
+fn m_current_attachments(m: &mut Machine, _args: Vec<Value>) -> VmResult<Value> {
+    // NOTE: as a *native call*, the caller's frame is still live, so this
+    // returns exactly the marks register — the paper's
+    // `current-continuation-attachments` (§7.1).
+    Ok(m.marks_snapshot())
+}
+
+fn m_eager_set(m: &mut Machine, mut args: Vec<Value>) -> VmResult<Value> {
+    let val = args.pop().expect("arity checked");
+    let key = args.pop().expect("arity checked");
+    m.eager_set_mark(key, val);
+    Ok(Value::Void)
+}
+
+fn m_eager_first(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
+    Ok(m.eager_first_mark(&args[0]).unwrap_or_else(|| args[1].clone()))
+}
+
+fn m_eager_marks(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
+    Ok(Value::list(m.eager_marks_list(&args[0])))
+}
+
+fn m_eager_immediate(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
+    Ok(m
+        .eager_immediate_mark(&args[0])
+        .unwrap_or_else(|| args[1].clone()))
+}
+
+fn m_display(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
+    m.output.push_str(&args[0].display_string());
+    Ok(Value::Void)
+}
+
+fn m_write(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
+    m.output.push_str(&args[0].write_string());
+    Ok(Value::Void)
+}
+
+fn m_newline(m: &mut Machine, _args: Vec<Value>) -> VmResult<Value> {
+    m.output.push('\n');
+    Ok(Value::Void)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_no_duplicate_names() {
+        let mut names: Vec<&str> = table().iter().map(|d| d.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate native names");
+    }
+
+    #[test]
+    fn lookup_finds_call_cc() {
+        let id = lookup("call/cc").unwrap();
+        assert_eq!(native_name(id), "call/cc");
+        assert!(matches!(def(id).imp, NativeImpl::Control(ControlOp::CallCc)));
+    }
+
+    #[test]
+    fn arity_checks() {
+        let d = def(lookup("cons").unwrap());
+        assert!(d.check_arity(2).is_ok());
+        assert!(d.check_arity(1).is_err());
+        assert!(d.check_arity(3).is_err());
+        let d = def(lookup("list").unwrap());
+        assert!(d.check_arity(0).is_ok());
+        assert!(d.check_arity(17).is_ok());
+    }
+
+    #[test]
+    fn arithmetic_mixes_fixnum_flonum() {
+        let v = p_add(&[Value::Fixnum(1), Value::Flonum(2.5)]).unwrap();
+        assert!(v.eq_value(&Value::Flonum(3.5)));
+        let v = p_sub(&[Value::Fixnum(5)]).unwrap();
+        assert!(v.eq_value(&Value::Fixnum(-5)));
+        assert!(p_add(&[Value::Fixnum(i64::MAX), Value::Fixnum(1)]).is_err());
+    }
+
+    #[test]
+    fn division_behaviour() {
+        assert!(p_div(&[Value::Fixnum(6), Value::Fixnum(3)])
+            .unwrap()
+            .eq_value(&Value::Fixnum(2)));
+        assert!(p_div(&[Value::Fixnum(1), Value::Fixnum(2)])
+            .unwrap()
+            .eq_value(&Value::Flonum(0.5)));
+        assert!(p_div(&[Value::Fixnum(1), Value::Fixnum(0)]).is_err());
+    }
+
+    #[test]
+    fn comparisons_are_chained() {
+        let v = p_cmp(
+            &[Value::Fixnum(1), Value::Fixnum(2), Value::Fixnum(3)],
+            "<",
+            |o| o == std::cmp::Ordering::Less,
+        )
+        .unwrap();
+        assert!(v.is_true());
+        let v = p_cmp(
+            &[Value::Fixnum(1), Value::Fixnum(3), Value::Fixnum(2)],
+            "<",
+            |o| o == std::cmp::Ordering::Less,
+        )
+        .unwrap();
+        assert!(!v.is_true());
+    }
+
+    #[test]
+    fn list_ops() {
+        let l = Value::list([Value::fixnum(1), Value::fixnum(2), Value::fixnum(3)]);
+        assert!(p_length(&[l.clone()]).unwrap().eq_value(&Value::fixnum(3)));
+        let r = p_reverse(&[l.clone()]).unwrap();
+        assert_eq!(r.write_string(), "(3 2 1)");
+        let t = p_list_tail(&[l.clone(), Value::fixnum(1)]).unwrap();
+        assert_eq!(t.write_string(), "(2 3)");
+        assert!(p_list_ref(&[l.clone(), Value::fixnum(2)])
+            .unwrap()
+            .eq_value(&Value::fixnum(3)));
+        let a = p_append(&[l.clone(), Value::list([Value::fixnum(4)])]).unwrap();
+        assert_eq!(a.write_string(), "(1 2 3 4)");
+    }
+
+    #[test]
+    fn assoc_and_member() {
+        let alist = Value::list([
+            Value::cons(Value::symbol("a"), Value::fixnum(1)),
+            Value::cons(Value::symbol("b"), Value::fixnum(2)),
+        ]);
+        let hit = p_ass(&[Value::symbol("b"), alist.clone()], |x, y| x.eq_value(y)).unwrap();
+        assert_eq!(hit.write_string(), "(b . 2)");
+        let miss = p_ass(&[Value::symbol("c"), alist], |x, y| x.eq_value(y)).unwrap();
+        assert!(!miss.is_true());
+        let l = Value::list([Value::fixnum(1), Value::fixnum(2)]);
+        assert_eq!(
+            p_mem(&[Value::fixnum(2), l], |x, y| x.eq_value(y))
+                .unwrap()
+                .write_string(),
+            "(2)"
+        );
+    }
+
+    #[test]
+    fn string_ops() {
+        let s = p_string_append(&[Value::string("foo"), Value::string("bar")]).unwrap();
+        assert_eq!(s.display_string(), "foobar");
+        let sub = p_substring(&[s.clone(), Value::fixnum(1), Value::fixnum(4)]).unwrap();
+        assert_eq!(sub.display_string(), "oob");
+        assert!(p_string_to_number(&[Value::string("42")])
+            .unwrap()
+            .eq_value(&Value::fixnum(42)));
+        assert!(!p_string_to_number(&[Value::string("nope")]).unwrap().is_true());
+    }
+
+    #[test]
+    fn records() {
+        let r = p_make_record(&[Value::symbol("point"), Value::fixnum(1), Value::fixnum(2)])
+            .unwrap();
+        assert!(p_record_is(&[r.clone(), Value::symbol("point")]).unwrap().is_true());
+        assert!(p_record_ref(&[r.clone(), Value::fixnum(1)])
+            .unwrap()
+            .eq_value(&Value::fixnum(2)));
+        p_record_set(&[r.clone(), Value::fixnum(0), Value::fixnum(9)]).unwrap();
+        assert!(p_record_ref(&[r, Value::fixnum(0)])
+            .unwrap()
+            .eq_value(&Value::fixnum(9)));
+    }
+
+    #[test]
+    fn hash_tables() {
+        let t = Value::table();
+        p_hash_set(&[t.clone(), Value::symbol("k"), Value::fixnum(1)]).unwrap();
+        assert!(
+            p_hash_ref(&[t.clone(), Value::symbol("k"), Value::Bool(false)])
+                .unwrap()
+                .eq_value(&Value::fixnum(1))
+        );
+        assert!(p_hash_contains(&[t.clone(), Value::symbol("k")]).unwrap().is_true());
+        p_hash_delete(&[t.clone(), Value::symbol("k")]).unwrap();
+        assert!(!p_hash_contains(&[t, Value::symbol("k")]).unwrap().is_true());
+    }
+
+    #[test]
+    fn error_raises() {
+        match p_error(&[Value::string("bad"), Value::fixnum(3)]) {
+            Err(VmError::SchemeError(msg)) => assert_eq!(msg, "bad 3"),
+            other => panic!("expected scheme error, got {other:?}"),
+        }
+    }
+}

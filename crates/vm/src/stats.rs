@@ -1,0 +1,54 @@
+//! Event counters for the mechanisms the paper measures.
+//!
+//! These counters power the repo's tests ("this benchmark must fuse" /
+//! "this one must copy") and the `EXPERIMENTS.md` methodology notes; they
+//! are cheap unconditional increments of plain `u64` fields.
+
+/// Counts of continuation-machinery events since the machine was created
+/// (or since [`MachineStats::reset`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Segments frozen by `call/cc`-style full capture.
+    pub captures: u64,
+    /// Segments frozen by attachment bookkeeping (`reify-continuation!`).
+    pub reifications: u64,
+    /// Underflow events (control returned across a segment boundary).
+    pub underflows: u64,
+    /// Underflows satisfied by *fusing* (moving) the frozen segment back —
+    /// the opportunistic one-shot fast path.
+    pub fusions: u64,
+    /// Underflows that had to *copy* the frozen segment (multi-shot or
+    /// shared).
+    pub copies: u64,
+    /// Stack splits forced by segment overflow (deep recursion).
+    pub overflow_splits: u64,
+    /// Attachments pushed onto the marks register.
+    pub attachments_pushed: u64,
+    /// Non-tail calls that paid the eager-mark-stack tax (only nonzero in
+    /// [`MarkModel::EagerMarkStack`](crate::MarkModel) mode).
+    pub mark_stack_pushes: u64,
+    /// Winder thunks executed by `dynamic-wind` / continuation jumps.
+    pub winders_run: u64,
+}
+
+impl MachineStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = MachineStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = MachineStats {
+            captures: 3,
+            ..Default::default()
+        };
+        s.reset();
+        assert_eq!(s, MachineStats::default());
+    }
+}

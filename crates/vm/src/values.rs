@@ -1,0 +1,568 @@
+//! Runtime values.
+//!
+//! All heap-allocated values are reference-counted (`Rc`); the engine is
+//! single-threaded, matching the measured Chez Scheme kernel path. Equality
+//! follows Scheme's `eq?`: pointer identity for heap values, value identity
+//! for immediates.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use cm_sexpr::{Datum, DatumKind, Sym};
+
+use crate::code::Code;
+use crate::machine::control::ContData;
+use crate::prims::NativeId;
+
+/// A Scheme value.
+///
+/// Cloning is cheap (a refcount bump at most). Use [`Value::eq_value`] for
+/// `eq?` semantics; `PartialEq` is *not* implemented to keep call sites
+/// explicit about which equality they mean.
+#[derive(Clone)]
+pub enum Value {
+    /// An exact integer.
+    Fixnum(i64),
+    /// An inexact real.
+    Flonum(f64),
+    /// `#t` / `#f`.
+    Bool(bool),
+    /// A character.
+    Char(char),
+    /// The empty list.
+    Nil,
+    /// The unspecified value returned by side-effecting forms.
+    Void,
+    /// The end-of-file object.
+    Eof,
+    /// An interned symbol.
+    Sym(Sym),
+    /// A mutable string.
+    Str(Rc<RefCell<String>>),
+    /// A mutable cons pair.
+    Pair(Rc<PairObj>),
+    /// A mutable vector.
+    Vector(Rc<RefCell<Vec<Value>>>),
+    /// A mutable box (also used internally for assignment conversion).
+    Box(Rc<RefCell<Value>>),
+    /// An `eq?`-keyed mutable hash table.
+    Table(Rc<RefCell<std::collections::HashMap<EqKey, Value>>>),
+    /// A record instance (tagged fixed-size mutable fields).
+    Record(Rc<RecordObj>),
+    /// A compiled closure.
+    Closure(Rc<Closure>),
+    /// A native (Rust-implemented) procedure.
+    Native(NativeId),
+    /// A first-class continuation (from `call/cc` or `call/1cc`).
+    Cont(Rc<ContData>),
+}
+
+/// A mutable cons cell.
+#[derive(Debug)]
+pub struct PairObj {
+    /// The `car` field.
+    pub car: RefCell<Value>,
+    /// The `cdr` field.
+    pub cdr: RefCell<Value>,
+}
+
+impl Drop for PairObj {
+    fn drop(&mut self) {
+        // Unlink the cdr spine iteratively: a recursive drop of a long
+        // list (or a long marks/attachment chain) would overflow the
+        // native stack.
+        let mut next = std::mem::replace(self.cdr.get_mut(), Value::Nil);
+        while let Value::Pair(p) = next {
+            match Rc::try_unwrap(p) {
+                Ok(mut inner) => {
+                    next = std::mem::replace(inner.cdr.get_mut(), Value::Nil);
+                }
+                Err(_) => break, // shared tail: someone else keeps it alive
+            }
+        }
+    }
+}
+
+/// A record instance: a type tag plus mutable fields.
+///
+/// Records are the extension point that lets the `cm-core` marks layer
+/// attach evolving representations (mark dictionaries, caches) to
+/// attachment-list elements without the VM knowing about them.
+#[derive(Debug)]
+pub struct RecordObj {
+    /// The record's type tag (compared with `eq?`).
+    pub tag: Sym,
+    /// The record's fields.
+    pub fields: RefCell<Vec<Value>>,
+}
+
+/// A compiled closure: code plus captured free-variable values.
+pub struct Closure {
+    /// The compiled body.
+    pub code: Rc<Code>,
+    /// Captured free variables (boxes when mutated).
+    pub captures: Vec<Value>,
+}
+
+impl fmt::Debug for Closure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#<procedure {}>", self.code.name)
+    }
+}
+
+/// A key with `eq?` hashing semantics, for [`Value::Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EqKey {
+    /// Immediate fixnum.
+    Fixnum(i64),
+    /// Immediate flonum (by bit pattern, like `eqv?`).
+    Flonum(u64),
+    /// Immediate boolean.
+    Bool(bool),
+    /// Immediate character.
+    Char(char),
+    /// The empty list.
+    Nil,
+    /// The void object.
+    Void,
+    /// The eof object.
+    Eof,
+    /// An interned symbol.
+    Sym(Sym),
+    /// A heap object, identified by address.
+    Ptr(usize),
+}
+
+impl Value {
+    /// Constructs a fixnum.
+    pub fn fixnum(n: i64) -> Value {
+        Value::Fixnum(n)
+    }
+
+    /// Constructs a flonum.
+    pub fn flonum(f: f64) -> Value {
+        Value::Flonum(f)
+    }
+
+    /// Constructs a boolean.
+    pub fn bool(b: bool) -> Value {
+        Value::Bool(b)
+    }
+
+    /// Constructs a symbol value from a name.
+    pub fn symbol(name: &str) -> Value {
+        Value::Sym(cm_sexpr::sym(name))
+    }
+
+    /// Constructs a fresh mutable string.
+    pub fn string(s: impl Into<String>) -> Value {
+        Value::Str(Rc::new(RefCell::new(s.into())))
+    }
+
+    /// Constructs a fresh cons pair.
+    pub fn cons(car: Value, cdr: Value) -> Value {
+        Value::Pair(Rc::new(PairObj {
+            car: RefCell::new(car),
+            cdr: RefCell::new(cdr),
+        }))
+    }
+
+    /// Constructs a proper list.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Value {
+        let items: Vec<Value> = items.into_iter().collect();
+        let mut out = Value::Nil;
+        for v in items.into_iter().rev() {
+            out = Value::cons(v, out);
+        }
+        out
+    }
+
+    /// Constructs a fresh vector.
+    pub fn vector(items: Vec<Value>) -> Value {
+        Value::Vector(Rc::new(RefCell::new(items)))
+    }
+
+    /// Constructs a fresh empty `eq?` hash table.
+    pub fn table() -> Value {
+        Value::Table(Rc::new(RefCell::new(std::collections::HashMap::new())))
+    }
+
+    /// Constructs a fresh record.
+    pub fn record(tag: Sym, fields: Vec<Value>) -> Value {
+        Value::Record(Rc::new(RecordObj {
+            tag,
+            fields: RefCell::new(fields),
+        }))
+    }
+
+    /// Scheme truthiness: everything except `#f` is true.
+    pub fn is_true(&self) -> bool {
+        !matches!(self, Value::Bool(false))
+    }
+
+    /// Whether this is the empty list.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Whether this value is callable (closure, native, or continuation).
+    pub fn is_procedure(&self) -> bool {
+        matches!(self, Value::Closure(_) | Value::Native(_) | Value::Cont(_))
+    }
+
+    /// `eq?` — pointer identity for heap values, value identity for
+    /// immediates. (Flonums compare by bits, as in `eqv?`; Chez's `eq?` on
+    /// flonums is unspecified, and this choice keeps `eq?` usable as a
+    /// mark-key comparison.)
+    pub fn eq_value(&self, other: &Value) -> bool {
+        self.eq_key() == other.eq_key()
+    }
+
+    /// Returns the `eq?` identity of this value for hashing.
+    pub fn eq_key(&self) -> EqKey {
+        match self {
+            Value::Fixnum(n) => EqKey::Fixnum(*n),
+            Value::Flonum(f) => EqKey::Flonum(f.to_bits()),
+            Value::Bool(b) => EqKey::Bool(*b),
+            Value::Char(c) => EqKey::Char(*c),
+            Value::Nil => EqKey::Nil,
+            Value::Void => EqKey::Void,
+            Value::Eof => EqKey::Eof,
+            Value::Sym(s) => EqKey::Sym(*s),
+            Value::Str(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
+            Value::Pair(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
+            Value::Vector(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
+            Value::Box(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
+            Value::Table(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
+            Value::Record(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
+            Value::Closure(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
+            Value::Native(id) => EqKey::Ptr(0x1000_0000 + id.index()),
+            // Two continuations captured at the same point share the same
+            // underflow record (capture reuses an already-reified chain),
+            // and Chez-style code — e.g. the paper's figure-3 imitation of
+            // attachments — relies on such captures being `eq?`. Identify
+            // a full continuation by its chain head.
+            Value::Cont(r) => match &r.kind {
+                crate::machine::control::ContKind::Full { head: Some(u) } => {
+                    EqKey::Ptr(Rc::as_ptr(u) as usize)
+                }
+                _ => EqKey::Ptr(Rc::as_ptr(r) as usize),
+            },
+        }
+    }
+
+    /// Structural equality (`equal?`): recurs through pairs, vectors, and
+    /// strings; everything else falls back to `eq?`.
+    pub fn equal_value(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Pair(_), Value::Pair(_)) => {
+                // Iterate along the cdr spine (recursion only on cars) so
+                // long lists don't overflow the native stack.
+                let (mut x, mut y) = (self.clone(), other.clone());
+                loop {
+                    match (x, y) {
+                        (Value::Pair(a), Value::Pair(b)) => {
+                            if Rc::ptr_eq(&a, &b) {
+                                return true;
+                            }
+                            if !a.car.borrow().equal_value(&b.car.borrow()) {
+                                return false;
+                            }
+                            let nx = a.cdr.borrow().clone();
+                            let ny = b.cdr.borrow().clone();
+                            x = nx;
+                            y = ny;
+                        }
+                        (ref a, ref b) => return a.equal_value(b),
+                    }
+                }
+            }
+            (Value::Vector(a), Value::Vector(b)) => {
+                if Rc::ptr_eq(a, b) {
+                    return true;
+                }
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.equal_value(y))
+            }
+            (Value::Str(a), Value::Str(b)) => *a.borrow() == *b.borrow(),
+            (Value::Fixnum(a), Value::Flonum(b)) | (Value::Flonum(b), Value::Fixnum(a)) => {
+                // `equal?` implies `eqv?`, which distinguishes exactness; but
+                // many benchmark programs rely on numeric `=` instead, so
+                // keep exact/inexact distinct here.
+                let _ = (a, b);
+                false
+            }
+            _ => self.eq_value(other),
+        }
+    }
+
+    /// Iterates over a proper list, returning `None` if improper.
+    pub fn list_to_vec(&self) -> Option<Vec<Value>> {
+        let mut out = Vec::new();
+        let mut cur = self.clone();
+        loop {
+            match cur {
+                Value::Nil => return Some(out),
+                Value::Pair(p) => {
+                    out.push(p.car.borrow().clone());
+                    let next = p.cdr.borrow().clone();
+                    cur = next;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The `car` of a pair, if this is a pair.
+    pub fn car(&self) -> Option<Value> {
+        match self {
+            Value::Pair(p) => Some(p.car.borrow().clone()),
+            _ => None,
+        }
+    }
+
+    /// The `cdr` of a pair, if this is a pair.
+    pub fn cdr(&self) -> Option<Value> {
+        match self {
+            Value::Pair(p) => Some(p.cdr.borrow().clone()),
+            _ => None,
+        }
+    }
+
+    /// Converts a reader [`Datum`] into a value (used by `quote`).
+    pub fn from_datum(d: &Datum) -> Value {
+        match &d.kind {
+            DatumKind::Fixnum(n) => Value::Fixnum(*n),
+            DatumKind::Flonum(f) => Value::Flonum(*f),
+            DatumKind::Bool(b) => Value::Bool(*b),
+            DatumKind::Char(c) => Value::Char(*c),
+            DatumKind::Str(s) => Value::string(s.to_string()),
+            DatumKind::Symbol(s) => Value::Sym(*s),
+            DatumKind::Nil => Value::Nil,
+            DatumKind::Pair(p) => Value::cons(Value::from_datum(&p.0), Value::from_datum(&p.1)),
+            DatumKind::Vector(v) => Value::vector(v.iter().map(Value::from_datum).collect()),
+        }
+    }
+
+    /// Renders in `write` notation (reader-compatible).
+    pub fn write_string(&self) -> String {
+        let mut out = String::new();
+        self.print(&mut out, true, 0);
+        out
+    }
+
+    /// Renders in `display` notation (human-oriented).
+    pub fn display_string(&self) -> String {
+        let mut out = String::new();
+        self.print(&mut out, false, 0);
+        out
+    }
+
+    fn print(&self, out: &mut String, write: bool, depth: usize) {
+        use std::fmt::Write as _;
+        if depth > 64 {
+            out.push_str("...");
+            return;
+        }
+        match self {
+            Value::Fixnum(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Flonum(f) => {
+                let d = Datum::synth(DatumKind::Flonum(*f));
+                out.push_str(&cm_sexpr::write_datum(&d));
+            }
+            Value::Bool(true) => out.push_str("#t"),
+            Value::Bool(false) => out.push_str("#f"),
+            Value::Char(c) => {
+                if write {
+                    let d = Datum::synth(DatumKind::Char(*c));
+                    out.push_str(&cm_sexpr::write_datum(&d));
+                } else {
+                    out.push(*c);
+                }
+            }
+            Value::Nil => out.push_str("()"),
+            Value::Void => out.push_str("#<void>"),
+            Value::Eof => out.push_str("#<eof>"),
+            Value::Sym(s) => out.push_str(s.name()),
+            Value::Str(s) => {
+                if write {
+                    let d = Datum::synth(DatumKind::Str(Rc::from(s.borrow().as_str())));
+                    out.push_str(&cm_sexpr::write_datum(&d));
+                } else {
+                    out.push_str(&s.borrow());
+                }
+            }
+            Value::Pair(_) => {
+                out.push('(');
+                let mut cur = self.clone();
+                let mut first = true;
+                let mut len = 0usize;
+                loop {
+                    match cur {
+                        Value::Pair(p) => {
+                            len += 1;
+                            if len > 4096 {
+                                out.push_str(" ...");
+                                break;
+                            }
+                            if !first {
+                                out.push(' ');
+                            }
+                            first = false;
+                            p.car.borrow().print(out, write, depth + 1);
+                            let next = p.cdr.borrow().clone();
+                            cur = next;
+                        }
+                        Value::Nil => break,
+                        other => {
+                            out.push_str(" . ");
+                            other.print(out, write, depth + 1);
+                            break;
+                        }
+                    }
+                }
+                out.push(')');
+            }
+            Value::Vector(v) => {
+                out.push_str("#(");
+                for (i, item) in v.borrow().iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    item.print(out, write, depth + 1);
+                }
+                out.push(')');
+            }
+            Value::Box(b) => {
+                out.push_str("#&");
+                b.borrow().print(out, write, depth + 1);
+            }
+            Value::Table(t) => {
+                let _ = write!(out, "#<hash-table:{}>", t.borrow().len());
+            }
+            Value::Record(r) => {
+                let _ = write!(out, "#<{}>", r.tag.name());
+            }
+            Value::Closure(c) => {
+                let _ = write!(out, "#<procedure {}>", c.code.name);
+            }
+            Value::Native(id) => {
+                let _ = write!(out, "#<procedure {}>", crate::prims::native_name(*id));
+            }
+            Value::Cont(_) => out.push_str("#<continuation>"),
+        }
+    }
+
+    /// A short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Fixnum(_) => "fixnum",
+            Value::Flonum(_) => "flonum",
+            Value::Bool(_) => "boolean",
+            Value::Char(_) => "character",
+            Value::Nil => "null",
+            Value::Void => "void",
+            Value::Eof => "eof",
+            Value::Sym(_) => "symbol",
+            Value::Str(_) => "string",
+            Value::Pair(_) => "pair",
+            Value::Vector(_) => "vector",
+            Value::Box(_) => "box",
+            Value::Table(_) => "hash-table",
+            Value::Record(_) => "record",
+            Value::Closure(_) | Value::Native(_) => "procedure",
+            Value::Cont(_) => "continuation",
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.write_string())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_is_identity_for_pairs() {
+        let a = Value::cons(Value::fixnum(1), Value::Nil);
+        let b = Value::cons(Value::fixnum(1), Value::Nil);
+        assert!(a.eq_value(&a.clone()));
+        assert!(!a.eq_value(&b));
+        assert!(a.equal_value(&b));
+    }
+
+    #[test]
+    fn eq_is_value_for_immediates() {
+        assert!(Value::fixnum(3).eq_value(&Value::fixnum(3)));
+        assert!(!Value::fixnum(3).eq_value(&Value::fixnum(4)));
+        assert!(Value::symbol("a").eq_value(&Value::symbol("a")));
+        assert!(Value::Nil.eq_value(&Value::Nil));
+        assert!(!Value::Nil.eq_value(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Bool(false).is_true());
+        assert!(Value::Bool(true).is_true());
+        assert!(Value::Nil.is_true());
+        assert!(Value::fixnum(0).is_true());
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let l = Value::list([Value::fixnum(1), Value::fixnum(2)]);
+        let v = l.list_to_vec().unwrap();
+        assert_eq!(v.len(), 2);
+        assert!(v[1].eq_value(&Value::fixnum(2)));
+        let improper = Value::cons(Value::fixnum(1), Value::fixnum(2));
+        assert!(improper.list_to_vec().is_none());
+    }
+
+    #[test]
+    fn printing() {
+        let l = Value::list([Value::symbol("a"), Value::string("hi"), Value::fixnum(3)]);
+        assert_eq!(l.write_string(), "(a \"hi\" 3)");
+        assert_eq!(l.display_string(), "(a hi 3)");
+        assert_eq!(
+            Value::cons(Value::fixnum(1), Value::fixnum(2)).write_string(),
+            "(1 . 2)"
+        );
+        assert_eq!(Value::Flonum(2.0).write_string(), "2.0");
+    }
+
+    #[test]
+    fn from_datum_preserves_structure() {
+        let d = &cm_sexpr::parse_str("(a (1 . 2) #(3) \"s\")").unwrap()[0];
+        let v = Value::from_datum(d);
+        assert_eq!(v.write_string(), "(a (1 . 2) #(3) \"s\")");
+    }
+
+    #[test]
+    fn equal_distinguishes_exactness() {
+        assert!(!Value::fixnum(1).equal_value(&Value::flonum(1.0)));
+    }
+
+    #[test]
+    fn cyclic_print_terminates() {
+        let p = Value::cons(Value::fixnum(1), Value::Nil);
+        if let Value::Pair(cell) = &p {
+            *cell.cdr.borrow_mut() = p.clone();
+        }
+        // Should not hang or overflow; depth cap kicks in.
+        let s = p.display_string();
+        assert!(s.contains("..."));
+    }
+}

@@ -1,0 +1,62 @@
+//! Exceptions and contracts — the library-level language extensions the
+//! paper builds on marks (§2.3, §8.4) with no compiler changes.
+//!
+//! Run with `cargo run --example exceptions_and_contracts`.
+
+use continuation_marks::{Engine, EngineConfig, EngineError};
+
+fn main() -> Result<(), EngineError> {
+    let mut engine = Engine::new(EngineConfig::default());
+
+    // §2.3: catch/throw built from call/cc + one continuation mark.
+    let caught = engine.eval(
+        r#"
+        (catch (lambda (exn) (list 'recovered exn))
+          (+ 1 (throw 'division-by-zero)))
+        "#,
+    )?;
+    println!("caught: {caught}");
+
+    // Handlers nest; the innermost applicable one wins.
+    let nested = engine.eval(
+        r#"
+        (catch (lambda (exn) (list 'outer exn))
+          (car (cons
+            (catch (lambda (exn) (list 'inner exn))
+              (throw 'oops))
+            0)))
+        "#,
+    )?;
+    println!("nested: {nested}");
+
+    // Function contracts: the wrapper checks the domain, runs the call
+    // under a blame mark, checks the range.
+    engine.eval(
+        r#"
+        (define safe-div
+          ((contract-> integer? integer? 'safe-div)
+           (lambda (x) (quotient 100 x))))
+        "#,
+    )?;
+    println!("safe-div 4 = {}", engine.eval("(safe-div 4)")?);
+    match engine.eval("(safe-div \"four\")") {
+        Ok(_) => unreachable!("contract must reject a string"),
+        Err(e) => println!("contract rejected bad input: {e}"),
+    }
+
+    // Blame context is visible *during* the wrapped call:
+    let blame = engine.eval(
+        r#"
+        (define observed-blame #f)
+        (define observe
+          ((contract-> integer? integer? 'observer)
+           (lambda (x)
+             (set! observed-blame (current-contract-blame))
+             x)))
+        (observe 7)
+        observed-blame
+        "#,
+    )?;
+    println!("blame during call: {blame}");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Generators from delimited control — one of the paper's cited
+//! library-level extensions (Racket generators are built on prompts and
+//! composable continuations; marks splice through them naturally).
+//!
+//! Run with `cargo run --example generators`.
+
+use continuation_marks::{Engine, EngineConfig, EngineError};
+
+fn main() -> Result<(), EngineError> {
+    let mut engine = Engine::new(EngineConfig::default());
+
+    let collected = engine.eval(
+        r#"
+        ;; A generator: the body runs inside a prompt; yield captures the
+        ;; rest of the body as a composable continuation and aborts with
+        ;; the yielded value plus the resumption.
+        (define (make-generator body)
+          (let ([resume (lambda (v)
+                          (%call-with-prompt 'gen
+                            (lambda () (body yield-to) '(done . #f))
+                            (lambda (pair) pair)))])
+            (box resume)))
+
+        (define (yield-to v)
+          (%call-with-composable-continuation 'gen
+            (lambda (k)
+              (%abort 'gen
+                      (cons v
+                            ;; Resuming re-installs the prompt around the
+                            ;; captured rest-of-body.
+                            (lambda (reply)
+                              (%call-with-prompt 'gen
+                                (lambda () (k reply))
+                                (lambda (pair) pair))))))))
+
+        (define (generator-next! g)
+          (let ([step ((unbox g) 'go)])
+            (if (procedure? (cdr step))
+                (begin
+                  (set-box! g (cdr step))
+                  (car step))
+                (car step))))
+
+        ;; Walk a tree, yielding each leaf.
+        (define (leaves tree yield)
+          (if (pair? tree)
+              (begin (leaves (car tree) yield) (leaves (cdr tree) yield))
+              (yield tree)))
+
+        (define g (make-generator
+                   (lambda (yield) (leaves '((1 . 2) . (3 . (4 . 5))) yield))))
+
+        (list (generator-next! g)
+              (generator-next! g)
+              (generator-next! g)
+              (generator-next! g)
+              (generator-next! g)
+              (generator-next! g))
+        "#,
+    )?;
+    println!("generated leaves then done: {collected}");
+
+    // Marks set around the *resume* site are visible inside the
+    // generator body — the "splicing" behavior of composable
+    // continuations the paper highlights in §2.3.
+    let spliced = engine.eval(
+        r#"
+        (define seen '())
+        (define (noisy-leaves tree yield)
+          (set! seen (cons (continuation-mark-set-first #f 'phase 'none) seen))
+          (leaves tree yield))
+        (define g2 (make-generator
+                    (lambda (yield) (noisy-leaves '(1 . 2) yield))))
+        (with-continuation-mark 'phase 'pumping
+          (car (cons (generator-next! g2) 0)))
+        seen
+        "#,
+    )?;
+    println!("marks seen inside the generator body: {spliced}");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: embed the engine, set and read continuation marks.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use continuation_marks::{Engine, EngineConfig, EngineError};
+
+fn main() -> Result<(), EngineError> {
+    let mut engine = Engine::new(EngineConfig::default());
+
+    // The paper's §2 team-color example: marks attach to continuation
+    // frames; tail marks replace, nested marks stack.
+    let result = engine.eval(
+        r#"
+        (define (current-team-color)
+          (continuation-mark-set-first #f 'team-color "?"))
+
+        (define (all-team-colors)
+          (continuation-mark-set->list (current-continuation-marks) 'team-color))
+
+        (with-continuation-mark 'team-color "red"
+          (list
+            ;; Seen from a tail call: "red".
+            (current-team-color)
+            ;; A nested non-tail mark stacks: ("blue" "red").
+            (with-continuation-mark 'team-color "blue"
+              (car (cons (all-team-colors) 0)))))
+        "#,
+    )?;
+    println!("team colors: {result}");
+
+    // Calling Scheme from Rust:
+    engine.eval("(define (greet name) (string-append \"hello, \" name))")?;
+    let v = engine.call_global(
+        "greet",
+        vec![continuation_marks::Value::string("continuation marks")],
+    )?;
+    println!("{}", v.display_string());
+
+    // The engine reports what the continuation machinery did:
+    let stats = engine.stats();
+    println!(
+        "machinery: {} reifications, {} underflows, {} fusions, {} copies",
+        stats.reifications, stats.underflows, stats.fusions, stats.copies
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Stack inspection — debugger-style context tracking with marks.
+//!
+//! Marks attach a "who am I" badge to continuation frames; an error
+//! reporter reads the whole chain to produce a logical stack trace,
+//! while tail calls still run in constant space (the paper's
+//! "tail-recursive machine with stack inspection").
+//!
+//! Run with `cargo run --example stack_inspection`.
+
+use continuation_marks::{Engine, EngineConfig, EngineError};
+
+fn main() -> Result<(), EngineError> {
+    let mut engine = Engine::new(EngineConfig::default());
+
+    let trace = engine.eval(
+        r#"
+        ;; Instrument a call with a stack-trace mark. The body stays in
+        ;; tail position, so instrumented tail loops don't grow the stack.
+        (define-syntax traced
+          (syntax-rules ()
+            ((_ name body)
+             (with-continuation-mark 'trace 'name body))))
+
+        (define (current-trace)
+          (continuation-mark-set->list (current-continuation-marks) 'trace))
+
+        (define (parse-header bytes)
+          (traced parse-header
+            (car (cons (current-trace) bytes))))
+
+        (define (parse-packet bytes)
+          (traced parse-packet
+            (car (cons (parse-header bytes) 1))))
+
+        (define (handle-request bytes)
+          (traced handle-request
+            (parse-packet bytes)))
+
+        (handle-request '(1 2 3))
+        "#,
+    )?;
+    // Note: handle-request tail-calls parse-packet, so their frames are
+    // one continuation frame and the later mark replaced the earlier one
+    // — exactly Racket's behavior for marks in tail position.
+    println!("logical stack at the failure point: {trace}");
+
+    // Tail calls coalesce trace frames instead of accumulating them:
+    let loop_trace = engine.eval(
+        r#"
+        (define (spin i)
+          (with-continuation-mark 'trace (list 'spin i)
+            (if (zero? i)
+                (continuation-mark-set->list (current-continuation-marks) 'trace)
+                (spin (- i 1)))))
+        (spin 100000)
+        "#,
+    )?;
+    println!("trace after 100k tail iterations (one frame!): {loop_trace}");
+
+    // A security-check flavor (the paper cites stack inspection for
+    // security): grant code runs only if a privilege mark is present.
+    let privileged = engine.eval(
+        r#"
+        (define (assert-privilege)
+          (if (continuation-mark-set-first #f 'privilege #f)
+              'granted
+              'denied))
+        (list
+          (assert-privilege)
+          (with-continuation-mark 'privilege 'root (assert-privilege)))
+        "#,
+    )?;
+    println!("privilege checks: {privileged}");
+    Ok(())
+}

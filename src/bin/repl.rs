@@ -1,0 +1,134 @@
+//! An interactive REPL for the continuation-marks engine.
+//!
+//! ```text
+//! cargo run --bin repl
+//! ```
+//!
+//! Meta-commands: `,stats` prints the machine's event counters,
+//! `,reset-stats` clears them, `,config <variant>` restarts the engine
+//! (`full`, `racket-cs`, `unmod`, `no-1cc`, `no-opt`, `no-prim`,
+//! `old-racket`, `imitate`), `,quit` exits.
+
+use std::io::{self, BufRead, Write};
+
+use continuation_marks::{baseline, Engine, EngineConfig};
+
+fn make_engine(variant: &str) -> Option<Engine> {
+    Some(match variant {
+        "full" | "chez" => Engine::new(EngineConfig::full()),
+        "racket-cs" => Engine::new(EngineConfig::racket_cs()),
+        "unmod" => Engine::new(EngineConfig::unmodified_chez()),
+        "no-1cc" => Engine::new(EngineConfig::no_one_shot()),
+        "no-opt" => Engine::new(EngineConfig::no_attachment_opt()),
+        "no-prim" => Engine::new(EngineConfig::no_prim_opt()),
+        "old-racket" => Engine::new(EngineConfig::old_racket()),
+        "imitate" => baseline::imitation_engine(),
+        _ => return None,
+    })
+}
+
+fn balanced(src: &str) -> bool {
+    // Count parens outside strings/comments well enough for a REPL.
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut comment = false;
+    for c in src.chars() {
+        if comment {
+            if c == '\n' {
+                comment = false;
+            }
+            continue;
+        }
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            ';' => comment = true,
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0 && !in_str
+}
+
+fn main() {
+    println!("continuation-marks REPL — PLDI 2020 reproduction");
+    println!("type Scheme, or ,help");
+    let mut engine = make_engine("full").expect("full variant exists");
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("cm> ");
+        } else {
+            print!("  > ");
+        }
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with(',') {
+            match trimmed {
+                ",quit" | ",q" => break,
+                ",help" => {
+                    println!(",stats ,reset-stats ,config <variant> ,quit");
+                    println!("variants: full racket-cs unmod no-1cc no-opt no-prim old-racket imitate");
+                }
+                ",stats" => println!("{:#?}", engine.stats()),
+                ",reset-stats" => engine.reset_stats(),
+                other => {
+                    if let Some(variant) = other.strip_prefix(",config ") {
+                        match make_engine(variant.trim()) {
+                            Some(e) => {
+                                engine = e;
+                                println!("engine: {variant}");
+                            }
+                            None => println!("unknown variant {variant}"),
+                        }
+                    } else {
+                        println!("unknown command {other}");
+                    }
+                }
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if !balanced(&buffer) {
+            continue;
+        }
+        let src = std::mem::take(&mut buffer);
+        if src.trim().is_empty() {
+            continue;
+        }
+        match engine.eval(&src) {
+            Ok(v) => {
+                let out = engine.take_output();
+                if !out.is_empty() {
+                    print!("{out}");
+                    if !out.ends_with('\n') {
+                        println!();
+                    }
+                }
+                println!("{}", v.write_string());
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

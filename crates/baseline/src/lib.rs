@@ -152,8 +152,10 @@ mod tests {
         assert_eq!(chez.eval_to_string("(+ 1 2)").unwrap(), "3");
         let mut old = old_racket_engine();
         assert_eq!(
-            old.eval_to_string("(with-continuation-mark 'k 7 (continuation-mark-set-first #f 'k 0))")
-                .unwrap(),
+            old.eval_to_string(
+                "(with-continuation-mark 'k 7 (continuation-mark-set-first #f 'k 0))"
+            )
+            .unwrap(),
             "7"
         );
     }

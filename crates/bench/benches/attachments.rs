@@ -1,8 +1,8 @@
 //! Figure 4: continuation-attachment microbenchmarks, builtin support
 //! vs the figure-3 imitation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm_workloads::{attachment_micros, load_into, run_scaled};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4-attachments");

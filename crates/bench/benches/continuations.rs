@@ -1,8 +1,8 @@
 //! §8.1 and figure 1: the ctak and triple continuation benchmarks
 //! across implementation strategies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm_workloads::{ctak, load_into, run_scaled, triple};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("t8.1-ctak");

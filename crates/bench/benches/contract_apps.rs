@@ -1,8 +1,8 @@
 //! §8.4: the contract microbenchmark and the five application
 //! workloads, builtin vs the figure-3 imitation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm_workloads::{applications, contract, load_into, run_scaled};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("t8.4-contract");

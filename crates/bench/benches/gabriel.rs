@@ -1,8 +1,8 @@
 //! Figure 2: traditional Scheme benchmarks on the unmodified vs the
 //! attachment-supporting engine (the "pay-as-you-go" check).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm_workloads::{gabriel, load_into, run_scaled};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2-gabriel");

@@ -2,9 +2,9 @@
 //! vs the old-Racket eager mark-stack model — plus the figure-6 ablation
 //! variants (no 1cc / no opt / no prim).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cm_core::{Engine, EngineConfig};
 use cm_workloads::{load_into, mark_micros, run_scaled};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5-marks");
@@ -30,10 +30,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_millis(1500));
     group.warm_up_time(std::time::Duration::from_millis(300));
-    for w in mark_micros()
-        .iter()
-        .filter(|w| matches!(w.name, "set-loop" | "set-arg-call-loop" | "set-arg-prim-loop"))
-    {
+    for w in mark_micros().iter().filter(|w| {
+        matches!(
+            w.name,
+            "set-loop" | "set-arg-call-loop" | "set-arg-prim-loop"
+        )
+    }) {
         let n = (w.bench_n / 60).max(1);
         for (label, config) in [
             ("no-1cc", EngineConfig::no_one_shot()),

@@ -340,7 +340,9 @@ fn table_ablations(s: Scale) {
     }
 }
 
-const ALL_TABLES: &[(&str, fn(Scale))] = &[
+type Table = (&'static str, fn(Scale));
+
+const ALL_TABLES: &[Table] = &[
     ("ctak", table_ctak),
     ("triple", table_triple),
     ("modified-chez", table_modified_chez),

@@ -56,11 +56,7 @@ pub fn measure(engine: &mut Engine, w: &Workload, n: i64, runs: usize) -> Measur
         samples.push(start.elapsed().as_secs_f64() * 1000.0);
     }
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let var = samples
-        .iter()
-        .map(|s| (s - mean) * (s - mean))
-        .sum::<f64>()
-        / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
     Measurement {
         mean_ms: mean,
         stdev_ms: var.sqrt(),

@@ -121,9 +121,7 @@ impl Expr {
     /// control, or diverge. Conservative: `false` means provably pure.
     pub fn is_pure(&self) -> bool {
         match self {
-            Expr::Quote(_) | Expr::LocalRef(_) | Expr::Lambda(_) | Expr::CurrentAttachments => {
-                true
-            }
+            Expr::Quote(_) | Expr::LocalRef(_) | Expr::Lambda(_) | Expr::CurrentAttachments => true,
             // A global read can fault on unbound variables; still treat it
             // as pure for dead-code purposes (matching cp0's behavior of
             // assuming bound globals).
@@ -200,10 +198,7 @@ impl Expr {
     pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::Quote(_)
-            | Expr::LocalRef(_)
-            | Expr::GlobalRef(_)
-            | Expr::CurrentAttachments => {}
+            Expr::Quote(_) | Expr::LocalRef(_) | Expr::GlobalRef(_) | Expr::CurrentAttachments => {}
             Expr::If(a, b, c) => {
                 a.walk(f);
                 b.walk(f);

@@ -268,8 +268,8 @@ impl<'a> FnGen<'a> {
                 }
             }
             Expr::PrimApp { op, rands } => {
-                let needs_generic_call = matches!(ctx, Ctx::WcmBody(Att::Present))
-                    && !self.cfg.prim_attachment_opt;
+                let needs_generic_call =
+                    matches!(ctx, Ctx::WcmBody(Att::Present)) && !self.cfg.prim_attachment_opt;
                 if needs_generic_call {
                     // "no prim" ablation: the compiler may not assume the
                     // primitive leaves attachments alone, so it compiles a
@@ -291,9 +291,7 @@ impl<'a> FnGen<'a> {
                 }
             }
             Expr::Wcm { key, val, body } => self.compile_eager_wcm(key, val, body, ctx),
-            Expr::SetAttachment { .. } | Expr::GetAttachment { .. }
-                if ctx == Ctx::EagerWcmBody =>
-            {
+            Expr::SetAttachment { .. } | Expr::GetAttachment { .. } if ctx == Ctx::EagerWcmBody => {
                 // Mixing raw attachment operations into an eager-model
                 // mark body: evaluate as a plain value, then pop the
                 // conceptual frame's entry.
@@ -551,9 +549,7 @@ fn collect_free(
             collect_free(rator, bound, seen, out);
             rands.iter().for_each(|x| collect_free(x, bound, seen, out));
         }
-        Expr::PrimApp { rands, .. } => {
-            rands.iter().for_each(|x| collect_free(x, bound, seen, out))
-        }
+        Expr::PrimApp { rands, .. } => rands.iter().for_each(|x| collect_free(x, bound, seen, out)),
         Expr::Wcm { key, val, body } => {
             collect_free(key, bound, seen, out);
             collect_free(val, bound, seen, out);
@@ -627,10 +623,10 @@ mod tests {
             &CompilerConfig::default(),
         );
         let d = instrs_of(&code);
-        assert!(d.contains("ReifySetAttach"), "{d}");
+        assert!(d.contains("reify-set-attach"), "{d}");
         // The consume/set fusion: the set skips the replace check.
-        assert!(d.contains("check_replace: false"), "{d}");
-        assert!(d.contains("TailCall"), "{d}");
+        assert!(d.contains("check-replace=false"), "{d}");
+        assert!(d.contains("tail-call"), "{d}");
     }
 
     #[test]
@@ -640,8 +636,8 @@ mod tests {
             &CompilerConfig::default(),
         );
         let d = instrs_of(&code);
-        assert!(d.contains("CallWithAttachment"), "{d}");
-        assert!(d.contains("PushAttach"), "{d}");
+        assert!(d.contains("call/attach"), "{d}");
+        assert!(d.contains("push-attach"), "{d}");
     }
 
     #[test]
@@ -652,10 +648,10 @@ mod tests {
             &CompilerConfig::default(),
         );
         let d = instrs_of(&code);
-        assert!(d.contains("PushAttach"), "{d}");
-        assert!(d.contains("PopAttach"), "{d}");
-        assert!(!d.contains("CallWithAttachment"), "{d}");
-        assert!(!d.contains("ReifySetAttach"), "{d}");
+        assert!(d.contains("push-attach"), "{d}");
+        assert!(d.contains("pop-attach"), "{d}");
+        assert!(!d.contains("call/attach"), "{d}");
+        assert!(!d.contains("reify-set-attach"), "{d}");
     }
 
     #[test]
@@ -669,7 +665,7 @@ mod tests {
             &cfg,
         );
         let d = instrs_of(&code);
-        assert!(d.contains("CallWithAttachment"), "{d}");
+        assert!(d.contains("call/attach"), "{d}");
     }
 
     #[test]
@@ -680,9 +676,9 @@ mod tests {
         };
         let code = gen("(define (f) (with-continuation-mark 'k 1 (g)))", &cfg);
         let d = instrs_of(&code);
-        assert!(!d.contains("ReifySetAttach"), "{d}");
-        assert!(!d.contains("PushAttach"), "{d}");
-        assert!(d.contains("MakeClosure"), "{d}");
+        assert!(!d.contains("reify-set-attach"), "{d}");
+        assert!(!d.contains("push-attach"), "{d}");
+        assert!(d.contains("make-closure"), "{d}");
     }
 
     #[test]
@@ -693,41 +689,50 @@ mod tests {
         };
         let code = gen("(define (f) (with-continuation-mark 'k 1 (g)))", &cfg);
         let d = instrs_of(&code);
-        assert!(d.contains("EagerMarkSet"), "{d}");
-        assert!(!d.contains("ReifySetAttach"), "{d}");
+        assert!(d.contains("eager-mark-set"), "{d}");
+        assert!(!d.contains("reify-set-attach"), "{d}");
         let code = gen("(define (f) (+ 1 (with-continuation-mark 'k 1 (g))))", &cfg);
         let d = instrs_of(&code);
-        assert!(d.contains("EagerPushFrame"), "{d}");
+        assert!(d.contains("eager-push-frame"), "{d}");
         // The tail call in the body shares the conceptual frame's entry.
-        assert!(d.contains("EagerCallShared"), "{d}");
+        assert!(d.contains("eager-call-shared"), "{d}");
         // A non-call body pops the entry explicitly.
         let code = gen(
             "(define (f x) (+ 1 (with-continuation-mark 'k 1 (+ x 1))))",
             &cfg,
         );
         let d = instrs_of(&code);
-        assert!(d.contains("EagerPopFrame"), "{d}");
+        assert!(d.contains("eager-pop-frame"), "{d}");
     }
 
     #[test]
     fn closures_capture_free_variables() {
-        let code = gen("(define (f x) (lambda (y) (+ x y)))", &CompilerConfig::default());
+        let code = gen(
+            "(define (f x) (lambda (y) (+ x y)))",
+            &CompilerConfig::default(),
+        );
         let d = instrs_of(&code);
-        assert!(d.contains("MakeClosure { code: 0, captures: 1 }"), "{d}");
-        assert!(d.contains("CaptureRef"), "{d}");
+        assert!(d.contains("make-closure code=0 captures=1"), "{d}");
+        assert!(d.contains("capture-ref"), "{d}");
     }
 
     #[test]
     fn tail_calls_are_tail_calls() {
-        let code = gen("(define (loop i) (loop (+ i 1)))", &CompilerConfig::default());
+        let code = gen(
+            "(define (loop i) (loop (+ i 1)))",
+            &CompilerConfig::default(),
+        );
         let d = instrs_of(&code);
-        assert!(d.contains("TailCall"), "{d}");
+        assert!(d.contains("tail-call"), "{d}");
     }
 
     #[test]
     fn let_compiles_with_leave() {
-        let code = gen("(define (f) (car (let ([x (g)]) (cons x x))))", &CompilerConfig::default());
+        let code = gen(
+            "(define (f) (car (let ([x (g)]) (cons x x))))",
+            &CompilerConfig::default(),
+        );
         let d = instrs_of(&code);
-        assert!(d.contains("Leave"), "{d}");
+        assert!(d.contains("leave"), "{d}");
     }
 }

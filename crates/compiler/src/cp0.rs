@@ -120,10 +120,12 @@ pub fn recognize_prims(e: Expr, user_defined: &HashSet<Sym>) -> Expr {
                     for (name, op, min, max) in prim_table() {
                         if s.name() == *name
                             && rands.len() >= *min
-                            && max.map_or(true, |m| rands.len() <= m)
+                            && max.is_none_or(|m| rands.len() <= m)
                             && rands.len() <= u8::MAX as usize
                         {
-                            let Expr::Call { rands, .. } = e else { unreachable!() };
+                            let Expr::Call { rands, .. } = e else {
+                                unreachable!()
+                            };
                             return Expr::PrimApp { op: *op, rands };
                         }
                     }
@@ -473,7 +475,9 @@ mod tests {
         let forms = ex.expand_program(&data).unwrap();
         let user = user_defined_names(&forms);
         assert!(user.contains(&cm_sexpr::sym("car")));
-        let TopForm::Expr(e) = &forms[1] else { panic!() };
+        let TopForm::Expr(e) = &forms[1] else {
+            panic!()
+        };
         let e = recognize_prims(e.clone(), &user);
         assert!(matches!(e, Expr::Call { .. }));
     }

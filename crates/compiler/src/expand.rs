@@ -45,12 +45,7 @@ impl Expander {
 
     /// Registers a macro without going through `define-syntax` (used to
     /// preload library macros).
-    pub fn define_macro(
-        &mut self,
-        name: Sym,
-        literals: Vec<Sym>,
-        rules: Vec<(Datum, Datum)>,
-    ) {
+    pub fn define_macro(&mut self, name: Sym, literals: Vec<Sym>, rules: Vec<(Datum, Datum)>) {
         self.macros.insert(name, MacroDef { literals, rules });
     }
 
@@ -140,10 +135,9 @@ impl Expander {
             }
             DatumKind::Pair(p) => {
                 // (define (name . formals) body...) => (define name (lambda formals body...))
-                let name = p
-                    .0
-                    .as_sym()
-                    .ok_or_else(|| err(items[1].span, "define: expected procedure name"))?;
+                let name =
+                    p.0.as_sym()
+                        .ok_or_else(|| err(items[1].span, "define: expected procedure name"))?;
                 let formals = p.1.clone();
                 let mut lam = vec![Datum::symbol("lambda"), formals];
                 lam.extend(items[2..].iter().map(|d| (*d).clone()));
@@ -288,7 +282,12 @@ impl Expander {
                 if items.len() < 3 {
                     return Err(err(span, "lambda: missing body"));
                 }
-                return Ok(Some(self.expand_lambda("lambda", &items[1], &items[2..], depth)?));
+                return Ok(Some(self.expand_lambda(
+                    "lambda",
+                    &items[1],
+                    &items[2..],
+                    depth,
+                )?));
             }
             "set!" => {
                 expect_len(&items, 3, span, "set!")?;
@@ -416,7 +415,7 @@ impl Expander {
                 let (inits, body) = result?;
                 letrec_expr(vars, inits, body)
             }
-            "cond" => return Ok(Some(self.expand_cond(&items[1..], span, depth)?)),
+            "cond" => return Ok(Some(self.expand_cond(&items[1..], depth)?)),
             "case" => return Ok(Some(self.expand_case(&items, span, depth)?)),
             "and" => {
                 let mut out = Expr::Quote(Value::Bool(true));
@@ -425,7 +424,11 @@ impl Expander {
                     if matches!(out, Expr::Quote(Value::Bool(true))) {
                         out = t;
                     } else {
-                        out = Expr::If(Box::new(t), Box::new(out), Box::new(Expr::Quote(Value::Bool(false))));
+                        out = Expr::If(
+                            Box::new(t),
+                            Box::new(out),
+                            Box::new(Expr::Quote(Value::Bool(false))),
+                        );
                     }
                 }
                 out
@@ -592,12 +595,7 @@ impl Expander {
         Ok(letrec_expr(vars, inits, body))
     }
 
-    fn expand_cond(
-        &mut self,
-        clauses: &[Datum],
-        span: Span,
-        depth: usize,
-    ) -> Result<Expr, CompileError> {
+    fn expand_cond(&mut self, clauses: &[Datum], depth: usize) -> Result<Expr, CompileError> {
         let Some((first, rest)) = clauses.split_first() else {
             return Ok(Expr::void());
         };
@@ -615,7 +613,7 @@ impl Expander {
             return Ok(seq(es));
         }
         let test = self.expand_expr(&parts[0], depth)?;
-        let else_part = self.expand_cond(rest, span, depth)?;
+        let else_part = self.expand_cond(rest, depth)?;
         if parts.len() == 1 {
             // (cond (test) ...) — value of test if true.
             self.scopes.push(HashMap::new());
@@ -767,12 +765,7 @@ impl Expander {
             .zip(inits)
             .map(|(v, i)| Datum::list([v, i]))
             .collect();
-        let rewritten = Datum::list([
-            Datum::symbol("let"),
-            loop_name,
-            Datum::list(bindings),
-            body,
-        ]);
+        let rewritten = Datum::list([Datum::symbol("let"), loop_name, Datum::list(bindings), body]);
         self.expand_expr(&rewritten, depth + 1)
     }
 
@@ -1013,10 +1006,10 @@ fn pattern_vars(pattern: &Datum, literals: &[Sym]) -> Vec<Sym> {
     let mut out = Vec::new();
     fn go(p: &Datum, literals: &[Sym], out: &mut Vec<Sym>) {
         match &p.kind {
-            DatumKind::Symbol(s) => {
-                if s.name() != "_" && s.name() != "..." && !literals.contains(s) {
-                    out.push(*s);
-                }
+            DatumKind::Symbol(s)
+                if s.name() != "_" && s.name() != "..." && !literals.contains(s) =>
+            {
+                out.push(*s);
             }
             DatumKind::Pair(pp) => {
                 go(&pp.0, literals, out);
@@ -1082,10 +1075,8 @@ fn template_vars(template: &Datum, bindings: &Bindings) -> Vec<Sym> {
     let mut out = Vec::new();
     fn go(t: &Datum, bindings: &Bindings, out: &mut Vec<Sym>) {
         match &t.kind {
-            DatumKind::Symbol(s) => {
-                if bindings.contains_key(s) {
-                    out.push(*s);
-                }
+            DatumKind::Symbol(s) if bindings.contains_key(s) => {
+                out.push(*s);
             }
             DatumKind::Pair(p) => {
                 go(&p.0, bindings, out);
@@ -1122,7 +1113,9 @@ mod tests {
     #[test]
     fn lambda_binds_locals() {
         let e = expand_one("(lambda (x) x)");
-        let Expr::Lambda(l) = e else { panic!("not a lambda") };
+        let Expr::Lambda(l) = e else {
+            panic!("not a lambda")
+        };
         assert_eq!(l.params.len(), 1);
         assert!(matches!(l.body, Expr::LocalRef(v) if v == l.params[0]));
     }
@@ -1130,7 +1123,9 @@ mod tests {
     #[test]
     fn rest_parameters() {
         let e = expand_one("(lambda (a . rest) rest)");
-        let Expr::Lambda(l) = e else { panic!("not a lambda") };
+        let Expr::Lambda(l) = e else {
+            panic!("not a lambda")
+        };
         assert_eq!(l.params.len(), 1);
         assert!(l.rest.is_some());
     }
@@ -1138,8 +1133,12 @@ mod tests {
     #[test]
     fn let_and_shadowing() {
         let e = expand_one("(let ([x 1]) (let ([x 2]) x))");
-        let Expr::Let { body, .. } = e else { panic!("not a let") };
-        let Expr::Let { bindings, body } = *body else { panic!("not nested let") };
+        let Expr::Let { body, .. } = e else {
+            panic!("not a let")
+        };
+        let Expr::Let { bindings, body } = *body else {
+            panic!("not nested let")
+        };
         assert!(matches!(*body, Expr::LocalRef(v) if v == bindings[0].0));
     }
 
@@ -1188,7 +1187,9 @@ mod tests {
             (my-list 1 2 3)
         "#;
         let e = expand_one(src);
-        let Expr::Call { rands, .. } = e else { panic!("not a call") };
+        let Expr::Call { rands, .. } = e else {
+            panic!("not a call")
+        };
         assert_eq!(rands.len(), 3);
     }
 
@@ -1200,7 +1201,9 @@ mod tests {
             (my-let ((a 1) (b 2)) (+ a b))
         "#;
         let e = expand_one(src);
-        let Expr::Call { rator, rands } = e else { panic!("not a call") };
+        let Expr::Call { rator, rands } = e else {
+            panic!("not a call")
+        };
         assert!(matches!(*rator, Expr::Lambda(_)));
         assert_eq!(rands.len(), 2);
     }
@@ -1224,14 +1227,18 @@ mod tests {
         "#;
         let e = expand_one(src);
         // m is a local, so (m ...) is a plain call.
-        let Expr::Let { body, .. } = e else { panic!("not let") };
+        let Expr::Let { body, .. } = e else {
+            panic!("not let")
+        };
         assert!(matches!(*body, Expr::Call { .. }));
     }
 
     #[test]
     fn internal_defines_are_letrec() {
         let e = expand_one("(lambda () (define x 1) (define (f) x) (f))");
-        let Expr::Lambda(l) = e else { panic!("not lambda") };
+        let Expr::Lambda(l) = e else {
+            panic!("not lambda")
+        };
         assert!(matches!(&l.body, Expr::Let { .. }));
     }
 

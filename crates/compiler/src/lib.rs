@@ -31,6 +31,7 @@ pub mod ast;
 pub mod codegen;
 pub mod cp0;
 pub mod expand;
+pub mod lint;
 pub mod lower;
 
 use std::cell::RefCell;
@@ -88,6 +89,11 @@ pub struct CompilerConfig {
     /// Mark representation the code is generated for (must match the
     /// machine's [`MarkModel`]).
     pub mark_model: MarkModel,
+    /// Run the `cm-analysis` bytecode verifier over every compiled code
+    /// object (stack discipline, index soundness, §7.2 attachment
+    /// discipline) and the §7.4 cp0 frame-collapse lint. Defaults to on
+    /// in debug builds.
+    pub verify_bytecode: bool,
 }
 
 impl Default for CompilerConfig {
@@ -98,6 +104,7 @@ impl Default for CompilerConfig {
             attachment_opt: true,
             prim_attachment_opt: true,
             mark_model: MarkModel::Attachments,
+            verify_bytecode: cfg!(debug_assertions),
         }
     }
 }
@@ -117,6 +124,7 @@ pub struct Compiler {
     globals: Rc<RefCell<Globals>>,
     config: CompilerConfig,
     var_counter: u32,
+    lints: Vec<lint::Finding>,
 }
 
 impl Compiler {
@@ -127,12 +135,24 @@ impl Compiler {
             globals,
             config,
             var_counter: 0,
+            lints: Vec::new(),
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &CompilerConfig {
         &self.config
+    }
+
+    /// Takes the §7.4 lint findings accumulated since the last call.
+    ///
+    /// With [`CompilerConfig::cp0_attachment_restriction`] on, a finding
+    /// is a compiler bug and [`Compiler::compile_data`] reports it as a
+    /// [`CompileError`] instead; findings accumulate here only when the
+    /// restriction is deliberately off (the "unmod" ablation), where the
+    /// §7.4 miscompilation class is expected and measurable.
+    pub fn take_lints(&mut self) -> Vec<lint::Finding> {
+        std::mem::take(&mut self.lints)
     }
 
     /// Compiles source text to a runnable code object.
@@ -159,17 +179,24 @@ impl Compiler {
         };
         // The expander allocates ids monotonically across calls; continue
         // above anything it has produced so far.
-        self.var_counter = self.var_counter.max(self.expander.var_count()).max(1_000_000);
+        self.var_counter = self
+            .var_counter
+            .max(self.expander.var_count())
+            .max(1_000_000);
         let mut supply = lower::VarSupply::starting_at(self.var_counter);
+        let verify = self.config.verify_bytecode;
+        let mut findings = Vec::new();
         let forms: Vec<TopForm> = forms
             .into_iter()
             .map(|f| {
                 let mut run = |e| {
-                    lower::lower(
-                        cp0::optimize(cp0::recognize_prims(e, &user), &cp0_opts),
-                        &self.config,
-                        &mut supply,
-                    )
+                    let recognized = cp0::recognize_prims(e, &user);
+                    let before = verify.then(|| lint::frame_profile(&recognized));
+                    let optimized = cp0::optimize(recognized, &cp0_opts);
+                    if let Some(before) = before {
+                        findings.extend(lint::diff(&before, &lint::frame_profile(&optimized)));
+                    }
+                    lower::lower(optimized, &self.config, &mut supply)
                 };
                 match f {
                     TopForm::Define(n, e) => TopForm::Define(n, run(e)),
@@ -177,7 +204,37 @@ impl Compiler {
                 }
             })
             .collect();
-        Ok(codegen::gen_program(&forms, &self.globals, &self.config))
+        if !findings.is_empty() {
+            if self.config.cp0_attachment_restriction {
+                // The restriction should have blocked the rewrite: this is
+                // a compiler bug, not a user error — fail the compile.
+                return Err(CompileError {
+                    message: findings
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                    span: Span::new(0, 0),
+                });
+            }
+            self.lints.extend(findings);
+        }
+        let code = codegen::gen_program(&forms, &self.globals, &self.config);
+        if verify {
+            if let Err(violations) = cm_analysis::verify(&code, self.config.mark_model) {
+                let mut message = String::from("bytecode verification failed:\n");
+                for v in &violations {
+                    message.push_str(&format!("  {v}\n"));
+                }
+                message.push_str("disassembly:\n");
+                message.push_str(&code.disassemble());
+                return Err(CompileError {
+                    message,
+                    span: Span::new(0, 0),
+                });
+            }
+        }
+        Ok(code)
     }
 }
 

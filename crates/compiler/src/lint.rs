@@ -1,0 +1,206 @@
+//! The §7.4 frame-observability lint.
+//!
+//! cp0 must not collapse a conceptual continuation frame that an
+//! attachment operation could observe: rewriting `(let ([x E]) x)` to `E`
+//! moves `E` from non-tail position (its own frame, its own attachment
+//! slot) into tail position (sharing the caller's frame), which is
+//! observable whenever `E` is not *attachment-transparent* — the paper's
+//! §7.4 counterexample. [`Cp0Options::attachment_restriction`] guards the
+//! rewrite; this lint independently checks the guard by diffing
+//! *frame-observability profiles* of an expression before and after
+//! `cp0::optimize`.
+//!
+//! A profile records, for every non-attachment-transparent subexpression,
+//! whether it occurs in tail position (sharing the enclosing function
+//! frame) or only in non-tail positions (inside its own conceptual
+//! frame). A [`finding`](Finding) is reported when an expression that
+//! occurred *only* in non-tail positions before optimization shows up in
+//! tail position afterwards: some rewrite erased a frame the expression
+//! could observe. Under the default configuration (restriction on) the
+//! lint stays silent; with the restriction off (the "unmod" Chez variant)
+//! it fires on the counterexample — which the test suite pins down.
+//!
+//! [`Cp0Options::attachment_restriction`]: crate::cp0::Cp0Options
+
+use std::collections::HashMap;
+
+use crate::ast::Expr;
+
+/// Where fingerprints were seen: in tail position, non-tail, or both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Positions {
+    tail: bool,
+    nontail: bool,
+}
+
+/// A frame-observability profile: every non-attachment-transparent
+/// subexpression, keyed by structural fingerprint, with the positions it
+/// occupies.
+#[derive(Debug, Default)]
+pub struct FrameProfile {
+    seen: HashMap<String, Positions>,
+}
+
+/// One §7.4 violation: a frame-observing expression whose conceptual
+/// frame was collapsed away by cp0.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Structural rendering of the offending expression.
+    pub expr: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "§7.4 frame collapse: non-attachment-transparent expression moved \
+             from non-tail to tail position by cp0: {}",
+            self.expr
+        )
+    }
+}
+
+/// Computes the frame-observability profile of `e`, treated as a whole
+/// program/definition body (tail position).
+pub fn frame_profile(e: &Expr) -> FrameProfile {
+    let mut p = FrameProfile::default();
+    collect(e, true, &mut p);
+    p
+}
+
+/// Diffs two profiles; see the module docs for the fired condition.
+pub fn diff(before: &FrameProfile, after: &FrameProfile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (fp, pos_after) in &after.seen {
+        if !pos_after.tail {
+            continue;
+        }
+        if let Some(pos_before) = before.seen.get(fp) {
+            if pos_before.nontail && !pos_before.tail {
+                findings.push(Finding { expr: fp.clone() });
+            }
+        }
+    }
+    findings.sort_by(|a, b| a.expr.cmp(&b.expr));
+    findings
+}
+
+fn record(e: &Expr, tail: bool, p: &mut FrameProfile) {
+    let pos = p.seen.entry(format!("{e:?}")).or_default();
+    if tail {
+        pos.tail = true;
+    } else {
+        pos.nontail = true;
+    }
+}
+
+/// Walks `e`, recording each non-transparent node with its position.
+///
+/// Position rules mirror the §7.2 categorization: bodies of `let`/`seq`/
+/// `if` arms inherit the position; operands, bindings, tests, keys, and
+/// values are non-tail; a lambda body restarts in tail position; the body
+/// of a *tail* mark operation shares the frame (tail), while the body of
+/// a *non-tail* one lives in the fresh conceptual frame (non-tail).
+fn collect(e: &Expr, tail: bool, p: &mut FrameProfile) {
+    if !e.attachment_transparent() {
+        record(e, tail, p);
+    }
+    match e {
+        Expr::Quote(_) | Expr::LocalRef(_) | Expr::GlobalRef(_) | Expr::CurrentAttachments => {}
+        Expr::If(t, c, a) => {
+            collect(t, false, p);
+            collect(c, tail, p);
+            collect(a, tail, p);
+        }
+        Expr::Seq(es) => {
+            if let Some((last, init)) = es.split_last() {
+                for x in init {
+                    collect(x, false, p);
+                }
+                collect(last, tail, p);
+            }
+        }
+        Expr::Let { bindings, body } => {
+            for (_, init) in bindings {
+                collect(init, false, p);
+            }
+            collect(body, tail, p);
+        }
+        Expr::Lambda(l) => collect(&l.body, true, p),
+        Expr::SetLocal(_, x) | Expr::SetGlobal(_, x) => collect(x, false, p),
+        Expr::Call { rator, rands } => {
+            collect(rator, false, p);
+            for x in rands {
+                collect(x, false, p);
+            }
+        }
+        Expr::PrimApp { rands, .. } => {
+            for x in rands {
+                collect(x, false, p);
+            }
+        }
+        Expr::Wcm { key, val, body } => {
+            collect(key, false, p);
+            collect(val, false, p);
+            collect(body, tail, p);
+        }
+        Expr::SetAttachment { val, body } => {
+            collect(val, false, p);
+            collect(body, tail, p);
+        }
+        Expr::GetAttachment { dflt, body, .. } => {
+            collect(dflt, false, p);
+            collect(body, tail, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_vm::Value;
+
+    fn wcm_example() -> Expr {
+        // (with-continuation-mark 'k 'v (work))
+        Expr::Wcm {
+            key: Box::new(Expr::Quote(Value::fixnum(1))),
+            val: Box::new(Expr::Quote(Value::fixnum(2))),
+            body: Box::new(Expr::Call {
+                rator: Box::new(Expr::GlobalRef(cm_sexpr::sym("work"))),
+                rands: vec![],
+            }),
+        }
+    }
+
+    #[test]
+    fn collapse_of_nontail_wcm_is_flagged() {
+        // (let ([v (wcm ...)]) v)  ==cp0==>  (wcm ...)
+        let before = Expr::Let {
+            bindings: vec![(7, wcm_example())],
+            body: Box::new(Expr::LocalRef(7)),
+        };
+        let after = wcm_example();
+        // Both the wcm and the call inside its body lose their frame.
+        let findings = diff(&frame_profile(&before), &frame_profile(&after));
+        assert!(!findings.is_empty(), "{findings:?}");
+        assert!(findings.iter().any(|f| f.expr.contains("Wcm")));
+        assert!(findings[0].to_string().contains("§7.4"));
+    }
+
+    #[test]
+    fn unchanged_program_is_silent() {
+        let e = Expr::Let {
+            bindings: vec![(7, wcm_example())],
+            body: Box::new(Expr::LocalRef(7)),
+        };
+        assert!(diff(&frame_profile(&e), &frame_profile(&e)).is_empty());
+    }
+
+    #[test]
+    fn tail_to_tail_rewrite_is_silent() {
+        // (begin 1 (wcm ...)) => (wcm ...) keeps the wcm in tail position.
+        let before = Expr::Seq(vec![Expr::Quote(Value::fixnum(1)), wcm_example()]);
+        let after = wcm_example();
+        assert!(diff(&frame_profile(&before), &frame_profile(&after)).is_empty());
+    }
+}

@@ -449,14 +449,15 @@ mod tests {
         let Expr::Call { rator, .. } = &e else {
             panic!("{e:?}")
         };
-        assert!(
-            matches!(&**rator, Expr::GlobalRef(s) if s.name() == "$call-consuming-attachment")
-        );
+        assert!(matches!(&**rator, Expr::GlobalRef(s) if s.name() == "$call-consuming-attachment"));
     }
 
     #[test]
     fn wcm_lowers_to_consume_then_set() {
-        let e = lower_src("(with-continuation-mark 'k 1 (f))", &CompilerConfig::default());
+        let e = lower_src(
+            "(with-continuation-mark 'k 1 (f))",
+            &CompilerConfig::default(),
+        );
         let Expr::GetAttachment { consume, body, .. } = e else {
             panic!("expected consume/set expansion")
         };
@@ -476,10 +477,7 @@ mod tests {
 
     #[test]
     fn assignment_conversion_boxes_mutated_locals() {
-        let e = lower_src(
-            "(let ([x 0]) (set! x 1) x)",
-            &CompilerConfig::default(),
-        );
+        let e = lower_src("(let ([x 0]) (set! x 1) x)", &CompilerConfig::default());
         // The binding becomes (box 0), the ref becomes (unbox x).
         let Expr::Let { bindings, body } = &e else {
             panic!("{e:?}")
@@ -491,7 +489,9 @@ mod tests {
                 ..
             }
         ));
-        let Expr::Seq(es) = &**body else { panic!("{e:?}") };
+        let Expr::Seq(es) = &**body else {
+            panic!("{e:?}")
+        };
         assert!(matches!(
             es.last().unwrap(),
             Expr::PrimApp {

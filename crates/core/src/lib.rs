@@ -48,7 +48,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use cm_compiler::{Compiler, CompileError, CompilerConfig};
+use cm_compiler::{CompileError, Compiler, CompilerConfig};
 use cm_vm::{Globals, Machine, MachineConfig, MachineStats, MarkModel, Value, VmError};
 
 /// The runtime library sources, concatenated per mark model.
@@ -237,6 +237,28 @@ impl Engine {
         Ok(self.machine.run_code(code)?)
     }
 
+    /// Compiles source text without running it (used by `cm-verify`).
+    ///
+    /// With [`CompilerConfig::verify_bytecode`] on, the returned code has
+    /// passed the `cm-analysis` bytecode verifier; verification failures
+    /// surface as [`EngineError::Compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] for compile-time errors, including
+    /// bytecode-verification failures.
+    pub fn compile_only(&mut self, src: &str) -> Result<Rc<cm_vm::Code>, EngineError> {
+        Ok(self.compiler.compile_str(src)?)
+    }
+
+    /// Takes the accumulated §7.4 cp0 lint findings (non-empty only when
+    /// [`CompilerConfig::cp0_attachment_restriction`] is off and cp0
+    /// collapsed an attachment-observable frame — the expected "unmod"
+    /// miscompilation class).
+    pub fn take_lint_findings(&mut self) -> Vec<cm_compiler::lint::Finding> {
+        self.compiler.take_lints()
+    }
+
     /// Evaluates and renders the result in `write` notation.
     ///
     /// # Errors
@@ -321,9 +343,11 @@ mod tests {
         assert!(!EngineConfig::no_attachment_opt().compiler.attachment_opt);
         assert!(!EngineConfig::no_prim_opt().compiler.prim_attachment_opt);
         assert!(EngineConfig::old_racket().compiler.eager_marks());
-        assert!(!EngineConfig::unmodified_chez()
-            .compiler
-            .cp0_attachment_restriction);
+        assert!(
+            !EngineConfig::unmodified_chez()
+                .compiler
+                .cp0_attachment_restriction
+        );
     }
 
     #[test]

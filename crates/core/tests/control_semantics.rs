@@ -259,9 +259,7 @@ fn winder_marks_are_restored_in_winders() {
 
 #[test]
 fn prompt_normal_return() {
-    eval(
-        r#"(%call-with-prompt 'tag (lambda () 42) (lambda (v) (list 'aborted v)))"#,
-    );
+    eval(r#"(%call-with-prompt 'tag (lambda () 42) (lambda (v) (list 'aborted v)))"#);
     assert_eq!(
         eval(r#"(%call-with-prompt 'tag (lambda () 42) (lambda (v) v))"#),
         "42"

@@ -17,7 +17,10 @@ fn check(src: &str, expected: &str) {
 #[test]
 fn special_forms() {
     check("(if #f 'yes)", "#<void>");
-    check("(let* ([x 1] [y (+ x 1)] [z (* y 2)]) (list x y z))", "(1 2 4)");
+    check(
+        "(let* ([x 1] [y (+ x 1)] [z (* y 2)]) (list x y z))",
+        "(1 2 4)",
+    );
     check(
         "(letrec ([even? (lambda (n) (if (zero? n) #t (odd? (- n 1))))]
                   [odd? (lambda (n) (if (zero? n) #f (even? (- n 1))))])
@@ -33,8 +36,14 @@ fn special_forms() {
     check("(unless (> 2 1) 'a)", "#<void>");
     check("(cond [#f 1] [else 2])", "2");
     check("(cond [(assq 'b '((a 1) (b 2))) => cadr] [else 'no])", "2");
-    check("(case (* 2 3) [(2 3 5 7) 'prime] [(1 4 6 8 9) 'composite])", "composite");
-    check("(do ([i 0 (+ i 1)] [acc 1 (* acc 2)]) ((= i 8) acc))", "256");
+    check(
+        "(case (* 2 3) [(2 3 5 7) 'prime] [(1 4 6 8 9) 'composite])",
+        "composite",
+    );
+    check(
+        "(do ([i 0 (+ i 1)] [acc 1 (* acc 2)]) ((= i 8) acc))",
+        "256",
+    );
 }
 
 #[test]
@@ -58,12 +67,18 @@ fn numeric_tower_subset() {
     check("(exact->inexact 1)", "1.0");
     check("(inexact->exact 2.0)", "2");
     check("(floor 2.7)", "2.0");
-    check("(list (number? 1) (number? 1.5) (number? 'x))", "(#t #t #f)");
+    check(
+        "(list (number? 1) (number? 1.5) (number? 'x))",
+        "(#t #t #f)",
+    );
     check("(< 1 2 3 4)", "#t");
     check("(< 1 3 2)", "#f");
     check("(+ 1 2.5)", "3.5");
     check("(abs -4)", "4");
-    check("(list (even? 4) (odd? 4) (positive? -1) (negative? -1))", "(#t #f #f #t)");
+    check(
+        "(list (even? 4) (odd? 4) (positive? -1) (negative? -1))",
+        "(#t #f #f #t)",
+    );
 }
 
 #[test]
@@ -84,7 +99,10 @@ fn strings_and_chars() {
     check(r"(char->integer #\A)", "65");
     check("(integer->char 97)", r"#\a");
     check(r"(char-upcase #\a)", r"#\A");
-    check(r"(list (char-alphabetic? #\a) (char-numeric? #\5))", "(#t #t)");
+    check(
+        r"(list (char-alphabetic? #\a) (char-numeric? #\5))",
+        "(#t #t)",
+    );
 }
 
 #[test]
@@ -99,7 +117,10 @@ fn pairs_and_lists() {
     check("(member '(1) '((1) (2)))", "((1) (2))");
     check("(assq 'b '((a . 1) (b . 2)))", "(b . 2)");
     check("(assoc \"k\" '((\"k\" . 1)))", "(\"k\" . 1)");
-    check("(let ([p (cons 1 2)]) (set-car! p 'x) (set-cdr! p 'y) p)", "(x . y)");
+    check(
+        "(let ([p (cons 1 2)]) (set-car! p 'x) (set-cdr! p 'y) p)",
+        "(x . y)",
+    );
     check("(list? '(1 2))", "#t");
     check("(list? '(1 . 2))", "#f");
     check("(caar '((1 2) 3))", "1");
@@ -108,10 +129,16 @@ fn pairs_and_lists() {
 
 #[test]
 fn vectors_tables_boxes_records() {
-    check("(let ([v (make-vector 3 'x)]) (vector-set! v 1 'y) (vector->list v))", "(x y x)");
+    check(
+        "(let ([v (make-vector 3 'x)]) (vector-set! v 1 'y) (vector->list v))",
+        "(x y x)",
+    );
     check("(vector-length #(1 2 3))", "3");
     check("(list->vector '(1 2))", "#(1 2)");
-    check("(let ([v (vector 1 2 3)]) (vector-fill! v 0) v)", "#(0 0 0)");
+    check(
+        "(let ([v (vector 1 2 3)]) (vector-fill! v 0) v)",
+        "#(0 0 0)",
+    );
     check(
         "(let ([t (make-hashtable)])
            (hashtable-set! t 'a 1)
@@ -120,7 +147,10 @@ fn vectors_tables_boxes_records() {
                  (hashtable-contains? t 'b)))",
         "(2 1 #f)",
     );
-    check("(let ([b (box 1)]) (set-box! b (+ (unbox b) 1)) (unbox b))", "2");
+    check(
+        "(let ([b (box 1)]) (set-box! b (+ (unbox b) 1)) (unbox b))",
+        "2",
+    );
     check(
         "(let ([r (make-record 'point 1 2)])
            (record-set! r 0 10)
@@ -156,7 +186,10 @@ fn prelude_utilities() {
 fn closures_and_variadics() {
     check("((lambda args args) 1 2 3)", "(1 2 3)");
     check("((lambda (a . rest) (cons a rest)) 1)", "(1)");
-    check("(define (adder n) (lambda (x) (+ x n))) ((adder 4) 38)", "42");
+    check(
+        "(define (adder n) (lambda (x) (+ x n))) ((adder 4) 38)",
+        "42",
+    );
     check(
         "(define count
            (let ([n 0]) (lambda () (set! n (+ n 1)) n)))

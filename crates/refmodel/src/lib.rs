@@ -172,7 +172,11 @@ impl Badge {
                 next: out,
             })));
         }
-        Badge(Some(Rc::new(BadgeNode { key, val, next: out })))
+        Badge(Some(Rc::new(BadgeNode {
+            key,
+            val,
+            next: out,
+        })))
     }
 
     fn get(&self, key: &Value) -> Option<RV> {
@@ -219,7 +223,11 @@ enum KKind {
     /// Waiting for a top-level definition's value.
     Define { name: Sym },
     /// Waiting for a wcm key.
-    WcmKey { val: Rc<Expr>, body: Rc<Expr>, env: Env },
+    WcmKey {
+        val: Rc<Expr>,
+        body: Rc<Expr>,
+        env: Env,
+    },
     /// Waiting for a wcm value.
     WcmVal { key: RV, body: Rc<Expr>, env: Env },
 }
@@ -591,11 +599,7 @@ impl RefInterp {
                 let l = &cl.lambda;
                 let required = l.params.len();
                 if args.len() < required || (l.rest.is_none() && args.len() > required) {
-                    return fail(format!(
-                        "{}: arity mismatch, got {}",
-                        l.name,
-                        args.len()
-                    ));
+                    return fail(format!("{}: arity mismatch, got {}", l.name, args.len()));
                 }
                 let mut env = cl.env.clone();
                 let mut args = args;

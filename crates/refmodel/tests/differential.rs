@@ -49,18 +49,22 @@ fn arb_gexpr() -> impl Strategy<Value = GExpr> {
     ];
     leaf.prop_recursive(5, 64, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(a, b, c)| GExpr::If(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| GExpr::If(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
             prop::collection::vec(inner.clone(), 1..4).prop_map(GExpr::Begin),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GExpr::Let(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Let(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| GExpr::ThunkCall(Box::new(a))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| GExpr::AppLambda(Box::new(a), Box::new(b))),
-            (0u8..3, inner.clone(), inner.clone())
-                .prop_map(|(k, v, b)| GExpr::Wcm(k, Box::new(v), Box::new(b))),
+            (0u8..3, inner.clone(), inner.clone()).prop_map(|(k, v, b)| GExpr::Wcm(
+                k,
+                Box::new(v),
+                Box::new(b)
+            )),
             inner.clone().prop_map(|a| GExpr::ZeroP(Box::new(a))),
         ]
     })

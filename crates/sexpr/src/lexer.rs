@@ -158,9 +158,7 @@ impl<'a> Lexer<'a> {
                                 self.pos += 2;
                             }
                             (Some(_), _) => self.pos += 1,
-                            (None, _) => {
-                                return Err(self.err(start, "unterminated block comment"))
-                            }
+                            (None, _) => return Err(self.err(start, "unterminated block comment")),
                         }
                     }
                 }

@@ -336,8 +336,10 @@ mod tests {
     #[test]
     fn quote_expansion() {
         assert_eq!(write_datum(&one("'x")), "(quote x)");
-        assert_eq!(write_datum(&one("`(a ,b ,@c)")),
-            "(quasiquote (a (unquote b) (unquote-splicing c)))");
+        assert_eq!(
+            write_datum(&one("`(a ,b ,@c)")),
+            "(quasiquote (a (unquote b) (unquote-splicing c)))"
+        );
     }
 
     #[test]

@@ -280,12 +280,61 @@ impl Code {
         }
     }
 
-    /// Renders a human-readable disassembly (one instruction per line),
-    /// recursing into child code objects.
+    /// Renders a human-readable disassembly (one instruction per line
+    /// with its offset, mnemonic, and named operands), recursing into
+    /// child code objects.
     pub fn disassemble(&self) -> String {
         let mut out = String::new();
         self.disassemble_into(&mut out, 0);
         out
+    }
+
+    /// Renders one instruction with named operands, resolving constant
+    /// and child-code references against this code object.
+    pub fn render_instr(&self, instr: &Instr) -> String {
+        use Instr::*;
+        match instr {
+            Const(i) => match self.consts.get(*i as usize) {
+                Some(v) => format!("const        {i}  ; {}", v.write_string()),
+                None => format!("const        {i}  ; <out of bounds>"),
+            },
+            LocalRef(i) => format!("local-ref    {i}"),
+            LocalSet(i) => format!("local-set!   {i}"),
+            CaptureRef(i) => format!("capture-ref  {i}"),
+            GlobalRef(id) => format!("global-ref   {id}"),
+            GlobalSet(id) => format!("global-set!  {id}"),
+            MakeClosure { code, captures } => {
+                let name = self
+                    .codes
+                    .get(*code as usize)
+                    .map_or("<out of bounds>", |c| c.name.as_str());
+                format!("make-closure code={code} captures={captures}  ; {name}")
+            }
+            Jump(t) => format!("jump         -> {t}"),
+            JumpIfFalse(t) => format!("jump-if-#f   -> {t}"),
+            Leave(n) => format!("leave        {n}"),
+            Pop => "pop".to_owned(),
+            Call(n) => format!("call         argc={n}"),
+            TailCall(n) => format!("tail-call    argc={n}"),
+            CallWithAttachment(n) => format!("call/attach  argc={n}"),
+            Return => "return".to_owned(),
+            PrimCall(op, n) => format!("prim         {} argc={n}", op.name()),
+            PushAttach => "push-attach".to_owned(),
+            PopAttach => "pop-attach".to_owned(),
+            SetAttach => "set-attach".to_owned(),
+            ReifySetAttach { check_replace } => {
+                format!("reify-set-attach check-replace={check_replace}")
+            }
+            GetAttachDyn => "get-attach-dyn".to_owned(),
+            ConsumeAttachDyn => "consume-attach-dyn".to_owned(),
+            GetAttachPresent => "get-attach-present".to_owned(),
+            ConsumeAttachPresent => "consume-attach-present".to_owned(),
+            CurrentAttachments => "current-attachments".to_owned(),
+            EagerPushFrame => "eager-push-frame".to_owned(),
+            EagerPopFrame => "eager-pop-frame".to_owned(),
+            EagerMarkSet => "eager-mark-set".to_owned(),
+            EagerCallShared(n) => format!("eager-call-shared argc={n}"),
+        }
     }
 
     fn disassemble_into(&self, out: &mut String, indent: usize) {
@@ -299,7 +348,7 @@ impl Code {
             if self.rest { "+" } else { "" }
         );
         for (i, instr) in self.instrs.iter().enumerate() {
-            let _ = writeln!(out, "{pad}  {i:4}: {instr:?}");
+            let _ = writeln!(out, "{pad}  {i:4}: {}", self.render_instr(instr));
         }
         for child in &self.codes {
             child.disassemble_into(out, indent + 1);
@@ -356,7 +405,8 @@ mod tests {
             vec![],
         );
         let d = code.disassemble();
-        assert!(d.contains("LocalRef"));
+        assert!(d.contains("local-ref    0"));
+        assert!(d.contains("return"));
         assert!(d.contains("code t"));
     }
 }

@@ -34,9 +34,7 @@ use crate::prims::{self, ControlOp, NativeId};
 use crate::stats::MachineStats;
 use crate::values::{Closure, Value};
 
-use control::{
-    CompChainRec, CompData, ContData, ContKind, MetaFrame, Segment, Underflow, Winder,
-};
+use control::{CompChainRec, CompData, ContData, ContKind, MetaFrame, Segment, Underflow, Winder};
 
 /// One entry of the eager (old-Racket model) mark stack: an association
 /// list of key/value marks for one continuation frame.
@@ -335,8 +333,10 @@ impl Machine {
                     let n = captures as usize;
                     let caps = self.stack.split_off(self.stack.len() - n);
                     let code = self.cur_code().codes[code as usize].clone();
-                    self.stack
-                        .push(Value::Closure(Rc::new(Closure { code, captures: caps })));
+                    self.stack.push(Value::Closure(Rc::new(Closure {
+                        code,
+                        captures: caps,
+                    })));
                 }
                 Instr::Jump(t) => self.frames.last_mut().unwrap().pc = t,
                 Instr::JumpIfFalse(t) => {
@@ -664,7 +664,11 @@ impl Machine {
                         u.seg.borrow_mut().take().expect("segment already fused")
                     } else {
                         self.stats.copies += 1;
-                        u.seg.borrow().as_ref().expect("segment already fused").clone()
+                        u.seg
+                            .borrow()
+                            .as_ref()
+                            .expect("segment already fused")
+                            .clone()
                     };
                     self.stack = seg.stack;
                     self.frames = seg.frames;
@@ -879,16 +883,16 @@ impl Machine {
                 self.discard_frame_if_tail(mode)?;
                 if mode == CallMode::Tail {
                     // Shares the caller's conceptual frame: replace or push.
-                    let rest = if self.frames.is_empty() && !self.marks.eq_value(self.marks_boundary())
-                    {
-                        self.marks_rest()?
-                    } else if self.frames.is_empty() {
-                        self.marks.clone()
-                    } else {
-                        self.stats.reifications += 1;
-                        self.freeze_current(self.marks.clone());
-                        self.marks.clone()
-                    };
+                    let rest =
+                        if self.frames.is_empty() && !self.marks.eq_value(self.marks_boundary()) {
+                            self.marks_rest()?
+                        } else if self.frames.is_empty() {
+                            self.marks.clone()
+                        } else {
+                            self.stats.reifications += 1;
+                            self.freeze_current(self.marks.clone());
+                            self.marks.clone()
+                        };
                     self.marks = Value::cons(val, rest);
                 } else {
                     // Uniform non-tail path: always reify a fresh
@@ -1311,7 +1315,7 @@ fn marks_prefix(marks: &Value, boundary: &Value) -> VmResult<Vec<Value>> {
 /// Clones an entire underflow chain (segments included) — the eager
 /// (old Racket) model's O(stack size) continuation capture.
 fn deep_copy_chain(head: &Rc<Underflow>) -> Rc<Underflow> {
-    let next = head.next.as_ref().map(|n| deep_copy_chain(n));
+    let next = head.next.as_ref().map(deep_copy_chain);
     Rc::new(Underflow {
         seg: RefCell::new(head.seg.borrow().clone()),
         marks: head.marks.clone(),
@@ -1429,14 +1433,7 @@ mod tests {
 
     #[test]
     fn fuel_limit_stops_loops() {
-        let code = Code::build(
-            "loop",
-            0,
-            false,
-            vec![Instr::Jump(0)],
-            vec![],
-            vec![],
-        );
+        let code = Code::build("loop", 0, false, vec![Instr::Jump(0)], vec![], vec![]);
         let mut m = Machine::new(MachineConfig::default().with_fuel(1000));
         match m.run_code(Rc::new(code)) {
             Err(VmError::OutOfFuel) => {}

@@ -80,7 +80,7 @@ pub struct NativeDef {
 impl NativeDef {
     /// Validates an argument count against this native's arity.
     pub fn check_arity(&self, got: usize) -> VmResult<()> {
-        let ok = got >= self.min && self.max.map_or(true, |m| got <= m);
+        let ok = got >= self.min && self.max.is_none_or(|m| got <= m);
         if ok {
             Ok(())
         } else {
@@ -108,183 +108,548 @@ use NativeImpl::{Control, Machine as Mach, Pure};
 /// The full native table. Index = [`NativeId`].
 pub fn table() -> &'static [NativeDef] {
     static TABLE: std::sync::OnceLock<Vec<NativeDef>> = std::sync::OnceLock::new();
-    TABLE.get_or_init(|| natives![
-        // Control
-        ("call/cc", 1, Some(1), Control(ControlOp::CallCc)),
-        ("call-with-current-continuation", 1, Some(1), Control(ControlOp::CallCc)),
-        ("call/1cc", 1, Some(1), Control(ControlOp::Call1cc)),
-        ("apply", 2, None, Control(ControlOp::Apply)),
-        ("%call-with-prompt", 3, Some(3), Control(ControlOp::PromptCall)),
-        ("%abort", 2, Some(2), Control(ControlOp::Abort)),
-        ("%call-with-composable-continuation", 2, Some(2), Control(ControlOp::CompCapture)),
-        ("$call-setting-attachment", 2, Some(2), Control(ControlOp::CallSettingAttachment)),
-        ("$call-getting-attachment", 2, Some(2), Control(ControlOp::CallGettingAttachment)),
-        ("$call-consuming-attachment", 2, Some(2), Control(ControlOp::CallConsumingAttachment)),
-        // Machine
-        ("$push-winder", 2, Some(2), Mach(m_push_winder)),
-        ("$pop-winder", 0, Some(0), Mach(m_pop_winder)),
-        ("current-continuation-attachments", 0, Some(0), Mach(m_current_attachments)),
-        ("$eager-mark-set!", 2, Some(2), Mach(m_eager_set)),
-        ("$eager-first", 2, Some(2), Mach(m_eager_first)),
-        ("$eager-marks", 1, Some(1), Mach(m_eager_marks)),
-        ("$eager-immediate", 2, Some(2), Mach(m_eager_immediate)),
-        ("display", 1, Some(1), Mach(m_display)),
-        ("write", 1, Some(1), Mach(m_write)),
-        ("newline", 0, Some(0), Mach(m_newline)),
-        // Continuation inspection
-        ("$cont-attachments", 1, Some(1), Pure(p_cont_attachments)),
-        // Marks-layer support (§7.5): key lookup over an attachments list
-        // of `$mark-frame` records, with path-compression caching.
-        ("$marks-first", 3, Some(3), Pure(p_marks_first)),
-        ("$marks->list", 2, Some(2), Pure(p_marks_to_list)),
-        ("$eager-all-marks", 0, Some(0), Mach(m_eager_all_marks)),
-        ("continuation?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Cont(_)))))),
-        // Numbers
-        ("+", 0, None, Pure(p_add)),
-        ("-", 1, None, Pure(p_sub)),
-        ("*", 0, None, Pure(p_mul)),
-        ("/", 1, None, Pure(p_div)),
-        ("quotient", 2, Some(2), Pure(p_quotient)),
-        ("remainder", 2, Some(2), Pure(p_remainder)),
-        ("modulo", 2, Some(2), Pure(p_modulo)),
-        ("=", 2, None, Pure(|a| p_cmp(a, "=", |o| o == std::cmp::Ordering::Equal))),
-        ("<", 2, None, Pure(|a| p_cmp(a, "<", |o| o == std::cmp::Ordering::Less))),
-        ("<=", 2, None, Pure(|a| p_cmp(a, "<=", |o| o != std::cmp::Ordering::Greater))),
-        (">", 2, None, Pure(|a| p_cmp(a, ">", |o| o == std::cmp::Ordering::Greater))),
-        (">=", 2, None, Pure(|a| p_cmp(a, ">=", |o| o != std::cmp::Ordering::Less))),
-        ("add1", 1, Some(1), Pure(|a| add_values("add1", &a[0], &Value::Fixnum(1)))),
-        ("sub1", 1, Some(1), Pure(|a| sub_values("sub1", &a[0], &Value::Fixnum(1)))),
-        ("1+", 1, Some(1), Pure(|a| add_values("1+", &a[0], &Value::Fixnum(1)))),
-        ("1-", 1, Some(1), Pure(|a| sub_values("1-", &a[0], &Value::Fixnum(1)))),
-        ("zero?", 1, Some(1), Pure(p_zero)),
-        ("abs", 1, Some(1), Pure(p_abs)),
-        ("min", 1, None, Pure(p_min)),
-        ("max", 1, None, Pure(p_max)),
-        ("expt", 2, Some(2), Pure(p_expt)),
-        ("sqrt", 1, Some(1), Pure(p_sqrt)),
-        ("floor", 1, Some(1), Pure(|a| p_round(a, f64::floor))),
-        ("ceiling", 1, Some(1), Pure(|a| p_round(a, f64::ceil))),
-        ("round", 1, Some(1), Pure(|a| p_round(a, f64::round))),
-        ("truncate", 1, Some(1), Pure(|a| p_round(a, f64::trunc))),
-        ("exact->inexact", 1, Some(1), Pure(p_exact_to_inexact)),
-        ("inexact->exact", 1, Some(1), Pure(p_inexact_to_exact)),
-        ("exact", 1, Some(1), Pure(p_inexact_to_exact)),
-        ("inexact", 1, Some(1), Pure(p_exact_to_inexact)),
-        ("number?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Fixnum(_) | Value::Flonum(_)))))),
-        ("integer?", 1, Some(1), Pure(p_integer_p)),
-        ("real?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Fixnum(_) | Value::Flonum(_)))))),
-        ("fixnum?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Fixnum(_)))))),
-        ("flonum?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Flonum(_)))))),
-        ("exact?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Fixnum(_)))))),
-        ("inexact?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Flonum(_)))))),
-        ("even?", 1, Some(1), Pure(|a| Ok(Value::Bool(as_fixnum("even?", &a[0])? % 2 == 0)))),
-        ("odd?", 1, Some(1), Pure(|a| Ok(Value::Bool(as_fixnum("odd?", &a[0])? % 2 != 0)))),
-        ("positive?", 1, Some(1), Pure(|a| p_cmp(&[a[0].clone(), Value::Fixnum(0)], "positive?", |o| o == std::cmp::Ordering::Greater))),
-        ("negative?", 1, Some(1), Pure(|a| p_cmp(&[a[0].clone(), Value::Fixnum(0)], "negative?", |o| o == std::cmp::Ordering::Less))),
-        // Pairs and lists
-        ("cons", 2, Some(2), Pure(|a| Ok(Value::cons(a[0].clone(), a[1].clone())))),
-        ("car", 1, Some(1), Pure(|a| p_car("car", &a[0]))),
-        ("cdr", 1, Some(1), Pure(|a| p_cdr("cdr", &a[0]))),
-        ("caar", 1, Some(1), Pure(|a| p_car("caar", &p_car("caar", &a[0])?))),
-        ("cadr", 1, Some(1), Pure(|a| p_car("cadr", &p_cdr("cadr", &a[0])?))),
-        ("cdar", 1, Some(1), Pure(|a| p_cdr("cdar", &p_car("cdar", &a[0])?))),
-        ("cddr", 1, Some(1), Pure(|a| p_cdr("cddr", &p_cdr("cddr", &a[0])?))),
-        ("caddr", 1, Some(1), Pure(|a| p_car("caddr", &p_cdr("caddr", &p_cdr("caddr", &a[0])?)?))),
-        ("cdddr", 1, Some(1), Pure(|a| p_cdr("cdddr", &p_cdr("cdddr", &p_cdr("cdddr", &a[0])?)?))),
-        ("cadddr", 1, Some(1), Pure(|a| p_car("cadddr", &p_cdr("cadddr", &p_cdr("cadddr", &p_cdr("cadddr", &a[0])?)?)?))),
-        ("set-car!", 2, Some(2), Pure(p_set_car)),
-        ("set-cdr!", 2, Some(2), Pure(p_set_cdr)),
-        ("pair?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Pair(_)))))),
-        ("null?", 1, Some(1), Pure(|a| Ok(Value::Bool(a[0].is_nil())))),
-        ("list", 0, None, Pure(|a| Ok(Value::list(a.to_vec())))),
-        ("list?", 1, Some(1), Pure(|a| Ok(Value::Bool(a[0].list_to_vec().is_some())))),
-        ("length", 1, Some(1), Pure(p_length)),
-        ("append", 0, None, Pure(p_append)),
-        ("reverse", 1, Some(1), Pure(p_reverse)),
-        ("list-tail", 2, Some(2), Pure(p_list_tail)),
-        ("list-ref", 2, Some(2), Pure(p_list_ref)),
-        ("memq", 2, Some(2), Pure(|a| p_mem(a, |x, y| x.eq_value(y)))),
-        ("memv", 2, Some(2), Pure(|a| p_mem(a, |x, y| x.eq_value(y)))),
-        ("member", 2, Some(2), Pure(|a| p_mem(a, |x, y| x.equal_value(y)))),
-        ("assq", 2, Some(2), Pure(|a| p_ass(a, |x, y| x.eq_value(y)))),
-        ("assv", 2, Some(2), Pure(|a| p_ass(a, |x, y| x.eq_value(y)))),
-        ("assoc", 2, Some(2), Pure(|a| p_ass(a, |x, y| x.equal_value(y)))),
-        // Equality
-        ("eq?", 2, Some(2), Pure(|a| Ok(Value::Bool(a[0].eq_value(&a[1]))))),
-        ("eqv?", 2, Some(2), Pure(|a| Ok(Value::Bool(a[0].eq_value(&a[1]))))),
-        ("equal?", 2, Some(2), Pure(|a| Ok(Value::Bool(a[0].equal_value(&a[1]))))),
-        ("not", 1, Some(1), Pure(|a| Ok(Value::Bool(!a[0].is_true())))),
-        // Predicates
-        ("symbol?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Sym(_)))))),
-        ("boolean?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Bool(_)))))),
-        ("string?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Str(_)))))),
-        ("char?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Char(_)))))),
-        ("vector?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Vector(_)))))),
-        ("procedure?", 1, Some(1), Pure(|a| Ok(Value::Bool(a[0].is_procedure())))),
-        ("box?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Box(_)))))),
-        ("void?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Void))))),
-        // Symbols & strings
-        ("symbol->string", 1, Some(1), Pure(p_symbol_to_string)),
-        ("string->symbol", 1, Some(1), Pure(p_string_to_symbol)),
-        ("gensym", 0, Some(1), Pure(p_gensym)),
-        ("string-length", 1, Some(1), Pure(p_string_length)),
-        ("string-ref", 2, Some(2), Pure(p_string_ref)),
-        ("substring", 3, Some(3), Pure(p_substring)),
-        ("string-append", 0, None, Pure(p_string_append)),
-        ("string=?", 2, Some(2), Pure(|a| p_string_cmp(a, "string=?", |o| o == std::cmp::Ordering::Equal))),
-        ("string<?", 2, Some(2), Pure(|a| p_string_cmp(a, "string<?", |o| o == std::cmp::Ordering::Less))),
-        ("string>?", 2, Some(2), Pure(|a| p_string_cmp(a, "string>?", |o| o == std::cmp::Ordering::Greater))),
-        ("string->list", 1, Some(1), Pure(p_string_to_list)),
-        ("list->string", 1, Some(1), Pure(p_list_to_string)),
-        ("string->number", 1, Some(1), Pure(p_string_to_number)),
-        ("number->string", 1, Some(1), Pure(|a| Ok(Value::string(a[0].display_string())))),
-        ("make-string", 1, Some(2), Pure(p_make_string)),
-        ("string", 0, None, Pure(p_string)),
-        ("string-copy", 1, Some(1), Pure(p_string_copy)),
-        ("char->integer", 1, Some(1), Pure(p_char_to_integer)),
-        ("integer->char", 1, Some(1), Pure(p_integer_to_char)),
-        ("char=?", 2, Some(2), Pure(|a| p_char_cmp(a, "char=?", |o| o == std::cmp::Ordering::Equal))),
-        ("char<?", 2, Some(2), Pure(|a| p_char_cmp(a, "char<?", |o| o == std::cmp::Ordering::Less))),
-        ("char>?", 2, Some(2), Pure(|a| p_char_cmp(a, "char>?", |o| o == std::cmp::Ordering::Greater))),
-        ("char-alphabetic?", 1, Some(1), Pure(|a| Ok(Value::Bool(as_char("char-alphabetic?", &a[0])?.is_alphabetic())))),
-        ("char-numeric?", 1, Some(1), Pure(|a| Ok(Value::Bool(as_char("char-numeric?", &a[0])?.is_numeric())))),
-        ("char-whitespace?", 1, Some(1), Pure(|a| Ok(Value::Bool(as_char("char-whitespace?", &a[0])?.is_whitespace())))),
-        ("char-upcase", 1, Some(1), Pure(|a| Ok(Value::Char(as_char("char-upcase", &a[0])?.to_ascii_uppercase())))),
-        ("char-downcase", 1, Some(1), Pure(|a| Ok(Value::Char(as_char("char-downcase", &a[0])?.to_ascii_lowercase())))),
-        // Vectors
-        ("vector", 0, None, Pure(|a| Ok(Value::vector(a.to_vec())))),
-        ("make-vector", 1, Some(2), Pure(p_make_vector)),
-        ("vector-ref", 2, Some(2), Pure(p_vector_ref)),
-        ("vector-set!", 3, Some(3), Pure(p_vector_set)),
-        ("vector-length", 1, Some(1), Pure(p_vector_length)),
-        ("vector->list", 1, Some(1), Pure(p_vector_to_list)),
-        ("list->vector", 1, Some(1), Pure(p_list_to_vector)),
-        ("vector-fill!", 2, Some(2), Pure(p_vector_fill)),
-        // Boxes
-        ("box", 1, Some(1), Pure(|a| Ok(Value::Box(Rc::new(std::cell::RefCell::new(a[0].clone())))))),
-        ("unbox", 1, Some(1), Pure(p_unbox)),
-        ("set-box!", 2, Some(2), Pure(p_set_box)),
-        // Hash tables
-        ("make-hashtable", 0, Some(0), Pure(|_| Ok(Value::table()))),
-        ("hashtable?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Table(_)))))),
-        ("hashtable-set!", 3, Some(3), Pure(p_hash_set)),
-        ("hashtable-ref", 3, Some(3), Pure(p_hash_ref)),
-        ("hashtable-contains?", 2, Some(2), Pure(p_hash_contains)),
-        ("hashtable-delete!", 2, Some(2), Pure(p_hash_delete)),
-        ("hashtable-size", 1, Some(1), Pure(p_hash_size)),
-        // Records
-        ("make-record", 1, None, Pure(p_make_record)),
-        ("record?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Record(_)))))),
-        ("record-is?", 2, Some(2), Pure(p_record_is)),
-        ("record-tag", 1, Some(1), Pure(p_record_tag)),
-        ("record-ref", 2, Some(2), Pure(p_record_ref)),
-        ("record-set!", 3, Some(3), Pure(p_record_set)),
-        // Misc
-        ("void", 0, None, Pure(|_| Ok(Value::Void))),
-        ("eof-object", 0, Some(0), Pure(|_| Ok(Value::Eof))),
-        ("eof-object?", 1, Some(1), Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Eof))))),
-        ("error", 1, None, Pure(p_error)),
-    ])
+    TABLE.get_or_init(|| {
+        natives![
+            // Control
+            ("call/cc", 1, Some(1), Control(ControlOp::CallCc)),
+            (
+                "call-with-current-continuation",
+                1,
+                Some(1),
+                Control(ControlOp::CallCc)
+            ),
+            ("call/1cc", 1, Some(1), Control(ControlOp::Call1cc)),
+            ("apply", 2, None, Control(ControlOp::Apply)),
+            (
+                "%call-with-prompt",
+                3,
+                Some(3),
+                Control(ControlOp::PromptCall)
+            ),
+            ("%abort", 2, Some(2), Control(ControlOp::Abort)),
+            (
+                "%call-with-composable-continuation",
+                2,
+                Some(2),
+                Control(ControlOp::CompCapture)
+            ),
+            (
+                "$call-setting-attachment",
+                2,
+                Some(2),
+                Control(ControlOp::CallSettingAttachment)
+            ),
+            (
+                "$call-getting-attachment",
+                2,
+                Some(2),
+                Control(ControlOp::CallGettingAttachment)
+            ),
+            (
+                "$call-consuming-attachment",
+                2,
+                Some(2),
+                Control(ControlOp::CallConsumingAttachment)
+            ),
+            // Machine
+            ("$push-winder", 2, Some(2), Mach(m_push_winder)),
+            ("$pop-winder", 0, Some(0), Mach(m_pop_winder)),
+            (
+                "current-continuation-attachments",
+                0,
+                Some(0),
+                Mach(m_current_attachments)
+            ),
+            ("$eager-mark-set!", 2, Some(2), Mach(m_eager_set)),
+            ("$eager-first", 2, Some(2), Mach(m_eager_first)),
+            ("$eager-marks", 1, Some(1), Mach(m_eager_marks)),
+            ("$eager-immediate", 2, Some(2), Mach(m_eager_immediate)),
+            ("display", 1, Some(1), Mach(m_display)),
+            ("write", 1, Some(1), Mach(m_write)),
+            ("newline", 0, Some(0), Mach(m_newline)),
+            // Continuation inspection
+            ("$cont-attachments", 1, Some(1), Pure(p_cont_attachments)),
+            // Marks-layer support (§7.5): key lookup over an attachments list
+            // of `$mark-frame` records, with path-compression caching.
+            ("$marks-first", 3, Some(3), Pure(p_marks_first)),
+            ("$marks->list", 2, Some(2), Pure(p_marks_to_list)),
+            ("$eager-all-marks", 0, Some(0), Mach(m_eager_all_marks)),
+            (
+                "continuation?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Cont(_)))))
+            ),
+            // Numbers
+            ("+", 0, None, Pure(p_add)),
+            ("-", 1, None, Pure(p_sub)),
+            ("*", 0, None, Pure(p_mul)),
+            ("/", 1, None, Pure(p_div)),
+            ("quotient", 2, Some(2), Pure(p_quotient)),
+            ("remainder", 2, Some(2), Pure(p_remainder)),
+            ("modulo", 2, Some(2), Pure(p_modulo)),
+            (
+                "=",
+                2,
+                None,
+                Pure(|a| p_cmp(a, "=", |o| o == std::cmp::Ordering::Equal))
+            ),
+            (
+                "<",
+                2,
+                None,
+                Pure(|a| p_cmp(a, "<", |o| o == std::cmp::Ordering::Less))
+            ),
+            (
+                "<=",
+                2,
+                None,
+                Pure(|a| p_cmp(a, "<=", |o| o != std::cmp::Ordering::Greater))
+            ),
+            (
+                ">",
+                2,
+                None,
+                Pure(|a| p_cmp(a, ">", |o| o == std::cmp::Ordering::Greater))
+            ),
+            (
+                ">=",
+                2,
+                None,
+                Pure(|a| p_cmp(a, ">=", |o| o != std::cmp::Ordering::Less))
+            ),
+            (
+                "add1",
+                1,
+                Some(1),
+                Pure(|a| add_values("add1", &a[0], &Value::Fixnum(1)))
+            ),
+            (
+                "sub1",
+                1,
+                Some(1),
+                Pure(|a| sub_values("sub1", &a[0], &Value::Fixnum(1)))
+            ),
+            (
+                "1+",
+                1,
+                Some(1),
+                Pure(|a| add_values("1+", &a[0], &Value::Fixnum(1)))
+            ),
+            (
+                "1-",
+                1,
+                Some(1),
+                Pure(|a| sub_values("1-", &a[0], &Value::Fixnum(1)))
+            ),
+            ("zero?", 1, Some(1), Pure(p_zero)),
+            ("abs", 1, Some(1), Pure(p_abs)),
+            ("min", 1, None, Pure(p_min)),
+            ("max", 1, None, Pure(p_max)),
+            ("expt", 2, Some(2), Pure(p_expt)),
+            ("sqrt", 1, Some(1), Pure(p_sqrt)),
+            ("floor", 1, Some(1), Pure(|a| p_round(a, f64::floor))),
+            ("ceiling", 1, Some(1), Pure(|a| p_round(a, f64::ceil))),
+            ("round", 1, Some(1), Pure(|a| p_round(a, f64::round))),
+            ("truncate", 1, Some(1), Pure(|a| p_round(a, f64::trunc))),
+            ("exact->inexact", 1, Some(1), Pure(p_exact_to_inexact)),
+            ("inexact->exact", 1, Some(1), Pure(p_inexact_to_exact)),
+            ("exact", 1, Some(1), Pure(p_inexact_to_exact)),
+            ("inexact", 1, Some(1), Pure(p_exact_to_inexact)),
+            (
+                "number?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(
+                    a[0],
+                    Value::Fixnum(_) | Value::Flonum(_)
+                ))))
+            ),
+            ("integer?", 1, Some(1), Pure(p_integer_p)),
+            (
+                "real?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(
+                    a[0],
+                    Value::Fixnum(_) | Value::Flonum(_)
+                ))))
+            ),
+            (
+                "fixnum?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Fixnum(_)))))
+            ),
+            (
+                "flonum?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Flonum(_)))))
+            ),
+            (
+                "exact?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Fixnum(_)))))
+            ),
+            (
+                "inexact?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Flonum(_)))))
+            ),
+            (
+                "even?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(as_fixnum("even?", &a[0])? % 2 == 0)))
+            ),
+            (
+                "odd?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(as_fixnum("odd?", &a[0])? % 2 != 0)))
+            ),
+            (
+                "positive?",
+                1,
+                Some(1),
+                Pure(
+                    |a| p_cmp(&[a[0].clone(), Value::Fixnum(0)], "positive?", |o| o
+                        == std::cmp::Ordering::Greater)
+                )
+            ),
+            (
+                "negative?",
+                1,
+                Some(1),
+                Pure(
+                    |a| p_cmp(&[a[0].clone(), Value::Fixnum(0)], "negative?", |o| o
+                        == std::cmp::Ordering::Less)
+                )
+            ),
+            // Pairs and lists
+            (
+                "cons",
+                2,
+                Some(2),
+                Pure(|a| Ok(Value::cons(a[0].clone(), a[1].clone())))
+            ),
+            ("car", 1, Some(1), Pure(|a| p_car("car", &a[0]))),
+            ("cdr", 1, Some(1), Pure(|a| p_cdr("cdr", &a[0]))),
+            (
+                "caar",
+                1,
+                Some(1),
+                Pure(|a| p_car("caar", &p_car("caar", &a[0])?))
+            ),
+            (
+                "cadr",
+                1,
+                Some(1),
+                Pure(|a| p_car("cadr", &p_cdr("cadr", &a[0])?))
+            ),
+            (
+                "cdar",
+                1,
+                Some(1),
+                Pure(|a| p_cdr("cdar", &p_car("cdar", &a[0])?))
+            ),
+            (
+                "cddr",
+                1,
+                Some(1),
+                Pure(|a| p_cdr("cddr", &p_cdr("cddr", &a[0])?))
+            ),
+            (
+                "caddr",
+                1,
+                Some(1),
+                Pure(|a| p_car("caddr", &p_cdr("caddr", &p_cdr("caddr", &a[0])?)?))
+            ),
+            (
+                "cdddr",
+                1,
+                Some(1),
+                Pure(|a| p_cdr("cdddr", &p_cdr("cdddr", &p_cdr("cdddr", &a[0])?)?))
+            ),
+            (
+                "cadddr",
+                1,
+                Some(1),
+                Pure(|a| p_car(
+                    "cadddr",
+                    &p_cdr("cadddr", &p_cdr("cadddr", &p_cdr("cadddr", &a[0])?)?)?
+                ))
+            ),
+            ("set-car!", 2, Some(2), Pure(p_set_car)),
+            ("set-cdr!", 2, Some(2), Pure(p_set_cdr)),
+            (
+                "pair?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Pair(_)))))
+            ),
+            (
+                "null?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(a[0].is_nil())))
+            ),
+            ("list", 0, None, Pure(|a| Ok(Value::list(a.to_vec())))),
+            (
+                "list?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(a[0].list_to_vec().is_some())))
+            ),
+            ("length", 1, Some(1), Pure(p_length)),
+            ("append", 0, None, Pure(p_append)),
+            ("reverse", 1, Some(1), Pure(p_reverse)),
+            ("list-tail", 2, Some(2), Pure(p_list_tail)),
+            ("list-ref", 2, Some(2), Pure(p_list_ref)),
+            ("memq", 2, Some(2), Pure(|a| p_mem(a, |x, y| x.eq_value(y)))),
+            ("memv", 2, Some(2), Pure(|a| p_mem(a, |x, y| x.eq_value(y)))),
+            (
+                "member",
+                2,
+                Some(2),
+                Pure(|a| p_mem(a, |x, y| x.equal_value(y)))
+            ),
+            ("assq", 2, Some(2), Pure(|a| p_ass(a, |x, y| x.eq_value(y)))),
+            ("assv", 2, Some(2), Pure(|a| p_ass(a, |x, y| x.eq_value(y)))),
+            (
+                "assoc",
+                2,
+                Some(2),
+                Pure(|a| p_ass(a, |x, y| x.equal_value(y)))
+            ),
+            // Equality
+            (
+                "eq?",
+                2,
+                Some(2),
+                Pure(|a| Ok(Value::Bool(a[0].eq_value(&a[1]))))
+            ),
+            (
+                "eqv?",
+                2,
+                Some(2),
+                Pure(|a| Ok(Value::Bool(a[0].eq_value(&a[1]))))
+            ),
+            (
+                "equal?",
+                2,
+                Some(2),
+                Pure(|a| Ok(Value::Bool(a[0].equal_value(&a[1]))))
+            ),
+            (
+                "not",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(!a[0].is_true())))
+            ),
+            // Predicates
+            (
+                "symbol?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Sym(_)))))
+            ),
+            (
+                "boolean?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Bool(_)))))
+            ),
+            (
+                "string?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Str(_)))))
+            ),
+            (
+                "char?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Char(_)))))
+            ),
+            (
+                "vector?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Vector(_)))))
+            ),
+            (
+                "procedure?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(a[0].is_procedure())))
+            ),
+            (
+                "box?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Box(_)))))
+            ),
+            (
+                "void?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Void))))
+            ),
+            // Symbols & strings
+            ("symbol->string", 1, Some(1), Pure(p_symbol_to_string)),
+            ("string->symbol", 1, Some(1), Pure(p_string_to_symbol)),
+            ("gensym", 0, Some(1), Pure(p_gensym)),
+            ("string-length", 1, Some(1), Pure(p_string_length)),
+            ("string-ref", 2, Some(2), Pure(p_string_ref)),
+            ("substring", 3, Some(3), Pure(p_substring)),
+            ("string-append", 0, None, Pure(p_string_append)),
+            (
+                "string=?",
+                2,
+                Some(2),
+                Pure(|a| p_string_cmp(a, "string=?", |o| o == std::cmp::Ordering::Equal))
+            ),
+            (
+                "string<?",
+                2,
+                Some(2),
+                Pure(|a| p_string_cmp(a, "string<?", |o| o == std::cmp::Ordering::Less))
+            ),
+            (
+                "string>?",
+                2,
+                Some(2),
+                Pure(|a| p_string_cmp(a, "string>?", |o| o == std::cmp::Ordering::Greater))
+            ),
+            ("string->list", 1, Some(1), Pure(p_string_to_list)),
+            ("list->string", 1, Some(1), Pure(p_list_to_string)),
+            ("string->number", 1, Some(1), Pure(p_string_to_number)),
+            (
+                "number->string",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::string(a[0].display_string())))
+            ),
+            ("make-string", 1, Some(2), Pure(p_make_string)),
+            ("string", 0, None, Pure(p_string)),
+            ("string-copy", 1, Some(1), Pure(p_string_copy)),
+            ("char->integer", 1, Some(1), Pure(p_char_to_integer)),
+            ("integer->char", 1, Some(1), Pure(p_integer_to_char)),
+            (
+                "char=?",
+                2,
+                Some(2),
+                Pure(|a| p_char_cmp(a, "char=?", |o| o == std::cmp::Ordering::Equal))
+            ),
+            (
+                "char<?",
+                2,
+                Some(2),
+                Pure(|a| p_char_cmp(a, "char<?", |o| o == std::cmp::Ordering::Less))
+            ),
+            (
+                "char>?",
+                2,
+                Some(2),
+                Pure(|a| p_char_cmp(a, "char>?", |o| o == std::cmp::Ordering::Greater))
+            ),
+            (
+                "char-alphabetic?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(
+                    as_char("char-alphabetic?", &a[0])?.is_alphabetic()
+                )))
+            ),
+            (
+                "char-numeric?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(as_char("char-numeric?", &a[0])?.is_numeric())))
+            ),
+            (
+                "char-whitespace?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(
+                    as_char("char-whitespace?", &a[0])?.is_whitespace()
+                )))
+            ),
+            (
+                "char-upcase",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Char(
+                    as_char("char-upcase", &a[0])?.to_ascii_uppercase()
+                )))
+            ),
+            (
+                "char-downcase",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Char(
+                    as_char("char-downcase", &a[0])?.to_ascii_lowercase()
+                )))
+            ),
+            // Vectors
+            ("vector", 0, None, Pure(|a| Ok(Value::vector(a.to_vec())))),
+            ("make-vector", 1, Some(2), Pure(p_make_vector)),
+            ("vector-ref", 2, Some(2), Pure(p_vector_ref)),
+            ("vector-set!", 3, Some(3), Pure(p_vector_set)),
+            ("vector-length", 1, Some(1), Pure(p_vector_length)),
+            ("vector->list", 1, Some(1), Pure(p_vector_to_list)),
+            ("list->vector", 1, Some(1), Pure(p_list_to_vector)),
+            ("vector-fill!", 2, Some(2), Pure(p_vector_fill)),
+            // Boxes
+            (
+                "box",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Box(Rc::new(std::cell::RefCell::new(a[0].clone())))))
+            ),
+            ("unbox", 1, Some(1), Pure(p_unbox)),
+            ("set-box!", 2, Some(2), Pure(p_set_box)),
+            // Hash tables
+            ("make-hashtable", 0, Some(0), Pure(|_| Ok(Value::table()))),
+            (
+                "hashtable?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Table(_)))))
+            ),
+            ("hashtable-set!", 3, Some(3), Pure(p_hash_set)),
+            ("hashtable-ref", 3, Some(3), Pure(p_hash_ref)),
+            ("hashtable-contains?", 2, Some(2), Pure(p_hash_contains)),
+            ("hashtable-delete!", 2, Some(2), Pure(p_hash_delete)),
+            ("hashtable-size", 1, Some(1), Pure(p_hash_size)),
+            // Records
+            ("make-record", 1, None, Pure(p_make_record)),
+            (
+                "record?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Record(_)))))
+            ),
+            ("record-is?", 2, Some(2), Pure(p_record_is)),
+            ("record-tag", 1, Some(1), Pure(p_record_tag)),
+            ("record-ref", 2, Some(2), Pure(p_record_ref)),
+            ("record-set!", 3, Some(3), Pure(p_record_set)),
+            // Misc
+            ("void", 0, None, Pure(|_| Ok(Value::Void))),
+            ("eof-object", 0, Some(0), Pure(|_| Ok(Value::Eof))),
+            (
+                "eof-object?",
+                1,
+                Some(1),
+                Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Eof))))
+            ),
+            ("error", 1, None, Pure(p_error)),
+        ]
+    })
 }
 
 /// The name of a native by id.
@@ -483,7 +848,10 @@ fn p_div(args: &[Value]) -> VmResult<Value> {
 }
 
 fn p_quotient(args: &[Value]) -> VmResult<Value> {
-    let (a, b) = (as_fixnum("quotient", &args[0])?, as_fixnum("quotient", &args[1])?);
+    let (a, b) = (
+        as_fixnum("quotient", &args[0])?,
+        as_fixnum("quotient", &args[1])?,
+    );
     if b == 0 {
         return Err(VmError::Other("quotient: division by zero".into()));
     }
@@ -502,7 +870,10 @@ fn p_remainder(args: &[Value]) -> VmResult<Value> {
 }
 
 fn p_modulo(args: &[Value]) -> VmResult<Value> {
-    let (a, b) = (as_fixnum("modulo", &args[0])?, as_fixnum("modulo", &args[1])?);
+    let (a, b) = (
+        as_fixnum("modulo", &args[0])?,
+        as_fixnum("modulo", &args[1])?,
+    );
     if b == 0 {
         return Err(VmError::Other("modulo: division by zero".into()));
     }
@@ -523,11 +894,7 @@ fn num_cmp(who: &'static str, a: &Value, b: &Value) -> VmResult<std::cmp::Orderi
     }
 }
 
-fn p_cmp(
-    args: &[Value],
-    who: &'static str,
-    ok: fn(std::cmp::Ordering) -> bool,
-) -> VmResult<Value> {
+fn p_cmp(args: &[Value], who: &'static str, ok: fn(std::cmp::Ordering) -> bool) -> VmResult<Value> {
     for w in args.windows(2) {
         if !ok(num_cmp(who, &w[0], &w[1])?) {
             return Ok(Value::Bool(false));
@@ -835,7 +1202,9 @@ fn p_string_cmp(
 
 fn p_string_to_list(args: &[Value]) -> VmResult<Value> {
     Ok(Value::list(
-        as_string("string->list", &args[0])?.chars().map(Value::Char),
+        as_string("string->list", &args[0])?
+            .chars()
+            .map(Value::Char),
     ))
 }
 
@@ -868,7 +1237,7 @@ fn p_make_string(args: &[Value]) -> VmResult<Value> {
     } else {
         ' '
     };
-    Ok(Value::string(std::iter::repeat(c).take(n).collect::<String>()))
+    Ok(Value::string(std::iter::repeat_n(c, n).collect::<String>()))
 }
 
 fn p_string(args: &[Value]) -> VmResult<Value> {
@@ -1166,15 +1535,11 @@ fn p_marks_first(args: &[Value]) -> VmResult<Value> {
                             // this node's whole tail.
                             let cached = match fields.get(1) {
                                 Some(Value::Table(cache)) => {
-                                    cache.borrow().get(&key.eq_key()).and_then(|hit| {
-                                        match hit {
-                                            Value::Pair(h)
-                                                if h.car.borrow().eq_value(&node) =>
-                                            {
-                                                Some(h.cdr.borrow().clone())
-                                            }
-                                            _ => None,
+                                    cache.borrow().get(&key.eq_key()).and_then(|hit| match hit {
+                                        Value::Pair(h) if h.car.borrow().eq_value(&node) => {
+                                            Some(h.cdr.borrow().clone())
                                         }
+                                        _ => None,
                                     })
                                 }
                                 _ => None,
@@ -1192,7 +1557,11 @@ fn p_marks_first(args: &[Value]) -> VmResult<Value> {
                 node = next;
             }
             other => {
-                return Err(VmError::wrong_type("$marks-first", "attachment list", &other))
+                return Err(VmError::wrong_type(
+                    "$marks-first",
+                    "attachment list",
+                    &other,
+                ))
             }
         }
     }
@@ -1261,11 +1630,7 @@ fn p_marks_to_list(args: &[Value]) -> VmResult<Value> {
 fn m_eager_all_marks(m: &mut Machine, _args: Vec<Value>) -> VmResult<Value> {
     let entries = m.eager_all_entries();
     Ok(Value::list(entries.into_iter().map(|entry| {
-        Value::list(
-            entry
-                .into_iter()
-                .map(|(k, v)| Value::cons(k, v)),
-        )
+        Value::list(entry.into_iter().map(|(k, v)| Value::cons(k, v)))
     })))
 }
 
@@ -1300,7 +1665,8 @@ fn m_eager_set(m: &mut Machine, mut args: Vec<Value>) -> VmResult<Value> {
 }
 
 fn m_eager_first(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
-    Ok(m.eager_first_mark(&args[0]).unwrap_or_else(|| args[1].clone()))
+    Ok(m.eager_first_mark(&args[0])
+        .unwrap_or_else(|| args[1].clone()))
 }
 
 fn m_eager_marks(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
@@ -1308,8 +1674,7 @@ fn m_eager_marks(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
 }
 
 fn m_eager_immediate(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
-    Ok(m
-        .eager_immediate_mark(&args[0])
+    Ok(m.eager_immediate_mark(&args[0])
         .unwrap_or_else(|| args[1].clone()))
 }
 
@@ -1345,7 +1710,10 @@ mod tests {
     fn lookup_finds_call_cc() {
         let id = lookup("call/cc").unwrap();
         assert_eq!(native_name(id), "call/cc");
-        assert!(matches!(def(id).imp, NativeImpl::Control(ControlOp::CallCc)));
+        assert!(matches!(
+            def(id).imp,
+            NativeImpl::Control(ControlOp::CallCc)
+        ));
     }
 
     #[test]
@@ -1400,8 +1768,10 @@ mod tests {
     #[test]
     fn list_ops() {
         let l = Value::list([Value::fixnum(1), Value::fixnum(2), Value::fixnum(3)]);
-        assert!(p_length(&[l.clone()]).unwrap().eq_value(&Value::fixnum(3)));
-        let r = p_reverse(&[l.clone()]).unwrap();
+        assert!(p_length(std::slice::from_ref(&l))
+            .unwrap()
+            .eq_value(&Value::fixnum(3)));
+        let r = p_reverse(std::slice::from_ref(&l)).unwrap();
         assert_eq!(r.write_string(), "(3 2 1)");
         let t = p_list_tail(&[l.clone(), Value::fixnum(1)]).unwrap();
         assert_eq!(t.write_string(), "(2 3)");
@@ -1440,14 +1810,18 @@ mod tests {
         assert!(p_string_to_number(&[Value::string("42")])
             .unwrap()
             .eq_value(&Value::fixnum(42)));
-        assert!(!p_string_to_number(&[Value::string("nope")]).unwrap().is_true());
+        assert!(!p_string_to_number(&[Value::string("nope")])
+            .unwrap()
+            .is_true());
     }
 
     #[test]
     fn records() {
-        let r = p_make_record(&[Value::symbol("point"), Value::fixnum(1), Value::fixnum(2)])
-            .unwrap();
-        assert!(p_record_is(&[r.clone(), Value::symbol("point")]).unwrap().is_true());
+        let r =
+            p_make_record(&[Value::symbol("point"), Value::fixnum(1), Value::fixnum(2)]).unwrap();
+        assert!(p_record_is(&[r.clone(), Value::symbol("point")])
+            .unwrap()
+            .is_true());
         assert!(p_record_ref(&[r.clone(), Value::fixnum(1)])
             .unwrap()
             .eq_value(&Value::fixnum(2)));
@@ -1466,7 +1840,9 @@ mod tests {
                 .unwrap()
                 .eq_value(&Value::fixnum(1))
         );
-        assert!(p_hash_contains(&[t.clone(), Value::symbol("k")]).unwrap().is_true());
+        assert!(p_hash_contains(&[t.clone(), Value::symbol("k")])
+            .unwrap()
+            .is_true());
         p_hash_delete(&[t.clone(), Value::symbol("k")]).unwrap();
         assert!(!p_hash_contains(&[t, Value::symbol("k")]).unwrap().is_true());
     }

@@ -69,8 +69,10 @@ fn deep_nontail_calls_split_segments() {
             vec![],
         ))],
     );
-    let mut cfg = MachineConfig::default();
-    cfg.segment_frame_limit = 16;
+    let cfg = MachineConfig {
+        segment_frame_limit: 16,
+        ..Default::default()
+    };
     let mut m = Machine::new(cfg);
     let v = m.run_code(Rc::new(code)).unwrap();
     assert!(v.eq_value(&Value::fixnum(500)));

@@ -91,20 +91,118 @@ macro_rules! workloads {
 /// (builtin vs. the figure-3 imitation).
 pub fn attachment_micros() -> &'static [Workload] {
     workloads![
-        ("base-loop", MICRO_ATTACH, "base-loop-bench", 10, Some("done"), 300_000),
-        ("base-callcc-loop", MICRO_ATTACH, "base-callcc-loop-bench", 10, Some("done"), 60_000),
-        ("base-deep", MICRO_ATTACH, "base-deep-bench", 100, Some("100"), 100_000),
-        ("base-callcc-deep", MICRO_ATTACH, "base-callcc-deep-bench", 100, Some("100"), 60_000),
-        ("set-loop", MICRO_ATTACH, "set-loop-bench", 10, Some("done"), 150_000),
-        ("get-loop", MICRO_ATTACH, "get-loop-bench", 10, Some("done"), 150_000),
-        ("get-has-loop", MICRO_ATTACH, "get-has-loop-bench", 10, Some("done"), 100_000),
-        ("get-set-loop", MICRO_ATTACH, "get-set-loop-bench", 10, Some("done"), 100_000),
-        ("consume-set-loop", MICRO_ATTACH, "consume-set-loop-bench", 10, Some("done"), 100_000),
-        ("set-nontail-notail", MICRO_ATTACH, "set-nontail-notail-bench", 100, Some("100"), 50_000),
-        ("set-tail-notail", MICRO_ATTACH, "set-tail-notail-bench", 100, Some("100"), 50_000),
-        ("set-nontail-tail", MICRO_ATTACH, "set-nontail-tail-bench", 100, Some("100"), 50_000),
-        ("loop-arg-call", MICRO_ATTACH, "loop-arg-call-bench", 10, Some("done"), 100_000),
-        ("loop-arg-prim", MICRO_ATTACH, "loop-arg-prim-bench", 10, Some("done"), 100_000),
+        (
+            "base-loop",
+            MICRO_ATTACH,
+            "base-loop-bench",
+            10,
+            Some("done"),
+            300_000
+        ),
+        (
+            "base-callcc-loop",
+            MICRO_ATTACH,
+            "base-callcc-loop-bench",
+            10,
+            Some("done"),
+            60_000
+        ),
+        (
+            "base-deep",
+            MICRO_ATTACH,
+            "base-deep-bench",
+            100,
+            Some("100"),
+            100_000
+        ),
+        (
+            "base-callcc-deep",
+            MICRO_ATTACH,
+            "base-callcc-deep-bench",
+            100,
+            Some("100"),
+            60_000
+        ),
+        (
+            "set-loop",
+            MICRO_ATTACH,
+            "set-loop-bench",
+            10,
+            Some("done"),
+            150_000
+        ),
+        (
+            "get-loop",
+            MICRO_ATTACH,
+            "get-loop-bench",
+            10,
+            Some("done"),
+            150_000
+        ),
+        (
+            "get-has-loop",
+            MICRO_ATTACH,
+            "get-has-loop-bench",
+            10,
+            Some("done"),
+            100_000
+        ),
+        (
+            "get-set-loop",
+            MICRO_ATTACH,
+            "get-set-loop-bench",
+            10,
+            Some("done"),
+            100_000
+        ),
+        (
+            "consume-set-loop",
+            MICRO_ATTACH,
+            "consume-set-loop-bench",
+            10,
+            Some("done"),
+            100_000
+        ),
+        (
+            "set-nontail-notail",
+            MICRO_ATTACH,
+            "set-nontail-notail-bench",
+            100,
+            Some("100"),
+            50_000
+        ),
+        (
+            "set-tail-notail",
+            MICRO_ATTACH,
+            "set-tail-notail-bench",
+            100,
+            Some("100"),
+            50_000
+        ),
+        (
+            "set-nontail-tail",
+            MICRO_ATTACH,
+            "set-nontail-tail-bench",
+            100,
+            Some("100"),
+            50_000
+        ),
+        (
+            "loop-arg-call",
+            MICRO_ATTACH,
+            "loop-arg-call-bench",
+            10,
+            Some("done"),
+            100_000
+        ),
+        (
+            "loop-arg-prim",
+            MICRO_ATTACH,
+            "loop-arg-prim-bench",
+            10,
+            Some("done"),
+            100_000
+        ),
     ]
 }
 
@@ -112,20 +210,118 @@ pub fn attachment_micros() -> &'static [Workload] {
 /// Racket eager mark-stack model).
 pub fn mark_micros() -> &'static [Workload] {
     workloads![
-        ("base-loop", MICRO_MARKS, "mbase-loop-bench", 10, Some("done"), 300_000),
-        ("base-deep", MICRO_MARKS, "mbase-deep-bench", 100, Some("100"), 100_000),
-        ("base-arg-call-loop", MICRO_MARKS, "mbase-arg-call-loop-bench", 10, Some("done"), 150_000),
-        ("set-loop", MICRO_MARKS, "mset-loop-bench", 10, Some("done"), 60_000),
-        ("set-nontail-prim", MICRO_MARKS, "mset-nontail-prim-bench", 100, Some("100"), 30_000),
-        ("set-tail-notail", MICRO_MARKS, "mset-tail-notail-bench", 100, Some("100"), 30_000),
-        ("set-nontail-tail", MICRO_MARKS, "mset-nontail-tail-bench", 100, Some("100"), 30_000),
-        ("set-arg-call-loop", MICRO_MARKS, "mset-arg-call-loop-bench", 10, Some("done"), 50_000),
-        ("set-arg-prim-loop", MICRO_MARKS, "mset-arg-prim-loop-bench", 10, Some("done"), 50_000),
-        ("first-none-loop", MICRO_MARKS, "mfirst-none-loop-bench", 10, Some("done"), 100_000),
-        ("first-some-loop", MICRO_MARKS, "mfirst-some-loop-bench", 10, Some("done"), 100_000),
-        ("first-deep-loop", MICRO_MARKS, "mfirst-deep-loop-bench", 10, Some("0"), 50_000),
-        ("immed-none-loop", MICRO_MARKS, "mimmed-none-loop-bench", 10, Some("done"), 60_000),
-        ("immed-some-loop", MICRO_MARKS, "mimmed-some-loop-bench", 10, Some("done"), 50_000),
+        (
+            "base-loop",
+            MICRO_MARKS,
+            "mbase-loop-bench",
+            10,
+            Some("done"),
+            300_000
+        ),
+        (
+            "base-deep",
+            MICRO_MARKS,
+            "mbase-deep-bench",
+            100,
+            Some("100"),
+            100_000
+        ),
+        (
+            "base-arg-call-loop",
+            MICRO_MARKS,
+            "mbase-arg-call-loop-bench",
+            10,
+            Some("done"),
+            150_000
+        ),
+        (
+            "set-loop",
+            MICRO_MARKS,
+            "mset-loop-bench",
+            10,
+            Some("done"),
+            60_000
+        ),
+        (
+            "set-nontail-prim",
+            MICRO_MARKS,
+            "mset-nontail-prim-bench",
+            100,
+            Some("100"),
+            30_000
+        ),
+        (
+            "set-tail-notail",
+            MICRO_MARKS,
+            "mset-tail-notail-bench",
+            100,
+            Some("100"),
+            30_000
+        ),
+        (
+            "set-nontail-tail",
+            MICRO_MARKS,
+            "mset-nontail-tail-bench",
+            100,
+            Some("100"),
+            30_000
+        ),
+        (
+            "set-arg-call-loop",
+            MICRO_MARKS,
+            "mset-arg-call-loop-bench",
+            10,
+            Some("done"),
+            50_000
+        ),
+        (
+            "set-arg-prim-loop",
+            MICRO_MARKS,
+            "mset-arg-prim-loop-bench",
+            10,
+            Some("done"),
+            50_000
+        ),
+        (
+            "first-none-loop",
+            MICRO_MARKS,
+            "mfirst-none-loop-bench",
+            10,
+            Some("done"),
+            100_000
+        ),
+        (
+            "first-some-loop",
+            MICRO_MARKS,
+            "mfirst-some-loop-bench",
+            10,
+            Some("done"),
+            100_000
+        ),
+        (
+            "first-deep-loop",
+            MICRO_MARKS,
+            "mfirst-deep-loop-bench",
+            10,
+            Some("0"),
+            50_000
+        ),
+        (
+            "immed-none-loop",
+            MICRO_MARKS,
+            "mimmed-none-loop-bench",
+            10,
+            Some("done"),
+            60_000
+        ),
+        (
+            "immed-some-loop",
+            MICRO_MARKS,
+            "mimmed-some-loop-bench",
+            10,
+            Some("done"),
+            50_000
+        ),
     ]
 }
 
@@ -139,8 +335,22 @@ pub fn ctak() -> &'static [Workload] {
 /// three implementation strategies.
 pub fn triple() -> &'static [Workload] {
     workloads![
-        ("triple-native", TRIPLE_NATIVE, "triple-native", 30, Some("91"), 200),
-        ("triple-dpjs", TRIPLE_DPJS, "triple-dpjs", 30, Some("91"), 200),
+        (
+            "triple-native",
+            TRIPLE_NATIVE,
+            "triple-native",
+            30,
+            Some("91"),
+            200
+        ),
+        (
+            "triple-dpjs",
+            TRIPLE_DPJS,
+            "triple-dpjs",
+            30,
+            Some("91"),
+            200
+        ),
         ("triple-k", TRIPLE_K, "triple-k", 30, Some("91"), 200),
     ]
 }
@@ -169,15 +379,36 @@ pub fn gabriel() -> &'static [Workload] {
 /// §8.4: the contract-checking microbenchmark (unchecked/checked).
 pub fn contract() -> &'static [Workload] {
     workloads![
-        ("unchecked", CONTRACT, "contract-unchecked-bench", 10, Some("10"), 100_000),
-        ("checked", CONTRACT, "contract-checked-bench", 10, Some("10"), 40_000),
+        (
+            "unchecked",
+            CONTRACT,
+            "contract-unchecked-bench",
+            10,
+            Some("10"),
+            100_000
+        ),
+        (
+            "checked",
+            CONTRACT,
+            "contract-checked-bench",
+            10,
+            Some("10"),
+            40_000
+        ),
     ]
 }
 
 /// §8.4: the five synthetic applications.
 pub fn applications() -> &'static [Workload] {
     workloads![
-        ("ActivityLog import", APPS, "app-activity-log", 10, None, 4_000),
+        (
+            "ActivityLog import",
+            APPS,
+            "app-activity-log",
+            10,
+            None,
+            4_000
+        ),
         ("Xsmith cish", APPS, "app-xsmith", 10, None, 2_000),
         ("Megaparsack JSON", APPS, "app-json", 10, None, 2_500),
         ("Markdown", APPS, "app-markdown", 10, None, 6_000),

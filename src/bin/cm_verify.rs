@@ -1,0 +1,139 @@
+//! `cm-verify` — compile a Scheme file and run the `cm-analysis`
+//! bytecode verifier plus the §7.4 cp0 lint over the result.
+//!
+//! ```text
+//! cm-verify [--config NAME | --all] [--disasm] FILE.scm
+//! ```
+//!
+//! Exit status is 0 when every checked configuration verifies cleanly,
+//! 1 when any violation or §7.4 lint finding is reported, 2 on usage or
+//! I/O errors. Verification violations are pretty-printed with their
+//! code path and instruction offset, followed by a disassembly.
+
+use std::process::ExitCode;
+
+use continuation_marks::{Engine, EngineConfig, EngineError};
+
+const CONFIG_NAMES: &[&str] = &[
+    "full",
+    "racket-cs",
+    "unmod",
+    "no-1cc",
+    "no-opt",
+    "no-prim",
+    "old-racket",
+];
+
+fn config_by_name(name: &str) -> Option<EngineConfig> {
+    Some(match name {
+        "full" => EngineConfig::full(),
+        "racket-cs" => EngineConfig::racket_cs(),
+        "unmod" => EngineConfig::unmodified_chez(),
+        "no-1cc" => EngineConfig::no_one_shot(),
+        "no-opt" => EngineConfig::no_attachment_opt(),
+        "no-prim" => EngineConfig::no_prim_opt(),
+        "old-racket" => EngineConfig::old_racket(),
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cm-verify [--config NAME | --all] [--disasm] FILE.scm\n\
+         configs: {}",
+        CONFIG_NAMES.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+/// Returns `true` when the file verifies cleanly under `config`.
+fn check(name: &str, mut config: EngineConfig, src: &str, disasm: bool) -> bool {
+    config.compiler.verify_bytecode = true;
+    let mut engine = Engine::new(config);
+    engine.take_lint_findings(); // discard any prelude findings
+    match engine.compile_only(src) {
+        Ok(code) => {
+            let lints = engine.take_lint_findings();
+            if lints.is_empty() {
+                println!("[{name}] ok");
+                if disasm {
+                    print!("{}", code.disassemble());
+                }
+                true
+            } else {
+                println!("[{name}] {} lint finding(s):", lints.len());
+                for l in &lints {
+                    println!("  {l}");
+                }
+                false
+            }
+        }
+        Err(EngineError::Compile(e)) => {
+            println!("[{name}] FAILED:\n{e}");
+            false
+        }
+        Err(EngineError::Runtime(e)) => {
+            // compile_only never runs user code; this is unreachable in
+            // practice but kept total.
+            println!("[{name}] runtime error: {e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut config_name = "full".to_owned();
+    let mut all = false;
+    let mut disasm = false;
+    let mut file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--config" => match args.next() {
+                Some(n) => config_name = n,
+                None => return usage(),
+            },
+            "--all" => all = true,
+            "--disasm" => disasm = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if file.is_none() && !a.starts_with('-') => file = Some(a),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cm-verify: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let checked: Vec<(String, EngineConfig)> = if all {
+        CONFIG_NAMES
+            .iter()
+            .map(|n| ((*n).to_owned(), config_by_name(n).expect("known name")))
+            .collect()
+    } else {
+        match config_by_name(&config_name) {
+            Some(c) => vec![(config_name, c)],
+            None => {
+                eprintln!("cm-verify: unknown config {config_name}");
+                return usage();
+            }
+        }
+    };
+
+    let mut ok = true;
+    for (name, config) in checked {
+        ok &= check(&name, config, &src, disasm);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

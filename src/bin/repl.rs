@@ -89,7 +89,9 @@ fn main() {
                 ",quit" | ",q" => break,
                 ",help" => {
                     println!(",stats ,reset-stats ,config <variant> ,quit");
-                    println!("variants: full racket-cs unmod no-1cc no-opt no-prim old-racket imitate");
+                    println!(
+                        "variants: full racket-cs unmod no-1cc no-opt no-prim old-racket imitate"
+                    );
                 }
                 ",stats" => println!("{:#?}", engine.stats()),
                 ",reset-stats" => engine.reset_stats(),

@@ -280,7 +280,7 @@ impl Engine {
             .globals
             .borrow()
             .lookup(cm_sexpr::sym(name))
-            .ok_or_else(|| EngineError::Runtime(VmError::Unbound(name.to_owned())))?;
+            .ok_or_else(|| EngineError::Runtime(VmError::unbound(name)))?;
         self.machine.refuel();
         Ok(self.machine.call_value(f, args)?)
     }
@@ -303,6 +303,17 @@ impl Engine {
     /// Direct access to the underlying machine.
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
+    }
+
+    /// Checks the machine's structural invariants (see
+    /// [`Machine::check_invariants`]). The torture harness calls this
+    /// after every injected fault to prove the engine is still sound.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.machine.check_invariants()
     }
 }
 
@@ -355,7 +366,10 @@ mod tests {
         let mut e = Engine::new(EngineConfig::default());
         assert!(matches!(
             e.eval("(car 5)"),
-            Err(EngineError::Runtime(VmError::WrongType { .. }))
+            Err(EngineError::Runtime(VmError {
+                kind: cm_vm::VmErrorKind::WrongType { .. },
+                ..
+            }))
         ));
         assert!(matches!(e.eval("(if)"), Err(EngineError::Compile(_))));
         // The machine recovers after an error.

@@ -43,6 +43,21 @@ use cm_vm::{prim_op_value, PrimOp, Value};
 #[derive(Debug, Clone)]
 pub struct RefError(pub String);
 
+/// The exact message produced when the step limit is exhausted; kept as a
+/// constant so [`RefError::is_step_limit`] stays in sync with the check
+/// in the interpreter loop.
+const STEP_LIMIT_MSG: &str = "step limit exhausted";
+
+impl RefError {
+    /// Whether this error is step-limit exhaustion (a resource limit, not
+    /// a disagreement about the program). Differential testers that run
+    /// the model against a fault-injected engine use this to tell "the
+    /// model also ran out of budget" apart from a real divergence.
+    pub fn is_step_limit(&self) -> bool {
+        self.0 == STEP_LIMIT_MSG
+    }
+}
+
 impl fmt::Display for RefError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "refmodel error: {}", self.0)
@@ -318,6 +333,20 @@ impl RefInterp {
         }
     }
 
+    /// Sets the step budget for each subsequent [`RefInterp::eval`] call.
+    ///
+    /// The default (20 million) is a safety net against runaway generated
+    /// programs; torture/differential harnesses lower it to bound model
+    /// runs, then detect exhaustion via [`RefError::is_step_limit`].
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// The current per-`eval` step budget.
+    pub fn step_limit(&self) -> u64 {
+        self.step_limit
+    }
+
     /// Evaluates a program, returning the written form of the last value.
     ///
     /// # Errors
@@ -354,7 +383,7 @@ impl RefInterp {
         let mut steps = self.step_limit;
         loop {
             if steps == 0 {
-                return fail("step limit exhausted");
+                return fail(STEP_LIMIT_MSG);
             }
             steps -= 1;
             match ctl {
@@ -786,8 +815,12 @@ mod tests {
     #[test]
     fn step_limit_fires() {
         let mut i = RefInterp::new();
-        i.step_limit = 1000;
-        assert!(i.eval("(define (loop) (loop)) (loop)").is_err());
+        i.set_step_limit(1000);
+        let err = i.eval("(define (loop) (loop)) (loop)").unwrap_err();
+        assert!(err.is_step_limit(), "unexpected error: {err}");
+        // A type error is not a step-limit error.
+        let err = i.eval("(car 5)").unwrap_err();
+        assert!(!err.is_step_limit());
     }
 
     #[test]

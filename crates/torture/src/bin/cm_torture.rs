@@ -1,0 +1,108 @@
+//! `cm-torture`: run the fault-injection torture sweep from the command
+//! line.
+//!
+//! ```text
+//! cm-torture --quick             # bounded sweep (CI)
+//! cm-torture --full              # exhaustive sweep
+//! cm-torture --quick --config full --target gabriel/fib
+//! ```
+//!
+//! Exits non-zero if any injected fault produced an unclean error, broke
+//! a machine invariant, or left the engine unable to run the probe
+//! programs.
+
+use std::process::ExitCode;
+
+use cm_torture::{engine_configs, torture_target, torture_targets, SweepOptions, TortureReport};
+
+fn main() -> ExitCode {
+    let mut quick = true;
+    let mut config_filter: Option<String> = None;
+    let mut target_filter: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--config" => config_filter = args.next(),
+            "--target" => target_filter = args.next(),
+            "--help" | "-h" => {
+                println!("usage: cm-torture [--quick|--full] [--config NAME] [--target SUBSTRING]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cm-torture: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let opts = if quick {
+        SweepOptions::quick()
+    } else {
+        SweepOptions::full()
+    };
+    let targets: Vec<_> = torture_targets(quick)
+        .into_iter()
+        .filter(|t| target_filter.as_deref().is_none_or(|f| t.name.contains(f)))
+        .collect();
+    let configs: Vec<_> = engine_configs()
+        .into_iter()
+        .filter(|(n, _)| config_filter.as_deref().is_none_or(|f| *n == f))
+        .collect();
+    if targets.is_empty() || configs.is_empty() {
+        eprintln!("cm-torture: no targets or configs match the filters");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "cm-torture: {} mode — {} configs x {} targets (fuel cuts {}, segment limits {:?}, prim cuts {})",
+        if quick { "quick" } else { "full" },
+        configs.len(),
+        targets.len(),
+        opts.fuel_cuts,
+        opts.segment_limits,
+        opts.prim_cuts,
+    );
+
+    let mut total = TortureReport::default();
+    for (name, config) in &configs {
+        for t in &targets {
+            let rep = torture_target(name, config, t, &opts);
+            println!(
+                "{:>10}/{:<24} {:>5} trials  {:>5} clean faults  {:>4} correct  {:>5} probes{}",
+                name,
+                t.name,
+                rep.trials,
+                rep.clean_faults,
+                rep.correct_runs,
+                rep.probes,
+                if rep.ok() {
+                    String::new()
+                } else {
+                    format!("  {} VIOLATIONS", rep.violation_count)
+                },
+            );
+            total.merge(rep);
+        }
+    }
+
+    println!(
+        "total: {} trials, {} clean faults, {} correct runs, {} probes, {} violations",
+        total.trials, total.clean_faults, total.correct_runs, total.probes, total.violation_count,
+    );
+    if total.ok() {
+        ExitCode::SUCCESS
+    } else {
+        for v in &total.violations {
+            eprintln!("violation: {v}");
+        }
+        if total.violation_count as usize > total.violations.len() {
+            eprintln!(
+                "... and {} more",
+                total.violation_count as usize - total.violations.len()
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

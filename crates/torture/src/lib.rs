@@ -1,0 +1,563 @@
+//! Deterministic fault-injection torture harness for the
+//! continuation-marks engine.
+//!
+//! The paper's design hangs on delicate cross-cutting invariants —
+//! underflow records must stay in sync with the marks register, one-shot
+//! fusion must only fire when the machine holds the sole reference,
+//! winder state must survive capture/apply (§5–§6). This crate proves the
+//! engine *recovers* from faults at every point where those invariants
+//! are in flight, by running each workload and §2 example under
+//! systematically injected faults:
+//!
+//! * **fuel bisection** — cut execution off after *k* steps for dozens of
+//!   *k* spread over the program's full step count; every cut must fail
+//!   cleanly with [`VmErrorKind::OutOfFuel`] (or, at the boundary,
+//!   produce the checksum-correct answer),
+//! * **forced segment overflow** — rerun with `segment_frame_limit` as
+//!   low as 1, forcing a stack split (and an underflow record) at nearly
+//!   every call; the answer must not change,
+//! * **forced clone** — take the multi-shot copy path on every underflow
+//!   even where one-shot fusion would fire ([`FaultPlan::force_clone`]);
+//!   the answer must not change,
+//! * **primitive-boundary faults** — fail the *n*th primitive/native
+//!   call with [`VmErrorKind::InjectedFault`] for *n* spread over the
+//!   run's primitive-call count.
+//!
+//! After **every** trial the harness checks
+//! [`Engine::check_invariants`], then requires the *same* engine to run
+//! probe programs correctly — the reuse-after-fault guarantee.
+//!
+//! # Examples
+//!
+//! ```
+//! use cm_torture::{engine_configs, torture_targets, torture_target, SweepOptions};
+//!
+//! let mut opts = SweepOptions::quick();
+//! opts.fuel_cuts = 4; // tiny sweep for the doc test
+//! opts.prim_cuts = 2;
+//! let (name, config) = &engine_configs()[0];
+//! let target = &torture_targets(true)[0];
+//! let report = torture_target(name, config, target, &opts);
+//! assert!(report.ok(), "{:?}", report.violations);
+//! ```
+
+use cm_core::{Engine, EngineConfig, EngineError};
+use cm_vm::VmErrorKind;
+use cm_workloads::Workload;
+
+/// The probe programs every engine must run correctly after every
+/// injected fault (value + continuation-marks machinery).
+const PROBES: [(&str, &str); 2] = [
+    ("(+ 40 2)", "42"),
+    (
+        "(with-continuation-mark 'torture-probe 17 \
+           (continuation-mark-set-first #f 'torture-probe 0))",
+        "17",
+    ),
+];
+
+/// The seven engine configurations of the paper's evaluation (§8); the
+/// torture sweeps run every target under all of them.
+pub fn engine_configs() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("full", EngineConfig::full()),
+        ("racket-cs", EngineConfig::racket_cs()),
+        ("unmod", EngineConfig::unmodified_chez()),
+        ("no-1cc", EngineConfig::no_one_shot()),
+        ("no-opt", EngineConfig::no_attachment_opt()),
+        ("no-prim", EngineConfig::no_prim_opt()),
+        ("old-racket", EngineConfig::old_racket()),
+    ]
+}
+
+/// One program the harness tortures: definitions loaded once per engine,
+/// an expression evaluated per trial, and the expected `write` output
+/// (`None` derives it from the un-faulted baseline run).
+#[derive(Debug, Clone)]
+pub struct Target {
+    /// Display name (`group/workload` or `sec2-...`).
+    pub name: String,
+    /// Definitions evaluated once, un-faulted, at engine setup.
+    pub setup: String,
+    /// The expression evaluated under injected faults.
+    pub run: String,
+    /// Expected `write` output; `None` trusts the baseline run.
+    pub expected: Option<String>,
+}
+
+fn workload_target(group_name: &str, group: &[Workload], name: &str) -> Target {
+    let w = group
+        .iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("no workload {name} in group {group_name}"));
+    Target {
+        name: format!("{group_name}/{name}"),
+        setup: w.source.to_string(),
+        run: format!("({} {})", w.entry, w.small_n),
+        expected: w.expected.map(str::to_string),
+    }
+}
+
+fn sec2_target(name: &str, setup: &str, run: &str, expected: &str) -> Target {
+    Target {
+        name: name.to_string(),
+        setup: setup.to_string(),
+        run: run.to_string(),
+        expected: Some(expected.to_string()),
+    }
+}
+
+/// The torture corpus: §2 examples plus workloads from every group at
+/// their small (checksum-checked) scales. `quick` selects the bounded CI
+/// subset; the full set adds more workloads per group.
+pub fn torture_targets(quick: bool) -> Vec<Target> {
+    let attach = cm_workloads::attachment_micros();
+    let marks = cm_workloads::mark_micros();
+    let gabriel = cm_workloads::gabriel();
+    let mut targets = vec![
+        // §2.1/§2.2: the team-color examples.
+        sec2_target(
+            "sec2-first",
+            "(define (current-team-color)
+               (continuation-mark-set-first #f 'team-color \"?\"))",
+            "(with-continuation-mark 'team-color \"red\" (current-team-color))",
+            "\"red\"",
+        ),
+        sec2_target(
+            "sec2-nested",
+            "(define (all-team-colors)
+               (continuation-mark-set->list (current-continuation-marks) 'team-color))
+             (define (place-in-game a b) (cons a b))",
+            "(with-continuation-mark 'team-color \"red\"
+               (place-in-game
+                 (continuation-mark-set-first #f 'team-color \"?\")
+                 (with-continuation-mark 'team-color \"blue\" (all-team-colors))))",
+            "(\"red\" \"blue\" \"red\")",
+        ),
+        // Deep non-tail marks: gives the fuel and segment sweeps a chain
+        // of live attachments to cut through.
+        sec2_target(
+            "sec2-deep",
+            "(define (deep n)
+               (if (zero? n)
+                   (continuation-mark-set-first #f 'd -1)
+                   (with-continuation-mark 'd n (add1 (deep (- n 1))))))",
+            "(deep 40)",
+            "41",
+        ),
+        // Marks observed through a captured continuation.
+        sec2_target(
+            "sec2-callcc",
+            "",
+            "(call/cc (lambda (k)
+               (with-continuation-mark 'a 1
+                 (+ 1 (continuation-mark-set-first #f 'a 0)))))",
+            "2",
+        ),
+        workload_target("attach", attach, "base-loop"),
+        workload_target("attach", attach, "base-callcc-deep"),
+        workload_target("mark", marks, "set-loop"),
+        workload_target("ctak", cm_workloads::ctak(), "ctak"),
+        workload_target("triple", cm_workloads::triple(), "triple-native"),
+        workload_target("gabriel", gabriel, "fib"),
+    ];
+    if !quick {
+        targets.extend([
+            workload_target("attach", attach, "base-callcc-loop"),
+            workload_target("attach", attach, "get-set-loop"),
+            workload_target("attach", attach, "consume-set-loop"),
+            workload_target("mark", marks, "first-some-loop"),
+            workload_target("triple", cm_workloads::triple(), "triple-dpjs"),
+            workload_target("triple", cm_workloads::triple(), "triple-k"),
+            workload_target("gabriel", gabriel, "cpstak"),
+            workload_target("gabriel", gabriel, "deriv"),
+            workload_target("gabriel", gabriel, "nqueens"),
+            workload_target("contract", cm_workloads::contract(), "checked"),
+        ]);
+    }
+    targets
+}
+
+/// How hard each sweep pushes.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Fuel-bisection cut points, spread evenly over the baseline run's
+    /// step count.
+    pub fuel_cuts: u64,
+    /// `segment_frame_limit` values for the forced-overflow sweep.
+    pub segment_limits: &'static [usize],
+    /// Primitive-boundary fault points, spread evenly over the baseline
+    /// run's primitive-call count.
+    pub prim_cuts: u64,
+}
+
+impl SweepOptions {
+    /// The bounded sweep CI runs on every push (`cm-torture --quick`).
+    pub fn quick() -> SweepOptions {
+        SweepOptions {
+            fuel_cuts: 50,
+            segment_limits: &[1, 2, 3, 7],
+            prim_cuts: 10,
+        }
+    }
+
+    /// The exhaustive sweep (`cm-torture --full`, and the `--ignored`
+    /// test).
+    pub fn full() -> SweepOptions {
+        SweepOptions {
+            fuel_cuts: 250,
+            segment_limits: &[1, 2, 3, 7, 13],
+            prim_cuts: 60,
+        }
+    }
+}
+
+/// What a torture sweep proved (and any counterexamples).
+#[derive(Debug, Default)]
+pub struct TortureReport {
+    /// Fault-injected (or stressed) runs executed.
+    pub trials: u64,
+    /// Trials that ended in the expected clean [`cm_vm::VmError`].
+    pub clean_faults: u64,
+    /// Trials that produced the checksum-correct answer.
+    pub correct_runs: u64,
+    /// Post-fault probe programs run (two per trial).
+    pub probes: u64,
+    /// Total violations (clamped list in [`TortureReport::violations`]).
+    pub violation_count: u64,
+    /// The first violations, with context (at most 20 kept).
+    pub violations: Vec<String>,
+}
+
+impl TortureReport {
+    /// Whether the sweep found no violations.
+    pub fn ok(&self) -> bool {
+        self.violation_count == 0
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: TortureReport) {
+        self.trials += other.trials;
+        self.clean_faults += other.clean_faults;
+        self.correct_runs += other.correct_runs;
+        self.probes += other.probes;
+        self.violation_count += other.violation_count;
+        for v in other.violations {
+            self.push_violation(v);
+        }
+    }
+
+    fn violate(&mut self, ctx: &str, msg: String) {
+        self.violation_count += 1;
+        self.push_violation(format!("[{ctx}] {msg}"));
+    }
+
+    fn push_violation(&mut self, msg: String) {
+        if self.violations.len() < 20 {
+            self.violations.push(msg);
+        }
+    }
+}
+
+/// What a single fault-injected trial must produce.
+enum Expectation {
+    /// Checksum-correct answer, no fault (stress trials: segment limits,
+    /// forced clone).
+    Success,
+    /// [`VmErrorKind::OutOfFuel`] — or the correct answer if the cut
+    /// lands past the program's end.
+    OutOfFuel,
+    /// [`VmErrorKind::InjectedFault`] at exactly this primitive index.
+    InjectedFault(u64),
+}
+
+/// Runs the full torture sweep for one target under one engine
+/// configuration: un-faulted baseline, fuel bisection, segment-overflow
+/// limits, forced clone, and primitive-boundary faults — checking
+/// invariants and probing engine reuse after every trial.
+pub fn torture_target(
+    config_name: &str,
+    config: &EngineConfig,
+    target: &Target,
+    opts: &SweepOptions,
+) -> TortureReport {
+    let mut rep = TortureReport::default();
+    let ctx = format!("{config_name}/{}", target.name);
+    let mut cfg = config.clone();
+    // Invariant verification is the point; pay for it in release too.
+    cfg.machine.check_invariants = true;
+    let mut engine = Engine::new(cfg);
+    if !target.setup.is_empty() {
+        if let Err(e) = engine.eval(&target.setup) {
+            rep.violate(&ctx, format!("setup failed: {e}"));
+            return rep;
+        }
+    }
+
+    // Un-faulted baseline: the reference answer, the step count the fuel
+    // sweep bisects, and the primitive-call count the fault sweep cuts.
+    const BIG: u64 = 200_000_000;
+    engine.machine_mut().config.fuel = Some(BIG);
+    let prims_before = engine.stats().prim_calls;
+    rep.trials += 1;
+    let baseline = match engine.eval(&target.run) {
+        Ok(v) => v.write_string(),
+        Err(e) => {
+            rep.violate(&ctx, format!("baseline run failed: {e}"));
+            return rep;
+        }
+    };
+    rep.correct_runs += 1;
+    let fuel_used = BIG - engine.machine_mut().fuel_remaining().unwrap_or(BIG);
+    let prim_total = engine.stats().prim_calls - prims_before;
+    engine.machine_mut().config.fuel = None;
+    if let Some(exp) = &target.expected {
+        if &baseline != exp {
+            rep.violate(
+                &ctx,
+                format!("baseline produced {baseline}, expected {exp}"),
+            );
+            return rep;
+        }
+    }
+
+    // Fuel bisection: cut the run off at `fuel_cuts` points spread over
+    // its whole step count.
+    let cuts = opts.fuel_cuts.min(fuel_used.max(1));
+    for i in 0..cuts {
+        let k = fuel_used * i / cuts;
+        engine.machine_mut().config.fuel = Some(k);
+        let got = engine.eval(&target.run);
+        check_trial(
+            &mut rep,
+            &ctx,
+            &mut engine,
+            got,
+            &baseline,
+            &Expectation::OutOfFuel,
+            &format!("fuel={k}"),
+        );
+    }
+    engine.machine_mut().config.fuel = None;
+
+    // Forced segment overflow: a stack split (hence an underflow record)
+    // every `limit` frames must not change the answer.
+    let orig_limit = engine.machine_mut().config.segment_frame_limit;
+    for &limit in opts.segment_limits {
+        engine.machine_mut().config.segment_frame_limit = limit;
+        let got = engine.eval(&target.run);
+        check_trial(
+            &mut rep,
+            &ctx,
+            &mut engine,
+            got,
+            &baseline,
+            &Expectation::Success,
+            &format!("segment-limit={limit}"),
+        );
+    }
+    engine.machine_mut().config.segment_frame_limit = orig_limit;
+
+    // Forced clone: take the multi-shot copy path everywhere fusion
+    // would fire — alone, then combined with tiny segments.
+    engine.machine_mut().config.fault_plan.force_clone = true;
+    let got = engine.eval(&target.run);
+    check_trial(
+        &mut rep,
+        &ctx,
+        &mut engine,
+        got,
+        &baseline,
+        &Expectation::Success,
+        "force-clone",
+    );
+    engine.machine_mut().config.segment_frame_limit = 2;
+    let got = engine.eval(&target.run);
+    check_trial(
+        &mut rep,
+        &ctx,
+        &mut engine,
+        got,
+        &baseline,
+        &Expectation::Success,
+        "force-clone+segment-limit=2",
+    );
+    engine.machine_mut().config.segment_frame_limit = orig_limit;
+    engine.machine_mut().config.fault_plan.force_clone = false;
+
+    // Primitive-boundary faults: fail the nth primitive/native call for
+    // n spread over the run's primitive-call count.
+    if prim_total > 0 {
+        let cuts = opts.prim_cuts.min(prim_total);
+        for i in 0..cuts {
+            let n = prim_total * i / cuts;
+            engine.machine_mut().config.fault_plan.fail_prim_at = Some(n);
+            let got = engine.eval(&target.run);
+            check_trial(
+                &mut rep,
+                &ctx,
+                &mut engine,
+                got,
+                &baseline,
+                &Expectation::InjectedFault(n),
+                &format!("prim-fault@{n}"),
+            );
+        }
+        engine.machine_mut().config.fault_plan.fail_prim_at = None;
+    }
+
+    rep
+}
+
+/// Scores one trial's outcome, then checks invariants and probes engine
+/// reuse — the same engine must still run programs correctly.
+fn check_trial(
+    rep: &mut TortureReport,
+    ctx: &str,
+    engine: &mut Engine,
+    got: Result<cm_vm::Value, EngineError>,
+    expected_output: &str,
+    expectation: &Expectation,
+    what: &str,
+) {
+    rep.trials += 1;
+    match got {
+        Ok(v) => {
+            let out = v.write_string();
+            if out == expected_output {
+                rep.correct_runs += 1;
+            } else {
+                rep.violate(
+                    ctx,
+                    format!("{what}: produced {out}, expected {expected_output}"),
+                );
+            }
+        }
+        Err(EngineError::Compile(e)) => {
+            rep.violate(ctx, format!("{what}: unexpected compile error: {e}"));
+        }
+        Err(EngineError::Runtime(e)) => {
+            let clean = match expectation {
+                Expectation::Success => false,
+                Expectation::OutOfFuel => matches!(e.kind, VmErrorKind::OutOfFuel),
+                Expectation::InjectedFault(n) => {
+                    matches!(&e.kind, VmErrorKind::InjectedFault { at, .. } if at == n)
+                }
+            };
+            if clean {
+                rep.clean_faults += 1;
+            } else {
+                rep.violate(ctx, format!("{what}: unexpected error: {}", e.detailed()));
+            }
+        }
+    }
+    if let Err(msg) = engine.check_invariants() {
+        rep.violate(
+            ctx,
+            format!("{what}: invariant violated after trial: {msg}"),
+        );
+    }
+    probe(rep, ctx, engine, what);
+}
+
+/// The reuse-after-fault guarantee: with faults disarmed, the engine
+/// that just took a fault must run the probe programs correctly.
+fn probe(rep: &mut TortureReport, ctx: &str, engine: &mut Engine, what: &str) {
+    let saved_fuel = engine.machine_mut().config.fuel.take();
+    let saved_plan = std::mem::take(&mut engine.machine_mut().config.fault_plan);
+    for (src, want) in PROBES {
+        rep.probes += 1;
+        match engine.eval(src) {
+            Ok(v) if v.write_string() == want => {}
+            Ok(v) => rep.violate(
+                ctx,
+                format!(
+                    "{what}: probe `{src}` returned {}, want {want}",
+                    v.write_string()
+                ),
+            ),
+            Err(e) => rep.violate(
+                ctx,
+                format!("{what}: probe `{src}` failed after fault: {e}"),
+            ),
+        }
+        if let Err(msg) = engine.check_invariants() {
+            rep.violate(
+                ctx,
+                format!("{what}: invariant violated after probe: {msg}"),
+            );
+        }
+    }
+    engine.machine_mut().config.fuel = saved_fuel;
+    engine.machine_mut().config.fault_plan = saved_plan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> SweepOptions {
+        SweepOptions {
+            fuel_cuts: 6,
+            segment_limits: &[2, 7],
+            prim_cuts: 3,
+        }
+    }
+
+    #[test]
+    fn sec2_targets_survive_on_full_and_old_racket() {
+        let opts = tiny_opts();
+        let targets = torture_targets(true);
+        for (name, config) in engine_configs()
+            .into_iter()
+            .filter(|(n, _)| *n == "full" || *n == "old-racket")
+        {
+            for t in targets.iter().filter(|t| t.name.starts_with("sec2-")) {
+                let rep = torture_target(name, &config, t, &opts);
+                assert!(rep.ok(), "{name}/{}: {:?}", t.name, rep.violations);
+                assert!(rep.trials > 5);
+                assert!(rep.clean_faults > 0, "no faults injected for {}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn a_workload_survives_quick_torture() {
+        let opts = tiny_opts();
+        let targets = torture_targets(true);
+        let t = targets
+            .iter()
+            .find(|t| t.name == "gabriel/fib")
+            .expect("fib target present");
+        let (name, config) = &engine_configs()[0];
+        let rep = torture_target(name, config, t, &opts);
+        assert!(rep.ok(), "{:?}", rep.violations);
+        assert!(rep.correct_runs >= 3); // baseline + stress trials
+    }
+
+    #[test]
+    fn quick_corpus_meets_acceptance_floor() {
+        // ≥ 5 workloads plus §2 examples, and 7 configs.
+        let workloads = torture_targets(true)
+            .iter()
+            .filter(|t| !t.name.starts_with("sec2-"))
+            .count();
+        assert!(workloads >= 5);
+        assert_eq!(engine_configs().len(), 7);
+        assert!(SweepOptions::quick().fuel_cuts >= 50);
+        assert_eq!(SweepOptions::quick().segment_limits, &[1, 2, 3, 7]);
+    }
+
+    #[test]
+    #[ignore = "exhaustive sweep; run with --ignored"]
+    fn full_torture_sweep() {
+        let opts = SweepOptions::full();
+        let mut total = TortureReport::default();
+        for (name, config) in engine_configs() {
+            for t in torture_targets(false) {
+                total.merge(torture_target(name, &config, &t, &opts));
+            }
+        }
+        assert!(total.ok(), "{:?}", total.violations);
+    }
+}

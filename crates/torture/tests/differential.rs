@@ -1,0 +1,63 @@
+//! Fault observability in differential runs: when the production engine
+//! or the reference model (the §3–§4 oracle) is cut off by a resource
+//! budget, the failure is *detectable as such* on both sides — so a
+//! differential tester under fault injection never mistakes budget
+//! exhaustion for a semantic divergence.
+
+use cm_core::{Engine, EngineConfig, EngineError};
+use cm_refmodel::RefInterp;
+use cm_vm::VmErrorKind;
+
+/// The engine spells the model's `mark-list`/`mark-first` builtins with
+/// the real continuation-marks API.
+const ENGINE_HELPERS: &str = r#"
+(define (mark-list k) (continuation-mark-set->list #f k))
+(define (mark-first k d) (continuation-mark-set-first #f k d))
+"#;
+
+/// A program both sides understand, with marks live across a non-tail
+/// call so fuel cuts land mid-machinery.
+const PROGRAM: &str = "(with-continuation-mark 'ka 1
+       (cons (mark-list 'ka)
+             (with-continuation-mark 'ka 2 (mark-list 'ka))))";
+
+#[test]
+fn resource_faults_are_distinguishable_from_divergence() {
+    let oracle = RefInterp::new().eval(PROGRAM).expect("oracle runs");
+
+    // Un-faulted, the engine agrees with the model.
+    let mut engine = Engine::new(EngineConfig::full());
+    engine.eval(ENGINE_HELPERS).unwrap();
+    assert_eq!(engine.eval_to_string(PROGRAM).unwrap(), oracle);
+
+    // Under fuel cuts, every outcome is either the agreed answer or an
+    // error classified as a resource limit — never a wrong answer, never
+    // an unclassifiable error.
+    for k in 0..200 {
+        engine.machine_mut().config.fuel = Some(k);
+        match engine.eval_to_string(PROGRAM) {
+            Ok(got) => assert_eq!(got, oracle, "diverged at fuel={k}"),
+            Err(EngineError::Runtime(e)) => {
+                assert!(e.is_resource_limit(), "unclean fault at fuel={k}: {e}");
+                assert!(matches!(e.kind, VmErrorKind::OutOfFuel));
+            }
+            Err(e) => panic!("unexpected compile error at fuel={k}: {e}"),
+        }
+    }
+    engine.machine_mut().config.fuel = None;
+
+    // The oracle's own budget fault is detectable the same way.
+    let mut oracle_interp = RefInterp::new();
+    oracle_interp.set_step_limit(5);
+    let err = oracle_interp.eval(PROGRAM).unwrap_err();
+    assert!(err.is_step_limit(), "not classified as step limit: {err}");
+
+    // And a genuine program error is *not* classified as a budget fault
+    // on either side.
+    let err = RefInterp::new().eval("(car 5)").unwrap_err();
+    assert!(!err.is_step_limit());
+    match engine.eval("(car 5)").unwrap_err() {
+        EngineError::Runtime(e) => assert!(!e.is_resource_limit()),
+        other => panic!("expected runtime error, got {other}"),
+    }
+}

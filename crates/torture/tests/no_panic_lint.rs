@@ -1,0 +1,66 @@
+//! Grep-based lint enforcing the panic-free guarantee: no
+//! `unwrap`/`expect`/`panic!`-class site may appear in `cm-vm`'s
+//! non-test code. Faults reachable from Scheme programs must surface as
+//! recoverable `VmError`s (and true unreachables as `debug_assert!` plus
+//! a recoverable error in release), never as a Rust panic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Panic-capable constructs banned from release paths. `debug_assert!`
+/// is allowed: it vanishes in release, where the adjacent recoverable
+/// error takes over.
+const BANNED: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn vm_release_paths_are_panic_free() {
+    let vm_src = Path::new(env!("CARGO_MANIFEST_DIR")).join("../vm/src");
+    let mut files = Vec::new();
+    rs_files(&vm_src, &mut files);
+    files.sort();
+    assert!(
+        files.len() >= 5,
+        "cm-vm sources not found at {}",
+        vm_src.display()
+    );
+    let mut offenders = Vec::new();
+    for f in &files {
+        let text = fs::read_to_string(f).unwrap_or_else(|e| panic!("read {}: {e}", f.display()));
+        // Only non-test code counts: everything before the first
+        // `#[cfg(test)]` (the repo convention puts tests last).
+        let code = text.split("#[cfg(test)]").next().unwrap_or("");
+        for (idx, line) in code.lines().enumerate() {
+            // Comments (including doc examples) are not executable.
+            let line = line.split("//").next().unwrap_or("");
+            for pat in BANNED {
+                if line.contains(pat) {
+                    offenders.push(format!("{}:{}: {}", f.display(), idx + 1, line.trim()));
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "panic-capable sites in cm-vm release paths (use VmError instead):\n{}",
+        offenders.join("\n")
+    );
+}

@@ -150,6 +150,26 @@ impl PrimOp {
             SetBox => "set-box!",
         }
     }
+
+    /// The argument-count range `(min, max)` this primitive accepts
+    /// (`None` = variadic). The machine enforces this before dispatching,
+    /// so a `PrimCall` with a bad operand count fails cleanly even for
+    /// bytecode the verifier never saw.
+    pub fn arity(self) -> (u8, Option<u8>) {
+        use PrimOp::*;
+        match self {
+            Add | Mul => (0, None),
+            Sub | Div => (1, None),
+            NumEq | Lt | Le | Gt | Ge => (2, None),
+            Quotient | Remainder | Modulo | Cons | SetCar | SetCdr | EqP | EqvP | VectorRef
+            | SetBox => (2, Some(2)),
+            VectorSet => (3, Some(3)),
+            MakeVector => (1, Some(2)),
+            Add1 | Sub1 | ZeroP | Car | Cdr | PairP | NullP | Not | SymbolP | ProcedureP
+            | FixnumP | FlonumP | BooleanP | StringP | VectorP | CharP | VectorLength | BoxNew
+            | Unbox => (1, Some(1)),
+        }
+    }
 }
 
 /// A machine instruction.

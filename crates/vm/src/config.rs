@@ -1,5 +1,8 @@
 //! Machine configuration, including the ablation switches measured in the
-//! paper's §8.5 (figure 6).
+//! paper's §8.5 (figure 6), resource limits, and the fault-injection plan
+//! used by the `cm-torture` harness.
+
+use std::time::Duration;
 
 /// How continuation marks are represented at runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -13,6 +16,32 @@ pub enum MarkModel {
     /// expensive continuation capture, overhead on all non-tail calls.
     /// Used as the figure-5 comparison baseline.
     EagerMarkStack,
+}
+
+/// Deterministic fault-injection points, threaded through
+/// [`MachineConfig`] so the torture harness can force the machine down
+/// its rare paths and verify it recovers.
+///
+/// The other two injection axes need no extra state: out-of-fuel at step
+/// *k* is [`MachineConfig::fuel`], and forced segment overflow is a low
+/// [`MachineConfig::segment_frame_limit`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail the nth (0-based, counted per top-level run) primitive or
+    /// native call with
+    /// [`VmErrorKind::InjectedFault`](crate::VmErrorKind).
+    pub fail_prim_at: Option<u64>,
+    /// Take the clone (multi-shot) path on every underflow, even where
+    /// one-shot fusion would fire — exercises the copy path with the
+    /// fusion-eligible reference pattern.
+    pub force_clone: bool,
+}
+
+impl FaultPlan {
+    /// Whether any injection is armed.
+    pub fn is_armed(&self) -> bool {
+        self.fail_prim_at.is_some() || self.force_clone
+    }
 }
 
 /// Runtime configuration for a [`Machine`](crate::Machine).
@@ -34,11 +63,28 @@ pub struct MachineConfig {
     /// Optional step budget; `None` means unlimited. Useful for tests that
     /// must terminate even if a program loops.
     pub fuel: Option<u64>,
+    /// Optional wall-clock budget per top-level run; `None` means
+    /// unlimited. Checked every few thousand steps, so very short
+    /// deadlines overshoot by a bounded amount.
+    pub deadline: Option<Duration>,
+    /// Maximum depth of nested executions. Winder thunks (and anything
+    /// else entering the interpreter from inside the interpreter) recurse
+    /// on the native Rust stack; this bounds that recursion with a clean
+    /// [`VmErrorKind::NativeDepthExceeded`](crate::VmErrorKind) instead
+    /// of a native stack overflow.
+    pub max_nested_executions: usize,
     /// Model the "Racket CS" control-operation wrapper: `call/cc` arrives
     /// through an extra closure indirection that also saves/restores
     /// winders and mark state, costing extra allocation per capture. `false`
     /// models raw Chez Scheme.
     pub wrapped_control: bool,
+    /// Verify [`Machine::check_invariants`](crate::Machine) after every
+    /// top-level run, turning a violation into a recoverable error.
+    /// Defaults on in debug builds (mirroring the compiler's
+    /// `verify_bytecode`); the torture harness turns it on in release.
+    pub check_invariants: bool,
+    /// Deterministic fault injection (all off by default).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for MachineConfig {
@@ -48,7 +94,11 @@ impl Default for MachineConfig {
             one_shot_fusion: true,
             segment_frame_limit: 2048,
             fuel: None,
+            deadline: None,
+            max_nested_executions: 128,
             wrapped_control: false,
+            check_invariants: cfg!(debug_assertions),
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -71,6 +121,31 @@ impl MachineConfig {
         self.fuel = Some(fuel);
         self
     }
+
+    /// Adds a wall-clock budget per top-level run.
+    pub fn with_deadline(mut self, deadline: Duration) -> MachineConfig {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps nested-execution (winder thunk) depth.
+    pub fn with_max_nested_executions(mut self, limit: usize) -> MachineConfig {
+        self.max_nested_executions = limit;
+        self
+    }
+
+    /// Arms a fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> MachineConfig {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Forces post-run invariant verification on (or off) regardless of
+    /// build profile.
+    pub fn with_invariant_checks(mut self, on: bool) -> MachineConfig {
+        self.check_invariants = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +158,9 @@ mod tests {
         assert_eq!(c.mark_model, MarkModel::Attachments);
         assert!(c.one_shot_fusion);
         assert!(c.fuel.is_none());
+        assert!(c.deadline.is_none());
+        assert!(c.max_nested_executions > 0);
+        assert!(!c.fault_plan.is_armed());
     }
 
     #[test]
@@ -94,5 +172,24 @@ mod tests {
         assert!(!c.one_shot_fusion);
         assert_eq!(c.mark_model, MarkModel::EagerMarkStack);
         assert_eq!(c.fuel, Some(10));
+    }
+
+    #[test]
+    fn limit_builders_mirror_with_fuel() {
+        let c = MachineConfig::default()
+            .with_deadline(Duration::from_millis(5))
+            .with_max_nested_executions(3);
+        assert_eq!(c.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(c.max_nested_executions, 3);
+    }
+
+    #[test]
+    fn fault_plan_arms() {
+        let mut p = FaultPlan::default();
+        assert!(!p.is_armed());
+        p.fail_prim_at = Some(7);
+        assert!(p.is_armed());
+        let c = MachineConfig::default().with_fault_plan(p.clone());
+        assert_eq!(c.fault_plan, p);
     }
 }

@@ -54,8 +54,8 @@ mod values;
 
 pub use code::control::CONTROL_NATIVE_NAMES;
 pub use code::{Code, Instr, PrimOp};
-pub use config::{MachineConfig, MarkModel};
-pub use error::{VmError, VmResult};
+pub use config::{FaultPlan, MachineConfig, MarkModel};
+pub use error::{BacktraceFrame, VmBacktrace, VmError, VmErrorKind, VmResult};
 pub use machine::{Globals, Machine};
 pub use prims::{lookup as lookup_native, native_name, prim_op as prim_op_value, NativeId};
 pub use stats::MachineStats;

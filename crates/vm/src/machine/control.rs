@@ -48,6 +48,25 @@ pub struct Underflow {
     pub next: Option<Rc<Underflow>>,
 }
 
+/// Dropping a deep underflow chain recursively (record → next → …) would
+/// overflow the native stack — chains grow one record per
+/// `segment_frame_limit` frames, and the torture harness runs with limits
+/// as low as 1. Unlink iteratively instead: each record is detached from
+/// its successor before being freed, so the default recursive drop only
+/// ever sees chains of length one.
+impl Drop for Underflow {
+    fn drop(&mut self) {
+        let mut next = self.next.take();
+        while let Some(u) = next {
+            match Rc::try_unwrap(u) {
+                Ok(mut u) => next = u.next.take(),
+                // Still shared: the other owner keeps the rest alive.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
 /// A `dynamic-wind` extent currently on the winder stack.
 #[derive(Debug, Clone)]
 pub struct Winder {

@@ -24,12 +24,13 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::mem;
 use std::rc::Rc;
+use std::time::Instant;
 
 use cm_sexpr::Sym;
 
 use crate::code::{Code, Instr};
 use crate::config::{MachineConfig, MarkModel};
-use crate::error::{VmError, VmResult};
+use crate::error::{BacktraceFrame, VmBacktrace, VmError, VmErrorKind, VmResult};
 use crate::prims::{self, ControlOp, NativeId};
 use crate::stats::MachineStats;
 use crate::values::{Closure, Value};
@@ -72,7 +73,10 @@ impl Globals {
         if let Some(&id) = self.names.get(&name) {
             return id;
         }
-        let id = u32::try_from(self.slots.len()).expect("too many globals");
+        // A program would run out of memory long before interning 2^32
+        // globals; the cast cannot truncate in practice.
+        debug_assert!(self.slots.len() < u32::MAX as usize, "too many globals");
+        let id = self.slots.len() as u32;
         self.slots.push((name, None));
         self.names.insert(name, id);
         id
@@ -85,19 +89,26 @@ impl Globals {
         id
     }
 
-    /// Reads a slot by id.
+    /// Reads a slot by id (`None` for unbound or out-of-range slots).
     pub fn get(&self, id: u32) -> Option<&Value> {
-        self.slots[id as usize].1.as_ref()
+        self.slots.get(id as usize).and_then(|s| s.1.as_ref())
     }
 
-    /// The name of a slot.
+    /// The name of a slot (a placeholder for out-of-range ids, which the
+    /// bytecode verifier rules out for compiled code).
     pub fn name_of(&self, id: u32) -> Sym {
-        self.slots[id as usize].0
+        match self.slots.get(id as usize) {
+            Some(s) => s.0,
+            None => cm_sexpr::sym("<bad-global-slot>"),
+        }
     }
 
-    /// Writes a slot by id.
+    /// Writes a slot by id (ignores out-of-range ids rather than abort).
     pub fn set(&mut self, id: u32, value: Value) {
-        self.slots[id as usize].1 = Some(value);
+        debug_assert!((id as usize) < self.slots.len(), "global id out of range");
+        if let Some(slot) = self.slots.get_mut(id as usize) {
+            slot.1 = Some(value);
+        }
     }
 
     /// Looks up a binding by name.
@@ -168,6 +179,12 @@ pub struct Machine {
     /// Captured output of `display`/`write`/`newline`.
     pub output: String,
     fuel: Option<u64>,
+    /// Wall-clock cutoff for the current top-level run, armed from
+    /// [`MachineConfig::deadline`] on entry.
+    deadline_at: Option<Instant>,
+    /// Primitive/native calls since the current top-level run began
+    /// (drives [`FaultPlan::fail_prim_at`](crate::FaultPlan) injection).
+    prim_count: u64,
     nested_depth: usize,
     winder_counter: u64,
 }
@@ -209,6 +226,8 @@ impl Machine {
             stats: MachineStats::default(),
             output: String::new(),
             fuel,
+            deadline_at: None,
+            prim_count: 0,
             nested_depth: 0,
             winder_counter: 0,
         }
@@ -234,6 +253,21 @@ impl Machine {
         self.fuel = self.config.fuel;
     }
 
+    /// Remaining fuel (`None` = unlimited).
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        self.fuel
+    }
+
+    /// Arms the per-run limits: the primitive-call counter (which drives
+    /// fault injection) and the wall-clock deadline.
+    fn arm_limits(&mut self) {
+        self.prim_count = 0;
+        self.deadline_at = self
+            .config
+            .deadline
+            .and_then(|d| Instant::now().checked_add(d));
+    }
+
     /// Runs a top-level code object to completion.
     ///
     /// # Errors
@@ -241,23 +275,84 @@ impl Machine {
     /// Any [`VmError`] raised during execution; the machine is reset to an
     /// idle state on error.
     pub fn run_code(&mut self, code: Rc<Code>) -> VmResult<Value> {
-        debug_assert!(self.frames.is_empty() && self.next.is_none());
-        self.push_frame(code, None, Vec::new());
-        self.run_until_done().inspect_err(|_| self.reset())
+        self.ensure_idle();
+        self.arm_limits();
+        let r = self
+            .push_frame(code, None, Vec::new())
+            .and_then(|()| self.run_until_done());
+        self.finish_run(r)
     }
 
     /// Calls a Scheme value from Rust (the machine must be idle).
     ///
     /// # Errors
     ///
-    /// Any [`VmError`] raised during execution.
+    /// Any [`VmError`] raised during execution; the machine is reset to an
+    /// idle state on error.
     pub fn call_value(&mut self, f: Value, args: Vec<Value>) -> VmResult<Value> {
-        debug_assert!(self.frames.is_empty() && self.next.is_none());
+        self.ensure_idle();
+        self.arm_limits();
         let r = (|| match self.do_call(f, args, CallMode::NonTail)? {
             Some(v) => Ok(v),
             None => self.run_until_done(),
         })();
-        r.inspect_err(|_| self.reset())
+        self.finish_run(r)
+    }
+
+    /// Whether the machine has no live execution state. Top-level entries
+    /// require this, and both their success and error paths restore it —
+    /// the reuse-after-fault guarantee the torture harness verifies.
+    pub fn is_idle(&self) -> bool {
+        self.frames.is_empty()
+            && self.stack.is_empty()
+            && self.next.is_none()
+            && self.meta.is_empty()
+            && self.winders.is_empty()
+            && self.mark_stack.is_empty()
+            && matches!(self.marks, Value::Nil)
+            && matches!(self.base_marks, Value::Nil)
+            && self.nested_depth == 0
+    }
+
+    /// A top-level entry found the machine mid-execution — possible only
+    /// if a caller bypassed the public API or a previous run leaked state.
+    /// Recover by discarding the stale state rather than misbehaving.
+    fn ensure_idle(&mut self) {
+        if !self.is_idle() {
+            debug_assert!(false, "machine re-entered while not idle");
+            self.reset();
+        }
+    }
+
+    /// Finishes a top-level run: on success clears residual per-run
+    /// registers; on error captures a fault-time backtrace and resets to
+    /// idle. With [`MachineConfig::check_invariants`] on (the default in
+    /// debug builds, the execution-layer analogue of `verify_bytecode`),
+    /// verifies [`Machine::check_invariants`] on both paths and turns a
+    /// violation into a recoverable error.
+    fn finish_run(&mut self, r: VmResult<Value>) -> VmResult<Value> {
+        let out = match r {
+            Ok(v) => {
+                self.marks = Value::Nil;
+                self.base_marks = Value::Nil;
+                self.winders.clear();
+                self.mark_stack.clear();
+                Ok(v)
+            }
+            Err(e) => {
+                let bt = self.capture_backtrace();
+                self.reset();
+                Err(e.with_backtrace(bt))
+            }
+        };
+        if self.config.check_invariants {
+            if let Err(msg) = self.check_invariants() {
+                debug_assert!(false, "post-run invariant violation: {msg}");
+                self.reset();
+                return Err(VmError::internal_recoverable("post-run-invariants", msg));
+            }
+        }
+        out
     }
 
     /// Clears all execution state (used after an error escape).
@@ -277,42 +372,75 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn run_until_done(&mut self) -> VmResult<Value> {
+        // The deadline is polled every 1024 steps so the hot loop pays one
+        // increment-and-mask, not a clock read.
+        let mut tick: u32 = 0;
         loop {
             if let Some(fuel) = self.fuel.as_mut() {
                 if *fuel == 0 {
-                    return Err(VmError::OutOfFuel);
+                    return Err(VmErrorKind::OutOfFuel.into());
                 }
                 *fuel -= 1;
             }
+            tick = tick.wrapping_add(1);
+            if tick & 1023 == 0 {
+                if let Some(at) = self.deadline_at {
+                    if Instant::now() >= at {
+                        return Err(VmErrorKind::DeadlineExceeded.into());
+                    }
+                }
+            }
             let instr = {
-                let f = self.frames.last_mut().expect("running without a frame");
-                let i = f.code.instrs[f.pc as usize].clone();
+                let Some(f) = self.frames.last_mut() else {
+                    return Err(VmError::internal("run", "running without a frame"));
+                };
+                let Some(i) = f.code.instrs.get(f.pc as usize) else {
+                    return Err(VmError::internal(
+                        "run",
+                        format!("pc {} out of range in {}", f.pc, f.code.name),
+                    ));
+                };
+                let i = i.clone();
                 f.pc += 1;
                 i
             };
             match instr {
                 Instr::Const(i) => {
-                    let v = self.cur_code().consts[i as usize].clone();
+                    let v = self
+                        .cur_code()?
+                        .consts
+                        .get(i as usize)
+                        .cloned()
+                        .ok_or_else(|| VmError::internal("const", "constant index out of range"))?;
                     self.stack.push(v);
                 }
                 Instr::LocalRef(i) => {
-                    let base = self.frames.last().unwrap().base as usize;
-                    let v = self.stack[base + i as usize].clone();
+                    let base = self.top_frame("local-ref")?.base as usize;
+                    let v =
+                        self.stack.get(base + i as usize).cloned().ok_or_else(|| {
+                            VmError::internal("local-ref", "local slot out of range")
+                        })?;
                     self.stack.push(v);
                 }
                 Instr::LocalSet(i) => {
-                    let v = self.stack.pop().expect("stack underflow");
-                    let base = self.frames.last().unwrap().base as usize;
-                    self.stack[base + i as usize] = v;
+                    let v = self.pop_value("local-set")?;
+                    let base = self.top_frame("local-set")?.base as usize;
+                    let slot = self
+                        .stack
+                        .get_mut(base + i as usize)
+                        .ok_or_else(|| VmError::internal("local-set", "local slot out of range"))?;
+                    *slot = v;
                 }
                 Instr::CaptureRef(i) => {
-                    let f = self.frames.last().unwrap();
+                    let f = self.top_frame("capture-ref")?;
                     let v = f
                         .closure
                         .as_ref()
-                        .expect("capture ref outside closure")
-                        .captures[i as usize]
-                        .clone();
+                        .and_then(|cl| cl.captures.get(i as usize))
+                        .cloned()
+                        .ok_or_else(|| {
+                            VmError::internal("capture-ref", "capture out of range or no closure")
+                        })?;
                     self.stack.push(v);
                 }
                 Instr::GlobalRef(id) => {
@@ -321,72 +449,84 @@ impl Machine {
                         Some(v) => self.stack.push(v),
                         None => {
                             let name = self.globals.borrow().name_of(id);
-                            return Err(VmError::Unbound(name.name().to_owned()));
+                            return Err(VmError::unbound(name.name()));
                         }
                     }
                 }
                 Instr::GlobalSet(id) => {
-                    let v = self.stack.pop().expect("stack underflow");
+                    let v = self.pop_value("global-set")?;
                     self.globals.borrow_mut().set(id, v);
                 }
                 Instr::MakeClosure { code, captures } => {
                     let n = captures as usize;
-                    let caps = self.stack.split_off(self.stack.len() - n);
-                    let code = self.cur_code().codes[code as usize].clone();
+                    let at = self.stack.len().checked_sub(n).ok_or_else(|| {
+                        VmError::internal("make-closure", "captured values missing from stack")
+                    })?;
+                    let caps = self.stack.split_off(at);
+                    let code = self
+                        .cur_code()?
+                        .codes
+                        .get(code as usize)
+                        .cloned()
+                        .ok_or_else(|| {
+                            VmError::internal("make-closure", "nested code index out of range")
+                        })?;
                     self.stack.push(Value::Closure(Rc::new(Closure {
                         code,
                         captures: caps,
                     })));
                 }
-                Instr::Jump(t) => self.frames.last_mut().unwrap().pc = t,
+                Instr::Jump(t) => self.top_frame_mut("jump")?.pc = t,
                 Instr::JumpIfFalse(t) => {
-                    let v = self.stack.pop().expect("stack underflow");
+                    let v = self.pop_value("jump-if-false")?;
                     if !v.is_true() {
-                        self.frames.last_mut().unwrap().pc = t;
+                        self.top_frame_mut("jump-if-false")?.pc = t;
                     }
                 }
                 Instr::Leave(n) => {
-                    let v = self.stack.pop().expect("stack underflow");
-                    let len = self.stack.len();
-                    self.stack.truncate(len - n as usize);
+                    let v = self.pop_value("leave")?;
+                    let keep = self.stack.len().checked_sub(n as usize).ok_or_else(|| {
+                        VmError::internal("leave", "more locals to drop than stack holds")
+                    })?;
+                    self.stack.truncate(keep);
                     self.stack.push(v);
                 }
                 Instr::Pop => {
                     self.stack.pop();
                 }
                 Instr::Call(n) => {
-                    let (rator, args) = self.pop_call(n as usize);
+                    let (rator, args) = self.pop_call(n as usize)?;
                     if let Some(v) = self.do_call(rator, args, CallMode::NonTail)? {
                         return Ok(v);
                     }
                 }
                 Instr::TailCall(n) => {
-                    let (rator, args) = self.pop_call(n as usize);
+                    let (rator, args) = self.pop_call(n as usize)?;
                     if let Some(v) = self.do_call(rator, args, CallMode::Tail)? {
                         return Ok(v);
                     }
                 }
                 Instr::CallWithAttachment(n) => {
-                    let (rator, args) = self.pop_call(n as usize);
+                    let (rator, args) = self.pop_call(n as usize)?;
                     if let Some(v) = self.do_call(rator, args, CallMode::WithAttachment)? {
                         return Ok(v);
                     }
                 }
                 Instr::EagerCallShared(n) => {
-                    let (rator, args) = self.pop_call(n as usize);
+                    let (rator, args) = self.pop_call(n as usize)?;
                     if let Some(v) = self.do_call(rator, args, CallMode::EagerShared)? {
                         return Ok(v);
                     }
                 }
                 Instr::Return => {
-                    let v = self.stack.pop().expect("return without value");
+                    let v = self.pop_value("return")?;
                     if let Some(v) = self.return_value(v)? {
                         return Ok(v);
                     }
                 }
                 Instr::PrimCall(op, argc) => prims::exec_prim(self, op, argc as usize)?,
                 Instr::PushAttach => {
-                    let v = self.stack.pop().expect("stack underflow");
+                    let v = self.pop_value("push-attach")?;
                     self.marks = Value::cons(v, self.marks.clone());
                     self.stats.attachments_pushed += 1;
                 }
@@ -394,27 +534,31 @@ impl Machine {
                     self.marks = self.marks_rest()?;
                 }
                 Instr::SetAttach => {
-                    let v = self.stack.pop().expect("stack underflow");
+                    let v = self.pop_value("set-attach")?;
                     let rest = self.marks_rest()?;
                     self.marks = Value::cons(v, rest);
                 }
                 Instr::ReifySetAttach { check_replace } => {
-                    let v = self.stack.pop().expect("stack underflow");
+                    let v = self.pop_value("reify-set-attach")?;
                     self.reify_set_attachment(v, check_replace)?;
                 }
                 Instr::GetAttachDyn => {
-                    let dflt = self.stack.pop().expect("stack underflow");
+                    let dflt = self.pop_value("get-attach")?;
                     let v = if self.frame_has_attachment() {
-                        self.marks.car().expect("marks invariant")
+                        self.marks.car().ok_or_else(|| {
+                            VmError::internal_recoverable("get-attach", "marks register empty")
+                        })?
                     } else {
                         dflt
                     };
                     self.stack.push(v);
                 }
                 Instr::ConsumeAttachDyn => {
-                    let dflt = self.stack.pop().expect("stack underflow");
+                    let dflt = self.pop_value("consume-attach")?;
                     let v = if self.frame_has_attachment() {
-                        let v = self.marks.car().expect("marks invariant");
+                        let v = self.marks.car().ok_or_else(|| {
+                            VmError::internal_recoverable("consume-attach", "marks register empty")
+                        })?;
                         self.marks = self.marks_rest()?;
                         v
                     } else {
@@ -424,13 +568,13 @@ impl Machine {
                 }
                 Instr::GetAttachPresent => {
                     let v = self.marks.car().ok_or_else(|| {
-                        VmError::Other("attachment expected but marks register empty".into())
+                        VmError::other("attachment expected but marks register empty")
                     })?;
                     self.stack.push(v);
                 }
                 Instr::ConsumeAttachPresent => {
                     let v = self.marks.car().ok_or_else(|| {
-                        VmError::Other("attachment expected but marks register empty".into())
+                        VmError::other("attachment expected but marks register empty")
                     })?;
                     self.marks = self.marks_rest()?;
                     self.stack.push(v);
@@ -446,22 +590,46 @@ impl Machine {
                     self.mark_stack.pop();
                 }
                 Instr::EagerMarkSet => {
-                    let val = self.stack.pop().expect("stack underflow");
-                    let key = self.stack.pop().expect("stack underflow");
+                    let val = self.pop_value("eager-mark-set")?;
+                    let key = self.pop_value("eager-mark-set")?;
                     self.eager_set_mark(key, val);
                 }
             }
         }
     }
 
-    fn cur_code(&self) -> &Rc<Code> {
-        &self.frames.last().unwrap().code
+    fn cur_code(&self) -> VmResult<Rc<Code>> {
+        self.frames
+            .last()
+            .map(|f| f.code.clone())
+            .ok_or_else(|| VmError::internal("cur-code", "no active frame"))
     }
 
-    fn pop_call(&mut self, argc: usize) -> (Value, Vec<Value>) {
-        let args = self.stack.split_off(self.stack.len() - argc);
-        let rator = self.stack.pop().expect("call without operator");
-        (rator, args)
+    fn top_frame(&self, site: &'static str) -> VmResult<&Frame> {
+        self.frames
+            .last()
+            .ok_or_else(|| VmError::internal(site, "no active frame"))
+    }
+
+    fn top_frame_mut(&mut self, site: &'static str) -> VmResult<&mut Frame> {
+        self.frames
+            .last_mut()
+            .ok_or_else(|| VmError::internal(site, "no active frame"))
+    }
+
+    fn pop_value(&mut self, site: &'static str) -> VmResult<Value> {
+        self.stack
+            .pop()
+            .ok_or_else(|| VmError::internal(site, "value stack empty"))
+    }
+
+    fn pop_call(&mut self, argc: usize) -> VmResult<(Value, Vec<Value>)> {
+        let at = self.stack.len().checked_sub(argc).ok_or_else(|| {
+            VmError::internal("call", "fewer values on stack than the call site expects")
+        })?;
+        let args = self.stack.split_off(at);
+        let rator = self.pop_value("call")?;
+        Ok((rator, args))
     }
 
     // ------------------------------------------------------------------
@@ -489,7 +657,7 @@ impl Machine {
                 self.discard_frame_if_tail(mode)?;
                 self.apply_continuation(k, v)
             }
-            other => Err(VmError::NotAProcedure(other.write_string())),
+            other => Err(VmErrorKind::NotAProcedure(other.write_string()).into()),
         }
     }
 
@@ -501,7 +669,7 @@ impl Machine {
                     self.stats.overflow_splits += 1;
                     self.freeze_current(self.marks.clone());
                 }
-                self.push_frame(cl.code.clone(), Some(cl), args);
+                self.push_frame(cl.code.clone(), Some(cl), args)?;
             }
             CallMode::EagerShared => {
                 // Like NonTail, but the callee's frame shares the mark
@@ -512,10 +680,12 @@ impl Machine {
                     self.stats.overflow_splits += 1;
                     self.freeze_current(self.marks.clone());
                 }
-                self.push_frame_no_entry(cl.code.clone(), Some(cl), args);
+                self.push_frame_no_entry(cl.code.clone(), Some(cl), args)?;
             }
             CallMode::Tail => {
-                let f = self.frames.last_mut().expect("tail call without frame");
+                let Some(f) = self.frames.last_mut() else {
+                    return Err(VmError::internal("tail-call", "tail call without a frame"));
+                };
                 self.stack.truncate(f.base as usize);
                 self.stack.extend(args);
                 f.pc = 0;
@@ -531,7 +701,7 @@ impl Machine {
                 let rest = self.marks_rest()?;
                 self.stats.reifications += 1;
                 self.freeze_current(rest);
-                self.push_frame(cl.code.clone(), Some(cl), args);
+                self.push_frame(cl.code.clone(), Some(cl), args)?;
             }
         }
         Ok(())
@@ -545,6 +715,7 @@ impl Machine {
     ) -> VmResult<Option<Value>> {
         let def = prims::def(id);
         def.check_arity(args.len())?;
+        self.note_prim_call(def.name)?;
         match def.imp {
             prims::NativeImpl::Pure(f) => {
                 let v = f(&args)?;
@@ -589,12 +760,18 @@ impl Machine {
         }
     }
 
-    fn push_frame(&mut self, code: Rc<Code>, closure: Option<Rc<Closure>>, args: Vec<Value>) {
-        self.push_frame_no_entry(code, closure, args);
+    fn push_frame(
+        &mut self,
+        code: Rc<Code>,
+        closure: Option<Rc<Closure>>,
+        args: Vec<Value>,
+    ) -> VmResult<()> {
+        self.push_frame_no_entry(code, closure, args)?;
         if self.eager_marks() {
             self.mark_stack.push(Vec::new());
             self.stats.mark_stack_pushes += 1;
         }
+        Ok(())
     }
 
     fn push_frame_no_entry(
@@ -602,8 +779,10 @@ impl Machine {
         code: Rc<Code>,
         closure: Option<Rc<Closure>>,
         args: Vec<Value>,
-    ) {
-        let base = u32::try_from(self.stack.len()).expect("stack too deep");
+    ) -> VmResult<()> {
+        let base = u32::try_from(self.stack.len()).map_err(|_| {
+            VmError::internal_recoverable("push-frame", "value stack exceeds u32 range")
+        })?;
         self.stack.extend(args);
         self.frames.push(Frame {
             code,
@@ -611,12 +790,15 @@ impl Machine {
             pc: 0,
             base,
         });
+        Ok(())
     }
 
     /// Returns `v` from the current frame; `Ok(Some(_))` means the whole
     /// execution completed.
     fn return_value(&mut self, v: Value) -> VmResult<Option<Value>> {
-        let f = self.frames.pop().expect("return without frame");
+        let Some(f) = self.frames.pop() else {
+            return Err(VmError::internal("return", "return without a frame"));
+        };
         self.stack.truncate(f.base as usize);
         if self.eager_marks() {
             self.mark_stack.pop();
@@ -656,19 +838,22 @@ impl Machine {
                     self.stats.underflows += 1;
                     self.marks = u.marks.clone();
                     self.next = u.next.clone();
-                    let seg = if self.config.one_shot_fusion && Rc::strong_count(&u) == 1 {
+                    let fuse = self.config.one_shot_fusion
+                        && !self.config.fault_plan.force_clone
+                        && Rc::strong_count(&u) == 1;
+                    let seg = if fuse {
                         // Opportunistic one-shot: nothing else can resume
                         // this record, so fuse the segment back without
                         // copying (§6).
                         self.stats.fusions += 1;
-                        u.seg.borrow_mut().take().expect("segment already fused")
+                        u.seg.borrow_mut().take().ok_or_else(|| {
+                            VmError::internal_recoverable("underflow", "segment already fused away")
+                        })?
                     } else {
                         self.stats.copies += 1;
-                        u.seg
-                            .borrow()
-                            .as_ref()
-                            .expect("segment already fused")
-                            .clone()
+                        u.seg.borrow().as_ref().cloned().ok_or_else(|| {
+                            VmError::internal_recoverable("underflow", "segment already fused away")
+                        })?
                     };
                     self.stack = seg.stack;
                     self.frames = seg.frames;
@@ -714,7 +899,10 @@ impl Machine {
             return;
         }
         self.stats.reifications += 1;
-        let mut top = self.frames.pop().expect("frames checked nonempty");
+        let Some(mut top) = self.frames.pop() else {
+            // Unreachable: the length was checked above.
+            return;
+        };
         let top_base = top.base as usize;
         let lower_stack: Vec<Value> = self.stack.drain(..top_base).collect();
         let lower_frames = mem::take(&mut self.frames);
@@ -748,7 +936,7 @@ impl Machine {
     fn marks_rest(&self) -> VmResult<Value> {
         self.marks
             .cdr()
-            .ok_or_else(|| VmError::Other("attachment pop from empty marks register".into()))
+            .ok_or_else(|| VmError::other("attachment pop from empty marks register"))
     }
 
     /// The marks value at the current segment-chain boundary.
@@ -790,7 +978,7 @@ impl Machine {
     ) -> VmResult<Option<Value>> {
         match op {
             ControlOp::CallCc | ControlOp::Call1cc => {
-                let proc = args.pop().expect("arity checked");
+                let proc = pop_arg(&mut args, "call/cc")?;
                 self.discard_frame_if_tail(mode)?;
                 let head = if self.frames.is_empty() {
                     self.next.clone()
@@ -829,7 +1017,10 @@ impl Machine {
                 self.do_call(proc, vec![k], CallMode::NonTail)
             }
             ControlOp::Apply => {
-                let lst = args.pop().expect("arity checked");
+                let lst = pop_arg(&mut args, "apply")?;
+                if args.is_empty() {
+                    return Err(VmError::internal("apply", "operator argument missing"));
+                }
                 let f = args.remove(0);
                 let tail = lst.list_to_vec().ok_or_else(|| {
                     VmError::wrong_type("apply", "proper list as last argument", &lst)
@@ -838,9 +1029,9 @@ impl Machine {
                 self.do_call(f, args, mode)
             }
             ControlOp::PromptCall => {
-                let handler = args.pop().expect("arity checked");
-                let thunk = args.pop().expect("arity checked");
-                let tag = args.pop().expect("arity checked");
+                let handler = pop_arg(&mut args, "prompt")?;
+                let thunk = pop_arg(&mut args, "prompt")?;
+                let tag = pop_arg(&mut args, "prompt")?;
                 self.discard_frame_if_tail(mode)?;
                 let mf = MetaFrame {
                     tag,
@@ -857,11 +1048,11 @@ impl Machine {
                 self.do_call(thunk, vec![], CallMode::NonTail)
             }
             ControlOp::Abort => {
-                let v = args.pop().expect("arity checked");
-                let tag = args.pop().expect("arity checked");
+                let v = pop_arg(&mut args, "abort")?;
+                let tag = pop_arg(&mut args, "abort")?;
                 loop {
                     let Some(mf) = self.meta.pop() else {
-                        return Err(VmError::NoMatchingPrompt(tag.write_string()));
+                        return Err(VmErrorKind::NoMatchingPrompt(tag.write_string()).into());
                     };
                     if mf.tag.eq_value(&tag) {
                         let handler = mf.handler.clone();
@@ -871,15 +1062,15 @@ impl Machine {
                 }
             }
             ControlOp::CompCapture => {
-                let proc = args.pop().expect("arity checked");
-                let tag = args.pop().expect("arity checked");
+                let proc = pop_arg(&mut args, "composable-capture")?;
+                let tag = pop_arg(&mut args, "composable-capture")?;
                 self.discard_frame_if_tail(mode)?;
                 let k = self.capture_composable(&tag)?;
                 self.do_call(proc, vec![k], CallMode::NonTail)
             }
             ControlOp::CallSettingAttachment => {
-                let thunk = args.pop().expect("arity checked");
-                let val = args.pop().expect("arity checked");
+                let thunk = pop_arg(&mut args, "call/cm")?;
+                let val = pop_arg(&mut args, "call/cm")?;
                 self.discard_frame_if_tail(mode)?;
                 if mode == CallMode::Tail {
                     // Shares the caller's conceptual frame: replace or push.
@@ -906,14 +1097,19 @@ impl Machine {
                 self.do_call(thunk, vec![], CallMode::NonTail)
             }
             ControlOp::CallGettingAttachment | ControlOp::CallConsumingAttachment => {
-                let proc = args.pop().expect("arity checked");
-                let dflt = args.pop().expect("arity checked");
+                let proc = pop_arg(&mut args, "call-getting-attachment")?;
+                let dflt = pop_arg(&mut args, "call-getting-attachment")?;
                 self.discard_frame_if_tail(mode)?;
                 let present = mode == CallMode::Tail
                     && self.frames.is_empty()
                     && !self.marks.eq_value(self.marks_boundary());
                 let v = if present {
-                    let v = self.marks.car().expect("marks invariant");
+                    let v = self.marks.car().ok_or_else(|| {
+                        VmError::internal_recoverable(
+                            "call-getting-attachment",
+                            "marks register empty",
+                        )
+                    })?;
                     if op == ControlOp::CallConsumingAttachment {
                         self.marks = self.marks_rest()?;
                     }
@@ -931,7 +1127,9 @@ impl Machine {
     fn discard_frame_if_tail(&mut self, mode: CallMode) -> VmResult<()> {
         match mode {
             CallMode::Tail => {
-                let f = self.frames.pop().expect("tail call without frame");
+                let Some(f) = self.frames.pop() else {
+                    return Err(VmError::internal("tail-call", "tail call without a frame"));
+                };
                 self.stack.truncate(f.base as usize);
                 if self.eager_marks() {
                     self.mark_stack.pop();
@@ -957,22 +1155,20 @@ impl Machine {
 
     fn apply_continuation(&mut self, k: Rc<ContData>, v: Value) -> VmResult<Option<Value>> {
         if k.nested_depth != self.nested_depth {
-            return Err(VmError::Other(
-                "cannot apply a continuation across a winder-thunk boundary".into(),
+            return Err(VmError::other(
+                "cannot apply a continuation across a winder-thunk boundary",
             ));
         }
         if let Some(used) = &k.one_shot_used {
             if used.get() {
-                return Err(VmError::OneShotReused);
+                return Err(VmErrorKind::OneShotReused.into());
             }
             used.set(true);
         }
         match &k.kind {
             ContKind::Full { head } => {
                 if k.meta_depth > self.meta.len() {
-                    return Err(VmError::Other(
-                        "continuation's prompt is no longer active".into(),
-                    ));
+                    return Err(VmError::other("continuation's prompt is no longer active"));
                 }
                 self.meta.truncate(k.meta_depth);
                 self.rewind_winders(&k.winders)?;
@@ -1025,6 +1221,12 @@ impl Machine {
         args: Vec<Value>,
         marks: Value,
     ) -> VmResult<Value> {
+        if self.nested_depth >= self.config.max_nested_executions {
+            return Err(VmErrorKind::NativeDepthExceeded {
+                limit: self.config.max_nested_executions,
+            }
+            .into());
+        }
         let saved = self.save_state();
         self.nested_depth += 1;
         self.marks = marks.clone();
@@ -1063,18 +1265,122 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection, invariants, and diagnostics
+    // ------------------------------------------------------------------
+
+    /// Counts a primitive/native call toward the per-run total and, when a
+    /// [`FaultPlan`](crate::FaultPlan) arms `fail_prim_at`, injects a
+    /// deterministic fault at that boundary.
+    pub(crate) fn note_prim_call(&mut self, site: &'static str) -> VmResult<()> {
+        let n = self.prim_count;
+        self.prim_count += 1;
+        self.stats.prim_calls += 1;
+        if self.config.fault_plan.fail_prim_at == Some(n) {
+            self.stats.injected_faults += 1;
+            return Err(VmErrorKind::InjectedFault {
+                site: site.to_string(),
+                at: n,
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Verifies the machine's cross-cutting structural invariants (the
+    /// properties §5–§6 of the paper rely on):
+    ///
+    /// - live, frozen, and meta-frame segments are well-formed (frame
+    ///   bases monotone and within their value stack, pcs within code);
+    /// - the marks register, base marks, and every underflow record's
+    ///   saved marks are proper (acyclic) lists;
+    /// - the underflow chain is acyclic;
+    /// - winder ids are strictly increasing (allocation order);
+    /// - the eager mark stack is unused outside
+    ///   [`MarkModel::EagerMarkStack`] mode.
+    ///
+    /// Returns a description of the first violation found. Run by the
+    /// torture harness after every injected fault, and by debug builds
+    /// after every top-level run.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        check_frames_well_formed(&self.frames, self.stack.len(), "live segment")?;
+        check_proper_list(&self.marks, "marks register")?;
+        check_proper_list(&self.base_marks, "base marks")?;
+        if !self.eager_marks() && !self.mark_stack.is_empty() {
+            return Err("eager mark stack nonempty in attachments mode".to_string());
+        }
+        let mut seen: Vec<*const Underflow> = Vec::new();
+        let mut cur = self.next.clone();
+        while let Some(u) = cur {
+            let p = Rc::as_ptr(&u);
+            if seen.contains(&p) {
+                return Err("underflow chain contains a cycle".to_string());
+            }
+            seen.push(p);
+            if let Some(seg) = u.seg.borrow().as_ref() {
+                check_frames_well_formed(&seg.frames, seg.stack.len(), "frozen segment")?;
+                if !self.eager_marks() && !seg.mark_entries.is_empty() {
+                    return Err(
+                        "frozen segment carries mark entries in attachments mode".to_string()
+                    );
+                }
+            }
+            check_proper_list(&u.marks, "underflow record marks")?;
+            cur = u.next.clone();
+        }
+        check_winder_ids(&self.winders, "winder chain")?;
+        for mf in &self.meta {
+            check_frames_well_formed(&mf.frames, mf.stack.len(), "meta frame segment")?;
+            check_proper_list(&mf.marks, "meta frame marks")?;
+            check_proper_list(&mf.base_marks, "meta frame base marks")?;
+            check_winder_ids(&mf.winders, "meta frame winder chain")?;
+        }
+        Ok(())
+    }
+
+    /// Captures the active code objects — the live frames, then the frozen
+    /// underflow chain — innermost first, capped at a fixed depth. Used to
+    /// attach a [`VmBacktrace`] to errors escaping a top-level run.
+    pub fn capture_backtrace(&self) -> VmBacktrace {
+        const CAP: usize = 64;
+        let mut frames = Vec::new();
+        let mut truncated = false;
+        for f in self.frames.iter().rev() {
+            if frames.len() >= CAP {
+                truncated = true;
+                break;
+            }
+            frames.push(backtrace_frame(f));
+        }
+        let mut cur = self.next.clone();
+        'chain: while let Some(u) = cur {
+            if let Some(seg) = u.seg.borrow().as_ref() {
+                for f in seg.frames.iter().rev() {
+                    if frames.len() >= CAP {
+                        truncated = true;
+                        break 'chain;
+                    }
+                    frames.push(backtrace_frame(f));
+                }
+            }
+            cur = u.next.clone();
+        }
+        VmBacktrace { frames, truncated }
+    }
+
+    // ------------------------------------------------------------------
     // Composable continuations
     // ------------------------------------------------------------------
 
     fn capture_composable(&mut self, tag: &Value) -> VmResult<Value> {
         let Some(mf) = self.meta.last() else {
-            return Err(VmError::NoMatchingPrompt(tag.write_string()));
+            return Err(VmErrorKind::NoMatchingPrompt(tag.write_string()).into());
         };
         if !mf.tag.eq_value(tag) {
-            return Err(VmError::NoMatchingPrompt(format!(
+            return Err(VmErrorKind::NoMatchingPrompt(format!(
                 "{} (composable capture across intervening prompts is not supported)",
                 tag.write_string()
-            )));
+            ))
+            .into());
         }
         let boundary = self.base_marks.clone();
         let top_seg = Rc::new(Segment {
@@ -1086,14 +1392,11 @@ impl Machine {
         let mut chain = Vec::new();
         let mut cur = self.next.clone();
         while let Some(u) = cur {
+            let seg = u.seg.borrow().as_ref().cloned().ok_or_else(|| {
+                VmError::internal_recoverable("composable-capture", "segment already fused away")
+            })?;
             chain.push(CompChainRec {
-                seg: Rc::new(
-                    u.seg
-                        .borrow()
-                        .as_ref()
-                        .expect("segment already fused")
-                        .clone(),
-                ),
+                seg: Rc::new(seg),
                 marks_prefix: marks_prefix(&u.marks, &boundary)?,
             });
             cur = u.next.clone();
@@ -1171,12 +1474,11 @@ impl Machine {
     // ------------------------------------------------------------------
 
     pub(crate) fn eager_set_mark(&mut self, key: Value, val: Value) {
-        let entry = match self.mark_stack.last_mut() {
-            Some(e) => e,
-            None => {
-                self.mark_stack.push(Vec::new());
-                self.mark_stack.last_mut().unwrap()
-            }
+        if self.mark_stack.is_empty() {
+            self.mark_stack.push(Vec::new());
+        }
+        let Some(entry) = self.mark_stack.last_mut() else {
+            return;
         };
         for slot in entry.iter_mut() {
             if slot.0.eq_value(&key) {
@@ -1259,29 +1561,104 @@ fn lookup_entry(entry: &MarkEntry, key: &Value) -> Option<Value> {
         .map(|(_, v)| v.clone())
 }
 
-fn one_arg_for_cont(mut args: Vec<Value>) -> VmResult<Value> {
-    if args.len() != 1 {
-        return Err(VmError::Arity {
-            who: "continuation".into(),
-            expected: "1".into(),
-            got: args.len(),
-        });
+/// Checks that a segment's frames have monotone bases within the value
+/// stack and in-range pcs.
+fn check_frames_well_formed(frames: &[Frame], stack_len: usize, what: &str) -> Result<(), String> {
+    let mut prev_base = 0usize;
+    for f in frames {
+        let base = f.base as usize;
+        if base < prev_base {
+            return Err(format!("{what}: frame bases not monotone"));
+        }
+        if base > stack_len {
+            return Err(format!(
+                "{what}: frame base {base} beyond stack length {stack_len}"
+            ));
+        }
+        if f.pc as usize > f.code.instrs.len() {
+            return Err(format!(
+                "{what}: pc {} out of range in {}",
+                f.pc, f.code.name
+            ));
+        }
+        prev_base = base;
     }
-    Ok(args.pop().unwrap())
+    Ok(())
+}
+
+/// Checks that a value is a proper, acyclic list (with a generous length
+/// cap standing in for true cycle detection).
+fn check_proper_list(v: &Value, what: &str) -> Result<(), String> {
+    const CAP: u64 = 10_000_000;
+    let mut cur = v.clone();
+    let mut n = 0u64;
+    loop {
+        if matches!(cur, Value::Nil) {
+            return Ok(());
+        }
+        match cur.cdr() {
+            Some(rest) => {
+                cur = rest;
+                n += 1;
+                if n > CAP {
+                    return Err(format!("{what}: list longer than {CAP} (likely cyclic)"));
+                }
+            }
+            None => return Err(format!("{what}: improper list")),
+        }
+    }
+}
+
+/// Checks that winder ids strictly increase (they are allocated from a
+/// monotone counter, so any other order means corruption).
+fn check_winder_ids(winders: &[Winder], what: &str) -> Result<(), String> {
+    for pair in winders.windows(2) {
+        if pair[0].id >= pair[1].id {
+            return Err(format!("{what}: winder ids not strictly increasing"));
+        }
+    }
+    Ok(())
+}
+
+/// Renders one frame for a fault-time backtrace, naming the instruction
+/// the same way `Code::disassemble` does. `pc` has already advanced past
+/// the faulting instruction, so step back one.
+fn backtrace_frame(f: &Frame) -> BacktraceFrame {
+    let pc = f.pc.saturating_sub(1);
+    let instr = f
+        .code
+        .instrs
+        .get(pc as usize)
+        .map(|i| f.code.render_instr(i));
+    BacktraceFrame {
+        code: f.code.name.clone(),
+        pc,
+        instr,
+    }
+}
+
+/// Pops an argument whose presence the arity check already guaranteed.
+fn pop_arg(args: &mut Vec<Value>, site: &'static str) -> VmResult<Value> {
+    args.pop()
+        .ok_or_else(|| VmError::internal(site, "arity-checked argument missing"))
+}
+
+fn one_arg_for_cont(args: Vec<Value>) -> VmResult<Value> {
+    match <[Value; 1]>::try_from(args) {
+        Ok([v]) => Ok(v),
+        Err(args) => Err(VmError::arity("continuation", "1", args.len())),
+    }
 }
 
 fn check_arity(code: &Code, mut args: Vec<Value>) -> VmResult<Vec<Value>> {
     let required = code.arity_required as usize;
     if args.len() < required || (!code.rest && args.len() > required) {
-        return Err(VmError::Arity {
-            who: code.name.clone(),
-            expected: if code.rest {
-                format!("at least {required}")
-            } else {
-                format!("{required}")
-            },
-            got: args.len(),
-        });
+        let expected = if code.rest {
+            format!("at least {required}")
+        } else {
+            format!("{required}")
+        };
+        return Err(VmError::arity(code.name.clone(), expected, args.len()));
     }
     if code.rest {
         let rest = Value::list(args.split_off(required));
@@ -1298,14 +1675,14 @@ fn marks_prefix(marks: &Value, boundary: &Value) -> VmResult<Vec<Value>> {
         if cur.eq_value(boundary) {
             return Ok(out);
         }
-        match cur.car() {
-            Some(v) => {
+        match (cur.car(), cur.cdr()) {
+            (Some(v), Some(rest)) => {
                 out.push(v);
-                cur = cur.cdr().expect("pair has cdr");
+                cur = rest;
             }
-            None => {
-                return Err(VmError::Other(
-                    "marks register does not extend the prompt boundary".into(),
+            _ => {
+                return Err(VmError::other(
+                    "marks register does not extend the prompt boundary",
                 ))
             }
         }
@@ -1313,14 +1690,29 @@ fn marks_prefix(marks: &Value, boundary: &Value) -> VmResult<Vec<Value>> {
 }
 
 /// Clones an entire underflow chain (segments included) — the eager
-/// (old Racket) model's O(stack size) continuation capture.
+/// (old Racket) model's O(stack size) continuation capture. Iterative so
+/// a deep chain (e.g. under a tiny `segment_frame_limit`) cannot overflow
+/// the native stack.
 fn deep_copy_chain(head: &Rc<Underflow>) -> Rc<Underflow> {
-    let next = head.next.as_ref().map(deep_copy_chain);
-    Rc::new(Underflow {
-        seg: RefCell::new(head.seg.borrow().clone()),
-        marks: head.marks.clone(),
-        next,
-    })
+    let mut records = Vec::new();
+    let mut cur = Some(head.clone());
+    while let Some(u) = cur {
+        records.push((u.seg.borrow().clone(), u.marks.clone()));
+        cur = u.next.clone();
+    }
+    let mut next: Option<Rc<Underflow>> = None;
+    for (seg, marks) in records.into_iter().rev() {
+        next = Some(Rc::new(Underflow {
+            seg: RefCell::new(seg),
+            marks,
+            next,
+        }));
+    }
+    match next {
+        Some(u) => u,
+        // Unreachable: the chain contains at least `head`.
+        None => head.clone(),
+    }
 }
 
 /// Builds `prefix[0] :: prefix[1] :: ... :: tail`.
@@ -1436,9 +1828,33 @@ mod tests {
         let code = Code::build("loop", 0, false, vec![Instr::Jump(0)], vec![], vec![]);
         let mut m = Machine::new(MachineConfig::default().with_fuel(1000));
         match m.run_code(Rc::new(code)) {
-            Err(VmError::OutOfFuel) => {}
+            Err(e) if e.kind == VmErrorKind::OutOfFuel => {
+                // The machine must be reusable and carry a backtrace
+                // naming the looping code object.
+                assert!(m.is_idle());
+                assert!(e.detailed().contains("loop"));
+            }
             other => panic!("expected out-of-fuel, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_stops_loops() {
+        let code = Code::build("loop", 0, false, vec![Instr::Jump(0)], vec![], vec![]);
+        let mut m = Machine::new(
+            MachineConfig::default().with_deadline(std::time::Duration::from_millis(5)),
+        );
+        match m.run_code(Rc::new(code)) {
+            Err(e) if e.kind == VmErrorKind::DeadlineExceeded => assert!(m.is_idle()),
+            other => panic!("expected deadline-exceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invariants_hold_on_fresh_and_idle_machines() {
+        let m = Machine::new(MachineConfig::default());
+        assert!(m.is_idle());
+        m.check_invariants().unwrap();
     }
 
     #[test]

@@ -84,15 +84,12 @@ impl NativeDef {
         if ok {
             Ok(())
         } else {
-            Err(VmError::Arity {
-                who: self.name.to_owned(),
-                expected: match self.max {
-                    Some(m) if m == self.min => format!("{m}"),
-                    Some(m) => format!("{} to {}", self.min, m),
-                    None => format!("at least {}", self.min),
-                },
-                got,
-            })
+            let expected = match self.max {
+                Some(m) if m == self.min => format!("{m}"),
+                Some(m) => format!("{} to {}", self.min, m),
+                None => format!("at least {}", self.min),
+            };
+            Err(VmError::arity(self.name, expected, got))
         }
     }
 }
@@ -686,9 +683,27 @@ pub fn install(globals: &mut crate::machine::Globals) {
 ///
 /// # Errors
 ///
-/// Type and arity errors from the underlying operation.
+/// Type and arity errors from the underlying operation, plus any fault
+/// the machine's [`FaultPlan`](crate::FaultPlan) injects at this
+/// primitive boundary.
 pub fn exec_prim(m: &mut Machine, op: PrimOp, argc: usize) -> VmResult<()> {
-    let at = m.stack.len() - argc;
+    // The arity check keeps `prim_op`'s argument indexing in bounds even
+    // for bytecode the verifier never saw.
+    let (min, max) = op.arity();
+    if argc < min as usize || max.is_some_and(|mx| argc > mx as usize) {
+        let expected = match max {
+            Some(mx) if mx == min => format!("{min}"),
+            Some(mx) => format!("{min} to {mx}"),
+            None => format!("at least {min}"),
+        };
+        return Err(VmError::arity(op.name(), expected, argc));
+    }
+    m.note_prim_call(op.name())?;
+    let at = m
+        .stack
+        .len()
+        .checked_sub(argc)
+        .ok_or_else(|| VmError::internal("prim-call", "arguments missing from stack"))?;
     let result = {
         let args = &m.stack[at..];
         prim_op(op, args)?
@@ -770,7 +785,7 @@ fn add_values(who: &'static str, a: &Value, b: &Value) -> VmResult<Value> {
         (Value::Fixnum(x), Value::Fixnum(y)) => x
             .checked_add(*y)
             .map(Value::Fixnum)
-            .ok_or_else(|| VmError::Other(format!("{who}: fixnum overflow"))),
+            .ok_or_else(|| VmError::other(format!("{who}: fixnum overflow"))),
         _ => Ok(Value::Flonum(as_f64(who, a)? + as_f64(who, b)?)),
     }
 }
@@ -780,7 +795,7 @@ fn sub_values(who: &'static str, a: &Value, b: &Value) -> VmResult<Value> {
         (Value::Fixnum(x), Value::Fixnum(y)) => x
             .checked_sub(*y)
             .map(Value::Fixnum)
-            .ok_or_else(|| VmError::Other(format!("{who}: fixnum overflow"))),
+            .ok_or_else(|| VmError::other(format!("{who}: fixnum overflow"))),
         _ => Ok(Value::Flonum(as_f64(who, a)? - as_f64(who, b)?)),
     }
 }
@@ -790,7 +805,7 @@ fn mul_values(who: &'static str, a: &Value, b: &Value) -> VmResult<Value> {
         (Value::Fixnum(x), Value::Fixnum(y)) => x
             .checked_mul(*y)
             .map(Value::Fixnum)
-            .ok_or_else(|| VmError::Other(format!("{who}: fixnum overflow"))),
+            .ok_or_else(|| VmError::other(format!("{who}: fixnum overflow"))),
         _ => Ok(Value::Flonum(as_f64(who, a)? * as_f64(who, b)?)),
     }
 }
@@ -831,7 +846,7 @@ fn p_div(args: &[Value]) -> VmResult<Value> {
             _ => {
                 let d = as_f64("/", b)?;
                 if d == 0.0 {
-                    return Err(VmError::Other("/: division by zero".into()));
+                    return Err(VmError::other("/: division by zero"));
                 }
                 Ok(Value::Flonum(as_f64("/", a)? / d))
             }
@@ -853,7 +868,7 @@ fn p_quotient(args: &[Value]) -> VmResult<Value> {
         as_fixnum("quotient", &args[1])?,
     );
     if b == 0 {
-        return Err(VmError::Other("quotient: division by zero".into()));
+        return Err(VmError::other("quotient: division by zero"));
     }
     Ok(Value::Fixnum(a / b))
 }
@@ -864,7 +879,7 @@ fn p_remainder(args: &[Value]) -> VmResult<Value> {
         as_fixnum("remainder", &args[1])?,
     );
     if b == 0 {
-        return Err(VmError::Other("remainder: division by zero".into()));
+        return Err(VmError::other("remainder: division by zero"));
     }
     Ok(Value::Fixnum(a % b))
 }
@@ -875,7 +890,7 @@ fn p_modulo(args: &[Value]) -> VmResult<Value> {
         as_fixnum("modulo", &args[1])?,
     );
     if b == 0 {
-        return Err(VmError::Other("modulo: division by zero".into()));
+        return Err(VmError::other("modulo: division by zero"));
     }
     let r = a % b;
     Ok(Value::Fixnum(if r != 0 && (r < 0) != (b < 0) {
@@ -890,7 +905,7 @@ fn num_cmp(who: &'static str, a: &Value, b: &Value) -> VmResult<std::cmp::Orderi
         (Value::Fixnum(x), Value::Fixnum(y)) => Ok(x.cmp(y)),
         _ => as_f64(who, a)?
             .partial_cmp(&as_f64(who, b)?)
-            .ok_or_else(|| VmError::Other(format!("{who}: cannot compare NaN"))),
+            .ok_or_else(|| VmError::other(format!("{who}: cannot compare NaN"))),
     }
 }
 
@@ -946,7 +961,7 @@ fn p_expt(args: &[Value]) -> VmResult<Value> {
             for _ in 0..*e {
                 acc = acc
                     .checked_mul(*b)
-                    .ok_or_else(|| VmError::Other("expt: fixnum overflow".into()))?;
+                    .ok_or_else(|| VmError::other("expt: fixnum overflow"))?;
             }
             Ok(Value::Fixnum(acc))
         }
@@ -1034,11 +1049,11 @@ fn p_length(args: &[Value]) -> VmResult<Value> {
 }
 
 fn p_append(args: &[Value]) -> VmResult<Value> {
-    if args.is_empty() {
+    let Some((last, init)) = args.split_last() else {
         return Ok(Value::Nil);
-    }
-    let mut out = args.last().unwrap().clone();
-    for lst in args[..args.len() - 1].iter().rev() {
+    };
+    let mut out = last.clone();
+    for lst in init.iter().rev() {
         let items = lst
             .list_to_vec()
             .ok_or_else(|| VmError::wrong_type("append", "proper list", lst))?;
@@ -1165,7 +1180,7 @@ fn p_string_ref(args: &[Value]) -> VmResult<Value> {
     s.chars()
         .nth(i)
         .map(Value::Char)
-        .ok_or_else(|| VmError::Other(format!("string-ref: index {i} out of range")))
+        .ok_or_else(|| VmError::other(format!("string-ref: index {i} out of range")))
 }
 
 fn p_substring(args: &[Value]) -> VmResult<Value> {
@@ -1174,7 +1189,7 @@ fn p_substring(args: &[Value]) -> VmResult<Value> {
     let end = as_fixnum("substring", &args[2])? as usize;
     let chars: Vec<char> = s.chars().collect();
     if start > end || end > chars.len() {
-        return Err(VmError::Other(format!(
+        return Err(VmError::other(format!(
             "substring: bad range {start}..{end} for length {}",
             chars.len()
         )));
@@ -1260,7 +1275,7 @@ fn p_integer_to_char(args: &[Value]) -> VmResult<Value> {
     let n = as_fixnum("integer->char", &args[0])?;
     char::from_u32(n as u32)
         .map(Value::Char)
-        .ok_or_else(|| VmError::Other(format!("integer->char: bad code point {n}")))
+        .ok_or_else(|| VmError::other(format!("integer->char: bad code point {n}")))
 }
 
 fn p_char_cmp(
@@ -1290,7 +1305,7 @@ fn p_vector_ref(args: &[Value]) -> VmResult<Value> {
             v.borrow()
                 .get(i)
                 .cloned()
-                .ok_or_else(|| VmError::Other(format!("vector-ref: index {i} out of range")))
+                .ok_or_else(|| VmError::other(format!("vector-ref: index {i} out of range")))
         }
         v => Err(VmError::wrong_type("vector-ref", "vector", v)),
     }
@@ -1302,7 +1317,7 @@ fn p_vector_set(args: &[Value]) -> VmResult<Value> {
             let i = as_fixnum("vector-set!", &args[1])? as usize;
             let mut v = v.borrow_mut();
             if i >= v.len() {
-                return Err(VmError::Other(format!(
+                return Err(VmError::other(format!(
                     "vector-set!: index {i} out of range"
                 )));
             }
@@ -1441,7 +1456,7 @@ fn p_record_ref(args: &[Value]) -> VmResult<Value> {
                 .borrow()
                 .get(i)
                 .cloned()
-                .ok_or_else(|| VmError::Other(format!("record-ref: field {i} out of range")))
+                .ok_or_else(|| VmError::other(format!("record-ref: field {i} out of range")))
         }
         v => Err(VmError::wrong_type("record-ref", "record", v)),
     }
@@ -1453,7 +1468,7 @@ fn p_record_set(args: &[Value]) -> VmResult<Value> {
             let i = as_fixnum("record-set!", &args[1])? as usize;
             let mut f = r.fields.borrow_mut();
             if i >= f.len() {
-                return Err(VmError::Other(format!(
+                return Err(VmError::other(format!(
                     "record-set!: field {i} out of range"
                 )));
             }
@@ -1470,7 +1485,7 @@ fn p_error(args: &[Value]) -> VmResult<Value> {
         msg.push(' ');
         msg.push_str(&a.write_string());
     }
-    Err(VmError::SchemeError(msg))
+    Err(VmError::scheme_error(msg))
 }
 
 fn p_cont_attachments(args: &[Value]) -> VmResult<Value> {
@@ -1638,11 +1653,21 @@ fn m_eager_all_marks(m: &mut Machine, _args: Vec<Value>) -> VmResult<Value> {
 // Machine natives
 // ----------------------------------------------------------------------
 
-fn m_push_winder(m: &mut Machine, mut args: Vec<Value>) -> VmResult<Value> {
-    let post = args.pop().expect("arity checked");
-    let pre = args.pop().expect("arity checked");
+fn m_push_winder(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
+    let [pre, post] = take2(args, "$push-winder")?;
     m.push_winder(pre, post);
     Ok(Value::Void)
+}
+
+/// Unpacks exactly two arguments whose presence the arity check already
+/// guaranteed.
+fn take2(args: Vec<Value>, site: &'static str) -> VmResult<[Value; 2]> {
+    <[Value; 2]>::try_from(args).map_err(|a| {
+        VmError::internal(
+            site,
+            format!("expected 2 arity-checked args, got {}", a.len()),
+        )
+    })
 }
 
 fn m_pop_winder(m: &mut Machine, _args: Vec<Value>) -> VmResult<Value> {
@@ -1657,9 +1682,8 @@ fn m_current_attachments(m: &mut Machine, _args: Vec<Value>) -> VmResult<Value> 
     Ok(m.marks_snapshot())
 }
 
-fn m_eager_set(m: &mut Machine, mut args: Vec<Value>) -> VmResult<Value> {
-    let val = args.pop().expect("arity checked");
-    let key = args.pop().expect("arity checked");
+fn m_eager_set(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
+    let [key, val] = take2(args, "$eager-mark-set!")?;
     m.eager_set_mark(key, val);
     Ok(Value::Void)
 }
@@ -1850,7 +1874,10 @@ mod tests {
     #[test]
     fn error_raises() {
         match p_error(&[Value::string("bad"), Value::fixnum(3)]) {
-            Err(VmError::SchemeError(msg)) => assert_eq!(msg, "bad 3"),
+            Err(e) => match e.kind {
+                crate::error::VmErrorKind::SchemeError(msg) => assert_eq!(msg, "bad 3"),
+                other => panic!("expected scheme error, got {other:?}"),
+            },
             other => panic!("expected scheme error, got {other:?}"),
         }
     }

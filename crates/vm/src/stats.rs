@@ -29,6 +29,11 @@ pub struct MachineStats {
     pub mark_stack_pushes: u64,
     /// Winder thunks executed by `dynamic-wind` / continuation jumps.
     pub winders_run: u64,
+    /// Primitive and native calls (the boundaries where
+    /// [`FaultPlan`](crate::FaultPlan) faults can be injected).
+    pub prim_calls: u64,
+    /// Faults injected by an armed [`FaultPlan`](crate::FaultPlan).
+    pub injected_faults: u64,
 }
 
 impl MachineStats {

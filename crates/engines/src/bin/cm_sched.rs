@@ -1,0 +1,290 @@
+//! `cm-sched` — run the paper's §2 examples and benchmark workloads as
+//! thousands of concurrent engines over a multi-worker scheduler, and
+//! report throughput, latency, and fairness.
+//!
+//! ```text
+//! cm-sched [--quick] [--tasks N] [--workers N] [--slice FUEL]
+//!          [--policy rr|edf] [--config NAME]... [--config all]
+//!          [--deadline-ms N] [--no-verify] [--per-task] [--invariants]
+//! ```
+//!
+//! Every task is one engine: a §2 example or a small-scale workload
+//! entry, compiled against its worker's shared globals and preempted
+//! every `--slice` instructions. With verification on (the default),
+//! each task's sliced result is compared against the uninterrupted
+//! expectation — a mismatch means suspend/resume corrupted marks,
+//! winders, or frames, and the run exits nonzero.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cm_engines::{run_pool, JobSpec, Policy, PoolConfig, PoolReport, PoolSpec, SchedConfig};
+use cm_torture::{engine_configs, torture_targets};
+
+struct Args {
+    tasks: usize,
+    workers: usize,
+    slice: u64,
+    policy: Policy,
+    configs: Vec<String>,
+    deadline_ms: Option<u64>,
+    verify: bool,
+    per_task: bool,
+    invariants: bool,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            tasks: 1000,
+            workers: 4,
+            slice: 10_000,
+            policy: Policy::RoundRobin,
+            configs: vec!["full".into()],
+            deadline_ms: None,
+            verify: true,
+            per_task: false,
+            invariants: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: cm-sched [--quick] [--tasks N] [--workers N] [--slice FUEL]
+                [--policy rr|edf] [--config NAME|all]... [--deadline-ms N]
+                [--no-verify] [--per-task] [--invariants]
+
+  --quick         CI preset: 200 tasks, 4 workers, slice 2000, invariants on
+  --tasks N       total engines to schedule (default 1000)
+  --workers N     worker threads, each with its own scheduler (default 4)
+  --slice FUEL    instructions per slice (default 10000)
+  --policy P      rr (round-robin, default) or edf (earliest deadline first)
+  --config NAME   engine configuration (repeatable; `all` = the paper's 7)
+  --deadline-ms N per-task wall-clock timeout via MachineConfig::deadline
+  --no-verify     skip comparing sliced results against uninterrupted runs
+  --per-task      print one line per task
+  --invariants    check machine invariants at every suspension";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    let mut configs_set = false;
+    while let Some(arg) = it.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => {
+                args.tasks = 200;
+                args.workers = 4;
+                args.slice = 2_000;
+                args.invariants = true;
+            }
+            "--tasks" => {
+                args.tasks = take("--tasks")?
+                    .parse()
+                    .map_err(|e| format!("--tasks: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = take("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--slice" => {
+                args.slice = take("--slice")?
+                    .parse()
+                    .map_err(|e| format!("--slice: {e}"))?;
+            }
+            "--policy" => {
+                let p = take("--policy")?;
+                args.policy =
+                    Policy::parse(&p).ok_or_else(|| format!("unknown policy `{p}` (rr|edf)"))?;
+            }
+            "--config" => {
+                if !configs_set {
+                    args.configs.clear();
+                    configs_set = true;
+                }
+                args.configs.push(take("--config")?);
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    take("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
+            "--no-verify" => args.verify = false,
+            "--per-task" => args.per_task = true,
+            "--invariants" => args.invariants = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if args.tasks == 0 {
+        return Err("--tasks must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// Builds the job batch: the torture corpus (§2 examples + one small
+/// workload per group) cycled out to `tasks` engines.
+fn build_spec(tasks: usize, verify: bool) -> PoolSpec {
+    let targets = torture_targets(true);
+    let mut setups = Vec::new();
+    for t in &targets {
+        if !t.setup.is_empty() && !setups.contains(&t.setup) {
+            setups.push(t.setup.clone());
+        }
+    }
+    let jobs = (0..tasks)
+        .map(|i| {
+            let t = &targets[i % targets.len()];
+            JobSpec {
+                name: format!("{}#{}", t.name, i / targets.len()),
+                run: t.run.clone(),
+                expected: t.expected.clone(),
+            }
+        })
+        .collect();
+    PoolSpec {
+        setups,
+        jobs,
+        verify,
+    }
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}ms", d.as_secs_f64() * 1e3)
+}
+
+fn print_report(config_name: &str, args: &Args, report: &PoolReport) {
+    let m = &report.metrics;
+    println!(
+        "[{config_name}] {} tasks on {} workers (slice {}, policy {:?})",
+        m.tasks,
+        report.workers.len(),
+        args.slice,
+        args.policy,
+    );
+    println!(
+        "  outcome     {} completed, {} failed, {} timed out",
+        m.completed, m.failed, m.timed_out
+    );
+    println!(
+        "  throughput  {:.0} tasks/s, {:.2}M steps/s over {} ({} steps, {} slices)",
+        m.tasks_per_sec,
+        m.steps_per_sec / 1e6,
+        ms(m.wall),
+        m.total_steps,
+        m.total_slices,
+    );
+    println!(
+        "  latency     mean {} / p50 {} / p95 {} / max {}",
+        ms(m.latency_mean),
+        ms(m.latency_p50),
+        ms(m.latency_p95),
+        ms(m.latency_max),
+    );
+    println!(
+        "  fairness    Jain index {:.4} over per-task steps",
+        m.fairness_jain
+    );
+    for w in &report.workers {
+        println!(
+            "    worker {}: {} tasks in {}{}",
+            w.worker,
+            w.reports.len(),
+            ms(w.wall),
+            w.panicked
+                .as_deref()
+                .map(|p| format!(" PANICKED: {p}"))
+                .unwrap_or_default(),
+        );
+    }
+    if args.per_task {
+        let mut all = report.all_reports();
+        all.sort_by_key(|r| r.id);
+        for r in all {
+            println!(
+                "    #{:<5} {:<28} {:?} ({} slices, {} steps, {})",
+                r.id,
+                r.name,
+                r.outcome,
+                r.slices,
+                r.steps,
+                ms(r.turnaround),
+            );
+        }
+    }
+    for mm in report.all_mismatches() {
+        println!("  MISMATCH    {mm}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cm-sched: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let catalog = engine_configs();
+    let selected: Vec<(String, cm_core::EngineConfig)> = if args.configs.iter().any(|c| c == "all")
+    {
+        catalog
+            .iter()
+            .map(|(n, c)| ((*n).to_string(), c.clone()))
+            .collect()
+    } else {
+        let mut out = Vec::new();
+        for want in &args.configs {
+            match catalog.iter().find(|(n, _)| n == want) {
+                Some((n, c)) => out.push(((*n).to_string(), c.clone())),
+                None => {
+                    let names: Vec<_> = catalog.iter().map(|(n, _)| *n).collect();
+                    eprintln!("cm-sched: unknown config `{want}` (have: {names:?}, or `all`)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        out
+    };
+    let spec = build_spec(args.tasks, args.verify);
+    let mut clean = true;
+    for (name, mut engine_config) in selected {
+        if let Some(ms) = args.deadline_ms {
+            engine_config.machine.deadline = Some(Duration::from_millis(ms));
+        }
+        let config = PoolConfig {
+            workers: args.workers,
+            sched: SchedConfig {
+                policy: args.policy,
+                slice: args.slice,
+                check_invariants: args.invariants,
+            },
+            engine: engine_config,
+        };
+        let report = run_pool(&config, &spec);
+        print_report(&name, &args, &report);
+        // Deadline-induced timeouts are a requested behavior, not a
+        // correctness failure.
+        let acceptable_timeouts = args.deadline_ms.is_some();
+        if report.metrics.failed > 0
+            || (!acceptable_timeouts && report.metrics.timed_out > 0)
+            || !report.all_mismatches().is_empty()
+            || report.workers.iter().any(|w| w.panicked.is_some())
+        {
+            clean = false;
+        }
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cm-sched: FAILURES detected (see above)");
+        ExitCode::FAILURE
+    }
+}

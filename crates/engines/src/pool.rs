@@ -1,0 +1,352 @@
+//! A multi-worker pool: N OS threads, each owning a [`WorkerHost`] and a
+//! [`Scheduler`], with jobs sharded across them.
+//!
+//! The VM's values are `Rc`-based and single-threaded by design, so the
+//! pool never moves an engine between threads. Instead, only `Send` data
+//! crosses the boundary: job *specs* (source strings) go in, rendered
+//! [`TaskReport`]s come out. Each worker builds its own prelude-loaded
+//! host, loads the workload definitions once, spawns its shard of engines
+//! against those shared globals, and drives them with its own scheduler.
+//!
+//! Sharding is static round-robin by submission index — deterministic, no
+//! work stealing — which keeps per-worker results reproducible and makes
+//! the fairness numbers attributable to the *scheduler*, not to shard
+//! luck.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use cm_core::EngineConfig;
+
+use crate::engine::WorkerHost;
+use crate::sched::{Outcome, SchedConfig, SchedMetrics, Scheduler, TaskReport};
+
+/// One unit of work: an expression to run (against the pool's shared
+/// setup definitions), plus what it should produce.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Display name in reports.
+    pub name: String,
+    /// Entry expression, compiled into a fresh engine on the worker.
+    pub run: String,
+    /// Expected result (display string). `None` with
+    /// [`PoolSpec::verify`] set means the worker computes a baseline by
+    /// evaluating `run` uninterrupted before scheduling it.
+    pub expected: Option<String>,
+}
+
+/// A batch of jobs plus the definitions they share.
+#[derive(Debug, Clone, Default)]
+pub struct PoolSpec {
+    /// Definition sources each worker evaluates once before spawning
+    /// engines (workload bodies, helper functions).
+    pub setups: Vec<String>,
+    /// The jobs, sharded round-robin across workers.
+    pub jobs: Vec<JobSpec>,
+    /// Check every completed job's result against its expectation;
+    /// missing expectations are filled by an uninterrupted baseline run
+    /// on the worker.
+    pub verify: bool,
+}
+
+/// Pool-level knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker-thread count (clamped to at least 1).
+    pub workers: usize,
+    /// Scheduler configuration, cloned into every worker.
+    pub sched: SchedConfig,
+    /// Engine configuration (one of the seven paper variants), cloned
+    /// into every worker.
+    pub engine: EngineConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            workers: 4,
+            sched: SchedConfig::default(),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// What one worker thread produced.
+#[derive(Debug)]
+pub struct WorkerSummary {
+    /// Worker index (also the shard residue).
+    pub worker: usize,
+    /// Per-task reports in retirement order.
+    pub reports: Vec<TaskReport>,
+    /// Human-readable result mismatches (empty unless
+    /// [`PoolSpec::verify`]).
+    pub mismatches: Vec<String>,
+    /// This worker's own wall time (setup + baselines + scheduling).
+    pub wall: Duration,
+    /// Set if the worker thread panicked; its remaining jobs are lost.
+    pub panicked: Option<String>,
+}
+
+/// The pool's combined result.
+#[derive(Debug)]
+pub struct PoolReport {
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerSummary>,
+    /// Batch wall time (submit to last worker joined).
+    pub wall: Duration,
+    /// Metrics over every task from every worker.
+    pub metrics: SchedMetrics,
+}
+
+impl PoolReport {
+    /// All task reports across workers.
+    pub fn all_reports(&self) -> Vec<&TaskReport> {
+        self.workers.iter().flat_map(|w| &w.reports).collect()
+    }
+
+    /// All mismatches across workers.
+    pub fn all_mismatches(&self) -> Vec<&str> {
+        self.workers
+            .iter()
+            .flat_map(|w| w.mismatches.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// True when every job completed with the expected result and no
+    /// worker panicked.
+    pub fn is_clean(&self) -> bool {
+        self.metrics.failed == 0
+            && self.metrics.timed_out == 0
+            && self
+                .workers
+                .iter()
+                .all(|w| w.panicked.is_none() && w.mismatches.is_empty())
+    }
+}
+
+fn run_worker(
+    worker: usize,
+    config: &PoolConfig,
+    spec: &PoolSpec,
+    shard: Vec<(usize, JobSpec)>,
+) -> WorkerSummary {
+    let start = Instant::now();
+    let mut reports = Vec::new();
+    let mut mismatches = Vec::new();
+    let mut host = WorkerHost::new(config.engine.clone());
+    for (i, setup) in spec.setups.iter().enumerate() {
+        if let Err(e) = host.load(setup) {
+            // Setup failure dooms the whole shard; report each job.
+            for (id, job) in &shard {
+                reports.push(TaskReport {
+                    id: *id,
+                    name: job.name.clone(),
+                    outcome: Outcome::Failed(format!("worker setup #{i} failed: {e}")),
+                    slices: 0,
+                    steps: 0,
+                    turnaround: Duration::ZERO,
+                });
+            }
+            return WorkerSummary {
+                worker,
+                reports,
+                mismatches,
+                wall: start.elapsed(),
+                panicked: None,
+            };
+        }
+    }
+    // Uninterrupted baselines for verification, computed before any
+    // sliced run touches the shared globals.
+    let mut expectations: Vec<Option<String>> = Vec::with_capacity(shard.len());
+    for (_, job) in &shard {
+        if let Some(e) = &job.expected {
+            expectations.push(Some(e.clone()));
+        } else if spec.verify {
+            match host.eval(&job.run) {
+                Ok(v) => expectations.push(Some(v.write_string())),
+                Err(e) => {
+                    mismatches.push(format!("{}: baseline run failed: {e}", job.name));
+                    expectations.push(None);
+                }
+            }
+        } else {
+            expectations.push(None);
+        }
+    }
+    let mut sched = Scheduler::new(config.sched.clone());
+    let mut submitted: Vec<(usize, Option<String>)> = Vec::with_capacity(shard.len());
+    for ((id, job), expected) in shard.iter().zip(expectations) {
+        match host.spawn(&job.run) {
+            Ok(engine) => {
+                let task = sched.submit(job.name.clone(), engine);
+                debug_assert_eq!(task, submitted.len());
+                submitted.push((*id, expected));
+            }
+            Err(e) => reports.push(TaskReport {
+                id: *id,
+                name: job.name.clone(),
+                outcome: Outcome::Failed(format!("compile failed: {e}")),
+                slices: 0,
+                steps: 0,
+                turnaround: Duration::ZERO,
+            }),
+        }
+    }
+    let mut retired = sched.run_all();
+    for r in &mut retired {
+        let (global_id, expected) = &submitted[r.id];
+        if let (Outcome::Completed(got), Some(want)) = (&r.outcome, expected) {
+            if got != want {
+                mismatches.push(format!(
+                    "{}: sliced run produced {got}, uninterrupted run produced {want}",
+                    r.name
+                ));
+            }
+        }
+        r.id = *global_id;
+    }
+    reports.extend(retired);
+    WorkerSummary {
+        worker,
+        reports,
+        mismatches,
+        wall: start.elapsed(),
+        panicked: None,
+    }
+}
+
+/// Runs a batch of jobs over `config.workers` threads and gathers the
+/// combined report. Worker panics are caught and surfaced in the
+/// summary, never propagated.
+pub fn run_pool(config: &PoolConfig, spec: &PoolSpec) -> PoolReport {
+    let workers = config.workers.max(1);
+    let mut shards: Vec<Vec<(usize, JobSpec)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (id, job) in spec.jobs.iter().enumerate() {
+        shards[id % workers].push((id, job.clone()));
+    }
+    let start = Instant::now();
+    let mut summaries: Vec<WorkerSummary> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(w, shard)| {
+                scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| run_worker(w, config, spec, shard)))
+                        .unwrap_or_else(|payload| {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".into());
+                            WorkerSummary {
+                                worker: w,
+                                reports: Vec::new(),
+                                mismatches: Vec::new(),
+                                wall: Duration::ZERO,
+                                panicked: Some(msg),
+                            }
+                        })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("panic already caught"))
+            .collect()
+    });
+    summaries.sort_by_key(|s| s.worker);
+    let wall = start.elapsed();
+    let all: Vec<TaskReport> = summaries
+        .iter()
+        .flat_map(|s| s.reports.iter().cloned())
+        .collect();
+    PoolReport {
+        metrics: SchedMetrics::from_reports(&all, wall),
+        workers: summaries,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin_spec(jobs: usize) -> PoolSpec {
+        PoolSpec {
+            setups: vec!["(define (spin n) (if (zero? n) 'done (spin (- n 1))))".into()],
+            jobs: (0..jobs)
+                .map(|i| JobSpec {
+                    name: format!("spin-{i}"),
+                    run: format!("(spin {})", 100 + (i % 7) * 100),
+                    expected: Some("done".into()),
+                })
+                .collect(),
+            verify: true,
+        }
+    }
+
+    #[test]
+    fn pool_shards_and_completes() {
+        let config = PoolConfig {
+            workers: 4,
+            sched: SchedConfig {
+                slice: 128,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = run_pool(&config, &spin_spec(40));
+        assert_eq!(report.metrics.tasks, 40);
+        assert_eq!(report.metrics.completed, 40);
+        assert!(report.is_clean(), "{:?}", report.all_mismatches());
+        assert_eq!(report.workers.len(), 4);
+        for w in &report.workers {
+            assert_eq!(w.reports.len(), 10);
+        }
+        // Global ids survive the per-worker id remap: every id 0..40 once.
+        let mut ids: Vec<usize> = report.all_reports().iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_detects_result_mismatch_via_expectation() {
+        let config = PoolConfig {
+            workers: 2,
+            ..Default::default()
+        };
+        let mut spec = spin_spec(4);
+        spec.jobs[2].expected = Some("never".into());
+        let report = run_pool(&config, &spec);
+        assert!(!report.is_clean());
+        assert_eq!(report.all_mismatches().len(), 1);
+        assert!(report.all_mismatches()[0].starts_with("spin-2:"));
+    }
+
+    #[test]
+    fn pool_computes_baselines_when_unspecified() {
+        let config = PoolConfig {
+            workers: 3,
+            sched: SchedConfig {
+                slice: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let spec = PoolSpec {
+            setups: vec![],
+            jobs: (0..6)
+                .map(|i| JobSpec {
+                    name: format!("sum-{i}"),
+                    run: format!("(+ {i} 10)"),
+                    expected: None,
+                })
+                .collect(),
+            verify: true,
+        };
+        let report = run_pool(&config, &spec);
+        assert!(report.is_clean(), "{:?}", report.all_mismatches());
+        assert_eq!(report.metrics.completed, 6);
+    }
+}

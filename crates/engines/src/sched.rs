@@ -1,0 +1,460 @@
+//! A single-threaded, multi-tenant scheduler over suspendable engines.
+//!
+//! One scheduler owns one queue of [`Engine`]s (all sharing one worker's
+//! `Globals`, hence pinned to one thread) and interleaves them in fuel
+//! slices. Two policies:
+//!
+//! * [`Policy::RoundRobin`] — FIFO; every runnable task gets one slice per
+//!   turn of the queue.
+//! * [`Policy::EarliestDeadlineFirst`] — the runnable task with the
+//!   nearest wall-clock deadline runs next; deadline-free tasks fill in
+//!   behind.
+//!
+//! Per-task timeouts reuse [`MachineConfig::deadline`]: the engine's
+//! machine enforces the wall-clock cutoff *inside* long slices, and the
+//! scheduler enforces it *between* slices (queue wait counts), so a slice
+//! smaller than the machine's deadline-poll stride still times out.
+//!
+//! [`MachineConfig::deadline`]: cm_vm::MachineConfig
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use cm_vm::VmErrorKind;
+
+use crate::engine::{Engine, RunResult};
+
+/// Which runnable task gets the next slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// FIFO turn-taking.
+    RoundRobin,
+    /// Nearest wall-clock deadline first; deadline-free tasks last.
+    EarliestDeadlineFirst,
+}
+
+impl Policy {
+    /// Parses a policy name (`rr` / `edf`, long forms accepted).
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "rr" | "round-robin" => Some(Policy::RoundRobin),
+            "edf" | "deadline" | "earliest-deadline-first" => Some(Policy::EarliestDeadlineFirst),
+            _ => None,
+        }
+    }
+}
+
+/// Scheduler knobs.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Slice-picking policy.
+    pub policy: Policy,
+    /// Fuel (instruction count) per slice.
+    pub slice: u64,
+    /// Verify machine invariants at every suspension (slow; tests and
+    /// torture runs).
+    pub check_invariants: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            policy: Policy::RoundRobin,
+            slice: 10_000,
+            check_invariants: false,
+        }
+    }
+}
+
+/// How a task ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Finished; holds the result's display string (rendered eagerly so
+    /// reports are `Send`).
+    Completed(String),
+    /// Died with a runtime error (rendered message).
+    Failed(String),
+    /// Exceeded its [`MachineConfig::deadline`](cm_vm::MachineConfig)
+    /// before finishing.
+    TimedOut,
+}
+
+/// Per-task accounting, produced when the task leaves the scheduler.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Submission-order id, unique within one scheduler.
+    pub id: usize,
+    /// Caller-supplied label.
+    pub name: String,
+    /// How the task ended.
+    pub outcome: Outcome,
+    /// Slices consumed (a completed task's final partial slice counts).
+    pub slices: u64,
+    /// Instructions executed ([`MachineStats::steps_executed`]) — the
+    /// fairness measure.
+    ///
+    /// [`MachineStats::steps_executed`]: cm_vm::MachineStats
+    pub steps: u64,
+    /// Submit-to-finish wall time (queue wait included).
+    pub turnaround: Duration,
+}
+
+struct Task {
+    id: usize,
+    name: String,
+    // Always `Some` while queued; taken only for the duration of a slice
+    // (`Engine::run` consumes the engine and returns its successor).
+    engine: Option<Engine>,
+    submitted_at: Instant,
+    deadline_at: Option<Instant>,
+    slices: u64,
+}
+
+/// The scheduler: a set of tasks and a runnable queue.
+pub struct Scheduler {
+    config: SchedConfig,
+    tasks: Vec<Option<Task>>,
+    runnable: VecDeque<usize>,
+    reports: Vec<TaskReport>,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new(config: SchedConfig) -> Scheduler {
+        Scheduler {
+            config,
+            tasks: Vec::new(),
+            runnable: VecDeque::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Submits an engine under a display name; returns its task id. The
+    /// deadline clock (if the engine has one) starts now.
+    pub fn submit(&mut self, name: impl Into<String>, engine: Engine) -> usize {
+        let id = self.tasks.len();
+        let now = Instant::now();
+        let deadline_at = engine.deadline().and_then(|d| now.checked_add(d));
+        self.tasks.push(Some(Task {
+            id,
+            name: name.into(),
+            engine: Some(engine),
+            submitted_at: now,
+            deadline_at,
+            slices: 0,
+        }));
+        self.runnable.push_back(id);
+        id
+    }
+
+    /// Tasks still queued or suspended.
+    pub fn pending(&self) -> usize {
+        self.runnable.len()
+    }
+
+    fn pick(&mut self) -> Option<usize> {
+        match self.config.policy {
+            Policy::RoundRobin => self.runnable.pop_front(),
+            Policy::EarliestDeadlineFirst => {
+                let best = self
+                    .runnable
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &id)| {
+                        let t = self.tasks[id].as_ref().expect("runnable task exists");
+                        // None sorts after every Some; FIFO among ties.
+                        (t.deadline_at.is_none(), t.deadline_at, t.id)
+                    })
+                    .map(|(pos, _)| pos)?;
+                self.runnable.remove(best)
+            }
+        }
+    }
+
+    fn retire(&mut self, task: Task, outcome: Outcome, steps: u64) {
+        self.reports.push(TaskReport {
+            id: task.id,
+            name: task.name,
+            outcome,
+            slices: task.slices,
+            steps,
+            turnaround: task.submitted_at.elapsed(),
+        });
+    }
+
+    /// Runs one slice of one task. Returns `false` when no task is
+    /// runnable.
+    pub fn step(&mut self) -> bool {
+        let Some(id) = self.pick() else { return false };
+        let mut task = self.tasks[id].take().expect("picked task exists");
+        let engine = task.engine.take().expect("queued task holds its engine");
+        if let Some(at) = task.deadline_at {
+            if Instant::now() >= at {
+                let steps = engine.stats().steps_executed;
+                self.retire(task, Outcome::TimedOut, steps);
+                return true;
+            }
+        }
+        task.slices += 1;
+        match engine.run(self.config.slice) {
+            RunResult::Done(v, stats) => {
+                self.retire(
+                    task,
+                    Outcome::Completed(v.write_string()),
+                    stats.steps_executed,
+                );
+            }
+            RunResult::Suspended(engine, stats) => {
+                if self.config.check_invariants {
+                    if let Err(msg) = engine.check_invariants() {
+                        self.retire(
+                            task,
+                            Outcome::Failed(format!("invariant violated: {msg}")),
+                            stats.steps_executed,
+                        );
+                        return true;
+                    }
+                }
+                task.engine = Some(engine);
+                self.tasks[id] = Some(task);
+                self.runnable.push_back(id);
+            }
+            RunResult::Failed(e, stats) => {
+                let outcome = if e.kind == VmErrorKind::DeadlineExceeded {
+                    Outcome::TimedOut
+                } else {
+                    Outcome::Failed(e.to_string())
+                };
+                self.retire(task, outcome, stats.steps_executed);
+            }
+        }
+        true
+    }
+
+    /// Runs until every task has retired; returns the per-task reports in
+    /// retirement order.
+    pub fn run_all(mut self) -> Vec<TaskReport> {
+        while self.step() {}
+        self.reports
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("policy", &self.config.policy)
+            .field("pending", &self.runnable.len())
+            .field("retired", &self.reports.len())
+            .finish()
+    }
+}
+
+/// Aggregate throughput / latency / fairness over a batch of task
+/// reports.
+#[derive(Debug, Clone)]
+pub struct SchedMetrics {
+    /// Total tasks retired.
+    pub tasks: usize,
+    /// Tasks that completed normally.
+    pub completed: usize,
+    /// Tasks that died with a runtime error.
+    pub failed: usize,
+    /// Tasks that hit their deadline.
+    pub timed_out: usize,
+    /// Wall time for the whole batch.
+    pub wall: Duration,
+    /// Sum of per-task instruction counts.
+    pub total_steps: u64,
+    /// Sum of per-task slice counts.
+    pub total_slices: u64,
+    /// Retired tasks per wall-clock second.
+    pub tasks_per_sec: f64,
+    /// Instructions per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Mean turnaround.
+    pub latency_mean: Duration,
+    /// Median turnaround.
+    pub latency_p50: Duration,
+    /// 95th-percentile turnaround.
+    pub latency_p95: Duration,
+    /// Worst turnaround.
+    pub latency_max: Duration,
+    /// Jain fairness index over per-task `steps` — 1.0 when every task got
+    /// identical CPU, approaching `1/n` under total starvation. Only
+    /// meaningful when tasks want similar amounts of work.
+    pub fairness_jain: f64,
+}
+
+impl SchedMetrics {
+    /// Computes metrics from reports plus the batch's wall time.
+    pub fn from_reports(reports: &[TaskReport], wall: Duration) -> SchedMetrics {
+        let tasks = reports.len();
+        let completed = reports
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Completed(_)))
+            .count();
+        let failed = reports
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Failed(_)))
+            .count();
+        let timed_out = tasks - completed - failed;
+        let total_steps: u64 = reports.iter().map(|r| r.steps).sum();
+        let total_slices: u64 = reports.iter().map(|r| r.slices).sum();
+        let secs = wall.as_secs_f64().max(1e-9);
+        let mut lat: Vec<Duration> = reports.iter().map(|r| r.turnaround).collect();
+        lat.sort_unstable();
+        let pick = |q: f64| -> Duration {
+            if lat.is_empty() {
+                Duration::ZERO
+            } else {
+                let idx = ((lat.len() - 1) as f64 * q).round() as usize;
+                lat[idx.min(lat.len() - 1)]
+            }
+        };
+        let latency_mean = if lat.is_empty() {
+            Duration::ZERO
+        } else {
+            lat.iter().sum::<Duration>() / lat.len() as u32
+        };
+        let sum: f64 = reports.iter().map(|r| r.steps as f64).sum();
+        let sum_sq: f64 = reports.iter().map(|r| (r.steps as f64).powi(2)).sum();
+        let fairness_jain = if tasks == 0 || sum_sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (tasks as f64 * sum_sq)
+        };
+        SchedMetrics {
+            tasks,
+            completed,
+            failed,
+            timed_out,
+            wall,
+            total_steps,
+            total_slices,
+            tasks_per_sec: tasks as f64 / secs,
+            steps_per_sec: total_steps as f64 / secs,
+            latency_mean,
+            latency_p50: pick(0.50),
+            latency_p95: pick(0.95),
+            latency_max: lat.last().copied().unwrap_or(Duration::ZERO),
+            fairness_jain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WorkerHost;
+    use cm_core::EngineConfig;
+    use std::time::Duration;
+
+    fn spinner_host() -> WorkerHost {
+        let mut host = WorkerHost::new(EngineConfig::default());
+        host.load("(define (spin n) (if (zero? n) 'done (spin (- n 1))))")
+            .unwrap();
+        host
+    }
+
+    #[test]
+    fn round_robin_drains_everything() {
+        let mut host = spinner_host();
+        let mut sched = Scheduler::new(SchedConfig {
+            slice: 100,
+            check_invariants: true,
+            ..Default::default()
+        });
+        for i in 0..20 {
+            let engine = host.spawn(&format!("(spin {})", 200 + i * 50)).unwrap();
+            sched.submit(format!("spin-{i}"), engine);
+        }
+        let start = Instant::now();
+        let reports = sched.run_all();
+        let metrics = SchedMetrics::from_reports(&reports, start.elapsed());
+        assert_eq!(metrics.tasks, 20);
+        assert_eq!(metrics.completed, 20);
+        assert!(reports
+            .iter()
+            .all(|r| r.outcome == Outcome::Completed("done".into())));
+        // Every task needed several slices at 100 fuel per slice.
+        assert!(reports.iter().all(|r| r.slices > 1), "{reports:?}");
+    }
+
+    #[test]
+    fn round_robin_is_fair_for_identical_tasks() {
+        let mut host = spinner_host();
+        let mut sched = Scheduler::new(SchedConfig {
+            slice: 97,
+            ..Default::default()
+        });
+        for i in 0..8 {
+            sched.submit(format!("t{i}"), host.spawn("(spin 3000)").unwrap());
+        }
+        let start = Instant::now();
+        let reports = sched.run_all();
+        let metrics = SchedMetrics::from_reports(&reports, start.elapsed());
+        assert!(
+            metrics.fairness_jain > 0.999,
+            "identical tasks should share CPU evenly: {}",
+            metrics.fairness_jain
+        );
+    }
+
+    #[test]
+    fn edf_runs_urgent_task_first() {
+        let mut host = spinner_host();
+        let mut sched = Scheduler::new(SchedConfig {
+            policy: Policy::EarliestDeadlineFirst,
+            slice: 50,
+            ..Default::default()
+        });
+        // Two slow tasks without deadlines, one urgent one with.
+        sched.submit("slow-a", host.spawn("(spin 5000)").unwrap());
+        sched.submit("slow-b", host.spawn("(spin 5000)").unwrap());
+        let mut cfg = EngineConfig::default();
+        cfg.machine.deadline = Some(Duration::from_secs(60));
+        let mut urgent_host = WorkerHost::new(cfg);
+        urgent_host
+            .load("(define (spin n) (if (zero? n) 'done (spin (- n 1))))")
+            .unwrap();
+        sched.submit("urgent", urgent_host.spawn("(spin 500)").unwrap());
+        let reports = sched.run_all();
+        // The deadline-bearing task must retire before the deadline-free
+        // ones despite being submitted last.
+        assert_eq!(reports[0].name, "urgent");
+        assert_eq!(reports[0].outcome, Outcome::Completed("done".into()));
+    }
+
+    #[test]
+    fn deadline_times_out_between_slices() {
+        let mut cfg = EngineConfig::default();
+        cfg.machine.deadline = Some(Duration::from_millis(1));
+        let mut host = WorkerHost::new(cfg);
+        host.load("(define (loop) (loop))").unwrap();
+        let mut sched = Scheduler::new(SchedConfig {
+            slice: 500,
+            ..Default::default()
+        });
+        sched.submit("hog", host.spawn("(loop)").unwrap());
+        let reports = sched.run_all();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].outcome, Outcome::TimedOut);
+    }
+
+    #[test]
+    fn failed_task_does_not_poison_neighbors() {
+        let mut host = spinner_host();
+        let mut sched = Scheduler::new(SchedConfig {
+            slice: 64,
+            ..Default::default()
+        });
+        sched.submit("ok", host.spawn("(spin 1000)").unwrap());
+        sched.submit("bad", host.spawn("(car 5)").unwrap());
+        sched.submit("ok2", host.spawn("(spin 100)").unwrap());
+        let reports = sched.run_all();
+        let by_name = |n: &str| reports.iter().find(|r| r.name == n).unwrap();
+        assert!(matches!(by_name("bad").outcome, Outcome::Failed(_)));
+        assert_eq!(by_name("ok").outcome, Outcome::Completed("done".into()));
+        assert_eq!(by_name("ok2").outcome, Outcome::Completed("done".into()));
+    }
+}

@@ -1,0 +1,98 @@
+//! Regression: after a run dies with [`VmErrorKind::OutOfFuel`],
+//! [`Machine::refuel`](cm_vm::Machine::refuel) plus a rerun must succeed
+//! with no stale marks, winders, or frames left over from the interrupted
+//! run — on every engine configuration. Fuel cuts land at a spread of
+//! depths so the interrupted state includes live attachments and
+//! in-flight `dynamic-wind` winders.
+
+use cm_core::EngineError;
+use cm_torture::engine_configs;
+use cm_vm::VmErrorKind;
+
+const SETUP: &str = r#"
+(define (mark-first k d) (continuation-mark-set-first #f k d))
+(define (deep n)
+  (if (zero? n)
+      (mark-first 'd -1)
+      (with-continuation-mark 'd n (+ 1 (deep (- n 1))))))
+(define (wound n)
+  (dynamic-wind
+    (lambda () 'pre)
+    (lambda () (with-continuation-mark 'w n (deep n)))
+    (lambda () 'post)))
+"#;
+
+const PROGRAM: &str = "(wound 30)";
+
+#[test]
+fn refuel_after_out_of_fuel_leaves_no_stale_state() {
+    for (config_name, config) in engine_configs() {
+        let mut engine = cm_core::Engine::new(config);
+        engine.eval(SETUP).unwrap();
+        let baseline = engine
+            .eval_to_string(PROGRAM)
+            .unwrap_or_else(|e| panic!("{config_name}: baseline: {e}"));
+
+        for cut in [1, 5, 17, 40, 90, 160, 250, 400, 650, 900, 1300, 2000] {
+            engine.machine_mut().config.fuel = Some(cut);
+            engine.machine_mut().refuel();
+            match engine.eval(PROGRAM) {
+                Err(EngineError::Runtime(e)) => {
+                    assert!(
+                        matches!(e.kind, VmErrorKind::OutOfFuel),
+                        "{config_name} cut={cut}: expected OutOfFuel, got {e}"
+                    );
+                }
+                Ok(v) => {
+                    // The cut landed past the program's end; still correct.
+                    assert_eq!(v.write_string(), baseline, "{config_name} cut={cut}");
+                }
+                Err(e) => panic!("{config_name} cut={cut}: unexpected error: {e}"),
+            }
+
+            // Refuel generously and prove the machine is clean: idle, no
+            // invariant violations, no stale marks or winders observable,
+            // and the rerun produces the baseline answer.
+            engine.machine_mut().config.fuel = None;
+            engine.machine_mut().refuel();
+            assert!(
+                engine.machine_mut().is_idle(),
+                "{config_name} cut={cut}: machine not idle after OutOfFuel"
+            );
+            engine
+                .check_invariants()
+                .unwrap_or_else(|msg| panic!("{config_name} cut={cut}: {msg}"));
+            assert_eq!(
+                engine.eval_to_string("(mark-first 'd 'none)").unwrap(),
+                "none",
+                "{config_name} cut={cut}: stale 'd mark survived the abort"
+            );
+            assert_eq!(
+                engine.eval_to_string("(mark-first 'w 'none)").unwrap(),
+                "none",
+                "{config_name} cut={cut}: stale 'w mark survived the abort"
+            );
+            assert_eq!(
+                engine.eval_to_string(PROGRAM).unwrap(),
+                baseline,
+                "{config_name} cut={cut}: rerun after refuel diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn refuel_restores_the_configured_budget_exactly() {
+    let (_, config) = engine_configs().remove(0);
+    let mut engine = cm_core::Engine::new(config);
+    engine.eval(SETUP).unwrap();
+    engine.machine_mut().config.fuel = Some(10);
+    let _ = engine.eval(PROGRAM);
+    assert_eq!(engine.machine_mut().fuel_remaining(), Some(0));
+    engine.machine_mut().refuel();
+    assert_eq!(engine.machine_mut().fuel_remaining(), Some(10));
+    engine.machine_mut().config.fuel = Some(1_000_000);
+    engine.machine_mut().refuel();
+    assert_eq!(engine.machine_mut().fuel_remaining(), Some(1_000_000));
+    assert_eq!(engine.eval_to_string(PROGRAM).unwrap(), "31");
+}

@@ -1,0 +1,78 @@
+//! Acceptance: the scheduler sustains ≥ 1000 concurrent engines across
+//! ≥ 4 workers with per-task stats and no panics. The corpus is the
+//! torture-target catalog (§2 examples plus one workload per group)
+//! cycled out to 1000 engines — every one checked against its expected
+//! result.
+
+use cm_engines::{run_pool, JobSpec, Outcome, Policy, PoolConfig, PoolSpec, SchedConfig};
+use cm_torture::torture_targets;
+
+#[test]
+fn thousand_engines_across_four_workers() {
+    let targets = torture_targets(true);
+    let mut setups = Vec::new();
+    for t in &targets {
+        if !t.setup.is_empty() && !setups.contains(&t.setup) {
+            setups.push(t.setup.clone());
+        }
+    }
+    let jobs: Vec<JobSpec> = (0..1000)
+        .map(|i| {
+            let t = &targets[i % targets.len()];
+            JobSpec {
+                name: format!("{}#{}", t.name, i / targets.len()),
+                run: t.run.clone(),
+                expected: t.expected.clone(),
+            }
+        })
+        .collect();
+    let spec = PoolSpec {
+        setups,
+        jobs,
+        verify: true,
+    };
+    let pool = PoolConfig {
+        workers: 4,
+        sched: SchedConfig {
+            policy: Policy::RoundRobin,
+            slice: 5_000,
+            check_invariants: false,
+        },
+        engine: Default::default(),
+    };
+    let report = run_pool(&pool, &spec);
+
+    assert_eq!(report.workers.len(), 4);
+    assert_eq!(report.metrics.tasks, 1000);
+    assert_eq!(report.metrics.completed, 1000);
+    assert!(report.is_clean(), "{:?}", report.all_mismatches());
+    for w in &report.workers {
+        assert!(
+            w.panicked.is_none(),
+            "worker {} panicked: {:?}",
+            w.worker,
+            w.panicked
+        );
+        assert_eq!(
+            w.reports.len(),
+            250,
+            "static sharding puts 250 tasks on each worker"
+        );
+    }
+    // Per-task stats are real: every engine ran instructions and at
+    // least one slice, and every outcome carries its value.
+    for r in report.all_reports() {
+        assert!(r.steps > 0, "{}: no steps recorded", r.name);
+        assert!(r.slices >= 1, "{}: no slices recorded", r.name);
+        assert!(
+            matches!(r.outcome, Outcome::Completed(_)),
+            "{}: {:?}",
+            r.name,
+            r.outcome
+        );
+    }
+    // Throughput/fairness metrics are populated.
+    assert!(report.metrics.steps_per_sec > 0.0);
+    assert!(report.metrics.fairness_jain > 0.0 && report.metrics.fairness_jain <= 1.0);
+    assert!(report.metrics.latency_max >= report.metrics.latency_p50);
+}

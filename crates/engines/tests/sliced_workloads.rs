@@ -1,0 +1,71 @@
+//! Acceptance: a sliced, scheduled run of **every** workload produces
+//! exactly the result of an uninterrupted run, on all seven engine
+//! configurations of the paper's evaluation. Jobs go through the full
+//! stack — worker pool, per-worker scheduler, engine suspend/resume —
+//! with verification on, so each worker computes the uninterrupted
+//! baseline itself and compares.
+
+use cm_engines::{run_pool, JobSpec, PoolConfig, PoolSpec, SchedConfig};
+use cm_torture::engine_configs;
+
+fn workload_spec() -> PoolSpec {
+    let mut setups = Vec::new();
+    let mut jobs = Vec::new();
+    for (group, ws) in cm_workloads::all_groups() {
+        for w in ws {
+            if !setups.contains(&w.source.to_string()) {
+                setups.push(w.source.to_string());
+            }
+            jobs.push(JobSpec {
+                name: format!("{group}/{}", w.name),
+                run: format!("({} {})", w.entry, w.small_n),
+                // Workloads with a published checksum use it; the rest
+                // are verified against the worker's uninterrupted run.
+                expected: w.expected.map(str::to_string),
+            });
+        }
+    }
+    PoolSpec {
+        setups,
+        jobs,
+        verify: true,
+    }
+}
+
+#[test]
+fn every_workload_sliced_equals_uninterrupted_on_all_seven_configs() {
+    let spec = workload_spec();
+    assert!(spec.jobs.len() >= 50, "workload corpus shrank unexpectedly");
+    for (config_name, config) in engine_configs() {
+        let pool = PoolConfig {
+            workers: 4,
+            sched: SchedConfig {
+                slice: 3_000,
+                check_invariants: true,
+                ..Default::default()
+            },
+            engine: config,
+        };
+        let report = run_pool(&pool, &spec);
+        assert_eq!(report.metrics.tasks, spec.jobs.len(), "{config_name}");
+        assert!(
+            report.is_clean(),
+            "{config_name}: failures={} timeouts={} mismatches={:?} panics={:?}",
+            report.metrics.failed,
+            report.metrics.timed_out,
+            report.all_mismatches(),
+            report
+                .workers
+                .iter()
+                .filter_map(|w| w.panicked.as_deref())
+                .collect::<Vec<_>>(),
+        );
+        // The slices were small enough to actually preempt: the batch as
+        // a whole must have suspended many times.
+        let total_slices: u64 = report.all_reports().iter().map(|r| r.slices).sum();
+        assert!(
+            total_slices > spec.jobs.len() as u64,
+            "{config_name}: no preemption happened (slices={total_slices})"
+        );
+    }
+}

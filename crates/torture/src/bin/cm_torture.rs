@@ -5,6 +5,7 @@
 //! cm-torture --quick             # bounded sweep (CI)
 //! cm-torture --full              # exhaustive sweep
 //! cm-torture --quick --config full --target gabriel/fib
+//! cm-torture --list              # print the config x target matrix and exit
 //! ```
 //!
 //! Exits non-zero if any injected fault produced an unclean error, broke
@@ -17,6 +18,7 @@ use cm_torture::{engine_configs, torture_target, torture_targets, SweepOptions, 
 
 fn main() -> ExitCode {
     let mut quick = true;
+    let mut list = false;
     let mut config_filter: Option<String> = None;
     let mut target_filter: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -24,10 +26,13 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--quick" => quick = true,
             "--full" => quick = false,
+            "--list" => list = true,
             "--config" => config_filter = args.next(),
             "--target" => target_filter = args.next(),
             "--help" | "-h" => {
-                println!("usage: cm-torture [--quick|--full] [--config NAME] [--target SUBSTRING]");
+                println!(
+                    "usage: cm-torture [--quick|--full] [--list] [--config NAME] [--target SUBSTRING]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -55,14 +60,32 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if list {
+        // Enumerate the config x target matrix without running anything.
+        println!(
+            "cm-torture: {} mode — {} configs x {} targets = {} sweeps",
+            if quick { "quick" } else { "full" },
+            configs.len(),
+            targets.len(),
+            configs.len() * targets.len(),
+        );
+        for (name, _) in &configs {
+            for t in &targets {
+                println!("{name}/{}", t.name);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     println!(
-        "cm-torture: {} mode — {} configs x {} targets (fuel cuts {}, segment limits {:?}, prim cuts {})",
+        "cm-torture: {} mode — {} configs x {} targets (fuel cuts {}, segment limits {:?}, prim cuts {}, suspend cuts {})",
         if quick { "quick" } else { "full" },
         configs.len(),
         targets.len(),
         opts.fuel_cuts,
         opts.segment_limits,
         opts.prim_cuts,
+        opts.suspend_cuts,
     );
 
     let mut total = TortureReport::default();
@@ -70,13 +93,14 @@ fn main() -> ExitCode {
         for t in &targets {
             let rep = torture_target(name, config, t, &opts);
             println!(
-                "{:>10}/{:<24} {:>5} trials  {:>5} clean faults  {:>4} correct  {:>5} probes{}",
+                "{:>10}/{:<24} {:>5} trials  {:>5} clean faults  {:>4} correct  {:>5} probes  {:>5} suspensions{}",
                 name,
                 t.name,
                 rep.trials,
                 rep.clean_faults,
                 rep.correct_runs,
                 rep.probes,
+                rep.suspensions,
                 if rep.ok() {
                     String::new()
                 } else {
@@ -88,8 +112,13 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "total: {} trials, {} clean faults, {} correct runs, {} probes, {} violations",
-        total.trials, total.clean_faults, total.correct_runs, total.probes, total.violation_count,
+        "total: {} trials, {} clean faults, {} correct runs, {} probes, {} suspensions, {} violations",
+        total.trials,
+        total.clean_faults,
+        total.correct_runs,
+        total.probes,
+        total.suspensions,
+        total.violation_count,
     );
     if total.ok() {
         ExitCode::SUCCESS

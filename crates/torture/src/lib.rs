@@ -21,7 +21,12 @@
 //!   the answer must not change,
 //! * **primitive-boundary faults** — fail the *n*th primitive/native
 //!   call with [`VmErrorKind::InjectedFault`] for *n* spread over the
-//!   run's primitive-call count.
+//!   run's primitive-call count,
+//! * **suspension slicing** — preempt the run into a
+//!   [`cm_vm::SuspendedRun`] after *k* steps for dozens of *k* spread
+//!   over the full step count, then resume in *k*-step slices to
+//!   completion; the machine invariants must hold at **every**
+//!   suspension point and the final answer must match the baseline.
 //!
 //! After **every** trial the harness checks
 //! [`Engine::check_invariants`], then requires the *same* engine to run
@@ -189,6 +194,10 @@ pub struct SweepOptions {
     /// Primitive-boundary fault points, spread evenly over the baseline
     /// run's primitive-call count.
     pub prim_cuts: u64,
+    /// Suspension-slicing cut points, spread evenly over the baseline
+    /// run's step count; each cut runs the target in that many-step
+    /// slices with invariant checks at every suspension.
+    pub suspend_cuts: u64,
 }
 
 impl SweepOptions {
@@ -198,6 +207,7 @@ impl SweepOptions {
             fuel_cuts: 50,
             segment_limits: &[1, 2, 3, 7],
             prim_cuts: 10,
+            suspend_cuts: 50,
         }
     }
 
@@ -208,6 +218,7 @@ impl SweepOptions {
             fuel_cuts: 250,
             segment_limits: &[1, 2, 3, 7, 13],
             prim_cuts: 60,
+            suspend_cuts: 120,
         }
     }
 }
@@ -223,6 +234,9 @@ pub struct TortureReport {
     pub correct_runs: u64,
     /// Post-fault probe programs run (two per trial).
     pub probes: u64,
+    /// Suspension points taken (and invariant-checked) by the
+    /// suspension-slicing sweep.
+    pub suspensions: u64,
     /// Total violations (clamped list in [`TortureReport::violations`]).
     pub violation_count: u64,
     /// The first violations, with context (at most 20 kept).
@@ -241,6 +255,7 @@ impl TortureReport {
         self.clean_faults += other.clean_faults;
         self.correct_runs += other.correct_runs;
         self.probes += other.probes;
+        self.suspensions += other.suspensions;
         self.violation_count += other.violation_count;
         for v in other.violations {
             self.push_violation(v);
@@ -406,7 +421,94 @@ pub fn torture_target(
         engine.machine_mut().config.fault_plan.fail_prim_at = None;
     }
 
+    // Suspension slicing: preempt the run after k steps, then keep
+    // resuming in k-step slices until it finishes. Invariants are
+    // checked at every suspension point (both by the machine itself —
+    // `check_invariants` is forced on above — and explicitly here), and
+    // the final answer must match the baseline.
+    suspension_sweep(
+        &mut rep,
+        &ctx,
+        &mut engine,
+        target,
+        &baseline,
+        fuel_used,
+        opts,
+    );
+
     rep
+}
+
+/// The suspension-slicing sweep of [`torture_target`].
+fn suspension_sweep(
+    rep: &mut TortureReport,
+    ctx: &str,
+    engine: &mut Engine,
+    target: &Target,
+    baseline: &str,
+    fuel_used: u64,
+    opts: &SweepOptions,
+) {
+    use cm_vm::RunStatus;
+
+    if opts.suspend_cuts == 0 {
+        return;
+    }
+    let code = match engine.compile_only(&target.run) {
+        Ok(c) => c,
+        Err(e) => {
+            rep.violate(ctx, format!("suspension sweep: compile failed: {e}"));
+            return;
+        }
+    };
+    let cuts = opts.suspend_cuts.min(fuel_used.max(1));
+    for i in 0..cuts {
+        let k = (fuel_used * i / cuts).max(1);
+        let what = format!("suspend-slice={k}");
+        rep.trials += 1;
+        // Far more resumes than the step count can demand means the
+        // machine stopped making progress.
+        let mut budget = fuel_used / k + 16;
+        let mut status = engine.machine_mut().run_code_sliced(code.clone(), k);
+        let outcome = loop {
+            match status {
+                Ok(RunStatus::Done(v)) => break Ok(v),
+                Ok(RunStatus::Suspended(run)) => {
+                    rep.suspensions += 1;
+                    if let Err(msg) = engine.check_invariants() {
+                        rep.violate(
+                            ctx,
+                            format!("{what}: invariant violated at suspension: {msg}"),
+                        );
+                    }
+                    if budget == 0 {
+                        break Err("suspended run made no progress".to_string());
+                    }
+                    budget -= 1;
+                    status = engine.machine_mut().resume(run, k);
+                }
+                Err(e) => break Err(format!("unexpected error: {}", e.detailed())),
+            }
+        };
+        match outcome {
+            Ok(v) => {
+                let out = v.write_string();
+                if out == baseline {
+                    rep.correct_runs += 1;
+                } else {
+                    rep.violate(ctx, format!("{what}: produced {out}, expected {baseline}"));
+                }
+            }
+            Err(msg) => rep.violate(ctx, format!("{what}: {msg}")),
+        }
+        if let Err(msg) = engine.check_invariants() {
+            rep.violate(
+                ctx,
+                format!("{what}: invariant violated after trial: {msg}"),
+            );
+        }
+        probe(rep, ctx, engine, &what);
+    }
 }
 
 /// Scores one trial's outcome, then checks invariants and probes engine
@@ -501,6 +603,7 @@ mod tests {
             fuel_cuts: 6,
             segment_limits: &[2, 7],
             prim_cuts: 3,
+            suspend_cuts: 6,
         }
     }
 
@@ -546,6 +649,32 @@ mod tests {
         assert_eq!(engine_configs().len(), 7);
         assert!(SweepOptions::quick().fuel_cuts >= 50);
         assert_eq!(SweepOptions::quick().segment_limits, &[1, 2, 3, 7]);
+        // The suspension sweep slices every target at ≥ 50 cut points.
+        assert!(SweepOptions::quick().suspend_cuts >= 50);
+    }
+
+    #[test]
+    fn suspension_sweep_suspends_and_agrees() {
+        let mut opts = tiny_opts();
+        opts.fuel_cuts = 0;
+        opts.prim_cuts = 0;
+        opts.segment_limits = &[];
+        opts.suspend_cuts = 8;
+        let targets = torture_targets(true);
+        let t = targets
+            .iter()
+            .find(|t| t.name == "sec2-deep")
+            .expect("sec2-deep target present");
+        for (name, config) in engine_configs() {
+            let rep = torture_target(name, &config, t, &opts);
+            assert!(rep.ok(), "{name}: {:?}", rep.violations);
+            // Small slices must actually preempt the run, many times.
+            assert!(
+                rep.suspensions > opts.suspend_cuts,
+                "{name}: only {} suspensions",
+                rep.suspensions
+            );
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use code::control::CONTROL_NATIVE_NAMES;
 pub use code::{Code, Instr, PrimOp};
 pub use config::{FaultPlan, MachineConfig, MarkModel};
 pub use error::{BacktraceFrame, VmBacktrace, VmError, VmErrorKind, VmResult};
-pub use machine::{Globals, Machine};
+pub use machine::{Globals, Machine, RunStatus, SuspendedRun};
 pub use prims::{lookup as lookup_native, native_name, prim_op as prim_op_value, NativeId};
 pub use stats::MachineStats;
 pub use values::{EqKey, Value};

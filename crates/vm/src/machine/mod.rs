@@ -147,6 +147,64 @@ struct SavedState {
     mark_stack: Vec<MarkEntry>,
 }
 
+/// A preempted execution, captured at a safe point by
+/// [`Machine::run_code_sliced`]/[`Machine::resume`] when a fuel slice ran
+/// out (or `%engine-block` fired).
+///
+/// The live frames were frozen with the same O(1) reify-as-one-shot
+/// mechanism as `call/cc` — moved into an [`Underflow`] record, not
+/// copied — and this struct holds the only reference, so
+/// [`Machine::resume`] *fuses* them back without a copy (§6's
+/// opportunistic one-shot path; observable as
+/// [`MachineStats::fusions`](crate::MachineStats)). The struct is
+/// deliberately not `Clone`: a suspended run is a one-shot continuation.
+#[derive(Debug)]
+pub struct SuspendedRun {
+    /// Head of the frozen segment chain (the topmost record holds the
+    /// frames that were live at suspension).
+    head: Rc<Underflow>,
+    /// Marks at the bottom of the suspended segment chain.
+    base_marks: Value,
+    /// Active `dynamic-wind` extents at suspension.
+    winders: Vec<Winder>,
+    /// Prompt boundaries at suspension.
+    meta: Vec<MetaFrame>,
+}
+
+impl SuspendedRun {
+    /// Frames pending in the frozen chain (live frames at suspension plus
+    /// earlier reified segments) — a cheap progress/depth signal for
+    /// schedulers.
+    pub fn frame_count(&self) -> usize {
+        let mut n = 0;
+        let mut cur = Some(self.head.clone());
+        while let Some(u) = cur {
+            if let Some(seg) = u.seg.borrow().as_ref() {
+                n += seg.frames.len();
+            }
+            cur = u.next.clone();
+        }
+        n
+    }
+}
+
+/// The outcome of one fuel slice of a sliced run.
+#[derive(Debug)]
+pub enum RunStatus {
+    /// The program finished with this value.
+    Done(Value),
+    /// The slice was preempted; pass the [`SuspendedRun`] to
+    /// [`Machine::resume`] to continue.
+    Suspended(SuspendedRun),
+}
+
+/// How the interpreter loop ended (internal to the machine: the public
+/// surface is [`RunStatus`]).
+enum LoopExit {
+    Done(Value),
+    Suspended,
+}
+
 /// The virtual machine.
 ///
 /// A machine owns its stacks and registers; globals are shared (with the
@@ -179,6 +237,18 @@ pub struct Machine {
     /// Captured output of `display`/`write`/`newline`.
     pub output: String,
     fuel: Option<u64>,
+    /// Whether the current top-level run entered through
+    /// [`Machine::run_code_sliced`]/[`Machine::resume`]: fuel exhaustion
+    /// then suspends instead of raising
+    /// [`VmErrorKind::OutOfFuel`](crate::VmErrorKind).
+    slice_mode: bool,
+    /// A suspension has been requested (fuel slice exhausted or
+    /// `%engine-block`) but not yet taken. Suspension only happens at a
+    /// *safe point* — an instruction boundary with no nested execution on
+    /// the native Rust stack — so a request arriving inside a winder
+    /// thunk stays pending (and fuel stops being charged) until control
+    /// returns to depth 0.
+    pending_block: bool,
     /// Wall-clock cutoff for the current top-level run, armed from
     /// [`MachineConfig::deadline`] on entry.
     deadline_at: Option<Instant>,
@@ -226,6 +296,8 @@ impl Machine {
             stats: MachineStats::default(),
             output: String::new(),
             fuel,
+            slice_mode: false,
+            pending_block: false,
             deadline_at: None,
             prim_count: 0,
             nested_depth: 0,
@@ -299,6 +371,162 @@ impl Machine {
         self.finish_run(r)
     }
 
+    /// Runs a top-level code object for at most `slice` steps.
+    ///
+    /// Like [`Machine::run_code`], but fuel exhaustion *suspends* the run
+    /// instead of raising [`VmErrorKind::OutOfFuel`]: the in-flight
+    /// frames, marks, winders, and prompt state are captured into a
+    /// [`SuspendedRun`] (an O(1) freeze, no copying) and the machine is
+    /// left idle, ready to run other code. Continue with
+    /// [`Machine::resume`]. A `slice` of 0 is treated as 1 so every slice
+    /// makes progress.
+    ///
+    /// Suspension happens only at safe points (instruction boundaries at
+    /// nested-execution depth 0); a slice that expires inside a winder
+    /// thunk lets the thunk finish first, like an interrupt arriving in a
+    /// critical section. The explicit `%engine-block` native requests the
+    /// same suspension from Scheme code (and is a no-op outside sliced
+    /// runs).
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] raised during execution; the machine is reset to an
+    /// idle state on error. [`VmErrorKind::OutOfFuel`] cannot occur.
+    pub fn run_code_sliced(&mut self, code: Rc<Code>, slice: u64) -> VmResult<RunStatus> {
+        self.ensure_idle();
+        self.arm_limits();
+        self.begin_slice(slice);
+        let r = self
+            .push_frame(code, None, Vec::new())
+            .and_then(|()| self.run_loop());
+        self.finish_slice(r)
+    }
+
+    /// Resumes a [`SuspendedRun`] for at most `slice` further steps.
+    ///
+    /// When the suspension was undisturbed (the default configuration:
+    /// one-shot fusion on, no forced clone), the frozen frames are fused
+    /// back — moved, not copied — exactly like an opportunistic one-shot
+    /// continuation on underflow;
+    /// [`MachineStats::fusions`](crate::MachineStats) counts it. The run
+    /// must be resumed on a machine sharing the globals it was started
+    /// on.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`] raised during execution; the machine is reset to an
+    /// idle state on error.
+    pub fn resume(&mut self, run: SuspendedRun, slice: u64) -> VmResult<RunStatus> {
+        self.ensure_idle();
+        self.arm_limits();
+        self.begin_slice(slice);
+        self.stats.resumes += 1;
+        let SuspendedRun {
+            head,
+            base_marks,
+            winders,
+            meta,
+        } = run;
+        self.base_marks = base_marks;
+        self.winders = winders;
+        self.meta = meta;
+        let r = self.unfreeze_head(head).and_then(|()| self.run_loop());
+        self.finish_slice(r)
+    }
+
+    /// Arms slice mode: fuel becomes the per-slice step budget and
+    /// exhaustion suspends instead of erroring.
+    fn begin_slice(&mut self, slice: u64) {
+        self.slice_mode = true;
+        self.pending_block = false;
+        self.fuel = Some(slice.max(1));
+    }
+
+    /// Reinstalls a suspended run's frozen head segment as the live
+    /// segment, fusing when this machine holds the only reference (the
+    /// same policy as [`Machine::underflow`]).
+    fn unfreeze_head(&mut self, head: Rc<Underflow>) -> VmResult<()> {
+        self.marks = head.marks.clone();
+        self.next = head.next.clone();
+        let fuse = self.config.one_shot_fusion
+            && !self.config.fault_plan.force_clone
+            && Rc::strong_count(&head) == 1;
+        let seg = if fuse {
+            self.stats.fusions += 1;
+            head.seg.borrow_mut().take().ok_or_else(|| {
+                VmError::internal_recoverable("resume", "suspended segment already fused away")
+            })?
+        } else {
+            self.stats.copies += 1;
+            head.seg.borrow().as_ref().cloned().ok_or_else(|| {
+                VmError::internal_recoverable("resume", "suspended segment already fused away")
+            })?
+        };
+        self.stack = seg.stack;
+        self.frames = seg.frames;
+        self.mark_stack = seg.mark_entries;
+        if self.frames.is_empty() {
+            return Err(VmError::internal_recoverable(
+                "resume",
+                "suspended run has no live frames",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Finishes a slice: `Done`/`Err` close out like [`Machine::finish_run`];
+    /// `Suspended` freezes the live state into a [`SuspendedRun`]
+    /// (checking [`Machine::check_invariants`] at the suspension point
+    /// when configured) and leaves the machine idle.
+    fn finish_slice(&mut self, r: VmResult<LoopExit>) -> VmResult<RunStatus> {
+        self.slice_mode = false;
+        self.pending_block = false;
+        // Slice fuel must not leak into subsequent ordinary runs.
+        self.fuel = self.config.fuel;
+        match r {
+            Ok(LoopExit::Done(v)) => self.finish_run(Ok(v)).map(RunStatus::Done),
+            Ok(LoopExit::Suspended) => {
+                self.stats.suspensions += 1;
+                self.freeze_current(self.marks.clone());
+                if self.config.check_invariants {
+                    if let Err(msg) = self.check_invariants() {
+                        debug_assert!(false, "suspension-point invariant violation: {msg}");
+                        self.reset();
+                        return Err(VmError::internal_recoverable("suspend-invariants", msg));
+                    }
+                }
+                let Some(head) = self.next.take() else {
+                    // Unreachable: `freeze_current` just pushed a record.
+                    self.reset();
+                    return Err(VmError::internal_recoverable(
+                        "suspend",
+                        "no frozen segment at suspension",
+                    ));
+                };
+                let run = SuspendedRun {
+                    head,
+                    base_marks: mem::replace(&mut self.base_marks, Value::Nil),
+                    winders: mem::take(&mut self.winders),
+                    meta: mem::take(&mut self.meta),
+                };
+                self.marks = Value::Nil;
+                debug_assert!(self.is_idle(), "machine not idle after suspension");
+                Ok(RunStatus::Suspended(run))
+            }
+            Err(e) => self.finish_run(Err(e)).map(RunStatus::Done),
+        }
+    }
+
+    /// Requests a suspension at the next safe point (the `%engine-block`
+    /// native). Returns whether the request took effect — `false` outside
+    /// sliced runs, where `%engine-block` is a no-op.
+    pub(crate) fn request_block(&mut self) -> bool {
+        if self.slice_mode {
+            self.pending_block = true;
+        }
+        self.slice_mode
+    }
+
     /// Whether the machine has no live execution state. Top-level entries
     /// require this, and both their success and error paths restore it —
     /// the reuse-after-fault guarantee the torture harness verifies.
@@ -357,6 +585,7 @@ impl Machine {
 
     /// Clears all execution state (used after an error escape).
     fn reset(&mut self) {
+        self.pending_block = false;
         self.stack.clear();
         self.frames.clear();
         self.next = None;
@@ -371,17 +600,46 @@ impl Machine {
     // The interpreter loop
     // ------------------------------------------------------------------
 
+    /// Runs the interpreter loop to completion. Suspension cannot escape
+    /// here: nested executions run at depth > 0, and the sliced entry
+    /// points use [`Machine::run_loop`] directly.
     fn run_until_done(&mut self) -> VmResult<Value> {
+        match self.run_loop()? {
+            LoopExit::Done(v) => Ok(v),
+            LoopExit::Suspended => Err(VmError::internal(
+                "run",
+                "suspension escaped a nested or unsliced run",
+            )),
+        }
+    }
+
+    fn run_loop(&mut self) -> VmResult<LoopExit> {
         // The deadline is polled every 1024 steps so the hot loop pays one
         // increment-and-mask, not a clock read.
         let mut tick: u32 = 0;
         loop {
-            if let Some(fuel) = self.fuel.as_mut() {
-                if *fuel == 0 {
-                    return Err(VmErrorKind::OutOfFuel.into());
+            if self.pending_block {
+                // A suspension is pending; take it at the first safe
+                // point. Fuel is no longer charged — a winder thunk in
+                // flight must finish (it is a critical section), and the
+                // wall-clock deadline still bounds it.
+                if self.nested_depth == 0 {
+                    return Ok(LoopExit::Suspended);
                 }
-                *fuel -= 1;
+            } else if let Some(fuel) = self.fuel.as_mut() {
+                if *fuel == 0 {
+                    if !self.slice_mode {
+                        return Err(VmErrorKind::OutOfFuel.into());
+                    }
+                    self.pending_block = true;
+                    if self.nested_depth == 0 {
+                        return Ok(LoopExit::Suspended);
+                    }
+                } else {
+                    *fuel -= 1;
+                }
             }
+            self.stats.steps_executed += 1;
             tick = tick.wrapping_add(1);
             if tick & 1023 == 0 {
                 if let Some(at) = self.deadline_at {
@@ -497,31 +755,31 @@ impl Machine {
                 Instr::Call(n) => {
                     let (rator, args) = self.pop_call(n as usize)?;
                     if let Some(v) = self.do_call(rator, args, CallMode::NonTail)? {
-                        return Ok(v);
+                        return Ok(LoopExit::Done(v));
                     }
                 }
                 Instr::TailCall(n) => {
                     let (rator, args) = self.pop_call(n as usize)?;
                     if let Some(v) = self.do_call(rator, args, CallMode::Tail)? {
-                        return Ok(v);
+                        return Ok(LoopExit::Done(v));
                     }
                 }
                 Instr::CallWithAttachment(n) => {
                     let (rator, args) = self.pop_call(n as usize)?;
                     if let Some(v) = self.do_call(rator, args, CallMode::WithAttachment)? {
-                        return Ok(v);
+                        return Ok(LoopExit::Done(v));
                     }
                 }
                 Instr::EagerCallShared(n) => {
                     let (rator, args) = self.pop_call(n as usize)?;
                     if let Some(v) = self.do_call(rator, args, CallMode::EagerShared)? {
-                        return Ok(v);
+                        return Ok(LoopExit::Done(v));
                     }
                 }
                 Instr::Return => {
                     let v = self.pop_value("return")?;
                     if let Some(v) = self.return_value(v)? {
-                        return Ok(v);
+                        return Ok(LoopExit::Done(v));
                     }
                 }
                 Instr::PrimCall(op, argc) => prims::exec_prim(self, op, argc as usize)?,
@@ -1848,6 +2106,140 @@ mod tests {
             Err(e) if e.kind == VmErrorKind::DeadlineExceeded => assert!(m.is_idle()),
             other => panic!("expected deadline-exceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sliced_single_stepping_matches_straight_run() {
+        // (+ (+ 40 2) 8) sliced one instruction at a time: every
+        // suspension leaves the machine idle, every resume fuses.
+        let instrs = vec![
+            Instr::Const(0),
+            Instr::Const(1),
+            Instr::PrimCall(PrimOp::Add, 2),
+            Instr::Const(2),
+            Instr::PrimCall(PrimOp::Add, 2),
+            Instr::Return,
+        ];
+        let consts = vec![Value::fixnum(40), Value::fixnum(2), Value::fixnum(8)];
+        let straight = run(instrs.clone(), consts.clone());
+        let code = Rc::new(Code::build("sliced", 0, false, instrs, consts, vec![]));
+        let mut m = Machine::new(MachineConfig::default());
+        let mut status = m.run_code_sliced(code, 1).unwrap();
+        let mut suspensions = 0;
+        let v = loop {
+            match status {
+                RunStatus::Done(v) => break v,
+                RunStatus::Suspended(run) => {
+                    suspensions += 1;
+                    assert!(m.is_idle(), "machine not idle at suspension {suspensions}");
+                    m.check_invariants().unwrap();
+                    assert!(run.frame_count() >= 1);
+                    status = m.resume(run, 1).unwrap();
+                }
+            }
+        };
+        assert!(v.eq_value(&straight));
+        assert!(suspensions >= 4, "only {suspensions} suspensions");
+        assert_eq!(m.stats.suspensions, suspensions);
+        assert_eq!(m.stats.resumes, suspensions);
+        // Undisturbed suspensions resume on the one-shot fast path: every
+        // resume fused, nothing was copied.
+        assert!(m.stats.fusions >= suspensions);
+        assert_eq!(m.stats.copies, 0);
+    }
+
+    #[test]
+    fn sliced_infinite_loop_keeps_suspending() {
+        let code = Rc::new(Code::build(
+            "loop",
+            0,
+            false,
+            vec![Instr::Jump(0)],
+            vec![],
+            vec![],
+        ));
+        let mut m = Machine::new(MachineConfig::default());
+        let mut status = m.run_code_sliced(code, 100).unwrap();
+        for _ in 0..10 {
+            match status {
+                RunStatus::Done(v) => panic!("loop finished: {v:?}"),
+                RunStatus::Suspended(run) => {
+                    assert!(m.is_idle());
+                    status = m.resume(run, 100).unwrap();
+                }
+            }
+        }
+        assert!(m.stats.steps_executed >= 1000);
+        // The machine is still usable for ordinary runs afterwards.
+        drop(status);
+        let v = m
+            .run_code(Rc::new(Code::build(
+                "after",
+                0,
+                false,
+                vec![Instr::Const(0), Instr::Return],
+                vec![Value::fixnum(7)],
+                vec![],
+            )))
+            .unwrap();
+        assert!(v.eq_value(&Value::fixnum(7)));
+    }
+
+    #[test]
+    fn engine_block_native_suspends_sliced_runs_only() {
+        let mut m = Machine::new(MachineConfig::default());
+        let id = m
+            .globals
+            .borrow_mut()
+            .intern(cm_sexpr::sym("%engine-block"));
+        let build = || {
+            Rc::new(Code::build(
+                "block",
+                0,
+                false,
+                vec![Instr::GlobalRef(id), Instr::Call(0), Instr::Return],
+                vec![],
+                vec![],
+            ))
+        };
+        // Outside a sliced run: a no-op returning #f.
+        let v = m.run_code(build()).unwrap();
+        assert!(v.eq_value(&Value::Bool(false)));
+        // Inside a sliced run: suspends at the next safe point even with
+        // plenty of fuel left, and the blocked call returns #t on resume.
+        match m.run_code_sliced(build(), 1_000_000).unwrap() {
+            RunStatus::Suspended(run) => {
+                assert!(m.is_idle());
+                match m.resume(run, 1_000_000).unwrap() {
+                    RunStatus::Done(v) => assert!(v.eq_value(&Value::Bool(true))),
+                    RunStatus::Suspended(_) => panic!("second suspension after %engine-block"),
+                }
+            }
+            RunStatus::Done(v) => panic!("%engine-block did not suspend: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn sliced_error_resets_to_idle() {
+        // `car` of a fixnum faults mid-slice; the machine must come back
+        // idle with slice state cleared.
+        let code = Rc::new(Code::build(
+            "bad",
+            0,
+            false,
+            vec![
+                Instr::Const(0),
+                Instr::PrimCall(PrimOp::Car, 1),
+                Instr::Return,
+            ],
+            vec![Value::fixnum(3)],
+            vec![],
+        ));
+        let mut m = Machine::new(MachineConfig::default());
+        let err = m.run_code_sliced(code, 1_000).unwrap_err();
+        assert!(matches!(err.kind, VmErrorKind::WrongType { .. }));
+        assert!(m.is_idle());
+        m.check_invariants().unwrap();
     }
 
     #[test]

@@ -645,6 +645,10 @@ pub fn table() -> &'static [NativeDef] {
                 Pure(|a| Ok(Value::Bool(matches!(a[0], Value::Eof))))
             ),
             ("error", 1, None, Pure(p_error)),
+            // Engines (crates/engines): request preemption at the next
+            // safe point of a sliced run; a no-op elsewhere. Returns
+            // whether the request took effect.
+            ("%engine-block", 0, Some(0), Mach(m_engine_block)),
         ]
     })
 }
@@ -1668,6 +1672,10 @@ fn take2(args: Vec<Value>, site: &'static str) -> VmResult<[Value; 2]> {
             format!("expected 2 arity-checked args, got {}", a.len()),
         )
     })
+}
+
+fn m_engine_block(m: &mut Machine, _args: Vec<Value>) -> VmResult<Value> {
+    Ok(Value::Bool(m.request_block()))
 }
 
 fn m_pop_winder(m: &mut Machine, _args: Vec<Value>) -> VmResult<Value> {

@@ -34,6 +34,18 @@ pub struct MachineStats {
     pub prim_calls: u64,
     /// Faults injected by an armed [`FaultPlan`](crate::FaultPlan).
     pub injected_faults: u64,
+    /// Instructions executed (one per interpreter-loop iteration). The
+    /// scheduler's fairness accounting divides CPU by this, so it counts
+    /// nested (winder-thunk) execution too.
+    pub steps_executed: u64,
+    /// Sliced runs preempted into a
+    /// [`SuspendedRun`](crate::SuspendedRun) — by fuel-slice exhaustion
+    /// or an explicit `%engine-block`.
+    pub suspensions: u64,
+    /// Suspended runs resumed via [`Machine::resume`](crate::Machine).
+    /// `fusions`/`copies` tell whether each resume fused (the one-shot
+    /// fast path) or had to copy the frozen frames.
+    pub resumes: u64,
 }
 
 impl MachineStats {

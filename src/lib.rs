@@ -17,7 +17,9 @@
 //! * [`refmodel`] (`cm-refmodel`) — the heap-based §3–§4 semantic model,
 //! * [`baseline`] (`cm-baseline`) — the figure-3 imitation and
 //!   old-Racket model constructors,
-//! * [`workloads`] (`cm-workloads`) — every benchmark of the paper's §8.
+//! * [`workloads`] (`cm-workloads`) — every benchmark of the paper's §8,
+//! * [`engines`] (`cm-engines`) — suspendable engines over the VM's
+//!   preemption path, plus a multi-tenant scheduler and worker pool.
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@
 pub use cm_baseline as baseline;
 pub use cm_compiler as compiler;
 pub use cm_core as engine;
+pub use cm_engines as engines;
 pub use cm_refmodel as refmodel;
 pub use cm_sexpr as sexpr;
 pub use cm_vm as vm;

@@ -1,0 +1,45 @@
+//! Tracing-overhead guard: the journal hook sits on the VM's hottest
+//! paths, so this bench pins its cost in the three states that matter —
+//! disabled (the default every other benchmark runs in; the acceptance
+//! bar is < 2% on the F-5 mark loops), enabled with a bounded ring
+//! (flat memory, steady-state eviction), and enabled with a tiny ring
+//! (eviction on nearly every event).
+
+use cm_core::{Engine, EngineConfig};
+use cm_workloads::{load_into, mark_micros, run_scaled};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace-overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for w in mark_micros()
+        .iter()
+        .filter(|w| matches!(w.name, "set-loop" | "get-loop" | "set-arg-call-loop"))
+    {
+        let n = (w.bench_n / 60).max(1);
+        for (label, trace, capacity) in [
+            ("off", false, 0usize),
+            ("on-4k", true, 4096),
+            ("on-64", true, 64),
+        ] {
+            let mut config = EngineConfig::full();
+            config.machine.trace = trace;
+            config.machine.trace_capacity = capacity;
+            let mut engine = Engine::new(config);
+            load_into(&mut engine, w);
+            group.bench_with_input(BenchmarkId::new(label, w.name), &n, |b, &n| {
+                b.iter(|| run_scaled(&mut engine, w, n).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

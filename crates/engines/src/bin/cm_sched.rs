@@ -265,6 +265,7 @@ fn main() -> ExitCode {
                 policy: args.policy,
                 slice: args.slice,
                 check_invariants: args.invariants,
+                record_spans: false,
             },
             engine: engine_config,
         };

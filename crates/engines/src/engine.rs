@@ -23,6 +23,8 @@ use cm_vm::{
     Code, Globals, Machine, MachineConfig, MachineStats, RunStatus, SuspendedRun, Value, VmError,
 };
 
+use crate::spans::SpanSink;
+
 /// What one fuel slice of an engine produced.
 ///
 /// `Suspended` returns the engine itself (updated in place) — the
@@ -57,6 +59,10 @@ pub struct Engine {
     // returns it), and `Machine` is several hundred bytes.
     machine: Box<Machine>,
     state: State,
+    /// Optional span recording: every [`Engine::run`] call becomes an
+    /// `"engine-run"` span named `label` in the sink. `None` (the
+    /// default) costs nothing on the run path.
+    span_sink: Option<(SpanSink, String)>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -77,17 +83,47 @@ impl Engine {
         Engine {
             machine: Box::new(Machine::with_globals(config, globals)),
             state: State::Ready(code),
+            span_sink: None,
         }
+    }
+
+    /// Attaches a span sink: every subsequent [`Engine::run`] call is
+    /// recorded as an `"engine-run"` span named `label`. The sink rides
+    /// along through suspensions (it is part of the engine value).
+    pub fn with_span_sink(mut self, sink: SpanSink, label: impl Into<String>) -> Engine {
+        self.span_sink = Some((sink, label.into()));
+        self
     }
 
     /// Runs the engine for at most `fuel` steps.
     pub fn run(mut self, fuel: u64) -> RunResult {
+        let started = self.span_sink.as_ref().map(|_| std::time::Instant::now());
+        let steps_before = self.machine.stats.steps_executed;
         let status = match std::mem::replace(&mut self.state, State::Spent) {
             State::Ready(code) => self.machine.run_code_sliced(code, fuel),
             State::Suspended(run) => self.machine.resume(run, fuel),
             State::Spent => Err(VmError::other("engine already ran to completion")),
         };
         let stats = self.machine.stats;
+        if let (Some((sink, label)), Some(start)) = (&self.span_sink, started) {
+            let outcome = match &status {
+                Ok(RunStatus::Done(_)) => "done",
+                Ok(RunStatus::Suspended(_)) => "suspended",
+                Err(_) => "failed",
+            };
+            sink.borrow_mut().record(
+                label.clone(),
+                "engine-run",
+                0,
+                start,
+                std::time::Instant::now(),
+                vec![
+                    ("fuel", fuel.to_string()),
+                    ("steps", (stats.steps_executed - steps_before).to_string()),
+                    ("outcome", outcome.to_string()),
+                ],
+            );
+        }
         match status {
             Ok(RunStatus::Done(v)) => RunResult::Done(v, stats),
             Ok(RunStatus::Suspended(run)) => {
@@ -144,6 +180,17 @@ impl Engine {
     /// finished.
     pub fn is_suspended(&self) -> bool {
         matches!(self.state, State::Suspended(_))
+    }
+
+    /// The suspended run's full marks (attachments) register, or `None`
+    /// unless suspended. This is the sampling profiler's window: reading
+    /// `('profile-key . name)` pairs out of the paused continuation's
+    /// marks reconstructs the Scheme-level stack between slices.
+    pub fn suspended_marks(&self) -> Option<Value> {
+        match &self.state {
+            State::Suspended(run) => Some(run.marks()),
+            _ => None,
+        }
     }
 }
 
@@ -268,6 +315,51 @@ mod tests {
             }
         }
         assert!(slices > 2, "only {slices} slices for 2000 recursions");
+    }
+
+    #[test]
+    fn engine_span_sink_records_every_run_and_marks_are_sampleable() {
+        let mut host = WorkerHost::new(EngineConfig::default());
+        host.load(
+            "(define (deep n)
+               (if (zero? n)
+                   (continuation-mark-set-first #f 'd -1)
+                   (with-continuation-mark 'd n (add1 (deep (- n 1))))))",
+        )
+        .unwrap();
+        let sink = crate::spans::span_sink();
+        let mut engine = host
+            .spawn("(deep 400)")
+            .unwrap()
+            .with_span_sink(sink.clone(), "deep");
+        let mut runs = 0u64;
+        let mut saw_marks = false;
+        loop {
+            runs += 1;
+            match engine.run(64) {
+                RunResult::Done(_, _) => break,
+                RunResult::Suspended(e, _) => {
+                    // The suspended marks register is the profiler's
+                    // sampling surface: a proper list mid-`deep`.
+                    if let Some(marks) = e.suspended_marks() {
+                        saw_marks |= marks.list_to_vec().map_or(0, |v| v.len()) > 0;
+                    }
+                    engine = e;
+                }
+                RunResult::Failed(e, _) => panic!("failed: {e}"),
+            }
+        }
+        assert!(saw_marks, "no suspension exposed a nonempty marks register");
+        let log = sink.borrow();
+        assert_eq!(log.len() as u64, runs);
+        assert!(log.spans().iter().all(|s| s.cat == "engine-run"));
+        assert_eq!(
+            log.spans()
+                .iter()
+                .filter(|s| s.args.iter().any(|(k, v)| *k == "outcome" && v == "done"))
+                .count(),
+            1
+        );
     }
 
     #[test]

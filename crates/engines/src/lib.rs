@@ -49,7 +49,9 @@
 pub mod engine;
 pub mod pool;
 pub mod sched;
+pub mod spans;
 
 pub use engine::{Engine, RunResult, WorkerHost};
 pub use pool::{run_pool, JobSpec, PoolConfig, PoolReport, PoolSpec, WorkerSummary};
 pub use sched::{Outcome, Policy, SchedConfig, SchedMetrics, Scheduler, TaskReport};
+pub use spans::{span_sink, Span, SpanLog, SpanSink};

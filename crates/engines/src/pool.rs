@@ -20,6 +20,7 @@ use cm_core::EngineConfig;
 
 use crate::engine::WorkerHost;
 use crate::sched::{Outcome, SchedConfig, SchedMetrics, Scheduler, TaskReport};
+use crate::spans::{Span, SpanLog};
 
 /// One unit of work: an expression to run (against the pool's shared
 /// setup definitions), plus what it should produce.
@@ -83,6 +84,11 @@ pub struct WorkerSummary {
     pub mismatches: Vec<String>,
     /// This worker's own wall time (setup + baselines + scheduling).
     pub wall: Duration,
+    /// Timeline spans (one `"worker"` span plus per-slice `"slice"`
+    /// spans), all relative to the pool's start and tagged with this
+    /// worker's index as `tid`. Empty unless
+    /// [`SchedConfig::record_spans`].
+    pub spans: Vec<Span>,
     /// Set if the worker thread panicked; its remaining jobs are lost.
     pub panicked: Option<String>,
 }
@@ -112,6 +118,12 @@ impl PoolReport {
             .collect()
     }
 
+    /// All timeline spans across workers (one shared time origin, lanes
+    /// keyed by `tid`).
+    pub fn all_spans(&self) -> Vec<&Span> {
+        self.workers.iter().flat_map(|w| &w.spans).collect()
+    }
+
     /// True when every job completed with the expected result and no
     /// worker panicked.
     pub fn is_clean(&self) -> bool {
@@ -129,6 +141,7 @@ fn run_worker(
     config: &PoolConfig,
     spec: &PoolSpec,
     shard: Vec<(usize, JobSpec)>,
+    epoch: Instant,
 ) -> WorkerSummary {
     let start = Instant::now();
     let mut reports = Vec::new();
@@ -152,6 +165,7 @@ fn run_worker(
                 reports,
                 mismatches,
                 wall: start.elapsed(),
+                spans: Vec::new(),
                 panicked: None,
             };
         }
@@ -175,6 +189,10 @@ fn run_worker(
         }
     }
     let mut sched = Scheduler::new(config.sched.clone());
+    // Spans from every worker share the pool's start as their origin, so
+    // the per-worker lanes line up on one timeline.
+    let tid = u32::try_from(worker).unwrap_or(u32::MAX);
+    sched.set_span_log(SpanLog::with_origin(epoch), tid);
     let mut submitted: Vec<(usize, Option<String>)> = Vec::with_capacity(shard.len());
     for ((id, job), expected) in shard.iter().zip(expectations) {
         match host.spawn(&job.run) {
@@ -193,7 +211,7 @@ fn run_worker(
             }),
         }
     }
-    let mut retired = sched.run_all();
+    let (mut retired, span_log) = sched.run_all_traced();
     for r in &mut retired {
         let (global_id, expected) = &submitted[r.id];
         if let (Outcome::Completed(got), Some(want)) = (&r.outcome, expected) {
@@ -207,11 +225,25 @@ fn run_worker(
         r.id = *global_id;
     }
     reports.extend(retired);
+    let mut spans = span_log.into_spans();
+    if config.sched.record_spans {
+        let mut whole = SpanLog::with_origin(epoch);
+        whole.record(
+            format!("worker-{worker}"),
+            "worker",
+            tid,
+            start,
+            Instant::now(),
+            vec![("jobs", shard.len().to_string())],
+        );
+        spans.extend(whole.into_spans());
+    }
     WorkerSummary {
         worker,
         reports,
         mismatches,
         wall: start.elapsed(),
+        spans,
         panicked: None,
     }
 }
@@ -232,21 +264,24 @@ pub fn run_pool(config: &PoolConfig, spec: &PoolSpec) -> PoolReport {
             .enumerate()
             .map(|(w, shard)| {
                 scope.spawn(move || {
-                    catch_unwind(AssertUnwindSafe(|| run_worker(w, config, spec, shard)))
-                        .unwrap_or_else(|payload| {
-                            let msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| (*s).to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "non-string panic payload".into());
-                            WorkerSummary {
-                                worker: w,
-                                reports: Vec::new(),
-                                mismatches: Vec::new(),
-                                wall: Duration::ZERO,
-                                panicked: Some(msg),
-                            }
-                        })
+                    catch_unwind(AssertUnwindSafe(|| {
+                        run_worker(w, config, spec, shard, start)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        WorkerSummary {
+                            worker: w,
+                            reports: Vec::new(),
+                            mismatches: Vec::new(),
+                            wall: Duration::ZERO,
+                            spans: Vec::new(),
+                            panicked: Some(msg),
+                        }
+                    })
                 })
             })
             .collect();
@@ -322,6 +357,26 @@ mod tests {
         assert!(!report.is_clean());
         assert_eq!(report.all_mismatches().len(), 1);
         assert!(report.all_mismatches()[0].starts_with("spin-2:"));
+    }
+
+    #[test]
+    fn pool_records_worker_and_slice_spans_on_one_timeline() {
+        let config = PoolConfig {
+            workers: 2,
+            sched: SchedConfig {
+                slice: 64,
+                record_spans: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = run_pool(&config, &spin_spec(6));
+        assert!(report.is_clean(), "{:?}", report.all_mismatches());
+        let spans = report.all_spans();
+        assert_eq!(spans.iter().filter(|s| s.cat == "worker").count(), 2);
+        assert!(spans.iter().any(|s| s.cat == "slice"));
+        let tids: std::collections::HashSet<u32> = spans.iter().map(|s| s.tid).collect();
+        assert_eq!(tids, [0u32, 1].into_iter().collect());
     }
 
     #[test]

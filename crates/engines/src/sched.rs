@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 use cm_vm::VmErrorKind;
 
 use crate::engine::{Engine, RunResult};
+use crate::spans::SpanLog;
 
 /// Which runnable task gets the next slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +55,10 @@ pub struct SchedConfig {
     /// Verify machine invariants at every suspension (slow; tests and
     /// torture runs).
     pub check_invariants: bool,
+    /// Record a `"slice"` span per scheduler pick into
+    /// [`Scheduler::spans`] (the timeline `cm-trace` exports). Off by
+    /// default: a disabled scheduler takes no clock reads for spans.
+    pub record_spans: bool,
 }
 
 impl Default for SchedConfig {
@@ -62,6 +67,7 @@ impl Default for SchedConfig {
             policy: Policy::RoundRobin,
             slice: 10_000,
             check_invariants: false,
+            record_spans: false,
         }
     }
 }
@@ -116,6 +122,10 @@ pub struct Scheduler {
     tasks: Vec<Option<Task>>,
     runnable: VecDeque<usize>,
     reports: Vec<TaskReport>,
+    spans: SpanLog,
+    /// Timeline lane for recorded spans (the pool sets this to the
+    /// worker index).
+    tid: u32,
 }
 
 impl Scheduler {
@@ -126,7 +136,27 @@ impl Scheduler {
             tasks: Vec::new(),
             runnable: VecDeque::new(),
             reports: Vec::new(),
+            spans: SpanLog::new(),
+            tid: 0,
         }
+    }
+
+    /// Replaces the span log (pool workers install one sharing the
+    /// pool's origin) and sets the timeline lane for recorded spans.
+    pub fn set_span_log(&mut self, log: SpanLog, tid: u32) {
+        self.spans = log;
+        self.tid = tid;
+    }
+
+    /// The per-slice spans recorded so far (empty unless
+    /// [`SchedConfig::record_spans`]).
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Takes the recorded spans out of the scheduler.
+    pub fn take_spans(&mut self) -> SpanLog {
+        std::mem::take(&mut self.spans)
     }
 
     /// Submits an engine under a display name; returns its task id. The
@@ -196,7 +226,33 @@ impl Scheduler {
             }
         }
         task.slices += 1;
-        match engine.run(self.config.slice) {
+        let span_start = if self.config.record_spans {
+            Some((Instant::now(), engine.stats().steps_executed))
+        } else {
+            None
+        };
+        let result = engine.run(self.config.slice);
+        if let Some((start, steps_before)) = span_start {
+            let (outcome, stats) = match &result {
+                RunResult::Done(_, s) => ("done", s),
+                RunResult::Suspended(_, s) => ("suspended", s),
+                RunResult::Failed(_, s) => ("failed", s),
+            };
+            self.spans.record(
+                task.name.clone(),
+                "slice",
+                self.tid,
+                start,
+                Instant::now(),
+                vec![
+                    ("task", task.id.to_string()),
+                    ("slice", task.slices.to_string()),
+                    ("steps", (stats.steps_executed - steps_before).to_string()),
+                    ("outcome", outcome.to_string()),
+                ],
+            );
+        }
+        match result {
             RunResult::Done(v, stats) => {
                 self.retire(
                     task,
@@ -236,6 +292,13 @@ impl Scheduler {
     pub fn run_all(mut self) -> Vec<TaskReport> {
         while self.step() {}
         self.reports
+    }
+
+    /// Like [`Scheduler::run_all`], but also returns the recorded
+    /// per-slice spans (empty unless [`SchedConfig::record_spans`]).
+    pub fn run_all_traced(mut self) -> (Vec<TaskReport>, SpanLog) {
+        while self.step() {}
+        (self.reports, self.spans)
     }
 }
 
@@ -439,6 +502,37 @@ mod tests {
         let reports = sched.run_all();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].outcome, Outcome::TimedOut);
+    }
+
+    #[test]
+    fn slice_spans_cover_every_pick() {
+        let mut host = spinner_host();
+        let mut sched = Scheduler::new(SchedConfig {
+            slice: 100,
+            record_spans: true,
+            ..Default::default()
+        });
+        for i in 0..3 {
+            sched.submit(format!("t{i}"), host.spawn("(spin 500)").unwrap());
+        }
+        let (reports, spans) = sched.run_all_traced();
+        let total_slices: u64 = reports.iter().map(|r| r.slices).sum();
+        assert_eq!(spans.len() as u64, total_slices);
+        assert!(spans.spans().iter().all(|s| s.cat == "slice" && s.tid == 0));
+        // Every span carries the per-slice step count.
+        assert!(spans
+            .spans()
+            .iter()
+            .all(|s| s.args.iter().any(|(k, _)| *k == "steps")));
+    }
+
+    #[test]
+    fn spans_off_by_default() {
+        let mut host = spinner_host();
+        let mut sched = Scheduler::new(SchedConfig::default());
+        sched.submit("t", host.spawn("(spin 100)").unwrap());
+        let (_, spans) = sched.run_all_traced();
+        assert!(spans.is_empty());
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn thousand_engines_across_four_workers() {
             policy: Policy::RoundRobin,
             slice: 5_000,
             check_invariants: false,
+            record_spans: true,
         },
         engine: Default::default(),
     };
@@ -75,4 +76,14 @@ fn thousand_engines_across_four_workers() {
     assert!(report.metrics.steps_per_sec > 0.0);
     assert!(report.metrics.fairness_jain > 0.0 && report.metrics.fairness_jain <= 1.0);
     assert!(report.metrics.latency_max >= report.metrics.latency_p50);
+    // The 1000-engine run yields a renderable timeline: one span per
+    // scheduler pick plus a whole-shard span per worker, all on the
+    // pool's shared time origin with one lane per worker.
+    let spans = report.all_spans();
+    let total_slices: u64 = report.all_reports().iter().map(|r| r.slices).sum();
+    let slice_spans = spans.iter().filter(|s| s.cat == "slice").count() as u64;
+    assert_eq!(slice_spans, total_slices);
+    assert_eq!(spans.iter().filter(|s| s.cat == "worker").count(), 4);
+    let tids: std::collections::HashSet<u32> = spans.iter().map(|s| s.tid).collect();
+    assert_eq!(tids.len(), 4, "expected one timeline lane per worker");
 }

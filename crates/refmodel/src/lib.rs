@@ -77,6 +77,7 @@ fn fail<T>(msg: impl Into<String>) -> R<T> {
 enum Builtin {
     Prim(PrimOp),
     CallCc,
+    DynamicWind,
     MarkList,
     MarkFirst,
     List,
@@ -92,8 +93,9 @@ enum RV {
     Closure(Rc<RClosure>),
     /// A built-in procedure.
     Builtin(Builtin),
-    /// A captured continuation (a frame-chain pointer).
-    Cont(Kont),
+    /// A captured continuation: a frame-chain pointer plus the winder
+    /// stack in effect at capture (§ dynamic-wind semantics).
+    Cont(Kont, Winders),
 }
 
 struct RClosure {
@@ -117,7 +119,7 @@ impl RV {
         match self {
             RV::Data(v) => v.write_string(),
             RV::Closure(_) | RV::Builtin(_) => "#<procedure>".into(),
-            RV::Cont(_) => "#<continuation>".into(),
+            RV::Cont(..) => "#<continuation>".into(),
         }
     }
 }
@@ -206,6 +208,26 @@ impl Badge {
     }
 }
 
+/// One active `dynamic-wind`: its thunks plus an identity used to
+/// compute shared prefixes between winder stacks.
+struct RWinder {
+    /// Before-thunk, re-run when a continuation jumps back inside.
+    pre: RV,
+    /// After-thunk, run when control leaves (normally or by a jump).
+    post: RV,
+}
+
+/// Active winders, outermost first.
+type Winders = Vec<Rc<RWinder>>;
+
+/// Longest shared prefix of two winder stacks (by winder identity).
+fn shared_winders(a: &Winders, b: &Winders) -> usize {
+    a.iter()
+        .zip(b.iter())
+        .take_while(|(x, y)| Rc::ptr_eq(x, y))
+        .count()
+}
+
 /// What a frame is waiting for (defunctionalized continuations).
 enum KKind {
     /// The bottom of the continuation.
@@ -245,6 +267,23 @@ enum KKind {
     },
     /// Waiting for a wcm value.
     WcmVal { key: RV, body: Rc<Expr>, env: Env },
+    /// Waiting for a `dynamic-wind` before-thunk (normal entry).
+    DwAfterPre { winder: Rc<RWinder>, thunk: RV },
+    /// Waiting for a `dynamic-wind` body.
+    DwAfterBody { winder: Rc<RWinder> },
+    /// Waiting for a `dynamic-wind` after-thunk; holds the body's value.
+    DwAfterPost { result: RV },
+    /// A continuation jump in progress: run `exits` posts
+    /// (innermost-first), then `enters` pres (outermost-first), then
+    /// deliver `value` to the frame below (the jump target).
+    Unwind {
+        exits: Vec<Rc<RWinder>>,
+        enters: Vec<Rc<RWinder>>,
+        /// Winder whose pre just ran and must now become active.
+        activating: Option<Rc<RWinder>>,
+        target_winders: Winders,
+        value: RV,
+    },
 }
 
 /// A heap-allocated continuation frame paired with its marks (§4).
@@ -299,6 +338,9 @@ enum Ctl {
 pub struct RefInterp {
     expander: Expander,
     globals: HashMap<Sym, RV>,
+    /// Active `dynamic-wind` winders, outermost first (a machine
+    /// register, like the marks register in the production engine).
+    winders: Winders,
     /// Safety net against runaway generated programs.
     step_limit: u64,
 }
@@ -319,6 +361,7 @@ impl RefInterp {
         for (name, b) in [
             ("call/cc", Builtin::CallCc),
             ("call-with-current-continuation", Builtin::CallCc),
+            ("dynamic-wind", Builtin::DynamicWind),
             ("mark-list", Builtin::MarkList),
             ("mark-first", Builtin::MarkFirst),
             ("list", Builtin::List),
@@ -329,6 +372,7 @@ impl RefInterp {
         RefInterp {
             expander: Expander::new(),
             globals,
+            winders: Vec::new(),
             step_limit: 20_000_000,
         }
     }
@@ -380,6 +424,7 @@ impl RefInterp {
     fn run(&mut self, e: &Expr) -> R<RV> {
         let mut ctl = Ctl::Eval(Rc::new(e.clone()), Env::empty());
         let mut kont = Kont::root();
+        self.winders.clear();
         let mut steps = self.step_limit;
         loop {
             if steps == 0 {
@@ -611,6 +656,93 @@ impl RefInterp {
                             kont = next.with_mark(key, v);
                             ctl = Ctl::Eval(body.clone(), env.clone());
                         }
+                        KKind::DwAfterPre { winder, thunk } => {
+                            // Before-thunk finished: the winder becomes
+                            // active for the body's dynamic extent.
+                            self.winders.push(winder.clone());
+                            kont = next.push(KKind::DwAfterBody {
+                                winder: winder.clone(),
+                            });
+                            match self.apply(vec![thunk.clone()], None, &mut kont)? {
+                                Applied::Value(v) => ctl = Ctl::Value(v),
+                                Applied::Enter(e, env) => ctl = Ctl::Eval(e, env),
+                            }
+                        }
+                        KKind::DwAfterBody { winder } => {
+                            match self.winders.pop() {
+                                Some(w) if Rc::ptr_eq(&w, winder) => {}
+                                _ => return fail("dynamic-wind: winder stack corrupted"),
+                            }
+                            kont = next.push(KKind::DwAfterPost { result: v });
+                            let post = winder.post.clone();
+                            match self.apply(vec![post], None, &mut kont)? {
+                                Applied::Value(v) => ctl = Ctl::Value(v),
+                                Applied::Enter(e, env) => ctl = Ctl::Eval(e, env),
+                            }
+                        }
+                        KKind::DwAfterPost { result } => {
+                            // The after-thunk's value is discarded.
+                            kont = next;
+                            ctl = Ctl::Value(result.clone());
+                        }
+                        KKind::Unwind {
+                            exits,
+                            enters,
+                            activating,
+                            target_winders,
+                            value,
+                        } => {
+                            if let Some(w) = activating {
+                                self.winders.push(w.clone());
+                            }
+                            let mut exits = exits.clone();
+                            let mut enters = enters.clone();
+                            if let Some(w) = if exits.is_empty() {
+                                None
+                            } else {
+                                Some(exits.remove(0))
+                            } {
+                                // Leaving w's extent: deactivate, then
+                                // run its after-thunk.
+                                match self.winders.pop() {
+                                    Some(top) if Rc::ptr_eq(&top, &w) => {}
+                                    _ => return fail("dynamic-wind: winder stack corrupted"),
+                                }
+                                kont = next.push(KKind::Unwind {
+                                    exits,
+                                    enters,
+                                    activating: None,
+                                    target_winders: target_winders.clone(),
+                                    value: value.clone(),
+                                });
+                                match self.apply(vec![w.post.clone()], None, &mut kont)? {
+                                    Applied::Value(v) => ctl = Ctl::Value(v),
+                                    Applied::Enter(e, env) => ctl = Ctl::Eval(e, env),
+                                }
+                            } else if let Some(w) = if enters.is_empty() {
+                                None
+                            } else {
+                                Some(enters.remove(0))
+                            } {
+                                // Entering w's extent: run its
+                                // before-thunk, then activate it.
+                                kont = next.push(KKind::Unwind {
+                                    exits,
+                                    enters,
+                                    activating: Some(w.clone()),
+                                    target_winders: target_winders.clone(),
+                                    value: value.clone(),
+                                });
+                                match self.apply(vec![w.pre.clone()], None, &mut kont)? {
+                                    Applied::Value(v) => ctl = Ctl::Value(v),
+                                    Applied::Enter(e, env) => ctl = Ctl::Eval(e, env),
+                                }
+                            } else {
+                                debug_assert_eq!(self.winders.len(), target_winders.len());
+                                kont = next;
+                                ctl = Ctl::Value(value.clone());
+                            }
+                        }
                     }
                 }
             }
@@ -645,12 +777,35 @@ impl RefInterp {
                 }
                 Ok(Applied::Enter(Rc::new(l.body.clone()), env))
             }
-            RV::Cont(k) => {
+            RV::Cont(k, target_winders) => {
                 if args.len() != 1 {
                     return fail("continuation: expected 1 argument");
                 }
-                *kont = k;
-                Ok(Applied::Value(args.into_iter().next().unwrap()))
+                let value = args.into_iter().next().unwrap();
+                let shared = shared_winders(&self.winders, &target_winders);
+                if shared == self.winders.len() && shared == target_winders.len() {
+                    // No winders to cross: a plain jump.
+                    *kont = k;
+                    return Ok(Applied::Value(value));
+                }
+                // Winders to cross: interpose an Unwind frame atop the
+                // target that runs departed winders' after-thunks
+                // (innermost first) and re-entered winders'
+                // before-thunks (outermost first), then delivers the
+                // value. Winder thunks here run with the target's
+                // marks in view — fine for effect-only thunks, which
+                // is all the differential generator produces.
+                let exits: Vec<Rc<RWinder>> =
+                    self.winders[shared..].iter().rev().cloned().collect();
+                let enters: Vec<Rc<RWinder>> = target_winders[shared..].to_vec();
+                *kont = k.push(KKind::Unwind {
+                    exits,
+                    enters,
+                    activating: None,
+                    target_winders,
+                    value,
+                });
+                Ok(Applied::Value(RV::Data(Value::Void)))
             }
             RV::Builtin(b) => match b {
                 Builtin::Prim(op) => Ok(Applied::Value(apply_prim(op, &args)?)),
@@ -666,9 +821,24 @@ impl RefInterp {
                         return fail("call/cc: expected 1 argument");
                     }
                     let f = args.into_iter().next().unwrap();
-                    let k = RV::Cont(kont.clone());
+                    let k = RV::Cont(kont.clone(), self.winders.clone());
                     // Apply f to k in tail position.
                     self.apply(vec![f, k], None, kont)
+                }
+                Builtin::DynamicWind => {
+                    if args.len() != 3 {
+                        return fail("dynamic-wind: expected 3 arguments");
+                    }
+                    let mut it = args.into_iter();
+                    let pre = it.next().unwrap();
+                    let thunk = it.next().unwrap();
+                    let post = it.next().unwrap();
+                    let winder = Rc::new(RWinder {
+                        pre: pre.clone(),
+                        post,
+                    });
+                    *kont = kont.push(KKind::DwAfterPre { winder, thunk });
+                    self.apply(vec![pre], None, kont)
                 }
                 Builtin::MarkList => {
                     if args.len() != 1 {
@@ -821,6 +991,100 @@ mod tests {
         // A type error is not a step-limit error.
         let err = i.eval("(car 5)").unwrap_err();
         assert!(!err.is_step_limit());
+    }
+
+    #[test]
+    fn dynamic_wind_normal_flow() {
+        assert_eq!(
+            eval(
+                "(define log '())
+                 (define (note t) (set! log (cons t log)))
+                 (define r (dynamic-wind (lambda () (note 'pre))
+                                         (lambda () (note 'body) 42)
+                                         (lambda () (note 'post))))
+                 (list r log)"
+            ),
+            "(42 (post body pre))"
+        );
+    }
+
+    #[test]
+    fn dynamic_wind_escape_runs_after_thunk() {
+        assert_eq!(
+            eval(
+                "(define log '())
+                 (define (note t) (set! log (cons t log)))
+                 (define r (call/cc (lambda (k)
+                   (dynamic-wind (lambda () (note 'pre))
+                                 (lambda () (k 'out))
+                                 (lambda () (note 'post))))))
+                 (list r log)"
+            ),
+            "(out (post pre))"
+        );
+    }
+
+    #[test]
+    fn dynamic_wind_nested_escape_unwinds_innermost_first() {
+        assert_eq!(
+            eval(
+                "(define log '())
+                 (define (note t) (set! log (cons t log)))
+                 (define r (call/cc (lambda (k)
+                   (dynamic-wind (lambda () (note 'pre1))
+                                 (lambda ()
+                                   (dynamic-wind (lambda () (note 'pre2))
+                                                 (lambda () (k 'out))
+                                                 (lambda () (note 'post2))))
+                                 (lambda () (note 'post1))))))
+                 (list r log)"
+            ),
+            "(out (post1 post2 pre2 pre1))"
+        );
+    }
+
+    #[test]
+    fn dynamic_wind_reentry_reruns_before_thunk() {
+        assert_eq!(
+            eval(
+                "(define saved #f)
+                 (define log '())
+                 (define (note t) (set! log (cons t log)))
+                 (define n 0)
+                 (define r (dynamic-wind
+                             (lambda () (note 'pre))
+                             (lambda ()
+                               (call/cc (lambda (k) (set! saved k)))
+                               (set! n (+ n 1))
+                               n)
+                             (lambda () (note 'post))))
+                 (define _ (if (< r 3) ((let ([k saved]) k) 0) 0))
+                 (list r log)"
+            ),
+            "(3 (post pre post pre post pre))"
+        );
+    }
+
+    #[test]
+    fn dynamic_wind_preserves_marks_across_jumps() {
+        assert_eq!(
+            eval(
+                "(define log '())
+                 (define (note t) (set! log (cons t log)))
+                 (define r
+                   (with-continuation-mark 'k 'outside
+                     (car (cons
+                       (call/cc (lambda (k)
+                         (dynamic-wind (lambda () (note 'pre))
+                                       (lambda ()
+                                         (with-continuation-mark 'k 'inside
+                                           (car (cons (k (mark-list 'k)) 0))))
+                                       (lambda () (note 'post)))))
+                       0))))
+                 (list r log)"
+            ),
+            "((inside outside) (post pre))"
+        );
     }
 
     #[test]

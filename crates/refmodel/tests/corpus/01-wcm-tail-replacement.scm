@@ -1,0 +1,6 @@
+;; Tail calls under with-continuation-mark replace the frame's mark
+;; instead of stacking (§2.1): the loop ends with a single mark.
+(define (loop n)
+  (with-continuation-mark 'ka n
+    (if (zero? n) (mark-list 'ka) (loop (- n 1)))))
+(loop 5)

@@ -1,0 +1,7 @@
+;; Non-tail recursion stacks one mark per live frame, innermost first.
+(define (grow n)
+  (with-continuation-mark 'ka n
+    (if (zero? n)
+        (mark-list 'ka)
+        (car (cons (grow (- n 1)) '())))))
+(grow 3)

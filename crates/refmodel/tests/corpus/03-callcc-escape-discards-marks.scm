@@ -1,0 +1,9 @@
+;; Escaping past a with-continuation-mark frame removes its mark: the
+;; observation after the jump sees only the surviving outer mark.
+(with-continuation-mark 'ka 'outer
+  (car (cons
+         (call/cc
+           (lambda (k0)
+             (with-continuation-mark 'ka 'inner
+               (car (cons (k0 (mark-first 'kb 'absent)) '())))))
+         (mark-list 'ka))))

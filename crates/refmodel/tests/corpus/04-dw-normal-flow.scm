@@ -1,0 +1,10 @@
+;; dynamic-wind without any jump: pre, body, post, in that order, and
+;; the body's value passes through the after-thunk untouched.
+(define dw-log '())
+(define (note t) (set! dw-log (cons t dw-log)))
+(define r
+  (dynamic-wind
+    (lambda () (note 'pre))
+    (lambda () (note 'body) 42)
+    (lambda () (note 'post))))
+(cons r dw-log)

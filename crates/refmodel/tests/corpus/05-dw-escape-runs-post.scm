@@ -1,0 +1,12 @@
+;; An upward escape out of a dynamic-wind body still runs the
+;; after-thunk, and code after the jump point never runs.
+(define dw-log '())
+(define (note t) (set! dw-log (cons t dw-log)))
+(define r
+  (call/cc
+    (lambda (k0)
+      (dynamic-wind
+        (lambda () (note 'pre))
+        (lambda () (k0 'out) (note 'unreached))
+        (lambda () (note 'post))))))
+(cons r dw-log)

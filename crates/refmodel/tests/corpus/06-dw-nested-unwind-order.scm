@@ -1,0 +1,16 @@
+;; Escaping from a doubly-nested dynamic-wind unwinds innermost first:
+;; post2 fires before post1.
+(define dw-log '())
+(define (note t) (set! dw-log (cons t dw-log)))
+(define r
+  (call/cc
+    (lambda (k0)
+      (dynamic-wind
+        (lambda () (note 'pre1))
+        (lambda ()
+          (dynamic-wind
+            (lambda () (note 'pre2))
+            (lambda () (k0 'out))
+            (lambda () (note 'post2))))
+        (lambda () (note 'post1))))))
+(cons r dw-log)

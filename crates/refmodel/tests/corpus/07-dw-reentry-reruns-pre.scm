@@ -1,0 +1,15 @@
+;; Re-entering a continuation captured inside a dynamic-wind body
+;; re-runs the before-thunk each time (and the after-thunk on each
+;; normal exit): pre body post, twice.
+(define dw-log '())
+(define (note t) (set! dw-log (cons t dw-log)))
+(define saved #f)
+(define phase 0)
+(dynamic-wind
+  (lambda () (note 'pre))
+  (lambda ()
+    (call/cc (lambda (k0) (set! saved k0)))
+    (note 'body))
+  (lambda () (note 'post)))
+(set! phase (+ phase 1))
+(if (< phase 2) (saved 'again) dw-log)

@@ -1,0 +1,17 @@
+;; A mark outside the escape target survives the winder-running jump;
+;; the mark inside the abandoned dynamic-wind extent does not.
+(define dw-log '())
+(define (note t) (set! dw-log (cons t dw-log)))
+(define r
+  (with-continuation-mark 'ka 'outside
+    (car (cons
+           (call/cc
+             (lambda (k0)
+               (dynamic-wind
+                 (lambda () (note 'pre))
+                 (lambda ()
+                   (with-continuation-mark 'ka 'inside
+                     (car (cons (k0 'jumped) '()))))
+                 (lambda () (note 'post)))))
+           (mark-list 'ka)))))
+(cons r dw-log)

@@ -1,0 +1,24 @@
+;; The full mix: marks pushed inside nested dynamic-winds, a tail wcm
+;; replacing a value, an escape that unwinds one winder but not the
+;; other, and mark observations on both sides of the jump.
+(define dw-log '())
+(define (note t) (set! dw-log (cons t dw-log)))
+(define r
+  (dynamic-wind
+    (lambda () (note 'pre-outer))
+    (lambda ()
+      (with-continuation-mark 'ka 1
+        (car (cons
+               (call/cc
+                 (lambda (k0)
+                   (dynamic-wind
+                     (lambda () (note 'pre-inner))
+                     (lambda ()
+                       (with-continuation-mark 'kb 2
+                         (if (zero? (mark-first 'ka 0))
+                             'unreached
+                             (k0 (mark-list 'kb)))))
+                     (lambda () (note 'post-inner)))))
+               (mark-list 'ka)))))
+    (lambda () (note 'post-outer))))
+(cons r dw-log)

@@ -301,6 +301,11 @@ pub fn torture_target(
     let mut cfg = config.clone();
     // Invariant verification is the point; pay for it in release too.
     cfg.machine.check_invariants = true;
+    // Tracing too: the journal's per-kind totals must equal the stats
+    // counters after every trial, faulted or not. A small ring keeps
+    // memory flat across long sweeps; totals stay exact regardless.
+    cfg.machine.trace = true;
+    cfg.machine.trace_capacity = 1024;
     let mut engine = Engine::new(cfg);
     if !target.setup.is_empty() {
         if let Err(e) = engine.eval(&target.setup) {
@@ -481,6 +486,7 @@ fn suspension_sweep(
                             format!("{what}: invariant violated at suspension: {msg}"),
                         );
                     }
+                    check_journal(rep, ctx, engine, &what);
                     if budget == 0 {
                         break Err("suspended run made no progress".to_string());
                     }
@@ -507,6 +513,7 @@ fn suspension_sweep(
                 format!("{what}: invariant violated after trial: {msg}"),
             );
         }
+        check_journal(rep, ctx, engine, &what);
         probe(rep, ctx, engine, &what);
     }
 }
@@ -559,7 +566,21 @@ fn check_trial(
             format!("{what}: invariant violated after trial: {msg}"),
         );
     }
+    check_journal(rep, ctx, engine, what);
     probe(rep, ctx, engine, what);
+}
+
+/// The counter/journal contract: both are fed by the machine's single
+/// trace hook, so their per-kind totals must agree even after injected
+/// faults, fuel exhaustion, and mid-run suspensions.
+fn check_journal(rep: &mut TortureReport, ctx: &str, engine: &mut Engine, what: &str) {
+    let stats = engine.stats();
+    if let Err(msg) = engine.machine_mut().journal.verify_consistency(&stats) {
+        rep.violate(
+            ctx,
+            format!("{what}: journal inconsistent with counters: {msg}"),
+        );
+    }
 }
 
 /// The reuse-after-fault guarantee: with faults disarmed, the engine
@@ -589,6 +610,7 @@ fn probe(rep: &mut TortureReport, ctx: &str, engine: &mut Engine, what: &str) {
                 format!("{what}: invariant violated after probe: {msg}"),
             );
         }
+        check_journal(rep, ctx, engine, what);
     }
     engine.machine_mut().config.fuel = saved_fuel;
     engine.machine_mut().config.fault_plan = saved_plan;

@@ -1,0 +1,277 @@
+//! `cm-trace` — emit the engine's three observability artifacts.
+//!
+//! Scenarios (`--scenario all` runs every one):
+//!
+//! * `journal` — runs the paper's §2 examples and one workload per
+//!   benchmark group with VM tracing on, verifies counter/journal
+//!   consistency for each, and writes `journal.json` (per-target
+//!   `cm-trace-journal-v1` reports) plus `journal-timeline.json`
+//!   (the first target's mark operations as Chrome instant events).
+//! * `profile` — samples the instrumented demo program via
+//!   continuation marks and writes `profile.folded` (collapsed stacks
+//!   for flamegraph tools) plus `profile.json`.
+//! * `timeline` — runs many engines through the multi-worker scheduler
+//!   pool with span recording on and writes `timeline.json` (Chrome
+//!   `trace_event`; open at chrome://tracing or ui.perfetto.dev).
+//!
+//! Every emitted JSON file is re-parsed and schema-validated with this
+//! crate's own parser before the run reports success; any violation
+//! (including a counter/journal mismatch) exits nonzero.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cm_core::EngineConfig;
+use cm_engines::{run_pool, JobSpec, PoolConfig, PoolSpec, SchedConfig};
+use cm_torture::torture_targets;
+use cm_trace::chrome::{validate_chrome, validate_journal};
+use cm_trace::profile::{DEMO_RUN, DEMO_SOURCE};
+use cm_trace::{
+    journal_to_chrome, journal_to_json, json, profile_source, run_journaled, spans_to_chrome, Json,
+};
+
+const USAGE: &str =
+    "usage: cm-trace [--quick] [--out DIR] [--scenario all|journal|profile|timeline]
+
+  --quick      smaller corpus and engine counts (CI smoke mode)
+  --out DIR    output directory (default target/cm-trace)
+  --scenario   which artifact to produce (default all)";
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    scenario: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: PathBuf::from("target/cm-trace"),
+        scenario: "all".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--scenario" => {
+                args.scenario = it.next().ok_or("--scenario needs a value")?;
+                if !matches!(
+                    args.scenario.as_str(),
+                    "all" | "journal" | "profile" | "timeline"
+                ) {
+                    return Err(format!("unknown scenario `{}`", args.scenario));
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Writes a JSON document, then re-parses it and runs `validate` on
+/// the parsed form — proof the artifact is consumable, not just
+/// serialized.
+fn emit(
+    path: &Path,
+    doc: &Json,
+    validate: impl Fn(&Json) -> Result<(), String>,
+) -> Result<(), String> {
+    let text = doc.to_string_pretty();
+    std::fs::write(path, &text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let back =
+        json::parse(&text).map_err(|e| format!("{}: re-parse failed: {e}", path.display()))?;
+    validate(&back).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("  wrote {}", path.display());
+    Ok(())
+}
+
+fn journal_scenario(args: &Args) -> Result<(), String> {
+    println!("journal: §2 examples + workload corpus, tracing on");
+    let mut config = EngineConfig::full();
+    // Bound the retained ring so the report stays a few MB even for
+    // the long workloads; counts are exact regardless.
+    config.machine.trace_capacity = 4096;
+    let mut reports = Vec::new();
+    let mut first_timeline = None;
+    for target in torture_targets(args.quick) {
+        let run = run_journaled(config.clone(), &target)?;
+        println!(
+            "  {:32} {:>9} steps, {:>6} journaled, counters consistent",
+            run.name,
+            run.stats.steps_executed,
+            run.journal.len()
+        );
+        if first_timeline.is_none() {
+            first_timeline = Some(journal_to_chrome(&run.journal));
+        }
+        reports.push(journal_to_json(&run.name, &run.journal));
+    }
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str("cm-trace-journal-report-v1")),
+        ("targets".into(), Json::Arr(reports)),
+    ]);
+    emit(&args.out.join("journal.json"), &doc, |d| {
+        let targets = d
+            .get("targets")
+            .and_then(Json::as_arr)
+            .ok_or("missing targets")?;
+        if targets.is_empty() {
+            return Err("no targets journaled".into());
+        }
+        targets.iter().try_for_each(validate_journal)
+    })?;
+    if let Some(timeline) = first_timeline {
+        emit(
+            &args.out.join("journal-timeline.json"),
+            &timeline,
+            validate_chrome,
+        )?;
+    }
+    Ok(())
+}
+
+fn profile_scenario(args: &Args) -> Result<(), String> {
+    println!("profile: sampling the instrumented demo via continuation marks");
+    let fuel = if args.quick { 500 } else { 200 };
+    let profile = profile_source(EngineConfig::full(), DEMO_SOURCE, DEMO_RUN, fuel)?;
+    if profile.stacks.is_empty() {
+        return Err("profiler collected no stacks".into());
+    }
+    println!(
+        "  {} samples, {} distinct stacks",
+        profile.samples,
+        profile.stacks.len()
+    );
+    let folded = args.out.join("profile.folded");
+    std::fs::write(&folded, profile.to_collapsed())
+        .map_err(|e| format!("{}: {e}", folded.display()))?;
+    println!("  wrote {}", folded.display());
+    emit(
+        &args.out.join("profile.json"),
+        &profile.to_json("demo"),
+        |d| {
+            if d.get("schema").and_then(Json::as_str) != Some("cm-trace-profile-v1") {
+                return Err("bad profile schema".into());
+            }
+            match d.get("samples").and_then(Json::as_u64) {
+                Some(n) if n > 0 => Ok(()),
+                _ => Err("no samples".into()),
+            }
+        },
+    )
+}
+
+fn timeline_scenario(args: &Args) -> Result<(), String> {
+    let tasks = if args.quick { 64 } else { 1000 };
+    let workers = 4;
+    println!("timeline: {tasks} engines across {workers} workers, spans on");
+    let targets = torture_targets(true);
+    let mut setups = Vec::new();
+    for t in &targets {
+        if !t.setup.is_empty() && !setups.contains(&t.setup) {
+            setups.push(t.setup.clone());
+        }
+    }
+    let jobs = (0..tasks)
+        .map(|i| {
+            let t = &targets[i % targets.len()];
+            JobSpec {
+                name: format!("{}#{}", t.name, i / targets.len()),
+                run: t.run.clone(),
+                expected: t.expected.clone(),
+            }
+        })
+        .collect();
+    let spec = PoolSpec {
+        setups,
+        jobs,
+        verify: true,
+    };
+    let config = PoolConfig {
+        workers,
+        sched: SchedConfig {
+            record_spans: true,
+            ..SchedConfig::default()
+        },
+        engine: EngineConfig::full(),
+    };
+    let report = run_pool(&config, &spec);
+    if report.metrics.failed > 0 || report.metrics.timed_out > 0 {
+        return Err(format!(
+            "pool run unhealthy: {} failed, {} timed out",
+            report.metrics.failed, report.metrics.timed_out
+        ));
+    }
+    if !report.all_mismatches().is_empty() {
+        return Err(format!(
+            "pool run produced {} output mismatches",
+            report.all_mismatches().len()
+        ));
+    }
+    let spans = report.all_spans();
+    println!(
+        "  {} tasks completed, {} spans recorded",
+        report.metrics.completed,
+        spans.len()
+    );
+    emit(
+        &args.out.join("timeline.json"),
+        &spans_to_chrome(spans.iter().copied()),
+        |d| {
+            validate_chrome(d)?;
+            let n = d
+                .get("traceEvents")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len);
+            if n < tasks {
+                return Err(format!("only {n} spans for {tasks} tasks"));
+            }
+            Ok(())
+        },
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cm-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cm-trace: cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    let run_all = args.scenario == "all";
+    let mut failures = Vec::new();
+    if run_all || args.scenario == "journal" {
+        if let Err(e) = journal_scenario(&args) {
+            failures.push(e);
+        }
+    }
+    if run_all || args.scenario == "profile" {
+        if let Err(e) = profile_scenario(&args) {
+            failures.push(e);
+        }
+    }
+    if run_all || args.scenario == "timeline" {
+        if let Err(e) = timeline_scenario(&args) {
+            failures.push(e);
+        }
+    }
+    if failures.is_empty() {
+        println!("cm-trace: all scenarios clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("cm-trace: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

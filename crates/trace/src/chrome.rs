@@ -1,0 +1,240 @@
+//! Serializers for the two timeline artifacts:
+//!
+//! * [`spans_to_chrome`] — wall-clock [`Span`]s from `cm-engines`
+//!   (engine runs, scheduler slices, pool workers) as Chrome
+//!   `trace_event` JSON: load the file at `chrome://tracing` or
+//!   <https://ui.perfetto.dev> and a 1000-engine `cm-sched` run renders
+//!   as a per-worker timeline.
+//! * [`journal_to_json`] — a VM [`TraceJournal`] as a structured report
+//!   (`cm-trace-journal-v1`): per-kind totals plus the retained ring of
+//!   events, each with its step index and frame depth.
+//! * [`journal_to_chrome`] — the same ring as `trace_event` *instant*
+//!   events on a virtual clock (1 step = 1 µs), so a §2 example's mark
+//!   operations render as a timeline too.
+
+use cm_engines::Span;
+use cm_vm::{TraceJournal, TraceKind};
+
+use crate::json::Json;
+
+/// Schema tag carried by every journal report.
+pub const JOURNAL_SCHEMA: &str = "cm-trace-journal-v1";
+
+/// Converts engine/scheduler/pool spans to a Chrome `trace_event`
+/// document (`ph: "X"` complete events; `ts`/`dur` in microseconds).
+pub fn spans_to_chrome<'a>(spans: impl IntoIterator<Item = &'a Span>) -> Json {
+    let events = spans
+        .into_iter()
+        .map(|s| {
+            let args = s
+                .args
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), Json::str(v.clone())))
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::str(s.name.clone())),
+                ("cat".into(), Json::str(s.cat)),
+                ("ph".into(), Json::str("X")),
+                ("ts".into(), Json::num(s.start_us)),
+                ("dur".into(), Json::num(s.dur_us)),
+                ("pid".into(), Json::num(1)),
+                ("tid".into(), Json::num(u64::from(s.tid))),
+                ("args".into(), Json::Obj(args)),
+            ])
+        })
+        .collect();
+    chrome_doc(events)
+}
+
+/// Converts a journal's retained ring to `trace_event` instant events
+/// on a virtual clock where one VM step is one microsecond.
+pub fn journal_to_chrome(journal: &TraceJournal) -> Json {
+    let events = journal
+        .events()
+        .map(|e| {
+            Json::Obj(vec![
+                ("name".into(), Json::str(e.kind.label())),
+                ("cat".into(), Json::str("journal")),
+                ("ph".into(), Json::str("i")),
+                ("ts".into(), Json::num(e.step)),
+                ("s".into(), Json::str("t")),
+                ("pid".into(), Json::num(1)),
+                ("tid".into(), Json::num(0)),
+                (
+                    "args".into(),
+                    Json::Obj(vec![("depth".into(), Json::num(u64::from(e.depth)))]),
+                ),
+            ])
+        })
+        .collect();
+    chrome_doc(events)
+}
+
+fn chrome_doc(events: Vec<Json>) -> Json {
+    Json::Obj(vec![
+        ("displayTimeUnit".into(), Json::str("ms")),
+        ("traceEvents".into(), Json::Arr(events)),
+    ])
+}
+
+/// Serializes a journal as a `cm-trace-journal-v1` report: identity,
+/// ring occupancy, per-kind totals (every [`TraceKind`], in
+/// discriminant order, even when zero), and the retained events.
+pub fn journal_to_json(name: &str, journal: &TraceJournal) -> Json {
+    let counts = TraceKind::ALL
+        .iter()
+        .map(|k| (k.label().to_owned(), Json::num(journal.count_of(*k))))
+        .collect();
+    let events = journal
+        .events()
+        .map(|e| {
+            Json::Obj(vec![
+                ("kind".into(), Json::str(e.kind.label())),
+                ("step".into(), Json::num(e.step)),
+                ("depth".into(), Json::num(u64::from(e.depth))),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::str(JOURNAL_SCHEMA)),
+        ("name".into(), Json::str(name)),
+        ("capacity".into(), Json::num(journal.capacity() as u64)),
+        ("recorded".into(), Json::num(journal.len() as u64)),
+        ("dropped".into(), Json::num(journal.dropped())),
+        ("counts".into(), Json::Obj(counts)),
+        ("events".into(), Json::Arr(events)),
+    ])
+}
+
+/// Structural validation of a document produced by [`spans_to_chrome`]
+/// or [`journal_to_chrome`] — the CLI runs this on everything it emits.
+///
+/// # Errors
+///
+/// Describes the first malformed event.
+pub fn validate_chrome(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    for (i, e) in events.iter().enumerate() {
+        for key in ["name", "cat", "ph"] {
+            if e.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("event {i}: missing string field {key}"));
+            }
+        }
+        for key in ["ts", "pid", "tid"] {
+            if e.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("event {i}: missing numeric field {key}"));
+            }
+        }
+        match e.get("ph").and_then(Json::as_str) {
+            Some("X") => {
+                if e.get("dur").and_then(Json::as_u64).is_none() {
+                    return Err(format!("event {i}: complete event without dur"));
+                }
+            }
+            Some("i") => {}
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Structural validation of a [`journal_to_json`] report.
+///
+/// # Errors
+///
+/// Describes the first schema violation.
+pub fn validate_journal(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(JOURNAL_SCHEMA) {
+        return Err(format!("schema tag is not {JOURNAL_SCHEMA}"));
+    }
+    let counts = doc.get("counts").ok_or("missing counts")?;
+    for kind in TraceKind::ALL {
+        if counts.get(kind.label()).and_then(Json::as_u64).is_none() {
+            return Err(format!("counts missing kind {}", kind.label()));
+        }
+    }
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("missing events array")?;
+    let mut last_step = 0;
+    for (i, e) in events.iter().enumerate() {
+        let kind = e
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing kind"))?;
+        if !TraceKind::ALL.iter().any(|k| k.label() == kind) {
+            return Err(format!("event {i}: unknown kind {kind}"));
+        }
+        let step = e
+            .get("step")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing step"))?;
+        if step < last_step {
+            return Err(format!("event {i}: step went backwards"));
+        }
+        last_step = step;
+        e.get("depth")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing depth"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_span() -> Span {
+        Span {
+            name: "t0".into(),
+            cat: "slice",
+            tid: 2,
+            start_us: 10,
+            dur_us: 5,
+            args: vec![("steps", "100".into())],
+        }
+    }
+
+    #[test]
+    fn span_export_is_valid_and_round_trips() {
+        let doc = spans_to_chrome([&sample_span()]);
+        validate_chrome(&doc).unwrap();
+        let text = doc.to_string_pretty();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, doc);
+        let e = &back.get("traceEvents").unwrap().as_arr().unwrap()[0];
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(e.get("tid").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            e.get("args").unwrap().get("steps").unwrap().as_str(),
+            Some("100")
+        );
+    }
+
+    #[test]
+    fn journal_export_lists_every_kind_and_validates() {
+        let mut j = TraceJournal::with_capacity(8);
+        j.record(TraceKind::Capture, 3, 1);
+        j.record(TraceKind::AttachPush, 5, 2);
+        let doc = journal_to_json("demo", &j);
+        validate_journal(&doc).unwrap();
+        assert_eq!(doc.get("recorded").unwrap().as_u64(), Some(2));
+        let counts = doc.get("counts").unwrap();
+        assert_eq!(counts.get("capture").unwrap().as_u64(), Some(1));
+        assert_eq!(counts.get("winder-leave").unwrap().as_u64(), Some(0));
+        validate_chrome(&journal_to_chrome(&j)).unwrap();
+    }
+
+    #[test]
+    fn validators_reject_broken_documents() {
+        let doc = Json::Obj(vec![("traceEvents".into(), Json::Num(3.0))]);
+        assert!(validate_chrome(&doc).is_err());
+        let doc = Json::Obj(vec![("schema".into(), Json::str("nope"))]);
+        assert!(validate_journal(&doc).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! `cm-trace` — observability for the continuation-marks engine.
+//!
+//! Three views of a running program, all built on machinery the paper
+//! already motivates:
+//!
+//! * **Journal** ([`run_journaled`], [`chrome::journal_to_json`]) —
+//!   the VM's ring-buffer event journal
+//!   ([`cm_vm::TraceJournal`], enabled by
+//!   [`MachineConfig::trace`](cm_vm::MachineConfig)) records every
+//!   continuation-machinery operation (capture, reify, underflow,
+//!   fuse/copy, attachment push/pop, winder enter/leave, suspension,
+//!   resume, …) with its step index and frame depth, and is
+//!   consistency-checked against [`cm_vm::MachineStats`]: the journal
+//!   and the counters are fed by the same hook, so any disagreement is
+//!   a VM bug.
+//! * **Profile** ([`profile`]) — a sampling profiler that reconstructs
+//!   stacks from `'profile-key` continuation marks and emits collapsed
+//!   stacks for flamegraph tooling.
+//! * **Timeline** ([`chrome::spans_to_chrome`]) — Chrome `trace_event`
+//!   export of the wall-clock spans `cm-engines` records for engine
+//!   runs, scheduler slices, and pool workers.
+//!
+//! The `cm-trace` binary drives all three over the paper's §2 examples
+//! and the benchmark workloads.
+
+pub mod chrome;
+pub mod json;
+pub mod profile;
+
+use cm_core::{Engine, EngineConfig};
+use cm_torture::Target;
+use cm_vm::{MachineStats, TraceJournal};
+
+pub use chrome::{journal_to_chrome, journal_to_json, spans_to_chrome, JOURNAL_SCHEMA};
+pub use json::Json;
+pub use profile::{extract_stack, profile_source, Profile, PROFILE_KEY};
+
+/// The outcome of one traced run: final printed value, stats, and the
+/// journal snapshot, already consistency-verified.
+#[derive(Debug)]
+pub struct JournaledRun {
+    /// The target's name.
+    pub name: String,
+    /// `display` of the final value.
+    pub output: String,
+    /// Counters at the end of the run.
+    pub stats: MachineStats,
+    /// The journal (counts + retained ring).
+    pub journal: TraceJournal,
+}
+
+/// Runs a torture [`Target`] with tracing enabled and verifies that
+/// the journal's per-kind totals equal the stats counters.
+///
+/// # Errors
+///
+/// Reports compile/runtime errors, output mismatches against the
+/// target's expectation, and counter/journal inconsistencies.
+pub fn run_journaled(mut config: EngineConfig, target: &Target) -> Result<JournaledRun, String> {
+    config.machine.trace = true;
+    let mut engine = Engine::new(config);
+    if !target.setup.is_empty() {
+        engine
+            .eval(&target.setup)
+            .map_err(|e| format!("{}: setup failed: {e}", target.name))?;
+    }
+    let output = engine
+        .eval_to_string(&target.run)
+        .map_err(|e| format!("{}: run failed: {e}", target.name))?;
+    if let Some(expected) = &target.expected {
+        if &output != expected {
+            return Err(format!(
+                "{}: expected {expected}, got {output}",
+                target.name
+            ));
+        }
+    }
+    let stats = engine.stats();
+    let machine = engine.machine_mut();
+    machine
+        .journal
+        .verify_consistency(&stats)
+        .map_err(|e| format!("{}: {e}", target.name))?;
+    Ok(JournaledRun {
+        name: target.name.clone(),
+        output,
+        stats,
+        journal: std::mem::take(&mut machine.journal),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_torture::torture_targets;
+
+    #[test]
+    fn journaled_run_verifies_a_section2_example() {
+        let target = &torture_targets(true)[0];
+        let run = run_journaled(EngineConfig::full(), target).unwrap();
+        assert!(!run.journal.is_empty(), "no events journaled");
+        assert!(run.stats.steps_executed > 0);
+        let doc = journal_to_json(&run.name, &run.journal);
+        chrome::validate_journal(&doc).unwrap();
+    }
+
+    #[test]
+    fn run_journaled_rejects_wrong_expectations() {
+        let mut target = torture_targets(true)[0].clone();
+        target.expected = Some("definitely-not-this".into());
+        assert!(run_journaled(EngineConfig::full(), &target).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! A sampling profiler whose stack walker *is* the continuation-mark
+//! machinery.
+//!
+//! Instrumented programs wrap each profiled procedure body in
+//! `(with-continuation-mark 'profile-key '<name> ...)` — exactly the
+//! idiom the paper's §2.3 uses for its error-context and profiling
+//! examples. The profiler then runs the program in fuel slices
+//! ([`cm_engines::Engine::run`]); every suspension is a sample point,
+//! and the suspended machine's marks register (the same chain
+//! `continuation-mark-set->list` walks, exposed through
+//! [`cm_engines::Engine::suspended_marks`]) yields one mark per live
+//! instrumented frame. No shadow stack, no unwinding: the continuation
+//! marks are the stack-reconstruction metadata.
+//!
+//! Output is the collapsed-stack format (`root;child;leaf COUNT` per
+//! line) consumed by `flamegraph.pl`, speedscope, and friends.
+
+use std::collections::BTreeMap;
+
+use cm_core::EngineConfig;
+use cm_engines::{RunResult, WorkerHost};
+use cm_sexpr::{sym, Sym};
+use cm_vm::Value;
+
+use crate::json::Json;
+
+/// The mark key instrumented programs use: `'profile-key`.
+pub const PROFILE_KEY: &str = "profile-key";
+
+/// A demo program with three instrumented procedures (the CLI's
+/// `profile` scenario and the tests both run it). `main` keeps its
+/// mark live by making the `fib` call a non-tail argument position.
+pub const DEMO_SOURCE: &str = "
+(define (fib n)
+  (with-continuation-mark 'profile-key 'fib
+    (if (< n 2) (base n) (+ (fib (- n 1)) (fib (- n 2))))))
+(define (base n)
+  (with-continuation-mark 'profile-key 'base (+ n 1)))
+(define (main n)
+  (with-continuation-mark 'profile-key 'main (+ 0 (fib n))))
+";
+
+/// The demo's entry expression.
+pub const DEMO_RUN: &str = "(main 16)";
+
+/// An aggregated sampling profile: stack → sample count.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Total suspension samples taken (including ones with no
+    /// instrumented frames live).
+    pub samples: u64,
+    /// Root-first stacks and how many samples landed in each.
+    pub stacks: BTreeMap<Vec<String>, u64>,
+}
+
+impl Profile {
+    /// Records one sample.
+    pub fn add(&mut self, stack: Vec<String>) {
+        self.samples += 1;
+        if !stack.is_empty() {
+            *self.stacks.entry(stack).or_insert(0) += 1;
+        }
+    }
+
+    /// Renders the collapsed-stack flamegraph format: one
+    /// `root;child;leaf COUNT` line per distinct stack, sorted.
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.stacks {
+            out.push_str(&stack.join(";"));
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The profile as JSON (`cm-trace-profile-v1`).
+    pub fn to_json(&self, name: &str) -> Json {
+        let stacks = self
+            .stacks
+            .iter()
+            .map(|(stack, count)| {
+                Json::Obj(vec![
+                    (
+                        "frames".into(),
+                        Json::Arr(stack.iter().map(Json::str).collect()),
+                    ),
+                    ("count".into(), Json::num(*count)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::str("cm-trace-profile-v1")),
+            ("name".into(), Json::str(name)),
+            ("key".into(), Json::str(PROFILE_KEY)),
+            ("samples".into(), Json::num(self.samples)),
+            ("stacks".into(), Json::Arr(stacks)),
+        ])
+    }
+}
+
+/// Reads the values under `key` out of a suspended machine's marks
+/// register, root-first.
+///
+/// The register is a list, innermost frame first, of `$mark-frame`
+/// records whose field 0 is an `eq?`-keyed association list (see
+/// `marks_attachments.scm`); plain `(key . value)` pairs are accepted
+/// too for programs that push attachments directly.
+pub fn extract_stack(marks: &Value, key: &str) -> Vec<String> {
+    let key = sym(key);
+    let mut leaf_first = Vec::new();
+    let mut cursor = marks.clone();
+    while let Value::Pair(p) = cursor {
+        let frame = p.car.borrow().clone();
+        if let Some(v) = frame_lookup(&frame, key) {
+            leaf_first.push(v.display_string());
+        }
+        cursor = p.cdr.borrow().clone();
+    }
+    leaf_first.reverse();
+    leaf_first
+}
+
+fn frame_lookup(frame: &Value, key: Sym) -> Option<Value> {
+    match frame {
+        Value::Record(r) if r.tag.name() == "$mark-frame" => {
+            let fields = r.fields.borrow();
+            assoc_lookup(fields.first()?, key)
+        }
+        Value::Pair(_) => assoc_entry(frame, key),
+        _ => None,
+    }
+}
+
+/// Looks `key` up in an `eq?`-keyed association list.
+fn assoc_lookup(list: &Value, key: Sym) -> Option<Value> {
+    let mut cursor = list.clone();
+    while let Value::Pair(p) = cursor {
+        let entry = p.car.borrow().clone();
+        if let Some(v) = assoc_entry(&entry, key) {
+            return Some(v);
+        }
+        cursor = p.cdr.borrow().clone();
+    }
+    None
+}
+
+fn assoc_entry(entry: &Value, key: Sym) -> Option<Value> {
+    if let Value::Pair(e) = entry {
+        if matches!(&*e.car.borrow(), Value::Sym(s) if *s == key) {
+            return Some(e.cdr.borrow().clone());
+        }
+    }
+    None
+}
+
+/// Profiles `run` (after loading `setup`) by sampling at every
+/// fuel-slice suspension.
+///
+/// # Errors
+///
+/// Returns compile/runtime errors as strings.
+pub fn profile_source(
+    config: EngineConfig,
+    setup: &str,
+    run: &str,
+    fuel: u64,
+) -> Result<Profile, String> {
+    let mut host = WorkerHost::new(config);
+    if !setup.is_empty() {
+        host.load(setup).map_err(|e| e.to_string())?;
+    }
+    let mut engine = host.spawn(run).map_err(|e| e.to_string())?;
+    let mut profile = Profile::default();
+    loop {
+        match engine.run(fuel) {
+            RunResult::Suspended(next, _) => {
+                if let Some(marks) = next.suspended_marks() {
+                    profile.add(extract_stack(&marks, PROFILE_KEY));
+                }
+                engine = next;
+            }
+            RunResult::Done(..) => return Ok(profile),
+            RunResult::Failed(e, _) => return Err(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_order_matches_continuation_mark_set_to_list() {
+        // Ground truth from the Scheme side: innermost mark first.
+        let mut engine = cm_core::Engine::new(EngineConfig::full());
+        let v = engine
+            .eval_to_string(
+                "(with-continuation-mark 'profile-key 'a
+                   (car (cons (with-continuation-mark 'profile-key 'b
+                                (continuation-mark-set->list
+                                  (current-continuation-marks) 'profile-key))
+                              '())))",
+            )
+            .unwrap();
+        assert_eq!(v, "(b a)");
+    }
+
+    #[test]
+    fn profile_reconstructs_nested_stacks_from_marks() {
+        let profile = profile_source(EngineConfig::full(), DEMO_SOURCE, DEMO_RUN, 300).unwrap();
+        assert!(profile.samples > 10, "only {} samples", profile.samples);
+        assert!(!profile.stacks.is_empty());
+        for stack in profile.stacks.keys() {
+            assert_eq!(stack[0], "main", "root must be main: {stack:?}");
+            // fib recursion shows up as repeated interior frames.
+            for frame in &stack[1..] {
+                assert!(frame == "fib" || frame == "base", "odd frame {frame}");
+            }
+        }
+        assert!(
+            profile.stacks.keys().any(|s| s.len() > 3),
+            "expected deep fib stacks, got {:?}",
+            profile.stacks.keys().map(Vec::len).max()
+        );
+        let collapsed = profile.to_collapsed();
+        assert!(collapsed.lines().all(|l| {
+            l.starts_with("main") && l.rsplit(' ').next().unwrap().parse::<u64>().is_ok()
+        }));
+        let json = profile.to_json("demo");
+        assert_eq!(
+            json.get("samples").and_then(Json::as_u64),
+            Some(profile.samples)
+        );
+    }
+
+    #[test]
+    fn extract_stack_reads_plain_pairs_too() {
+        let entry = |name: &str| Value::cons(Value::Sym(sym(PROFILE_KEY)), Value::Sym(sym(name)));
+        let marks = Value::list([entry("leaf"), entry("root")]);
+        assert_eq!(extract_stack(&marks, PROFILE_KEY), vec!["root", "leaf"]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Counter/journal consistency over the whole corpus: every §2 example
+//! and every workload target, under each of the paper's seven measured
+//! engine configurations, must end a traced run with the journal's
+//! per-kind totals exactly equal to the [`cm_vm::MachineStats`]
+//! counters. Both are fed by the machine's single trace hook, so any
+//! disagreement means an operation was counted without being journaled
+//! (or vice versa) — a VM bug, not a tolerance issue.
+
+use cm_torture::{engine_configs, torture_targets};
+use cm_trace::run_journaled;
+use cm_vm::{TraceKind, TRACE_KIND_COUNT};
+
+#[test]
+fn every_stats_field_equals_its_journal_count_across_all_configs() {
+    let mut runs = 0;
+    for (config_name, config) in engine_configs() {
+        for target in torture_targets(true) {
+            let run = run_journaled(config.clone(), &target)
+                .unwrap_or_else(|e| panic!("{config_name}: {e}"));
+            let s = &run.stats;
+            // The full counter↔kind contract, spelled out field by
+            // field (WinderLeave is journal-only: a faulting winder
+            // enters but never leaves, so no counter can match it).
+            let expect = [
+                (TraceKind::Capture, s.captures),
+                (TraceKind::Reify, s.reifications),
+                (TraceKind::Underflow, s.underflows),
+                (TraceKind::Fuse, s.fusions),
+                (TraceKind::Copy, s.copies),
+                (TraceKind::OverflowSplit, s.overflow_splits),
+                (TraceKind::AttachPush, s.attachments_pushed),
+                (TraceKind::AttachPop, s.attachments_popped),
+                (TraceKind::MarkStackPush, s.mark_stack_pushes),
+                (TraceKind::WinderEnter, s.winders_run),
+                (TraceKind::PrimCall, s.prim_calls),
+                (TraceKind::InjectedFault, s.injected_faults),
+                (TraceKind::Step, s.steps_executed),
+                (TraceKind::Suspend, s.suspensions),
+                (TraceKind::Resume, s.resumes),
+            ];
+            assert_eq!(expect.len(), TRACE_KIND_COUNT - 1);
+            for (kind, counter) in expect {
+                assert_eq!(
+                    run.journal.count_of(kind),
+                    counter,
+                    "{config_name}/{}: {} journal total diverged from its counter",
+                    run.name,
+                    kind.label(),
+                );
+            }
+            assert!(
+                s.steps_executed > 0,
+                "{config_name}/{}: empty run",
+                run.name
+            );
+            runs += 1;
+        }
+    }
+    // 7 configs x the quick corpus; a shrunk corpus would quietly
+    // weaken this test.
+    assert!(runs >= 70, "only {runs} corpus runs executed");
+}
+
+#[test]
+fn journal_ring_events_respect_capacity_and_ordering() {
+    let (_, config) = engine_configs().remove(0);
+    for target in torture_targets(true) {
+        let run = run_journaled(config.clone(), &target).unwrap();
+        assert!(run.journal.len() <= run.journal.capacity());
+        let steps: Vec<u64> = run.journal.events().map(|e| e.step).collect();
+        assert!(
+            steps.windows(2).all(|w| w[0] <= w[1]),
+            "{}: journal steps not monotone",
+            run.name
+        );
+        let total: u64 = TraceKind::ALL
+            .iter()
+            .filter(|k| **k != TraceKind::Step)
+            .map(|k| run.journal.count_of(*k))
+            .sum();
+        assert_eq!(
+            total,
+            run.journal.len() as u64 + run.journal.dropped(),
+            "{}: retained + dropped must equal non-step total",
+            run.name
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Golden-file tests pinning down two outward-facing text formats:
+//!
+//! * `Code::disassemble` — tooling (and the paper's figures) read the
+//!   listings, so mnemonic spelling and operand layout are contract.
+//!   Two configs of the same program pin the attachment-specialization
+//!   difference: `full` emits the specialized attachment instructions,
+//!   `no_attachment_opt` falls back to uniform calls.
+//! * The `cm-trace` JSON schemas (journal report, Chrome trace_event,
+//!   profile) — downstream viewers parse these files.
+//!
+//! Regenerate after an intentional change with:
+//! `UPDATE_GOLDEN=1 cargo test -p cm-trace --test golden`
+
+use cm_core::{Engine, EngineConfig};
+use cm_engines::Span;
+use cm_trace::{journal_to_json, spans_to_chrome, Profile};
+use cm_vm::{TraceJournal, TraceKind};
+use std::path::PathBuf;
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e} (run with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diff_at = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map_or(expected.lines().count().min(actual.lines().count()), |n| n);
+        panic!(
+            "{name} diverged from golden (first differing line {}):\n\
+             --- golden ---\n{}\n--- actual ---\n{}\n\
+             If the change is intentional, regenerate with UPDATE_GOLDEN=1.",
+            diff_at + 1,
+            expected
+                .lines()
+                .skip(diff_at.saturating_sub(2))
+                .take(6)
+                .collect::<Vec<_>>()
+                .join("\n"),
+            actual
+                .lines()
+                .skip(diff_at.saturating_sub(2))
+                .take(6)
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+    }
+}
+
+/// A program exercising the instructions the paper's compiler work is
+/// about: attachment push/consume, marks, a non-tail and a tail call.
+const DISASM_SOURCE: &str = "
+(define (count n acc)
+  (if (zero? n)
+      acc
+      (count (- n 1)
+             (with-continuation-mark 'depth n
+               (+ acc (car (continuation-mark-set->list
+                             (current-continuation-marks) 'depth)))))))";
+
+fn disassembly(config: EngineConfig) -> String {
+    let mut engine = Engine::new(config);
+    let code = engine.compile_only(DISASM_SOURCE).unwrap();
+    code.disassemble()
+}
+
+#[test]
+fn disassemble_full_config_is_stable() {
+    check_golden("disassemble_full.txt", &disassembly(EngineConfig::full()));
+}
+
+#[test]
+fn disassemble_without_attachment_opt_is_stable() {
+    check_golden(
+        "disassemble_no_attachment_opt.txt",
+        &disassembly(EngineConfig::no_attachment_opt()),
+    );
+}
+
+#[test]
+fn journal_report_schema_is_stable() {
+    let mut journal = TraceJournal::with_capacity(4);
+    let script = [
+        (TraceKind::Step, 1, 1),
+        (TraceKind::MarkStackPush, 1, 2),
+        (TraceKind::AttachPush, 2, 2),
+        (TraceKind::PrimCall, 3, 2),
+        (TraceKind::Capture, 4, 2),
+        (TraceKind::Reify, 5, 2),
+        (TraceKind::AttachPop, 6, 2),
+        (TraceKind::Suspend, 7, 1),
+        (TraceKind::Resume, 7, 1),
+        (TraceKind::Underflow, 8, 0),
+    ];
+    for (kind, step, depth) in script {
+        journal.record(kind, step, depth);
+    }
+    // 9 ring events into capacity 4: the oldest five are dropped, so
+    // the golden also pins eviction behavior.
+    let doc = journal_to_json("golden-demo", &journal);
+    check_golden("journal_schema.json", &doc.to_string_pretty());
+}
+
+#[test]
+fn chrome_trace_schema_is_stable() {
+    let spans = [
+        Span {
+            name: "sec2-deep#0".into(),
+            cat: "slice",
+            tid: 0,
+            start_us: 100,
+            dur_us: 40,
+            args: vec![("task", "0".into()), ("steps", "1000".into())],
+        },
+        Span {
+            name: "worker-1".into(),
+            cat: "worker",
+            tid: 1,
+            start_us: 90,
+            dur_us: 900,
+            args: vec![("jobs", "250".into())],
+        },
+    ];
+    let doc = spans_to_chrome(spans.iter());
+    check_golden("chrome_trace_schema.json", &doc.to_string_pretty());
+}
+
+#[test]
+fn profile_schema_is_stable() {
+    let mut profile = Profile::default();
+    for _ in 0..3 {
+        profile.add(vec!["main".into(), "fib".into(), "fib".into()]);
+    }
+    profile.add(vec!["main".into(), "fib".into(), "base".into()]);
+    profile.add(Vec::new()); // sampled outside any instrumented frame
+    check_golden(
+        "profile_schema.json",
+        &profile.to_json("golden-demo").to_string_pretty(),
+    );
+    check_golden("profile_collapsed.txt", &profile.to_collapsed());
+    // The JSON stays parseable by our own parser.
+    cm_trace::json::parse(&profile.to_json("golden-demo").to_string_compact()).unwrap();
+}

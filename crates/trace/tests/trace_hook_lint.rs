@@ -1,0 +1,78 @@
+//! Grep-based lint guarding the observability contract: the VM's trace
+//! hooks must be live in release builds. A hook gated behind
+//! `debug_assertions` would make release-mode journals silently
+//! incomplete — counters and journal would still agree with each other
+//! (both fed by the same hook), so only source inspection can catch it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Every journalled operation goes through this single hook.
+const HOOK: &str = ".trace(TraceKind::";
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn trace_hooks_are_not_debug_only() {
+    let vm_src = Path::new(env!("CARGO_MANIFEST_DIR")).join("../vm/src");
+    let mut files = Vec::new();
+    rs_files(&vm_src, &mut files);
+    files.sort();
+    let mut sites = 0;
+    let mut offenders = Vec::new();
+    for f in &files {
+        let text = fs::read_to_string(f).unwrap_or_else(|e| panic!("read {}: {e}", f.display()));
+        let lines: Vec<&str> = text.lines().collect();
+        for (idx, line) in lines.iter().enumerate() {
+            let code = line.split("//").next().unwrap_or("");
+            if !code.contains(HOOK) && !code.contains("fn trace(") {
+                continue;
+            }
+            sites += 1;
+            // The hook call (and the hook definition itself) must not
+            // be conditioned on debug_assertions — neither inline
+            // (`if cfg!(...)`) nor by an attribute within the few
+            // preceding lines.
+            let window_start = idx.saturating_sub(3);
+            for (off, probe) in lines[window_start..=idx].iter().enumerate() {
+                if probe
+                    .split("//")
+                    .next()
+                    .unwrap_or("")
+                    .contains("debug_assertions")
+                {
+                    offenders.push(format!(
+                        "{}:{}: trace hook near debug_assertions gate (line {}): {}",
+                        f.display(),
+                        idx + 1,
+                        window_start + off + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    // 31 call sites + the hook definition at the time of writing; a big
+    // drop means instrumentation was removed or renamed away from the
+    // pattern this lint greps for.
+    assert!(
+        sites >= 25,
+        "only {sites} trace-hook sites found under {} — did the hook get renamed?",
+        vm_src.display()
+    );
+    assert!(
+        offenders.is_empty(),
+        "trace hooks must be live in release builds:\n{}",
+        offenders.join("\n")
+    );
+}

@@ -85,7 +85,21 @@ pub struct MachineConfig {
     pub check_invariants: bool,
     /// Deterministic fault injection (all off by default).
     pub fault_plan: FaultPlan,
+    /// Record continuation-machinery events into the machine's
+    /// [`TraceJournal`](crate::TraceJournal). Off by default: the off
+    /// path is a single branch per event, so disabled tracing costs <2%
+    /// on the marks benchmarks.
+    pub trace: bool,
+    /// Ring capacity (newest events kept) of the journal when
+    /// [`MachineConfig::trace`] is on. Per-kind totals stay exact even
+    /// after eviction.
+    pub trace_capacity: usize,
 }
+
+/// Default journal ring capacity: deep enough to hold every non-`Step`
+/// event of the §2 examples with room to spare, small enough (~1 MiB)
+/// to embed per machine.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
 impl Default for MachineConfig {
     fn default() -> MachineConfig {
@@ -99,6 +113,8 @@ impl Default for MachineConfig {
             wrapped_control: false,
             check_invariants: cfg!(debug_assertions),
             fault_plan: FaultPlan::default(),
+            trace: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -146,6 +162,20 @@ impl MachineConfig {
         self.check_invariants = on;
         self
     }
+
+    /// Enables (or disables) event journaling at the default ring
+    /// capacity.
+    pub fn with_trace(mut self, on: bool) -> MachineConfig {
+        self.trace = on;
+        self
+    }
+
+    /// Enables event journaling with an explicit ring capacity.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> MachineConfig {
+        self.trace = true;
+        self.trace_capacity = capacity;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +211,18 @@ mod tests {
             .with_max_nested_executions(3);
         assert_eq!(c.deadline, Some(Duration::from_millis(5)));
         assert_eq!(c.max_nested_executions, 3);
+    }
+
+    #[test]
+    fn trace_defaults_off_with_builders() {
+        let c = MachineConfig::default();
+        assert!(!c.trace);
+        assert_eq!(c.trace_capacity, DEFAULT_TRACE_CAPACITY);
+        let c = c.with_trace(true);
+        assert!(c.trace);
+        let c = MachineConfig::default().with_trace_capacity(128);
+        assert!(c.trace);
+        assert_eq!(c.trace_capacity, 128);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::config::{MachineConfig, MarkModel};
 use crate::error::{BacktraceFrame, VmBacktrace, VmError, VmErrorKind, VmResult};
 use crate::prims::{self, ControlOp, NativeId};
 use crate::stats::MachineStats;
+use crate::trace::{TraceJournal, TraceKind};
 use crate::values::{Closure, Value};
 
 use control::{CompChainRec, CompData, ContData, ContKind, MetaFrame, Segment, Underflow, Winder};
@@ -186,6 +187,17 @@ impl SuspendedRun {
         }
         n
     }
+
+    /// The full attachments (marks) register as of the suspension point.
+    ///
+    /// This is the `cm-trace` sampling profiler's window into a paused
+    /// program: the suspended head record restores the complete current
+    /// marks list, so walking it for `('profile-key . name)` pairs
+    /// reconstructs the Scheme-level stack with the continuation-marks
+    /// machinery itself — no shadow stack.
+    pub fn marks(&self) -> Value {
+        self.head.marks.clone()
+    }
 }
 
 /// The outcome of one fuel slice of a sliced run.
@@ -234,6 +246,12 @@ pub struct Machine {
     pub config: MachineConfig,
     /// Event counters.
     pub stats: MachineStats,
+    /// The event journal behind `cm-trace`. Empty (and never written)
+    /// unless [`MachineConfig::trace`] is on; every counter in
+    /// [`Machine::stats`] and every journal record flow through the same
+    /// [`Machine::trace`] hook, so with tracing enabled the per-kind
+    /// journal totals equal the stats counters by construction.
+    pub journal: TraceJournal,
     /// Captured output of `display`/`write`/`newline`.
     pub output: String,
     fuel: Option<u64>,
@@ -282,6 +300,11 @@ impl Machine {
     pub fn with_globals(config: MachineConfig, globals: Rc<RefCell<Globals>>) -> Machine {
         prims::install(&mut globals.borrow_mut());
         let fuel = config.fuel;
+        let journal = if config.trace {
+            TraceJournal::with_capacity(config.trace_capacity)
+        } else {
+            TraceJournal::with_capacity(0)
+        };
         Machine {
             stack: Vec::new(),
             frames: Vec::new(),
@@ -294,6 +317,7 @@ impl Machine {
             globals,
             config,
             stats: MachineStats::default(),
+            journal,
             output: String::new(),
             fuel,
             slice_mode: false,
@@ -302,6 +326,24 @@ impl Machine {
             prim_count: 0,
             nested_depth: 0,
             winder_counter: 0,
+        }
+    }
+
+    /// Announces one continuation-machinery event: bumps the mirrored
+    /// stats counter and, when [`MachineConfig::trace`] is on, journals
+    /// the event with the current step index and live frame depth.
+    ///
+    /// Every counted event in the machine goes through here (there are no
+    /// direct `stats.x += 1` sites left), which is what makes the
+    /// counter/journal consistency invariant structural. The disabled
+    /// path is one branch; this must stay unconditional — never behind
+    /// `debug_assertions` — so release tracing works (CI greps for that).
+    #[inline]
+    pub(crate) fn trace(&mut self, kind: TraceKind) {
+        kind.bump(&mut self.stats);
+        if self.config.trace {
+            self.journal
+                .record(kind, self.stats.steps_executed, self.frames.len());
         }
     }
 
@@ -420,7 +462,7 @@ impl Machine {
         self.ensure_idle();
         self.arm_limits();
         self.begin_slice(slice);
-        self.stats.resumes += 1;
+        self.trace(TraceKind::Resume);
         let SuspendedRun {
             head,
             base_marks,
@@ -452,12 +494,12 @@ impl Machine {
             && !self.config.fault_plan.force_clone
             && Rc::strong_count(&head) == 1;
         let seg = if fuse {
-            self.stats.fusions += 1;
+            self.trace(TraceKind::Fuse);
             head.seg.borrow_mut().take().ok_or_else(|| {
                 VmError::internal_recoverable("resume", "suspended segment already fused away")
             })?
         } else {
-            self.stats.copies += 1;
+            self.trace(TraceKind::Copy);
             head.seg.borrow().as_ref().cloned().ok_or_else(|| {
                 VmError::internal_recoverable("resume", "suspended segment already fused away")
             })?
@@ -486,7 +528,7 @@ impl Machine {
         match r {
             Ok(LoopExit::Done(v)) => self.finish_run(Ok(v)).map(RunStatus::Done),
             Ok(LoopExit::Suspended) => {
-                self.stats.suspensions += 1;
+                self.trace(TraceKind::Suspend);
                 self.freeze_current(self.marks.clone());
                 if self.config.check_invariants {
                     if let Err(msg) = self.check_invariants() {
@@ -639,7 +681,7 @@ impl Machine {
                     *fuel -= 1;
                 }
             }
-            self.stats.steps_executed += 1;
+            self.trace(TraceKind::Step);
             tick = tick.wrapping_add(1);
             if tick & 1023 == 0 {
                 if let Some(at) = self.deadline_at {
@@ -786,10 +828,11 @@ impl Machine {
                 Instr::PushAttach => {
                     let v = self.pop_value("push-attach")?;
                     self.marks = Value::cons(v, self.marks.clone());
-                    self.stats.attachments_pushed += 1;
+                    self.trace(TraceKind::AttachPush);
                 }
                 Instr::PopAttach => {
                     self.marks = self.marks_rest()?;
+                    self.trace(TraceKind::AttachPop);
                 }
                 Instr::SetAttach => {
                     let v = self.pop_value("set-attach")?;
@@ -818,6 +861,7 @@ impl Machine {
                             VmError::internal_recoverable("consume-attach", "marks register empty")
                         })?;
                         self.marks = self.marks_rest()?;
+                        self.trace(TraceKind::AttachPop);
                         v
                     } else {
                         dflt
@@ -835,6 +879,7 @@ impl Machine {
                         VmError::other("attachment expected but marks register empty")
                     })?;
                     self.marks = self.marks_rest()?;
+                    self.trace(TraceKind::AttachPop);
                     self.stack.push(v);
                 }
                 Instr::CurrentAttachments => {
@@ -842,7 +887,7 @@ impl Machine {
                 }
                 Instr::EagerPushFrame => {
                     self.mark_stack.push(Vec::new());
-                    self.stats.mark_stack_pushes += 1;
+                    self.trace(TraceKind::MarkStackPush);
                 }
                 Instr::EagerPopFrame => {
                     self.mark_stack.pop();
@@ -924,7 +969,7 @@ impl Machine {
         match mode {
             CallMode::NonTail => {
                 if self.frames.len() >= self.config.segment_frame_limit {
-                    self.stats.overflow_splits += 1;
+                    self.trace(TraceKind::OverflowSplit);
                     self.freeze_current(self.marks.clone());
                 }
                 self.push_frame(cl.code.clone(), Some(cl), args)?;
@@ -935,7 +980,7 @@ impl Machine {
                 // frame of a non-tail with-continuation-mark); the
                 // callee's return pops it.
                 if self.frames.len() >= self.config.segment_frame_limit {
-                    self.stats.overflow_splits += 1;
+                    self.trace(TraceKind::OverflowSplit);
                     self.freeze_current(self.marks.clone());
                 }
                 self.push_frame_no_entry(cl.code.clone(), Some(cl), args)?;
@@ -957,7 +1002,7 @@ impl Machine {
                 // §7.2 case (b): reify with (cdr marks) in the underflow
                 // record so the attachment pops when the callee returns.
                 let rest = self.marks_rest()?;
-                self.stats.reifications += 1;
+                self.trace(TraceKind::Reify);
                 self.freeze_current(rest);
                 self.push_frame(cl.code.clone(), Some(cl), args)?;
             }
@@ -997,6 +1042,7 @@ impl Machine {
                 // reification can be skipped entirely; just pop the
                 // attachment now that the wcm body is done.
                 self.marks = self.marks_rest()?;
+                self.trace(TraceKind::AttachPop);
                 self.deliver(v)
             }
             CallMode::EagerShared => {
@@ -1027,7 +1073,7 @@ impl Machine {
         self.push_frame_no_entry(code, closure, args)?;
         if self.eager_marks() {
             self.mark_stack.push(Vec::new());
-            self.stats.mark_stack_pushes += 1;
+            self.trace(TraceKind::MarkStackPush);
         }
         Ok(())
     }
@@ -1093,7 +1139,7 @@ impl Machine {
         loop {
             match self.next.take() {
                 Some(u) => {
-                    self.stats.underflows += 1;
+                    self.trace(TraceKind::Underflow);
                     self.marks = u.marks.clone();
                     self.next = u.next.clone();
                     let fuse = self.config.one_shot_fusion
@@ -1103,12 +1149,12 @@ impl Machine {
                         // Opportunistic one-shot: nothing else can resume
                         // this record, so fuse the segment back without
                         // copying (§6).
-                        self.stats.fusions += 1;
+                        self.trace(TraceKind::Fuse);
                         u.seg.borrow_mut().take().ok_or_else(|| {
                             VmError::internal_recoverable("underflow", "segment already fused away")
                         })?
                     } else {
-                        self.stats.copies += 1;
+                        self.trace(TraceKind::Copy);
                         u.seg.borrow().as_ref().cloned().ok_or_else(|| {
                             VmError::internal_recoverable("underflow", "segment already fused away")
                         })?
@@ -1156,7 +1202,7 @@ impl Machine {
         if self.frames.len() <= 1 {
             return;
         }
-        self.stats.reifications += 1;
+        self.trace(TraceKind::Reify);
         let Some(mut top) = self.frames.pop() else {
             // Unreachable: the length was checked above.
             return;
@@ -1220,7 +1266,7 @@ impl Machine {
             self.marks.clone()
         };
         self.marks = Value::cons(v, rest);
-        self.stats.attachments_pushed += 1;
+        self.trace(TraceKind::AttachPush);
         Ok(())
     }
 
@@ -1252,7 +1298,7 @@ impl Machine {
                 } else {
                     head
                 };
-                self.stats.captures += 1;
+                self.trace(TraceKind::Capture);
                 if self.config.wrapped_control {
                     // Model the Racket CS wrapper: extra allocations for
                     // the wrapper record and saved winder/mark state.
@@ -1338,7 +1384,7 @@ impl Machine {
                         } else if self.frames.is_empty() {
                             self.marks.clone()
                         } else {
-                            self.stats.reifications += 1;
+                            self.trace(TraceKind::Reify);
                             self.freeze_current(self.marks.clone());
                             self.marks.clone()
                         };
@@ -1347,11 +1393,11 @@ impl Machine {
                     // Uniform non-tail path: always reify a fresh
                     // conceptual frame (this is the unoptimized `call/cm`
                     // expansion the compiler avoids in §7.2).
-                    self.stats.reifications += 1;
+                    self.trace(TraceKind::Reify);
                     self.freeze_current(self.marks.clone());
                     self.marks = Value::cons(val, self.marks.clone());
                 }
-                self.stats.attachments_pushed += 1;
+                self.trace(TraceKind::AttachPush);
                 self.do_call(thunk, vec![], CallMode::NonTail)
             }
             ControlOp::CallGettingAttachment | ControlOp::CallConsumingAttachment => {
@@ -1370,6 +1416,7 @@ impl Machine {
                     })?;
                     if op == ControlOp::CallConsumingAttachment {
                         self.marks = self.marks_rest()?;
+                        self.trace(TraceKind::AttachPop);
                     }
                     v
                 } else {
@@ -1399,7 +1446,7 @@ impl Machine {
                 // Reify so the pending attachment pops on return, then
                 // treat as non-tail on the fresh segment.
                 let rest = self.marks_rest()?;
-                self.stats.reifications += 1;
+                self.trace(TraceKind::Reify);
                 self.freeze_current(rest);
                 Ok(())
             }
@@ -1468,8 +1515,14 @@ impl Machine {
     /// Runs a winder thunk in a nested execution with the winder's saved
     /// marks installed (paper footnote 4).
     fn run_winder_thunk(&mut self, thunk: Value, marks: Value) -> VmResult<()> {
-        self.stats.winders_run += 1;
-        self.run_nested(thunk, Vec::new(), marks).map(drop)
+        self.trace(TraceKind::WinderEnter);
+        let r = self.run_nested(thunk, Vec::new(), marks).map(drop);
+        if r.is_ok() {
+            // Journal-only: a winder that faults enters but never leaves,
+            // so `WinderLeave` has no mirrored counter.
+            self.trace(TraceKind::WinderLeave);
+        }
+        r
     }
 
     /// Runs `f(args)` to completion in a nested execution context.
@@ -1532,9 +1585,9 @@ impl Machine {
     pub(crate) fn note_prim_call(&mut self, site: &'static str) -> VmResult<()> {
         let n = self.prim_count;
         self.prim_count += 1;
-        self.stats.prim_calls += 1;
+        self.trace(TraceKind::PrimCall);
         if self.config.fault_plan.fail_prim_at == Some(n) {
-            self.stats.injected_faults += 1;
+            self.trace(TraceKind::InjectedFault);
             return Err(VmErrorKind::InjectedFault {
                 site: site.to_string(),
                 at: n,
@@ -1659,7 +1712,7 @@ impl Machine {
             });
             cur = u.next.clone();
         }
-        self.stats.captures += 1;
+        self.trace(TraceKind::Capture);
         Ok(Value::Cont(Rc::new(ContData {
             kind: ContKind::Composable(CompData {
                 top_seg,
@@ -2240,6 +2293,71 @@ mod tests {
         assert!(matches!(err.kind, VmErrorKind::WrongType { .. }));
         assert!(m.is_idle());
         m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn traced_run_keeps_counter_journal_consistency() {
+        // Attachment traffic + sliced suspension/resume with tracing on:
+        // every counter must equal its journal total, and the journal
+        // must actually hold events with sane step/depth payloads.
+        let instrs = vec![
+            Instr::Const(0),
+            Instr::PushAttach,
+            Instr::CurrentAttachments,
+            Instr::PopAttach,
+            Instr::Return,
+        ];
+        let code = Rc::new(Code::build(
+            "traced",
+            0,
+            false,
+            instrs,
+            vec![Value::symbol("mark")],
+            vec![],
+        ));
+        let mut m = Machine::new(MachineConfig::default().with_trace(true));
+        let mut status = m.run_code_sliced(code, 1).unwrap();
+        loop {
+            match status {
+                RunStatus::Done(_) => break,
+                RunStatus::Suspended(run) => {
+                    assert!(matches!(run.marks(), Value::Nil | Value::Pair(_)));
+                    status = m.resume(run, 1).unwrap();
+                }
+            }
+        }
+        m.journal.verify_consistency(&m.stats).unwrap();
+        assert_eq!(m.journal.count_of(TraceKind::AttachPush), 1);
+        assert_eq!(m.journal.count_of(TraceKind::AttachPop), 1);
+        assert!(m.journal.count_of(TraceKind::Suspend) >= 4);
+        assert!(!m.journal.is_empty());
+        let mut last_step = 0;
+        for ev in m.journal.events() {
+            assert!(ev.step >= last_step, "journal steps not monotone");
+            last_step = ev.step;
+        }
+    }
+
+    #[test]
+    fn untraced_machine_journals_nothing() {
+        let code = Rc::new(Code::build(
+            "plain",
+            0,
+            false,
+            vec![
+                Instr::Const(0),
+                Instr::PushAttach,
+                Instr::Const(0),
+                Instr::Return,
+            ],
+            vec![Value::fixnum(1)],
+            vec![],
+        ));
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_code(code).unwrap();
+        assert!(m.journal.is_empty());
+        assert_eq!(m.journal.count_of(TraceKind::AttachPush), 0);
+        assert!(m.stats.attachments_pushed >= 1);
     }
 
     #[test]

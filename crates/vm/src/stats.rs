@@ -24,6 +24,11 @@ pub struct MachineStats {
     pub overflow_splits: u64,
     /// Attachments pushed onto the marks register.
     pub attachments_pushed: u64,
+    /// Attachments explicitly popped from the marks register (the
+    /// compiled pop/consume forms). Pops that happen "for free" at
+    /// underflow — the paper's design point — are counted by
+    /// `underflows`, not here; replacing updates count as pushes only.
+    pub attachments_popped: u64,
     /// Non-tail calls that paid the eager-mark-stack tax (only nonzero in
     /// [`MarkModel::EagerMarkStack`](crate::MarkModel) mode).
     pub mark_stack_pushes: u64,
@@ -53,19 +58,107 @@ impl MachineStats {
     pub fn reset(&mut self) {
         *self = MachineStats::default();
     }
+
+    /// Every counter with its field name, in declaration order.
+    ///
+    /// Exhaustive by construction (the destructuring below fails to
+    /// compile when a field is added), so tests iterating this accessor —
+    /// the all-fields `reset` round-trip, the counter/journal consistency
+    /// suite — cannot silently skip a new counter.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        let MachineStats {
+            captures,
+            reifications,
+            underflows,
+            fusions,
+            copies,
+            overflow_splits,
+            attachments_pushed,
+            attachments_popped,
+            mark_stack_pushes,
+            winders_run,
+            prim_calls,
+            injected_faults,
+            steps_executed,
+            suspensions,
+            resumes,
+        } = *self;
+        vec![
+            ("captures", captures),
+            ("reifications", reifications),
+            ("underflows", underflows),
+            ("fusions", fusions),
+            ("copies", copies),
+            ("overflow_splits", overflow_splits),
+            ("attachments_pushed", attachments_pushed),
+            ("attachments_popped", attachments_popped),
+            ("mark_stack_pushes", mark_stack_pushes),
+            ("winders_run", winders_run),
+            ("prim_calls", prim_calls),
+            ("injected_faults", injected_faults),
+            ("steps_executed", steps_executed),
+            ("suspensions", suspensions),
+            ("resumes", resumes),
+        ]
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Builds a stats value with every field set to a distinct nonzero
+    /// value, keyed off `fields()` so a new counter is picked up (and a
+    /// forgotten `fields()` entry fails the count assertion below).
+    fn all_nonzero() -> MachineStats {
+        let mut s = MachineStats::default();
+        let names: Vec<&'static str> = s.fields().iter().map(|(n, _)| *n).collect();
+        for (i, name) in names.iter().enumerate() {
+            let v = (i as u64) + 1;
+            match *name {
+                "captures" => s.captures = v,
+                "reifications" => s.reifications = v,
+                "underflows" => s.underflows = v,
+                "fusions" => s.fusions = v,
+                "copies" => s.copies = v,
+                "overflow_splits" => s.overflow_splits = v,
+                "attachments_pushed" => s.attachments_pushed = v,
+                "attachments_popped" => s.attachments_popped = v,
+                "mark_stack_pushes" => s.mark_stack_pushes = v,
+                "winders_run" => s.winders_run = v,
+                "prim_calls" => s.prim_calls = v,
+                "injected_faults" => s.injected_faults = v,
+                "steps_executed" => s.steps_executed = v,
+                "suspensions" => s.suspensions = v,
+                "resumes" => s.resumes = v,
+                other => panic!("fields() lists {other}, but all_nonzero cannot set it"),
+            }
+        }
+        s
+    }
+
     #[test]
-    fn reset_zeroes() {
-        let mut s = MachineStats {
-            captures: 3,
-            ..Default::default()
-        };
+    fn reset_zeroes_every_field() {
+        let mut s = all_nonzero();
+        // Every field really was set to a distinct nonzero value...
+        for (name, v) in s.fields() {
+            assert_ne!(v, 0, "field {name} was not populated");
+        }
+        let distinct: std::collections::HashSet<u64> = s.fields().iter().map(|(_, v)| *v).collect();
+        assert_eq!(distinct.len(), s.fields().len());
+        // ...and reset zeroes all of them.
         s.reset();
+        for (name, v) in s.fields() {
+            assert_eq!(v, 0, "reset left field {name} at {v}");
+        }
         assert_eq!(s, MachineStats::default());
+    }
+
+    #[test]
+    fn fields_is_exhaustive_and_distinct() {
+        let s = MachineStats::default();
+        let names: Vec<&'static str> = s.fields().iter().map(|(n, _)| *n).collect();
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate names in fields()");
     }
 }

@@ -8,9 +8,10 @@
 //! `Just`, `prop_oneof!`, and the `proptest!` / `prop_assert*` macros.
 //!
 //! Generation is deterministic: every test function derives its RNG seed
-//! from its own name, so failures are reproducible run-to-run. This is a
-//! test-quality trade-off (no shrinking, no persistence), accepted to keep
-//! the workspace self-contained.
+//! from its own name, so failures are reproducible run-to-run. There is
+//! no integrated shrinking on the generation path, but the [`shrink`]
+//! module offers a greedy structural minimizer that tests can drive
+//! explicitly with a domain-specific candidate function.
 
 pub mod test_runner {
     //! Configuration, RNG, and failure plumbing for generated tests.
@@ -520,11 +521,76 @@ pub mod collection {
     }
 }
 
+pub mod shrink {
+    //! A greedy counterexample minimizer.
+    //!
+    //! The generation path has no integrated shrinking, so tests that
+    //! want small counterexamples call [`minimize`] with a
+    //! domain-specific `candidates` function (smaller variants of a
+    //! failing value) and a `failing` predicate. The minimizer
+    //! hill-climbs: it keeps the first candidate that still fails and
+    //! repeats until no candidate fails or the round budget runs out.
+
+    /// Greedily minimizes `value` while `failing` stays true.
+    ///
+    /// `candidates` should return strictly "smaller" variants —
+    /// subterms, pruned branches, simplified leaves — ordered most
+    /// aggressive first. Termination relies on candidates being
+    /// smaller; `max_rounds` bounds the walk regardless.
+    pub fn minimize<T>(
+        mut value: T,
+        candidates: impl Fn(&T) -> Vec<T>,
+        failing: impl Fn(&T) -> bool,
+        max_rounds: usize,
+    ) -> T {
+        for _ in 0..max_rounds {
+            let Some(next) = candidates(&value).into_iter().find(|c| failing(c)) else {
+                break;
+            };
+            value = next;
+        }
+        value
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn minimize_finds_smallest_failing_vector() {
+            // Failure: vector contains a 7. Candidates: drop one element.
+            let start = vec![3, 7, 1, 7, 9];
+            let min = minimize(
+                start,
+                |v: &Vec<i32>| {
+                    (0..v.len())
+                        .map(|i| {
+                            let mut c = v.clone();
+                            c.remove(i);
+                            c
+                        })
+                        .collect()
+                },
+                |v| v.contains(&7),
+                100,
+            );
+            assert_eq!(min, vec![7]);
+        }
+
+        #[test]
+        fn minimize_returns_input_when_nothing_smaller_fails() {
+            let min = minimize(5u32, |_| vec![0, 1], |v| *v == 5, 10);
+            assert_eq!(min, 5);
+        }
+    }
+}
+
 pub mod prelude {
     //! One-stop imports mirroring `proptest::prelude`.
 
     pub use crate as prop;
     pub use crate::arbitrary::any;
+    pub use crate::shrink::minimize;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
     pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};

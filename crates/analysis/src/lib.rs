@@ -41,6 +41,8 @@
 //! (mismatch is a verification error, as in the JVM) and meet `Presence`
 //! to [`Presence::Dynamic`].
 
+pub mod markflow;
+
 use std::fmt;
 
 use cm_vm::{Code, Instr, MarkModel};

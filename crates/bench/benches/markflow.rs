@@ -1,0 +1,31 @@
+//! Mark-flow ablation: the full system (config 7) vs the
+//! interprocedural mark-flow optimizer (config 8) on the mark-heavy
+//! shapes the §7.2 local categorization cannot improve.
+
+use cm_core::{Engine, EngineConfig};
+use cm_workloads::{load_into, markflow_micros, run_scaled};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markflow");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for w in markflow_micros() {
+        let n = (w.bench_n / 60).max(1);
+        for (label, config) in [
+            ("full", EngineConfig::full()),
+            ("mark-flow", EngineConfig::mark_flow()),
+        ] {
+            let mut engine = Engine::new(config);
+            load_into(&mut engine, w);
+            group.bench_with_input(BenchmarkId::new(label, w.name), &n, |b, &n| {
+                b.iter(|| run_scaled(&mut engine, w, n).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Emits `BENCH_markflow.json`: the full system (config 7) vs the
+//! interprocedural mark-flow optimizer (config 8) on the mark-heavy
+//! workload group, with wall-clock timings *and* the machine's exact
+//! event counters (reifications, attachment pushes/pops) — the
+//! counters, not the timings, are the optimizer's proof of work, so
+//! the file is meaningful on any machine.
+//!
+//! ```text
+//! markflow_bench [OUT.json]    # default: BENCH_markflow.json
+//! ```
+
+use cm_bench::measure;
+use cm_core::{Engine, EngineConfig};
+use cm_vm::MachineStats;
+use cm_workloads::{load_into, markflow_micros, run_scaled, Workload};
+
+/// One measured run at `n`: event counters from a single counted run.
+fn counters(config: EngineConfig, w: &Workload, n: i64) -> MachineStats {
+    let mut engine = Engine::new(config);
+    load_into(&mut engine, w);
+    engine.reset_stats();
+    run_scaled(&mut engine, w, n).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    engine.stats()
+}
+
+fn side(out: &mut String, label: &str, config: EngineConfig, w: &Workload, n: i64, runs: usize) {
+    let stats = counters(config.clone(), w, n);
+    let mut engine = Engine::new(config);
+    let m = measure(&mut engine, w, n, runs);
+    out.push_str(&format!(
+        "      \"{label}\": {{\"mean-ms\": {:.3}, \"stdev-ms\": {:.3}, \
+         \"reifications\": {}, \"attachments-pushed\": {}, \"attachments-popped\": {}}}",
+        m.mean_ms,
+        m.stdev_ms,
+        stats.reifications,
+        stats.attachments_pushed,
+        stats.attachments_popped
+    ));
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_markflow.json".to_owned());
+    let runs = 5;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"cm-bench-markflow-v1\",\n");
+    out.push_str("  \"group\": \"markflow-micros\",\n");
+    out.push_str("  \"configs\": [\"full\", \"mark-flow\"],\n");
+    out.push_str("  \"workloads\": [\n");
+    let ws = markflow_micros();
+    for (i, w) in ws.iter().enumerate() {
+        let n = (w.bench_n / 10).max(1);
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        out.push_str(&format!("      \"n\": {n},\n"));
+        side(&mut out, "full", EngineConfig::full(), w, n, runs);
+        out.push_str(",\n");
+        side(&mut out, "mark-flow", EngineConfig::mark_flow(), w, n, runs);
+        out.push('\n');
+        out.push_str(if i + 1 == ws.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+
+        // Sanity: the optimizer must show up in the counters, or the
+        // published file is advertising a no-op.
+        let full = counters(EngineConfig::full(), w, n);
+        let mf = counters(EngineConfig::mark_flow(), w, n);
+        assert!(
+            mf.reifications < full.reifications || mf.attachments_pushed < full.attachments_pushed,
+            "{}: mark-flow elided nothing (full: {} reifications / {} pushes, \
+             mark-flow: {} / {})",
+            w.name,
+            full.reifications,
+            full.attachments_pushed,
+            mf.reifications,
+            mf.attachments_pushed
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &out).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -142,8 +142,10 @@ impl Expr {
     /// observer could distinguish an extra continuation frame around it.
     /// Conservative. Calls are opaque (the callee might inspect its
     /// immediate attachment); attachment operations are opaque by
-    /// definition; recognized primitives are transparent because they
-    /// neither tail-call nor inspect.
+    /// definition; recognized primitives defer to the per-`PrimOp`
+    /// transparency table in `cm_vm::prim_attachment_transparent`, the
+    /// single source of truth shared with the interprocedural mark-flow
+    /// analysis.
     pub fn attachment_transparent(&self) -> bool {
         match self {
             Expr::Quote(_) | Expr::LocalRef(_) | Expr::GlobalRef(_) | Expr::Lambda(_) => true,
@@ -158,7 +160,10 @@ impl Expr {
                     && body.attachment_transparent()
             }
             Expr::SetLocal(_, e) | Expr::SetGlobal(_, e) => e.attachment_transparent(),
-            Expr::PrimApp { rands, .. } => rands.iter().all(Expr::attachment_transparent),
+            Expr::PrimApp { op, rands } => {
+                cm_vm::prim_attachment_transparent(*op)
+                    && rands.iter().all(Expr::attachment_transparent)
+            }
             Expr::Call { .. }
             | Expr::Wcm { .. }
             | Expr::SetAttachment { .. }

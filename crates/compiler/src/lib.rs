@@ -33,12 +33,15 @@ pub mod cp0;
 pub mod expand;
 pub mod lint;
 pub mod lower;
+pub mod markflow;
 
 use std::cell::RefCell;
+use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
-use cm_sexpr::{Datum, Span};
+use cm_analysis::markflow::{MarkFlowFacts, TrustedObservers};
+use cm_sexpr::{Datum, Span, Sym};
 use cm_vm::{Code, Globals, MarkModel};
 
 use ast::TopForm;
@@ -94,6 +97,12 @@ pub struct CompilerConfig {
     /// discipline) and the §7.4 cp0 frame-collapse lint. Defaults to on
     /// in debug builds.
     pub verify_bytecode: bool,
+    /// Run the interprocedural mark-flow analysis over each compiled
+    /// program and apply its proven-safe rewrites (dead-key mark
+    /// elision and `call/attach` → `call` + `pop-attach`). The eighth
+    /// engine config; requires [`Compiler::enable_mark_flow`] to supply
+    /// the prelude observer summaries before it takes effect.
+    pub mark_flow_opt: bool,
 }
 
 impl Default for CompilerConfig {
@@ -105,6 +114,7 @@ impl Default for CompilerConfig {
             prim_attachment_opt: true,
             mark_model: MarkModel::Attachments,
             verify_bytecode: cfg!(debug_assertions),
+            mark_flow_opt: false,
         }
     }
 }
@@ -125,6 +135,18 @@ pub struct Compiler {
     config: CompilerConfig,
     var_counter: u32,
     lints: Vec<lint::Finding>,
+    mark_flow: Option<MarkFlowState>,
+    mark_flow_facts: Option<MarkFlowFacts>,
+}
+
+/// Session state for the interprocedural mark-flow pass.
+struct MarkFlowState {
+    /// Prelude observer summaries (built by `cm-core` after prelude
+    /// load — the compiler itself has no prelude knowledge).
+    trusted: TrustedObservers,
+    /// Apply the proven-safe rewrites; `false` = facts-only mode
+    /// (`cm-verify --facts`).
+    apply: bool,
 }
 
 impl Compiler {
@@ -136,6 +158,8 @@ impl Compiler {
             config,
             var_counter: 0,
             lints: Vec::new(),
+            mark_flow: None,
+            mark_flow_facts: None,
         }
     }
 
@@ -153,6 +177,21 @@ impl Compiler {
     /// §7.4 miscompilation class is expected and measurable.
     pub fn take_lints(&mut self) -> Vec<lint::Finding> {
         std::mem::take(&mut self.lints)
+    }
+
+    /// Arms the interprocedural mark-flow pass for subsequent
+    /// compilations. `trusted` carries the prelude observer summaries
+    /// (built by `cm-core` once the prelude is loaded); with `apply`
+    /// false the pass only computes facts (`cm-verify --facts`)
+    /// without rewriting anything.
+    pub fn enable_mark_flow(&mut self, trusted: TrustedObservers, apply: bool) {
+        self.mark_flow = Some(MarkFlowState { trusted, apply });
+    }
+
+    /// Takes the mark-flow facts from the most recent compilation, if
+    /// the pass was armed for it.
+    pub fn take_mark_flow_facts(&mut self) -> Option<MarkFlowFacts> {
+        self.mark_flow_facts.take()
     }
 
     /// Compiles source text to a runnable code object.
@@ -186,7 +225,11 @@ impl Compiler {
         let mut supply = lower::VarSupply::starting_at(self.var_counter);
         let verify = self.config.verify_bytecode;
         let mut findings = Vec::new();
-        let forms: Vec<TopForm> = forms
+        // cp0 runs once (with the §7.4 lint diff alongside it); the
+        // optimized-but-not-yet-lowered tree is kept so the mark-flow
+        // pass can re-lower after dead-key elision without re-running
+        // cp0 or double-reporting lints.
+        let optimized: Vec<TopForm> = forms
             .into_iter()
             .map(|f| {
                 let mut run = |e| {
@@ -196,7 +239,7 @@ impl Compiler {
                     if let Some(before) = before {
                         findings.extend(lint::diff(&before, &lint::frame_profile(&optimized)));
                     }
-                    lower::lower(optimized, &self.config, &mut supply)
+                    optimized
                 };
                 match f {
                     TopForm::Define(n, e) => TopForm::Define(n, run(e)),
@@ -219,22 +262,101 @@ impl Compiler {
             }
             self.lints.extend(findings);
         }
-        let code = codegen::gen_program(&forms, &self.globals, &self.config);
+        // The mark-flow pass targets the attachments representation;
+        // the eager mark-stack baseline keeps its historical codegen.
+        let code = if self.mark_flow.is_some() && !self.config.eager_marks() {
+            self.compile_mark_flow(optimized, &mut supply)?
+        } else {
+            self.lower_and_gen(optimized, &mut supply)
+        };
         if verify {
             if let Err(violations) = cm_analysis::verify(&code, self.config.mark_model) {
-                let mut message = String::from("bytecode verification failed:\n");
-                for v in &violations {
-                    message.push_str(&format!("  {v}\n"));
-                }
-                message.push_str("disassembly:\n");
-                message.push_str(&code.disassemble());
-                return Err(CompileError {
-                    message,
-                    span: Span::new(0, 0),
-                });
+                return Err(verification_error(&code, &violations));
             }
         }
         Ok(code)
+    }
+
+    /// Lowering and codegen for one already-cp0'd program.
+    fn lower_and_gen(&self, forms: Vec<TopForm>, supply: &mut lower::VarSupply) -> Rc<Code> {
+        let lowered: Vec<TopForm> = forms
+            .into_iter()
+            .map(|f| match f {
+                TopForm::Define(n, e) => TopForm::Define(n, lower::lower(e, &self.config, supply)),
+                TopForm::Expr(e) => TopForm::Expr(lower::lower(e, &self.config, supply)),
+            })
+            .collect();
+        codegen::gen_program(&lowered, &self.globals, &self.config)
+    }
+
+    /// The mark-flow compilation path: generate once, analyze, elide
+    /// dead-key marks (regenerating from the saved cp0 tree), rewrite
+    /// non-observing `call/attach` sites, and re-verify the result
+    /// unconditionally — the optimizer's soundness argument is that the
+    /// abstract-interpretation verifier accepts every output.
+    fn compile_mark_flow(
+        &mut self,
+        optimized: Vec<TopForm>,
+        supply: &mut lower::VarSupply,
+    ) -> Result<Rc<Code>, CompileError> {
+        let apply = self.mark_flow.as_ref().is_some_and(|m| m.apply);
+        let expr_facts = markflow::collect_expr_facts(&optimized);
+        let (code0, saved) = if apply {
+            (
+                self.lower_and_gen(optimized.clone(), supply),
+                Some(optimized),
+            )
+        } else {
+            (self.lower_and_gen(optimized, supply), None)
+        };
+        let analyze = |me: &Compiler, code: &Rc<Code>| {
+            let globals = me.globals.borrow();
+            let trusted = &me.mark_flow.as_ref().expect("mark-flow armed").trusted;
+            cm_analysis::markflow::analyze(code, &globals, trusted, &expr_facts)
+        };
+        let mut facts = analyze(self, &code0);
+        let mut code = code0;
+        let mut elided = 0;
+        if let Some(saved) = saved {
+            if !facts.dead_key_syms.is_empty() {
+                let dead: HashSet<Sym> = facts.dead_key_syms.iter().copied().collect();
+                let (elided_forms, n) = markflow::elide_dead_wcms(saved, &dead);
+                if n > 0 {
+                    elided = n;
+                    code = self.lower_and_gen(elided_forms, supply);
+                    // Call-site offsets moved: the rewrite facts must
+                    // come from the code actually being rewritten.
+                    facts = analyze(self, &code);
+                }
+            }
+        }
+        facts.elided_wcms = elided;
+        if apply {
+            let rewritten = cm_analysis::markflow::apply_rewrites(&code, &mut facts);
+            if elided > 0 || !Rc::ptr_eq(&rewritten, &code) {
+                // Soundness by construction, even in release builds
+                // where `verify_bytecode` defaults off.
+                if let Err(violations) = cm_analysis::verify(&rewritten, self.config.mark_model) {
+                    return Err(verification_error(&rewritten, &violations));
+                }
+            }
+            code = rewritten;
+        }
+        self.mark_flow_facts = Some(facts);
+        Ok(code)
+    }
+}
+
+fn verification_error(code: &Code, violations: &[cm_analysis::Violation]) -> CompileError {
+    let mut message = String::from("bytecode verification failed:\n");
+    for v in violations {
+        message.push_str(&format!("  {v}\n"));
+    }
+    message.push_str("disassembly:\n");
+    message.push_str(&code.disassemble());
+    CompileError {
+        message,
+        span: Span::new(0, 0),
     }
 }
 

@@ -1,0 +1,292 @@
+//! Expression-level support for the interprocedural mark-flow pass.
+//!
+//! The bytecode-level analysis in `cm_analysis::markflow` cannot see which
+//! mark keys a program sets or observes generically, because lowering a
+//! `with-continuation-mark` itself emits attachment instructions (the
+//! consume-and-merge protocol) that would poison any bytecode-level
+//! detection. So the compiler collects key facts *before* lowering:
+//!
+//! * every `(with-continuation-mark 'k v body)` with a literal symbol key
+//!   contributes `k` to the set-key universe;
+//! * any syntactic access to generic attachment state — the raw attachment
+//!   API, `current-continuation-marks`, mark-set iterators, or an
+//!   unrecognized reference to an observer primitive — makes *every* key
+//!   observable (`observes_all`), because a reified mark set can be
+//!   inspected for any key later.
+//!
+//! Key-specific observers (`continuation-mark-set-first`,
+//! `continuation-mark-set->list`) are deliberately *not* in the generic
+//! list: the bytecode analysis models them precisely through
+//! [`cm_analysis::markflow::TrustedObservers`] summaries.
+//!
+//! [`elide_dead_wcms`] then rewrites `(with-continuation-mark 'k v body)`
+//! to `(begin v body)` for keys the whole-program analysis proved dead.
+//! The rewrite is sound because (a) lowering would consume the current
+//! immediate attachment *before* `v` runs and merge `k` into it — a
+//! key-specific observer of any *other* key sees the same frame contents
+//! either way, and a generic observer forces `observes_all`, emptying the
+//! dead set; and (b) the guard requires `v` to be attachment-transparent,
+//! so evaluating it outside the consume/merge protocol is unobservable.
+
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use cm_analysis::markflow::ExprFacts;
+use cm_sexpr::Sym;
+use cm_vm::Value;
+
+use crate::ast::{Expr, LambdaExpr, TopForm};
+
+/// Global names whose mere mention gives the program generic access to
+/// attachment or mark-set state. References to any of these set
+/// [`ExprFacts::observes_all`]; recognized (lowered) uses of the raw
+/// attachment API show up as `Set/GetAttachment`/`CurrentAttachments`
+/// nodes and are caught structurally instead.
+const GENERIC_OBSERVER_NAMES: &[&str] = &[
+    // Raw attachment API (§6), unrecognized references.
+    "call-setting-continuation-attachment",
+    "call-getting-continuation-attachment",
+    "call-consuming-continuation-attachment",
+    "current-continuation-attachments",
+    "$call-setting-attachment",
+    "$call-getting-attachment",
+    "$call-consuming-attachment",
+    "$cont-attachments",
+    // Mark-set reification: once a set is first-class it can be probed
+    // for any key.
+    "current-continuation-marks",
+    "continuation-marks",
+    "continuation-mark-set->iterator",
+    // Takes a callback, so the key arg alone does not bound what the
+    // callback observes.
+    "call-with-immediate-continuation-mark",
+    // Native observer backends (prelude internals; user programs that
+    // name them get the conservative treatment).
+    "$marks-first",
+    "$marks->list",
+    "$eager-first",
+    "$eager-marks",
+    "$eager-immediate",
+    "$eager-all-marks",
+    "$eager-mark-set!",
+];
+
+/// Collects the pre-lowering key facts for a whole program.
+pub fn collect_expr_facts(forms: &[TopForm]) -> ExprFacts {
+    let generic: HashSet<Sym> = GENERIC_OBSERVER_NAMES
+        .iter()
+        .map(|n| cm_sexpr::sym(n))
+        .collect();
+    let mut facts = ExprFacts::default();
+    let mut seen: HashSet<Sym> = HashSet::new();
+    for form in forms {
+        let e = match form {
+            TopForm::Define(_, e) => e,
+            TopForm::Expr(e) => e,
+        };
+        e.walk(&mut |x| match x {
+            Expr::Wcm { key, .. } => {
+                if let Expr::Quote(Value::Sym(s)) = &**key {
+                    if seen.insert(*s) {
+                        facts.set_keys.push(*s);
+                    }
+                } else {
+                    // A computed key could be anything; treat every set
+                    // key as potentially aliased by it.
+                    facts.observes_all = true;
+                }
+            }
+            Expr::GlobalRef(s) if generic.contains(s) => {
+                facts.observes_all = true;
+            }
+            Expr::SetAttachment { .. } | Expr::GetAttachment { .. } | Expr::CurrentAttachments => {
+                facts.observes_all = true
+            }
+            _ => {}
+        });
+    }
+    facts
+}
+
+/// Rewrites `(with-continuation-mark 'k v body)` to `(begin v body)` for
+/// every `k` in `dead`, provided `v` is attachment-transparent. Returns
+/// the rewritten forms and the number of elisions performed.
+pub fn elide_dead_wcms(forms: Vec<TopForm>, dead: &HashSet<Sym>) -> (Vec<TopForm>, usize) {
+    let mut count = 0;
+    let forms = forms
+        .into_iter()
+        .map(|f| match f {
+            TopForm::Define(n, e) => TopForm::Define(n, elide(e, dead, &mut count)),
+            TopForm::Expr(e) => TopForm::Expr(elide(e, dead, &mut count)),
+        })
+        .collect();
+    (forms, count)
+}
+
+fn elide_box(mut e: Box<Expr>, dead: &HashSet<Sym>, count: &mut usize) -> Box<Expr> {
+    // Reuse the allocation instead of round-tripping through a fresh box.
+    let inner = std::mem::replace(&mut *e, Expr::Seq(Vec::new()));
+    *e = elide(inner, dead, count);
+    e
+}
+
+fn elide(e: Expr, dead: &HashSet<Sym>, count: &mut usize) -> Expr {
+    match e {
+        Expr::Quote(_) | Expr::LocalRef(_) | Expr::GlobalRef(_) | Expr::CurrentAttachments => e,
+        Expr::If(t, c, a) => Expr::If(
+            elide_box(t, dead, count),
+            elide_box(c, dead, count),
+            elide_box(a, dead, count),
+        ),
+        Expr::Seq(es) => Expr::Seq(es.into_iter().map(|x| elide(x, dead, count)).collect()),
+        Expr::Let { bindings, body } => Expr::Let {
+            bindings: bindings
+                .into_iter()
+                .map(|(v, x)| (v, elide(x, dead, count)))
+                .collect(),
+            body: elide_box(body, dead, count),
+        },
+        Expr::Lambda(l) => Expr::Lambda(Rc::new(LambdaExpr {
+            name: l.name.clone(),
+            params: l.params.clone(),
+            rest: l.rest,
+            body: elide(l.body.clone(), dead, count),
+        })),
+        Expr::SetLocal(v, x) => Expr::SetLocal(v, elide_box(x, dead, count)),
+        Expr::SetGlobal(s, x) => Expr::SetGlobal(s, elide_box(x, dead, count)),
+        Expr::Call { rator, rands } => Expr::Call {
+            rator: elide_box(rator, dead, count),
+            rands: rands.into_iter().map(|x| elide(x, dead, count)).collect(),
+        },
+        Expr::PrimApp { op, rands } => Expr::PrimApp {
+            op,
+            rands: rands.into_iter().map(|x| elide(x, dead, count)).collect(),
+        },
+        Expr::Wcm { key, val, body } => {
+            let key = elide_box(key, dead, count);
+            let val = elide_box(val, dead, count);
+            let body = elide_box(body, dead, count);
+            let is_dead = matches!(&*key, Expr::Quote(Value::Sym(s)) if dead.contains(s));
+            if is_dead && val.attachment_transparent() {
+                *count += 1;
+                // Keep `val` for its value-producing effects (it is
+                // attachment-transparent, not necessarily pure).
+                Expr::Seq(vec![*val, *body])
+            } else {
+                Expr::Wcm { key, val, body }
+            }
+        }
+        Expr::SetAttachment { val, body } => Expr::SetAttachment {
+            val: elide_box(val, dead, count),
+            body: elide_box(body, dead, count),
+        },
+        Expr::GetAttachment {
+            dflt,
+            var,
+            body,
+            consume,
+        } => Expr::GetAttachment {
+            dflt: elide_box(dflt, dead, count),
+            var,
+            body: elide_box(body, dead, count),
+            consume,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wcm(key: &str, val: Expr, body: Expr) -> Expr {
+        Expr::Wcm {
+            key: Box::new(Expr::Quote(Value::symbol(key))),
+            val: Box::new(val),
+            body: Box::new(body),
+        }
+    }
+
+    #[test]
+    fn collects_literal_keys_once() {
+        let forms = vec![
+            TopForm::Expr(wcm(
+                "a",
+                Expr::Quote(Value::fixnum(1)),
+                Expr::Quote(Value::fixnum(2)),
+            )),
+            TopForm::Expr(wcm(
+                "a",
+                Expr::Quote(Value::fixnum(3)),
+                Expr::Quote(Value::fixnum(4)),
+            )),
+            TopForm::Expr(wcm(
+                "b",
+                Expr::Quote(Value::fixnum(5)),
+                Expr::Quote(Value::fixnum(6)),
+            )),
+        ];
+        let facts = collect_expr_facts(&forms);
+        assert_eq!(facts.set_keys.len(), 2);
+        assert!(!facts.observes_all);
+    }
+
+    #[test]
+    fn computed_key_or_generic_observer_forces_observes_all() {
+        let computed = vec![TopForm::Expr(Expr::Wcm {
+            key: Box::new(Expr::LocalRef(1)),
+            val: Box::new(Expr::Quote(Value::fixnum(1))),
+            body: Box::new(Expr::Quote(Value::fixnum(2))),
+        })];
+        assert!(collect_expr_facts(&computed).observes_all);
+
+        let generic = vec![TopForm::Expr(Expr::GlobalRef(cm_sexpr::sym(
+            "current-continuation-marks",
+        )))];
+        assert!(collect_expr_facts(&generic).observes_all);
+
+        let specific = vec![TopForm::Expr(Expr::GlobalRef(cm_sexpr::sym(
+            "continuation-mark-set-first",
+        )))];
+        assert!(
+            !collect_expr_facts(&specific).observes_all,
+            "key-specific observers are handled by trusted summaries, not syntactically"
+        );
+    }
+
+    #[test]
+    fn elides_dead_key_keeping_val_and_body() {
+        let dead: HashSet<Sym> = [cm_sexpr::sym("d")].into_iter().collect();
+        let e = wcm(
+            "d",
+            Expr::Quote(Value::fixnum(1)),
+            wcm(
+                "live",
+                Expr::Quote(Value::fixnum(2)),
+                Expr::Quote(Value::fixnum(3)),
+            ),
+        );
+        let (forms, n) = elide_dead_wcms(vec![TopForm::Expr(e)], &dead);
+        assert_eq!(n, 1);
+        let TopForm::Expr(Expr::Seq(parts)) = &forms[0] else {
+            panic!("expected Seq, got {forms:?}");
+        };
+        assert_eq!(parts.len(), 2);
+        assert!(matches!(&parts[1], Expr::Wcm { .. }), "live wcm kept");
+    }
+
+    #[test]
+    fn opaque_val_blocks_elision() {
+        let dead: HashSet<Sym> = [cm_sexpr::sym("d")].into_iter().collect();
+        let e = Expr::Wcm {
+            key: Box::new(Expr::Quote(Value::symbol("d"))),
+            val: Box::new(Expr::Call {
+                rator: Box::new(Expr::GlobalRef(cm_sexpr::sym("f"))),
+                rands: vec![],
+            }),
+            body: Box::new(Expr::Quote(Value::fixnum(1))),
+        };
+        let (forms, n) = elide_dead_wcms(vec![TopForm::Expr(e)], &dead);
+        assert_eq!(n, 0);
+        assert!(matches!(&forms[0], TopForm::Expr(Expr::Wcm { .. })));
+    }
+}

@@ -48,6 +48,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use cm_analysis::markflow::{MarkFlowFacts, TrustedObserver, TrustedObservers};
 use cm_compiler::{CompileError, Compiler, CompilerConfig};
 use cm_vm::{Globals, Machine, MachineConfig, MachineStats, MarkModel, Value, VmError};
 
@@ -156,6 +157,35 @@ impl EngineConfig {
         c.compiler.mark_model = MarkModel::EagerMarkStack;
         c
     }
+
+    /// The full system plus the interprocedural mark-flow optimizer
+    /// (dead-key mark elision and non-observing `call/attach` →
+    /// `call` + `pop-attach` rewriting) — the eighth measured config.
+    pub fn mark_flow() -> EngineConfig {
+        let mut c = EngineConfig::full();
+        c.machine.mark_flow_opt = true;
+        c.compiler.mark_flow_opt = true;
+        c
+    }
+}
+
+/// Every engine configuration in the evaluation matrix, in canonical
+/// order — the single source of truth for the differential fuzzer, the
+/// torture matrix, the trace-consistency suite, and `cm-verify`.
+///
+/// Lives here rather than in `cm-vm` because an [`EngineConfig`] pairs
+/// machine *and* compiler switches, which `cm-vm` cannot name.
+pub fn all_configs() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("full", EngineConfig::full()),
+        ("racket-cs", EngineConfig::racket_cs()),
+        ("unmod", EngineConfig::unmodified_chez()),
+        ("no-1cc", EngineConfig::no_one_shot()),
+        ("no-opt", EngineConfig::no_attachment_opt()),
+        ("no-prim", EngineConfig::no_prim_opt()),
+        ("old-racket", EngineConfig::old_racket()),
+        ("mark-flow", EngineConfig::mark_flow()),
+    ]
 }
 
 /// A ready-to-use Scheme engine with continuation-marks support.
@@ -218,7 +248,52 @@ impl Engine {
                 .eval(src)
                 .unwrap_or_else(|e| panic!("failed to load {what}: {e}"));
         }
+        // The mark-flow optimizer is armed only now: the prelude itself
+        // is compiled without it (its closed-world assumption covers
+        // user programs over a fixed prelude, not the prelude itself).
+        if engine.config.machine.mark_flow_opt || engine.config.compiler.mark_flow_opt {
+            let trusted = engine.trusted_observers();
+            engine.compiler.enable_mark_flow(trusted, true);
+        }
         engine
+    }
+
+    /// Builds the trusted-observer summaries from the loaded prelude:
+    /// the key-specific observers whose calls the mark-flow analysis
+    /// models as "observes exactly the constant key at argument 1".
+    /// Trust is by closure-code identity, so user redefinitions fall
+    /// back to the conservative path.
+    fn trusted_observers(&self) -> TrustedObservers {
+        let mut trusted = TrustedObservers::default();
+        let globals = self.machine.globals.borrow();
+        for (name, key_arg) in [
+            ("continuation-mark-set-first", 1),
+            ("continuation-mark-set->list", 1),
+        ] {
+            if let Some(Value::Closure(c)) = globals.lookup(cm_sexpr::sym(name)) {
+                trusted.observers.push(TrustedObserver {
+                    name: name.to_string(),
+                    code: c.code.clone(),
+                    key_arg,
+                });
+            }
+        }
+        trusted
+    }
+
+    /// Arms the mark-flow pass in facts-only mode: subsequent
+    /// compilations compute per-call-site observability and dead-key
+    /// facts without rewriting anything (`cm-verify --facts`).
+    pub fn enable_mark_flow_facts(&mut self) {
+        let trusted = self.trusted_observers();
+        self.compiler.enable_mark_flow(trusted, false);
+    }
+
+    /// Takes the mark-flow facts from the most recent compilation
+    /// (present only when the pass is armed — the `mark-flow` config
+    /// or after [`Engine::enable_mark_flow_facts`]).
+    pub fn take_mark_flow_facts(&mut self) -> Option<MarkFlowFacts> {
+        self.compiler.take_mark_flow_facts()
     }
 
     /// The engine's configuration.
@@ -359,6 +434,49 @@ mod tests {
                 .compiler
                 .cp0_attachment_restriction
         );
+        assert!(EngineConfig::mark_flow().compiler.mark_flow_opt);
+        assert!(!EngineConfig::full().compiler.mark_flow_opt);
+    }
+
+    #[test]
+    fn all_configs_is_the_eight_config_matrix() {
+        let configs = all_configs();
+        assert_eq!(configs.len(), 8);
+        let names: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names[0], "full");
+        assert_eq!(names[7], "mark-flow");
+        let unique: std::collections::HashSet<&str> = names.iter().copied().collect();
+        assert_eq!(unique.len(), 8, "config names must be distinct");
+    }
+
+    #[test]
+    fn mark_flow_engine_agrees_with_full_and_reports_facts() {
+        let program = r#"
+            (define (observe) (continuation-mark-set-first #f 'live 0))
+            (define (go n)
+              (with-continuation-mark 'dead n
+                (with-continuation-mark 'live n
+                  (observe))))
+            (go 7)
+        "#;
+        let mut full = Engine::new(EngineConfig::full());
+        let mut mf = Engine::new(EngineConfig::mark_flow());
+        let a = full.eval_to_string(program).unwrap();
+        let b = mf.eval_to_string(program).unwrap();
+        assert_eq!(a, b);
+        let facts = mf.take_mark_flow_facts().expect("facts from armed engine");
+        assert!(facts.dead_keys.contains(&"dead".to_string()), "{facts:?}");
+        assert!(!facts.dead_keys.contains(&"live".to_string()), "{facts:?}");
+    }
+
+    #[test]
+    fn facts_only_mode_rewrites_nothing() {
+        let mut e = Engine::new(EngineConfig::full());
+        e.enable_mark_flow_facts();
+        e.eval("(with-continuation-mark 'k 1 (+ 1 2))").unwrap();
+        let facts = e.take_mark_flow_facts().expect("facts armed");
+        assert_eq!(facts.rewritten_sites, 0);
+        assert_eq!(facts.elided_wcms, 0);
     }
 
     #[test]

@@ -10,12 +10,14 @@ fn eval(src: &str) -> String {
 }
 
 fn eval_all_variants(src: &str, expected: &str) {
-    for (name, config) in [
-        ("full", EngineConfig::full()),
-        ("racket-cs", EngineConfig::racket_cs()),
-        ("no-1cc", EngineConfig::no_one_shot()),
-        ("old-racket", EngineConfig::old_racket()),
-    ] {
+    // A control-focused subset of the centralized matrix, plus the
+    // mark-flow optimizer (its rewrites must stay invisible to
+    // `call/cc`, winders, and prompts).
+    let subset = ["full", "racket-cs", "no-1cc", "old-racket", "mark-flow"];
+    for (name, config) in cm_core::all_configs()
+        .into_iter()
+        .filter(|(n, _)| subset.contains(n))
+    {
         let mut e = Engine::new(config);
         let got = e
             .eval_to_string(src)

@@ -8,17 +8,9 @@ use std::time::Duration;
 use cm_core::{Engine, EngineConfig, EngineError};
 use cm_vm::{VmError, VmErrorKind};
 
-/// All seven measured engine variants.
+/// All measured engine variants (the centralized eight-config matrix).
 fn all_configs() -> Vec<(&'static str, EngineConfig)> {
-    vec![
-        ("full", EngineConfig::full()),
-        ("racket-cs", EngineConfig::racket_cs()),
-        ("unmod", EngineConfig::unmodified_chez()),
-        ("no-1cc", EngineConfig::no_one_shot()),
-        ("no-opt", EngineConfig::no_attachment_opt()),
-        ("no-prim", EngineConfig::no_prim_opt()),
-        ("old-racket", EngineConfig::old_racket()),
-    ]
+    cm_core::all_configs()
 }
 
 fn runtime_kind(err: EngineError) -> VmErrorKind {

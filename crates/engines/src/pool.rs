@@ -57,7 +57,7 @@ pub struct PoolConfig {
     pub workers: usize,
     /// Scheduler configuration, cloned into every worker.
     pub sched: SchedConfig,
-    /// Engine configuration (one of the seven paper variants), cloned
+    /// Engine configuration (one of the eight engine variants), cloned
     /// into every worker.
     pub engine: EngineConfig,
 }

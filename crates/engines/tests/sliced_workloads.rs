@@ -1,6 +1,6 @@
 //! Acceptance: a sliced, scheduled run of **every** workload produces
-//! exactly the result of an uninterrupted run, on all seven engine
-//! configurations of the paper's evaluation. Jobs go through the full
+//! exactly the result of an uninterrupted run, on all eight engine
+//! configurations (the paper's seven plus the mark-flow optimizer). Jobs go through the full
 //! stack — worker pool, per-worker scheduler, engine suspend/resume —
 //! with verification on, so each worker computes the uninterrupted
 //! baseline itself and compares.
@@ -33,7 +33,7 @@ fn workload_spec() -> PoolSpec {
 }
 
 #[test]
-fn every_workload_sliced_equals_uninterrupted_on_all_seven_configs() {
+fn every_workload_sliced_equals_uninterrupted_on_all_configs() {
     let spec = workload_spec();
     assert!(spec.jobs.len() >= 50, "workload corpus shrank unexpectedly");
     for (config_name, config) in engine_configs() {

@@ -219,19 +219,11 @@ fn program_source(e: &GExpr) -> String {
     format!("{COMMON_HELPERS}(define result {body})\n(cons result dw-log)")
 }
 
-/// All seven measured engine configurations (§8). `cm-refmodel` cannot
-/// depend on `cm-torture` (dev-dependency cycle), so the list is spelled
-/// out from `cm-core` constructors.
+/// All measured engine configurations — the eight-config matrix from
+/// [`cm_core::all_configs`] (the mark-flow optimizer included, so the
+/// fuzzer exercises its rewrites against the oracle).
 fn engine_variants() -> Vec<(&'static str, EngineConfig)> {
-    vec![
-        ("full", EngineConfig::full()),
-        ("racket-cs", EngineConfig::racket_cs()),
-        ("unmod-chez", EngineConfig::unmodified_chez()),
-        ("no-1cc", EngineConfig::no_one_shot()),
-        ("no-opt", EngineConfig::no_attachment_opt()),
-        ("no-prim", EngineConfig::no_prim_opt()),
-        ("old-racket", EngineConfig::old_racket()),
-    ]
+    cm_core::all_configs()
 }
 
 /// Runs one source program through the model and every engine variant.

@@ -61,18 +61,12 @@ const PROBES: [(&str, &str); 2] = [
     ),
 ];
 
-/// The seven engine configurations of the paper's evaluation (§8); the
-/// torture sweeps run every target under all of them.
+/// The engine configurations of the evaluation matrix (the paper's
+/// seven §8 variants plus the mark-flow optimizer); the torture sweeps
+/// run every target under all of them. Delegates to
+/// [`cm_core::all_configs`], the single source of truth.
 pub fn engine_configs() -> Vec<(&'static str, EngineConfig)> {
-    vec![
-        ("full", EngineConfig::full()),
-        ("racket-cs", EngineConfig::racket_cs()),
-        ("unmod", EngineConfig::unmodified_chez()),
-        ("no-1cc", EngineConfig::no_one_shot()),
-        ("no-opt", EngineConfig::no_attachment_opt()),
-        ("no-prim", EngineConfig::no_prim_opt()),
-        ("old-racket", EngineConfig::old_racket()),
-    ]
+    cm_core::all_configs()
 }
 
 /// One program the harness tortures: definitions loaded once per engine,
@@ -662,13 +656,13 @@ mod tests {
 
     #[test]
     fn quick_corpus_meets_acceptance_floor() {
-        // ≥ 5 workloads plus §2 examples, and 7 configs.
+        // ≥ 5 workloads plus §2 examples, and the 8-config matrix.
         let workloads = torture_targets(true)
             .iter()
             .filter(|t| !t.name.starts_with("sec2-"))
             .count();
         assert!(workloads >= 5);
-        assert_eq!(engine_configs().len(), 7);
+        assert_eq!(engine_configs().len(), 8);
         assert!(SweepOptions::quick().fuel_cuts >= 50);
         assert_eq!(SweepOptions::quick().segment_limits, &[1, 2, 3, 7]);
         // The suspension sweep slices every target at ≥ 50 cut points.

@@ -1,6 +1,6 @@
 //! Counter/journal consistency over the whole corpus: every §2 example
-//! and every workload target, under each of the paper's seven measured
-//! engine configurations, must end a traced run with the journal's
+//! and every workload target, under each of the eight engine
+//! configurations (the paper's seven plus the mark-flow optimizer), must end a traced run with the journal's
 //! per-kind totals exactly equal to the [`cm_vm::MachineStats`]
 //! counters. Both are fed by the machine's single trace hook, so any
 //! disagreement means an operation was counted without being journaled
@@ -56,9 +56,9 @@ fn every_stats_field_equals_its_journal_count_across_all_configs() {
             runs += 1;
         }
     }
-    // 7 configs x the quick corpus; a shrunk corpus would quietly
+    // 8 configs x the quick corpus; a shrunk corpus would quietly
     // weaken this test.
-    assert!(runs >= 70, "only {runs} corpus runs executed");
+    assert!(runs >= 80, "only {runs} corpus runs executed");
 }
 
 #[test]

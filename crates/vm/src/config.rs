@@ -85,6 +85,15 @@ pub struct MachineConfig {
     pub check_invariants: bool,
     /// Deterministic fault injection (all off by default).
     pub fault_plan: FaultPlan,
+    /// Enable the interprocedural mark-flow optimizer: the compiler runs
+    /// the `cm-analysis` mark-flow pass over each compiled program and
+    /// rewrites call sites whose callee provably never observes
+    /// attachments (plus elides dead-key `with-continuation-mark`
+    /// forms). The flag lives here — next to the other ablation
+    /// switches — so the eighth engine config is selectable the same way
+    /// the §8.5 ablations are; the machine itself executes the rewritten
+    /// bytecode with no new instructions.
+    pub mark_flow_opt: bool,
     /// Record continuation-machinery events into the machine's
     /// [`TraceJournal`](crate::TraceJournal). Off by default: the off
     /// path is a single branch per event, so disabled tracing costs <2%
@@ -113,6 +122,7 @@ impl Default for MachineConfig {
             wrapped_control: false,
             check_invariants: cfg!(debug_assertions),
             fault_plan: FaultPlan::default(),
+            mark_flow_opt: false,
             trace: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
@@ -160,6 +170,13 @@ impl MachineConfig {
     /// build profile.
     pub fn with_invariant_checks(mut self, on: bool) -> MachineConfig {
         self.check_invariants = on;
+        self
+    }
+
+    /// Enables the interprocedural mark-flow optimizer (the eighth
+    /// engine config of the ablation matrix).
+    pub fn with_mark_flow_opt(mut self, on: bool) -> MachineConfig {
+        self.mark_flow_opt = on;
         self
     }
 
@@ -211,6 +228,14 @@ mod tests {
             .with_max_nested_executions(3);
         assert_eq!(c.deadline, Some(Duration::from_millis(5)));
         assert_eq!(c.max_nested_executions, 3);
+    }
+
+    #[test]
+    fn mark_flow_opt_defaults_off_with_builder() {
+        let c = MachineConfig::default();
+        assert!(!c.mark_flow_opt);
+        let c = c.with_mark_flow_opt(true);
+        assert!(c.mark_flow_opt);
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub use code::{Code, Instr, PrimOp};
 pub use config::{FaultPlan, MachineConfig, MarkModel, DEFAULT_TRACE_CAPACITY};
 pub use error::{BacktraceFrame, VmBacktrace, VmError, VmErrorKind, VmResult};
 pub use machine::{Globals, Machine, RunStatus, SuspendedRun};
-pub use prims::{lookup as lookup_native, native_name, prim_op as prim_op_value, NativeId};
+pub use prims::{
+    lookup as lookup_native, native_name, prim_attachment_transparent, prim_op as prim_op_value,
+    NativeId,
+};
 pub use stats::MachineStats;
 pub use trace::{TraceEvent, TraceJournal, TraceKind, TRACE_KIND_COUNT};
-pub use values::{EqKey, Value};
+pub use values::{Closure, EqKey, Value};

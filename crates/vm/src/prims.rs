@@ -765,6 +765,65 @@ pub fn prim_op(op: PrimOp, args: &[Value]) -> VmResult<Value> {
     }
 }
 
+/// Whether an inlined [`PrimOp`] is *attachment-transparent*: it neither
+/// observes nor changes the continuation's attachment state (the `marks`
+/// register), and it cannot capture, resume, or abort a continuation.
+///
+/// This is the single source of truth consulted by both the compiler's
+/// local §7.4 check (`Expr::attachment_transparent`) and the
+/// interprocedural mark-flow analysis in `cm-analysis`. The match is
+/// deliberately wildcard-free: adding a `PrimOp` variant fails to
+/// compile until its transparency is declared here.
+pub fn prim_attachment_transparent(op: PrimOp) -> bool {
+    match op {
+        // Numeric / predicate / data-structure primitives run entirely
+        // inside `exec_prim`: no continuation machinery is reachable.
+        // Mutators (set-car! etc.) affect the heap, not attachments, so
+        // they are transparent too (transparency is about attachment
+        // observation, not purity).
+        PrimOp::Add
+        | PrimOp::Sub
+        | PrimOp::Mul
+        | PrimOp::Div
+        | PrimOp::Quotient
+        | PrimOp::Remainder
+        | PrimOp::Modulo
+        | PrimOp::NumEq
+        | PrimOp::Lt
+        | PrimOp::Le
+        | PrimOp::Gt
+        | PrimOp::Ge
+        | PrimOp::Add1
+        | PrimOp::Sub1
+        | PrimOp::ZeroP
+        | PrimOp::Cons
+        | PrimOp::Car
+        | PrimOp::Cdr
+        | PrimOp::SetCar
+        | PrimOp::SetCdr
+        | PrimOp::PairP
+        | PrimOp::NullP
+        | PrimOp::EqP
+        | PrimOp::EqvP
+        | PrimOp::Not
+        | PrimOp::SymbolP
+        | PrimOp::ProcedureP
+        | PrimOp::FixnumP
+        | PrimOp::FlonumP
+        | PrimOp::BooleanP
+        | PrimOp::StringP
+        | PrimOp::VectorP
+        | PrimOp::CharP
+        | PrimOp::VectorRef
+        | PrimOp::VectorSet
+        | PrimOp::VectorLength
+        | PrimOp::MakeVector
+        | PrimOp::BoxNew
+        | PrimOp::Unbox
+        | PrimOp::SetBox => true,
+    }
+}
+
 // ----------------------------------------------------------------------
 // Numeric helpers
 // ----------------------------------------------------------------------
@@ -1877,6 +1936,118 @@ mod tests {
             .is_true());
         p_hash_delete(&[t.clone(), Value::symbol("k")]).unwrap();
         assert!(!p_hash_contains(&[t, Value::symbol("k")]).unwrap().is_true());
+    }
+
+    /// Every `PrimOp` variant, kept complete by the wildcard-free match
+    /// in `transparency_table_covers_every_prim_op` below.
+    const ALL_PRIM_OPS: &[PrimOp] = &[
+        PrimOp::Add,
+        PrimOp::Sub,
+        PrimOp::Mul,
+        PrimOp::Div,
+        PrimOp::Quotient,
+        PrimOp::Remainder,
+        PrimOp::Modulo,
+        PrimOp::NumEq,
+        PrimOp::Lt,
+        PrimOp::Le,
+        PrimOp::Gt,
+        PrimOp::Ge,
+        PrimOp::Add1,
+        PrimOp::Sub1,
+        PrimOp::ZeroP,
+        PrimOp::Cons,
+        PrimOp::Car,
+        PrimOp::Cdr,
+        PrimOp::SetCar,
+        PrimOp::SetCdr,
+        PrimOp::PairP,
+        PrimOp::NullP,
+        PrimOp::EqP,
+        PrimOp::EqvP,
+        PrimOp::Not,
+        PrimOp::SymbolP,
+        PrimOp::ProcedureP,
+        PrimOp::FixnumP,
+        PrimOp::FlonumP,
+        PrimOp::BooleanP,
+        PrimOp::StringP,
+        PrimOp::VectorP,
+        PrimOp::CharP,
+        PrimOp::VectorRef,
+        PrimOp::VectorSet,
+        PrimOp::VectorLength,
+        PrimOp::MakeVector,
+        PrimOp::BoxNew,
+        PrimOp::Unbox,
+        PrimOp::SetBox,
+    ];
+
+    #[test]
+    fn transparency_table_covers_every_prim_op() {
+        // Compile-time exhaustiveness: neither this match nor the one in
+        // `prim_attachment_transparent` has a wildcard arm, so adding a
+        // `PrimOp` variant refuses to compile until both declare it; the
+        // membership check then keeps `ALL_PRIM_OPS` in sync.
+        fn check_listed(op: PrimOp) {
+            match op {
+                PrimOp::Add
+                | PrimOp::Sub
+                | PrimOp::Mul
+                | PrimOp::Div
+                | PrimOp::Quotient
+                | PrimOp::Remainder
+                | PrimOp::Modulo
+                | PrimOp::NumEq
+                | PrimOp::Lt
+                | PrimOp::Le
+                | PrimOp::Gt
+                | PrimOp::Ge
+                | PrimOp::Add1
+                | PrimOp::Sub1
+                | PrimOp::ZeroP
+                | PrimOp::Cons
+                | PrimOp::Car
+                | PrimOp::Cdr
+                | PrimOp::SetCar
+                | PrimOp::SetCdr
+                | PrimOp::PairP
+                | PrimOp::NullP
+                | PrimOp::EqP
+                | PrimOp::EqvP
+                | PrimOp::Not
+                | PrimOp::SymbolP
+                | PrimOp::ProcedureP
+                | PrimOp::FixnumP
+                | PrimOp::FlonumP
+                | PrimOp::BooleanP
+                | PrimOp::StringP
+                | PrimOp::VectorP
+                | PrimOp::CharP
+                | PrimOp::VectorRef
+                | PrimOp::VectorSet
+                | PrimOp::VectorLength
+                | PrimOp::MakeVector
+                | PrimOp::BoxNew
+                | PrimOp::Unbox
+                | PrimOp::SetBox => {}
+            }
+            assert!(
+                ALL_PRIM_OPS.contains(&op),
+                "{} missing from ALL_PRIM_OPS",
+                op.name()
+            );
+        }
+        for &op in ALL_PRIM_OPS {
+            check_listed(op);
+            // No inlined primitive touches the continuation machinery;
+            // a future non-transparent one must flip this expectation.
+            assert!(prim_attachment_transparent(op), "{}", op.name());
+        }
+        // Duplicate-free: each variant appears exactly once.
+        for (i, a) in ALL_PRIM_OPS.iter().enumerate() {
+            assert!(!ALL_PRIM_OPS[i + 1..].contains(a));
+        }
     }
 
     #[test]

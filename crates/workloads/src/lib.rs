@@ -53,6 +53,7 @@ const GABRIEL: &str = include_str!("scm/gabriel.scm");
 const CONTRACT: &str = include_str!("scm/contract.scm");
 const APPS: &str = include_str!("scm/apps.scm");
 const BOYER: &str = include_str!("scm/boyer.scm");
+const MARKFLOW: &str = include_str!("scm/markflow.scm");
 
 /// Loads a workload's source into an engine (idempotent per engine).
 ///
@@ -416,6 +417,37 @@ pub fn applications() -> &'static [Workload] {
     ]
 }
 
+/// Mark-heavy shapes the §7.2 local categorization cannot optimize —
+/// the measurement group for the eighth (mark-flow) engine config.
+pub fn markflow_micros() -> &'static [Workload] {
+    workloads![
+        (
+            "observed-key",
+            MARKFLOW,
+            "mf-observed-bench",
+            10,
+            Some("120"),
+            200_000
+        ),
+        (
+            "dead-key",
+            MARKFLOW,
+            "mf-dead-bench",
+            10,
+            Some("120"),
+            200_000
+        ),
+        (
+            "mixed-keys",
+            MARKFLOW,
+            "mf-mixed-bench",
+            10,
+            Some("175"),
+            150_000
+        ),
+    ]
+}
+
 /// Every workload group, for exhaustive validation.
 pub fn all_groups() -> Vec<(&'static str, &'static [Workload])> {
     vec![
@@ -426,6 +458,7 @@ pub fn all_groups() -> Vec<(&'static str, &'static [Workload])> {
         ("gabriel", gabriel()),
         ("contract", contract()),
         ("applications", applications()),
+        ("markflow-micros", markflow_micros()),
     ]
 }
 

@@ -1,9 +1,16 @@
-//! `cm-verify` — compile a Scheme file and run the `cm-analysis`
+//! `cm-verify` — compile Scheme programs and run the `cm-analysis`
 //! bytecode verifier plus the §7.4 cp0 lint over the result.
 //!
 //! ```text
-//! cm-verify [--config NAME | --all] [--disasm] FILE.scm
+//! cm-verify [--config NAME | --all] [--facts] [--disasm] FILE.scm
+//! cm-verify [--config NAME | --all] [--facts] --workloads
 //! ```
+//!
+//! `--workloads` checks every embedded benchmark workload and §2
+//! example instead of a file (the CI verification job). `--facts`
+//! additionally runs the interprocedural mark-flow analysis and dumps
+//! its facts — per-call-site observability and the dead-key set — as
+//! deterministic ordered JSON (schema `cm-markflow-facts-v1`).
 //!
 //! Exit status is 0 when every checked configuration verifies cleanly,
 //! 1 when any violation or §7.4 lint finding is reported, 2 on usage or
@@ -12,56 +19,56 @@
 
 use std::process::ExitCode;
 
-use continuation_marks::{Engine, EngineConfig, EngineError};
+use continuation_marks::{all_configs, Engine, EngineConfig, EngineError};
 
-const CONFIG_NAMES: &[&str] = &[
-    "full",
-    "racket-cs",
-    "unmod",
-    "no-1cc",
-    "no-opt",
-    "no-prim",
-    "old-racket",
-];
+fn config_names() -> Vec<&'static str> {
+    all_configs().into_iter().map(|(n, _)| n).collect()
+}
 
 fn config_by_name(name: &str) -> Option<EngineConfig> {
-    Some(match name {
-        "full" => EngineConfig::full(),
-        "racket-cs" => EngineConfig::racket_cs(),
-        "unmod" => EngineConfig::unmodified_chez(),
-        "no-1cc" => EngineConfig::no_one_shot(),
-        "no-opt" => EngineConfig::no_attachment_opt(),
-        "no-prim" => EngineConfig::no_prim_opt(),
-        "old-racket" => EngineConfig::old_racket(),
-        _ => return None,
-    })
+    all_configs()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, c)| c)
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cm-verify [--config NAME | --all] [--disasm] FILE.scm\n\
+        "usage: cm-verify [--config NAME | --all] [--facts] [--disasm] FILE.scm\n\
+         \u{20}      cm-verify [--config NAME | --all] [--facts] --workloads\n\
          configs: {}",
-        CONFIG_NAMES.join(", ")
+        config_names().join(", ")
     );
     ExitCode::from(2)
 }
 
-/// Returns `true` when the file verifies cleanly under `config`.
-fn check(name: &str, mut config: EngineConfig, src: &str, disasm: bool) -> bool {
+/// Returns `true` when `src` verifies cleanly under `config`.
+fn check(name: &str, what: &str, mut config: EngineConfig, src: &str, opts: &Options) -> bool {
     config.compiler.verify_bytecode = true;
     let mut engine = Engine::new(config);
+    if opts.facts && !engine.config().compiler.mark_flow_opt {
+        // Facts-only arming; the mark-flow config is already armed in
+        // apply mode and its facts include the rewrite counters.
+        engine.enable_mark_flow_facts();
+    }
     engine.take_lint_findings(); // discard any prelude findings
     match engine.compile_only(src) {
         Ok(code) => {
             let lints = engine.take_lint_findings();
             if lints.is_empty() {
-                println!("[{name}] ok");
-                if disasm {
+                println!("[{name}] {what}: ok");
+                if opts.facts {
+                    match engine.take_mark_flow_facts() {
+                        Some(facts) => print!("{}", facts.to_json_pretty()),
+                        None => println!("[{name}] {what}: no mark-flow facts (eager model)"),
+                    }
+                }
+                if opts.disasm {
                     print!("{}", code.disassemble());
                 }
                 true
             } else {
-                println!("[{name}] {} lint finding(s):", lints.len());
+                println!("[{name}] {what}: {} lint finding(s):", lints.len());
                 for l in &lints {
                     println!("  {l}");
                 }
@@ -69,22 +76,31 @@ fn check(name: &str, mut config: EngineConfig, src: &str, disasm: bool) -> bool 
             }
         }
         Err(EngineError::Compile(e)) => {
-            println!("[{name}] FAILED:\n{e}");
+            println!("[{name}] {what}: FAILED:\n{e}");
             false
         }
         Err(EngineError::Runtime(e)) => {
             // compile_only never runs user code; this is unreachable in
             // practice but kept total.
-            println!("[{name}] runtime error: {e}");
+            println!("[{name}] {what}: runtime error: {e}");
             false
         }
     }
 }
 
+struct Options {
+    facts: bool,
+    disasm: bool,
+}
+
 fn main() -> ExitCode {
     let mut config_name = "full".to_owned();
     let mut all = false;
-    let mut disasm = false;
+    let mut workloads = false;
+    let mut opts = Options {
+        facts: false,
+        disasm: false,
+    };
     let mut file = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -94,7 +110,9 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--all" => all = true,
-            "--disasm" => disasm = true,
+            "--facts" => opts.facts = true,
+            "--workloads" => workloads = true,
+            "--disasm" => opts.disasm = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -103,19 +121,32 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    let Some(file) = file else { return usage() };
-    let src = match std::fs::read_to_string(&file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cm-verify: cannot read {file}: {e}");
-            return ExitCode::from(2);
+
+    // (name, source) pairs to check: one file, or every embedded
+    // workload and §2 example.
+    let programs: Vec<(String, String)> = if workloads {
+        if file.is_some() {
+            return usage();
+        }
+        cm_torture::torture_targets(false)
+            .into_iter()
+            .map(|t| (t.name.clone(), format!("{}\n{}", t.setup, t.run)))
+            .collect()
+    } else {
+        let Some(file) = file else { return usage() };
+        match std::fs::read_to_string(&file) {
+            Ok(s) => vec![(file, s)],
+            Err(e) => {
+                eprintln!("cm-verify: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
 
     let checked: Vec<(String, EngineConfig)> = if all {
-        CONFIG_NAMES
-            .iter()
-            .map(|n| ((*n).to_owned(), config_by_name(n).expect("known name")))
+        all_configs()
+            .into_iter()
+            .map(|(n, c)| (n.to_owned(), c))
             .collect()
     } else {
         match config_by_name(&config_name) {
@@ -128,8 +159,10 @@ fn main() -> ExitCode {
     };
 
     let mut ok = true;
-    for (name, config) in checked {
-        ok &= check(&name, config, &src, disasm);
+    for (name, config) in &checked {
+        for (what, src) in &programs {
+            ok &= check(name, what, config.clone(), src, &opts);
+        }
     }
     if ok {
         ExitCode::SUCCESS

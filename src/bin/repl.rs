@@ -7,7 +7,7 @@
 //! Meta-commands: `,stats` prints the machine's event counters,
 //! `,reset-stats` clears them, `,config <variant>` restarts the engine
 //! (`full`, `racket-cs`, `unmod`, `no-1cc`, `no-opt`, `no-prim`,
-//! `old-racket`, `imitate`), `,quit` exits.
+//! `old-racket`, `mark-flow`, `imitate`), `,quit` exits.
 
 use std::io::{self, BufRead, Write};
 
@@ -22,6 +22,7 @@ fn make_engine(variant: &str) -> Option<Engine> {
         "no-opt" => Engine::new(EngineConfig::no_attachment_opt()),
         "no-prim" => Engine::new(EngineConfig::no_prim_opt()),
         "old-racket" => Engine::new(EngineConfig::old_racket()),
+        "mark-flow" => Engine::new(EngineConfig::mark_flow()),
         "imitate" => baseline::imitation_engine(),
         _ => return None,
     })
@@ -90,7 +91,7 @@ fn main() {
                 ",help" => {
                     println!(",stats ,reset-stats ,config <variant> ,quit");
                     println!(
-                        "variants: full racket-cs unmod no-1cc no-opt no-prim old-racket imitate"
+                        "variants: full racket-cs unmod no-1cc no-opt no-prim old-racket mark-flow imitate"
                     );
                 }
                 ",stats" => println!("{:#?}", engine.stats()),

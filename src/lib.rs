@@ -46,7 +46,7 @@ pub use cm_sexpr as sexpr;
 pub use cm_vm as vm;
 pub use cm_workloads as workloads;
 
-pub use cm_core::{Engine, EngineConfig, EngineError};
+pub use cm_core::{all_configs, Engine, EngineConfig, EngineError};
 pub use cm_vm::{MachineStats, Value};
 
 #[cfg(test)]

@@ -1,0 +1,72 @@
+//! Golden-file test pinning the `cm-verify --facts` output — the
+//! mark-flow facts JSON (`cm-markflow-facts-v1`) — for a representative
+//! workload. CI consumes this format, so field names, ordering, and
+//! layout are contract.
+//!
+//! Regenerate after an intentional change with:
+//! `UPDATE_GOLDEN=1 cargo test --test markflow_facts_golden`
+
+use continuation_marks::{workloads, Engine, EngineConfig};
+use std::path::PathBuf;
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e} (run with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} diverged from golden; regenerate with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn markflow_facts_json_is_pinned() {
+    // The mixed-keys workload exercises every part of the facts
+    // schema: a live key (trusted-observer summary), a dead key, and
+    // rewritable call sites the §7.2 local categorization misses.
+    let w = workloads::markflow_micros()
+        .iter()
+        .find(|w| w.name == "mixed-keys")
+        .expect("mixed-keys workload present");
+    let mut engine = Engine::new(EngineConfig::mark_flow());
+    engine.eval(w.source).unwrap();
+    let facts = engine
+        .take_mark_flow_facts()
+        .expect("mark-flow config reports facts");
+    check_golden("markflow_facts.json", &facts.to_json_pretty());
+}
+
+#[test]
+fn facts_only_mode_matches_apply_mode_verdicts() {
+    // `cm-verify --facts` on a non-mark-flow config arms facts-only
+    // mode; its observability verdicts and dead-key set must agree
+    // with the applying config (only the rewrite counters differ).
+    let w = workloads::markflow_micros()
+        .iter()
+        .find(|w| w.name == "mixed-keys")
+        .unwrap();
+    let mut applying = Engine::new(EngineConfig::mark_flow());
+    applying.eval(w.source).unwrap();
+    let applied = applying.take_mark_flow_facts().unwrap();
+
+    let mut factsonly = Engine::new(EngineConfig::full());
+    factsonly.enable_mark_flow_facts();
+    factsonly.eval(w.source).unwrap();
+    let observed = factsonly.take_mark_flow_facts().unwrap();
+
+    assert_eq!(observed.dead_keys, applied.dead_keys);
+    assert_eq!(observed.observed_keys, applied.observed_keys);
+    assert_eq!(observed.rewritten_sites, 0);
+    assert!(applied.rewritten_sites > 0 || applied.elided_wcms > 0);
+}

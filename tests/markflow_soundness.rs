@@ -1,0 +1,178 @@
+//! Adversarial soundness suite for the interprocedural mark-flow
+//! optimizer: programs where a mark key *looks* dead to a shallow
+//! reading — the observation only happens through `call/cc` re-entry,
+//! a `dynamic-wind` winder thunk, or a suspended-engine resume — and
+//! the analysis must keep it. Each scenario is checked differentially
+//! (the reference model as oracle where it applies, all eight engine
+//! configs agreeing) and, for the `mark-flow` config, the reported
+//! facts must show the key alive.
+
+use continuation_marks::refmodel::RefInterp;
+use continuation_marks::{all_configs, Engine, EngineConfig};
+
+/// Engine-side shims matching the reference model's observer builtins
+/// (the model has `mark-first` natively).
+const ENGINE_HELPERS: &str = r#"
+(define (mark-first k d) (continuation-mark-set-first #f k d))
+"#;
+
+/// Runs `src` through the reference model and every engine config;
+/// they must all produce `expected`.
+fn check_differential(src: &str, expected: &str) {
+    let oracle = RefInterp::new()
+        .eval(src)
+        .unwrap_or_else(|e| panic!("reference model failed: {e}\nprogram: {src}"));
+    assert_eq!(oracle, expected, "oracle disagrees with the pinned value");
+    for (name, config) in all_configs() {
+        let mut engine = Engine::new(config);
+        engine.eval(ENGINE_HELPERS).unwrap();
+        let got = engine
+            .eval_to_string(src)
+            .unwrap_or_else(|e| panic!("[{name}] error: {e}\nprogram: {src}"));
+        assert_eq!(got, expected, "[{name}] diverged\nprogram: {src}");
+    }
+}
+
+/// Compiles `src` under the mark-flow config (helpers preloaded) and
+/// returns the facts of that compilation.
+fn facts_for(src: &str) -> cm_analysis::markflow::MarkFlowFacts {
+    let mut engine = Engine::new(EngineConfig::mark_flow());
+    engine.eval(ENGINE_HELPERS).unwrap();
+    engine.eval(src).unwrap();
+    engine
+        .take_mark_flow_facts()
+        .expect("mark-flow config reports facts")
+}
+
+#[test]
+fn callcc_reentry_observation_is_kept() {
+    // The only observation of 'adv happens on the *second* entry into
+    // the continuation-captured region — reached through a first-class
+    // continuation stored in a global, an unknown callee to the
+    // analysis.
+    let src = r#"
+        (define back #f)
+        (define seen 'unset)
+        (define run-count 0)
+        (with-continuation-mark 'adv 'alive
+          (begin
+            (call/cc (lambda (k) (set! back k)))
+            (set! run-count (+ run-count 1))
+            (if (zero? (- run-count 2))
+                (set! seen (mark-first 'adv 'none))
+                (back 0))))
+        seen
+    "#;
+    check_differential(src, "alive");
+    let facts = facts_for(src);
+    assert!(
+        !facts.dead_keys.contains(&"adv".to_string()),
+        "'adv is observed through call/cc re-entry and must stay: {facts:?}"
+    );
+}
+
+#[test]
+fn winder_thunk_observation_is_kept() {
+    // The observation sits inside a `dynamic-wind` pre-thunk — a
+    // closure handed to a control native, running inside the mark's
+    // extent. A decoy key with no observer anywhere shows the
+    // analysis is still precise next to the conservative winder.
+    let src = r#"
+        (define seen 'unset)
+        (with-continuation-mark 'decoy 0
+          (+ 0
+             (with-continuation-mark 'w 'yes
+               (dynamic-wind
+                 (lambda () (set! seen (continuation-mark-set-first #f 'w 'none)))
+                 (lambda () 1)
+                 (lambda () #t)))))
+        seen
+    "#;
+    // The reference model has no `continuation-mark-set-first`; shim
+    // it through `mark-first` for the differential leg.
+    let model_src = src.replace(
+        "(continuation-mark-set-first #f 'w 'none)",
+        "(mark-first 'w 'none)",
+    );
+    check_differential(&model_src, "yes");
+    let facts = facts_for(src);
+    assert!(
+        !facts.dead_keys.contains(&"w".to_string()),
+        "'w is observed from a winder thunk and must stay: {facts:?}"
+    );
+    assert!(
+        facts.observes_all_keys || facts.dead_keys.contains(&"decoy".to_string()),
+        "the unobserved decoy should be provably dead unless a generic \
+         observer forced full conservatism: {facts:?}"
+    );
+}
+
+#[test]
+fn suspended_engine_resume_observation_is_kept() {
+    // The mark is observed only after the engine has been preempted
+    // and resumed mid-extent many times; slicing must not let the
+    // optimizer's output drop or misplace the attachment.
+    let setup = r#"
+        (define (observe-depth) (continuation-mark-set-first #f 'depth 'none))
+        (define (down n)
+          (if (zero? n)
+              (observe-depth)
+              (+ 0 (with-continuation-mark 'depth n (down (- n 1))))))
+    "#;
+    let run = "(down 400)";
+    // Unsliced baseline on the full config.
+    let mut baseline = Engine::new(EngineConfig::full());
+    baseline.eval(setup).unwrap();
+    let expected = baseline.eval_to_string(run).unwrap();
+    assert_eq!(expected, "1", "nearest mark at the bottom of the chain");
+    for (name, config) in all_configs() {
+        let mut host = continuation_marks::engines::WorkerHost::new(config);
+        host.load(setup)
+            .unwrap_or_else(|e| panic!("[{name}] setup: {e}"));
+        let engine = host
+            .spawn(run)
+            .unwrap_or_else(|e| panic!("[{name}] spawn: {e}"));
+        let (value, slices) = engine
+            .run_to_completion(500)
+            .unwrap_or_else(|e| panic!("[{name}] run: {e}"));
+        assert!(
+            slices > 3,
+            "[{name}] expected real preemptions, got {slices}"
+        );
+        assert_eq!(
+            value.write_string(),
+            expected,
+            "[{name}] sliced run diverged"
+        );
+    }
+    // And the facts keep 'depth: the observer is a defined global the
+    // suspended program re-enters.
+    let mut engine = Engine::new(EngineConfig::mark_flow());
+    engine.eval(setup).unwrap();
+    engine.eval(run).unwrap();
+    let facts = engine.take_mark_flow_facts().expect("facts");
+    assert!(
+        !facts.dead_keys.contains(&"depth".to_string()),
+        "'depth is observed after resume and must stay: {facts:?}"
+    );
+}
+
+#[test]
+fn stored_observer_in_data_structure_is_kept() {
+    // The observer procedure reaches its call site only through a
+    // setter — the global's value joins a closure with its initial #f,
+    // an unknown callee; the analysis must fall back to conservatism
+    // rather than declare 'hidden dead.
+    let src = r#"
+        (define table #f)
+        (define (stash f) (set! table f))
+        (stash (lambda () (mark-first 'hidden 'none)))
+        (with-continuation-mark 'hidden 'found (table))
+    "#;
+    check_differential(src, "found");
+    let facts = facts_for(src);
+    assert!(
+        !facts.dead_keys.contains(&"hidden".to_string()),
+        "'hidden is observed through a stored closure and must stay: {facts:?}"
+    );
+}

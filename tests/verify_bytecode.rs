@@ -8,18 +8,11 @@
 use continuation_marks::workloads;
 use continuation_marks::{Engine, EngineConfig};
 
-/// Every named engine configuration of the evaluation (§8.2, §8.5),
-/// covering both mark models and all compiler ablations.
+/// Every named engine configuration of the evaluation, covering both
+/// mark models, all compiler ablations, and the mark-flow optimizer —
+/// the centralized eight-config matrix.
 fn all_configs() -> Vec<(&'static str, EngineConfig)> {
-    vec![
-        ("full", EngineConfig::full()),
-        ("racket-cs", EngineConfig::racket_cs()),
-        ("unmod", EngineConfig::unmodified_chez()),
-        ("no-1cc", EngineConfig::no_one_shot()),
-        ("no-opt", EngineConfig::no_attachment_opt()),
-        ("no-prim", EngineConfig::no_prim_opt()),
-        ("old-racket", EngineConfig::old_racket()),
-    ]
+    continuation_marks::all_configs()
 }
 
 fn verifying_engine(mut config: EngineConfig) -> Engine {

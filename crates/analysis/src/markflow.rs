@@ -665,7 +665,7 @@ impl<'a> Analyzer<'a> {
                     }
                 };
                 match ins {
-                    Instr::Const(i) => st.push(AbsVal::Const(code.consts[*i as usize].clone())),
+                    Instr::Const(i) => st.push(AbsVal::Const(code.consts[*i as usize])),
                     Instr::LocalRef(i) => {
                         let v = st
                             .stack
@@ -854,7 +854,7 @@ impl<'a> Analyzer<'a> {
 
 fn resolve_value(v: &Value) -> Resolved {
     match v {
-        Value::Closure(cl) => Resolved::Code(cl.code.clone()),
+        Value::Closure(cl) => Resolved::Code(cl.code()),
         Value::Native(id) => Resolved::Native(native_name(*id)),
         // A stored continuation is callable and re-enters arbitrary
         // code: unknown.
@@ -1216,10 +1216,10 @@ mod tests {
         let mut globals = Globals::new();
         let id = globals.define(
             cm_sexpr::sym("continuation-mark-set-first"),
-            Value::Closure(Rc::new(cm_vm::Closure {
+            Value::closure(cm_vm::Closure {
                 code: observer.clone(),
                 captures: vec![],
-            })),
+            }),
         );
         assert_eq!(id, 0);
         let trusted = TrustedObservers {

@@ -163,7 +163,7 @@ impl<'a> FnGen<'a> {
     fn compile(&mut self, e: &Expr, ctx: Ctx) {
         match e {
             Expr::Quote(v) => {
-                self.konst(v.clone());
+                self.konst(*v);
                 self.finish_value(ctx);
             }
             Expr::LocalRef(v) => {

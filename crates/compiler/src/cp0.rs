@@ -251,7 +251,7 @@ fn simplify(e: Expr, opts: &Cp0Options) -> Expr {
                 let args: Vec<Value> = rands
                     .iter()
                     .map(|r| match r {
-                        Expr::Quote(v) => v.clone(),
+                        Expr::Quote(v) => *v,
                         _ => unreachable!(),
                     })
                     .collect();

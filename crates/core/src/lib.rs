@@ -273,7 +273,7 @@ impl Engine {
             if let Some(Value::Closure(c)) = globals.lookup(cm_sexpr::sym(name)) {
                 trusted.observers.push(TrustedObserver {
                     name: name.to_string(),
-                    code: c.code.clone(),
+                    code: c.code(),
                     key_arg,
                 });
             }

@@ -157,6 +157,9 @@ fn run_worker(
                     outcome: Outcome::Failed(format!("worker setup #{i} failed: {e}")),
                     slices: 0,
                     steps: 0,
+                    allocations: 0,
+                    collections: 0,
+                    bytes_live_peak: 0,
                     turnaround: Duration::ZERO,
                 });
             }
@@ -207,6 +210,9 @@ fn run_worker(
                 outcome: Outcome::Failed(format!("compile failed: {e}")),
                 slices: 0,
                 steps: 0,
+                allocations: 0,
+                collections: 0,
+                bytes_live_peak: 0,
                 turnaround: Duration::ZERO,
             }),
         }

@@ -101,6 +101,16 @@ pub struct TaskReport {
     ///
     /// [`MachineStats::steps_executed`]: cm_vm::MachineStats
     pub steps: u64,
+    /// Heap objects the tenant allocated
+    /// ([`MachineStats::allocations`](cm_vm::MachineStats)).
+    pub allocations: u64,
+    /// Heap collections the tenant's machine ran
+    /// ([`MachineStats::collections`](cm_vm::MachineStats)).
+    pub collections: u64,
+    /// High-water mark of the tenant's live heap bytes, as measured at
+    /// its collections ([`MachineStats::bytes_live_peak`](cm_vm::MachineStats));
+    /// `0` when the task never collected.
+    pub bytes_live_peak: u64,
     /// Submit-to-finish wall time (queue wait included).
     pub turnaround: Duration,
 }
@@ -201,13 +211,16 @@ impl Scheduler {
         }
     }
 
-    fn retire(&mut self, task: Task, outcome: Outcome, steps: u64) {
+    fn retire(&mut self, task: Task, outcome: Outcome, stats: &cm_vm::MachineStats) {
         self.reports.push(TaskReport {
             id: task.id,
             name: task.name,
             outcome,
             slices: task.slices,
-            steps,
+            steps: stats.steps_executed,
+            allocations: stats.allocations,
+            collections: stats.collections,
+            bytes_live_peak: stats.bytes_live_peak,
             turnaround: task.submitted_at.elapsed(),
         });
     }
@@ -220,8 +233,8 @@ impl Scheduler {
         let engine = task.engine.take().expect("queued task holds its engine");
         if let Some(at) = task.deadline_at {
             if Instant::now() >= at {
-                let steps = engine.stats().steps_executed;
-                self.retire(task, Outcome::TimedOut, steps);
+                let stats = engine.stats();
+                self.retire(task, Outcome::TimedOut, &stats);
                 return true;
             }
         }
@@ -254,11 +267,7 @@ impl Scheduler {
         }
         match result {
             RunResult::Done(v, stats) => {
-                self.retire(
-                    task,
-                    Outcome::Completed(v.write_string()),
-                    stats.steps_executed,
-                );
+                self.retire(task, Outcome::Completed(v.write_string()), &stats);
             }
             RunResult::Suspended(engine, stats) => {
                 if self.config.check_invariants {
@@ -266,7 +275,7 @@ impl Scheduler {
                         self.retire(
                             task,
                             Outcome::Failed(format!("invariant violated: {msg}")),
-                            stats.steps_executed,
+                            &stats,
                         );
                         return true;
                     }
@@ -281,7 +290,7 @@ impl Scheduler {
                 } else {
                     Outcome::Failed(e.to_string())
                 };
-                self.retire(task, outcome, stats.steps_executed);
+                self.retire(task, outcome, &stats);
             }
         }
         true
@@ -533,6 +542,40 @@ mod tests {
         sched.submit("t", host.spawn("(spin 100)").unwrap());
         let (_, spans) = sched.run_all_traced();
         assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn task_reports_carry_memory_accounting() {
+        // One tenant churns the heap, one only counts; their retirement
+        // reports must expose the difference.
+        let mut cfg = EngineConfig::default();
+        cfg.machine.gc_stress = true; // force collections within the run
+        let mut host = WorkerHost::new(cfg);
+        host.load(
+            "(define (build n acc)
+               (if (zero? n) 'done (build (- n 1) (cons n acc))))
+             (define (spin n) (if (zero? n) 'done (spin (- n 1))))",
+        )
+        .unwrap();
+        let mut sched = Scheduler::new(SchedConfig {
+            slice: 200,
+            ..Default::default()
+        });
+        sched.submit("alloc-heavy", host.spawn("(build 500 '())").unwrap());
+        sched.submit("alloc-light", host.spawn("(spin 500)").unwrap());
+        let reports = sched.run_all();
+        let by_name = |n: &str| reports.iter().find(|r| r.name == n).unwrap();
+        let heavy = by_name("alloc-heavy");
+        let light = by_name("alloc-light");
+        assert_eq!(heavy.outcome, Outcome::Completed("done".into()));
+        assert!(heavy.allocations >= 400, "{heavy:?}");
+        assert!(heavy.collections > 0, "{heavy:?}");
+        assert!(heavy.bytes_live_peak > 0, "{heavy:?}");
+        assert!(
+            heavy.allocations > light.allocations,
+            "heavy {heavy:?} vs light {light:?}"
+        );
+        assert!(heavy.bytes_live_peak > light.bytes_live_peak);
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl RV {
 
     fn as_data(&self, who: &str) -> R<Value> {
         match self {
-            RV::Data(v) => Ok(v.clone()),
+            RV::Data(v) => Ok(*v),
             _ => fail(format!("{who}: expected a data value, got a procedure")),
         }
     }
@@ -177,7 +177,7 @@ impl Badge {
         let mut cur = self.0.clone();
         while let Some(n) = cur {
             if !n.key.eq_value(&key) {
-                kept.push((n.key.clone(), n.val.clone()));
+                kept.push((n.key, n.val.clone()));
             }
             cur = n.next.0.clone();
         }
@@ -433,7 +433,7 @@ impl RefInterp {
             steps -= 1;
             match ctl {
                 Ctl::Eval(e, env) => match &*e {
-                    Expr::Quote(v) => ctl = Ctl::Value(RV::Data(v.clone())),
+                    Expr::Quote(v) => ctl = Ctl::Value(RV::Data(*v)),
                     Expr::LocalRef(v) => match env.lookup(*v) {
                         Some(cell) => ctl = Ctl::Value(cell.val.borrow().clone()),
                         None => return fail(format!("unbound local #{v}")),

@@ -192,6 +192,10 @@ pub struct SweepOptions {
     /// run's step count; each cut runs the target in that many-step
     /// slices with invariant checks at every suspension.
     pub suspend_cuts: u64,
+    /// Whether to rerun the target with [`cm_vm::MachineConfig::gc_stress`]
+    /// on (a heap collection at every safe point) — alone, and combined
+    /// with a tiny segment limit so collection hits mid-split state.
+    pub gc_stress: bool,
 }
 
 impl SweepOptions {
@@ -202,6 +206,7 @@ impl SweepOptions {
             segment_limits: &[1, 2, 3, 7],
             prim_cuts: 10,
             suspend_cuts: 50,
+            gc_stress: true,
         }
     }
 
@@ -213,6 +218,7 @@ impl SweepOptions {
             segment_limits: &[1, 2, 3, 7, 13],
             prim_cuts: 60,
             suspend_cuts: 120,
+            gc_stress: true,
         }
     }
 }
@@ -398,6 +404,38 @@ pub fn torture_target(
     );
     engine.machine_mut().config.segment_frame_limit = orig_limit;
     engine.machine_mut().config.fault_plan.force_clone = false;
+
+    // GC stress: collect the handle heap at every safe point, so every
+    // rooting path (frames, marks, winders, underflow chains, captured
+    // continuations) is exercised with collection in flight — alone,
+    // then combined with tiny segments so collection also lands between
+    // a stack split and its underflow record.
+    if opts.gc_stress {
+        engine.machine_mut().config.gc_stress = true;
+        let got = engine.eval(&target.run);
+        check_trial(
+            &mut rep,
+            &ctx,
+            &mut engine,
+            got,
+            &baseline,
+            &Expectation::Success,
+            "gc-stress",
+        );
+        engine.machine_mut().config.segment_frame_limit = 2;
+        let got = engine.eval(&target.run);
+        check_trial(
+            &mut rep,
+            &ctx,
+            &mut engine,
+            got,
+            &baseline,
+            &Expectation::Success,
+            "gc-stress+segment-limit=2",
+        );
+        engine.machine_mut().config.segment_frame_limit = orig_limit;
+        engine.machine_mut().config.gc_stress = false;
+    }
 
     // Primitive-boundary faults: fail the nth primitive/native call for
     // n spread over the run's primitive-call count.
@@ -620,6 +658,7 @@ mod tests {
             segment_limits: &[2, 7],
             prim_cuts: 3,
             suspend_cuts: 6,
+            gc_stress: true,
         }
     }
 
@@ -667,6 +706,9 @@ mod tests {
         assert_eq!(SweepOptions::quick().segment_limits, &[1, 2, 3, 7]);
         // The suspension sweep slices every target at ≥ 50 cut points.
         assert!(SweepOptions::quick().suspend_cuts >= 50);
+        // Collection at every safe point is part of the CI matrix.
+        assert!(SweepOptions::quick().gc_stress);
+        assert!(SweepOptions::full().gc_stress);
     }
 
     #[test]

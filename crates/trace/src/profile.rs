@@ -110,13 +110,13 @@ impl Profile {
 pub fn extract_stack(marks: &Value, key: &str) -> Vec<String> {
     let key = sym(key);
     let mut leaf_first = Vec::new();
-    let mut cursor = marks.clone();
+    let mut cursor = *marks;
     while let Value::Pair(p) = cursor {
-        let frame = p.car.borrow().clone();
+        let (frame, next) = p.car_cdr();
         if let Some(v) = frame_lookup(&frame, key) {
             leaf_first.push(v.display_string());
         }
-        cursor = p.cdr.borrow().clone();
+        cursor = next;
     }
     leaf_first.reverse();
     leaf_first
@@ -124,8 +124,8 @@ pub fn extract_stack(marks: &Value, key: &str) -> Vec<String> {
 
 fn frame_lookup(frame: &Value, key: Sym) -> Option<Value> {
     match frame {
-        Value::Record(r) if r.tag.name() == "$mark-frame" => {
-            let fields = r.fields.borrow();
+        Value::Record(r) if r.tag().name() == "$mark-frame" => {
+            let fields = r.fields();
             assoc_lookup(fields.first()?, key)
         }
         Value::Pair(_) => assoc_entry(frame, key),
@@ -135,21 +135,22 @@ fn frame_lookup(frame: &Value, key: Sym) -> Option<Value> {
 
 /// Looks `key` up in an `eq?`-keyed association list.
 fn assoc_lookup(list: &Value, key: Sym) -> Option<Value> {
-    let mut cursor = list.clone();
+    let mut cursor = *list;
     while let Value::Pair(p) = cursor {
-        let entry = p.car.borrow().clone();
+        let (entry, next) = p.car_cdr();
         if let Some(v) = assoc_entry(&entry, key) {
             return Some(v);
         }
-        cursor = p.cdr.borrow().clone();
+        cursor = next;
     }
     None
 }
 
 fn assoc_entry(entry: &Value, key: Sym) -> Option<Value> {
     if let Value::Pair(e) = entry {
-        if matches!(&*e.car.borrow(), Value::Sym(s) if *s == key) {
-            return Some(e.cdr.borrow().clone());
+        let (k, v) = e.car_cdr();
+        if matches!(k, Value::Sym(s) if s == key) {
+            return Some(v);
         }
     }
     None

@@ -37,7 +37,11 @@ fn every_stats_field_equals_its_journal_count_across_all_configs() {
                 (TraceKind::Step, s.steps_executed),
                 (TraceKind::Suspend, s.suspensions),
                 (TraceKind::Resume, s.resumes),
+                (TraceKind::Alloc, s.allocations),
+                (TraceKind::GcCollect, s.collections),
             ];
+            // bytes_live / bytes_live_peak are gauges, overwritten per
+            // collection; they have no TraceKind and are excluded here.
             assert_eq!(expect.len(), TRACE_KIND_COUNT - 1);
             for (kind, counter) in expect {
                 assert_eq!(

@@ -103,6 +103,13 @@ pub struct MachineConfig {
     /// [`MachineConfig::trace`] is on. Per-kind totals stay exact even
     /// after eviction.
     pub trace_capacity: usize,
+    /// GC stress mode: collect garbage at *every* instruction-boundary
+    /// safe point, not just when the heap's growth threshold trips. Shakes
+    /// out missing-root bugs (a value reachable by the program but not by
+    /// [`Machine::collect_now`](crate::Machine)'s root scan is freed and
+    /// the next access panics); the torture harness runs its quick matrix
+    /// with this on.
+    pub gc_stress: bool,
 }
 
 /// Default journal ring capacity: deep enough to hold every non-`Step`
@@ -125,6 +132,7 @@ impl Default for MachineConfig {
             mark_flow_opt: false,
             trace: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            gc_stress: false,
         }
     }
 }
@@ -193,6 +201,12 @@ impl MachineConfig {
         self.trace_capacity = capacity;
         self
     }
+
+    /// Enables (or disables) GC stress mode: collect at every safe point.
+    pub fn with_gc_stress(mut self, on: bool) -> MachineConfig {
+        self.gc_stress = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +262,14 @@ mod tests {
         let c = MachineConfig::default().with_trace_capacity(128);
         assert!(c.trace);
         assert_eq!(c.trace_capacity, 128);
+    }
+
+    #[test]
+    fn gc_stress_defaults_off_with_builder() {
+        let c = MachineConfig::default();
+        assert!(!c.gc_stress);
+        let c = c.with_gc_stress(true);
+        assert!(c.gc_stress);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 mod code;
 mod config;
 mod error;
+pub mod heap;
 mod machine;
 mod prims;
 mod stats;
@@ -57,6 +58,10 @@ pub use code::control::CONTROL_NATIVE_NAMES;
 pub use code::{Code, Instr, PrimOp};
 pub use config::{FaultPlan, MachineConfig, MarkModel, DEFAULT_TRACE_CAPACITY};
 pub use error::{BacktraceFrame, VmBacktrace, VmError, VmErrorKind, VmResult};
+pub use heap::{
+    alloc_scope, heap_stats, AllocScope, GcReport, HBox, HClosure, HCont, HPair, HRecord, HStr,
+    HTable, HVec, HeapStats, RootGuard,
+};
 pub use machine::{Globals, Machine, RunStatus, SuspendedRun};
 pub use prims::{
     lookup as lookup_native, native_name, prim_attachment_transparent, prim_op as prim_op_value,
@@ -64,4 +69,4 @@ pub use prims::{
 };
 pub use stats::MachineStats;
 pub use trace::{TraceEvent, TraceJournal, TraceKind, TRACE_KIND_COUNT};
-pub use values::{Closure, EqKey, Value};
+pub use values::{Closure, EqKey, RecordData, Value};

@@ -106,7 +106,7 @@ pub struct MetaFrame {
 }
 
 /// One rebuildable link of a composable continuation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompChainRec {
     /// Shared frozen segment (cloned on each application).
     pub seg: Rc<Segment>,
@@ -116,7 +116,7 @@ pub struct CompChainRec {
 }
 
 /// The payload of a composable continuation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompData {
     /// The captured top (innermost) segment.
     pub top_seg: Rc<Segment>,
@@ -128,7 +128,7 @@ pub struct CompData {
 }
 
 /// What kind of continuation a [`ContData`] is.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ContKind {
     /// A full (escaping) continuation from `call/cc` / `call/1cc`.
     Full {
@@ -141,7 +141,12 @@ pub enum ContKind {
 }
 
 /// A first-class continuation value.
-#[derive(Debug)]
+///
+/// `Clone` is shallow (`Rc` bumps); it exists so the heap can hand the
+/// payload out of a slab slot ([`crate::heap::HCont::data`]). The cloned
+/// `one_shot_used` cell is *not* aliased with the heap's copy — mutate
+/// through [`crate::heap::HCont::set_one_shot_used`] instead.
+#[derive(Debug, Clone)]
 pub struct ContData {
     /// Full or composable.
     pub kind: ContKind,
@@ -158,6 +163,22 @@ pub struct ContData {
     pub nested_depth: usize,
     /// For `call/1cc`: whether the single shot has been used.
     pub one_shot_used: Option<Cell<bool>>,
+}
+
+/// The default continuation is the empty full continuation (used as the
+/// heap's freed-slot poison value).
+impl Default for ContData {
+    fn default() -> ContData {
+        ContData {
+            kind: ContKind::Full { head: None },
+            marks: Value::Nil,
+            base_marks: Value::Nil,
+            winders: Vec::new(),
+            meta_depth: 0,
+            nested_depth: 0,
+            one_shot_used: None,
+        }
+    }
 }
 
 #[cfg(test)]

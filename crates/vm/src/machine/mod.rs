@@ -31,6 +31,7 @@ use cm_sexpr::Sym;
 use crate::code::{Code, Instr};
 use crate::config::{MachineConfig, MarkModel};
 use crate::error::{BacktraceFrame, VmBacktrace, VmError, VmErrorKind, VmResult};
+use crate::heap::{self, GcReport, HClosure, HCont, RootGuard};
 use crate::prims::{self, ControlOp, NativeId};
 use crate::stats::MachineStats;
 use crate::trace::{TraceJournal, TraceKind};
@@ -48,7 +49,7 @@ pub struct Frame {
     /// The running code object.
     pub code: Rc<Code>,
     /// The closure providing captured variables (`None` for top level).
-    pub closure: Option<Rc<Closure>>,
+    pub closure: Option<HClosure>,
     /// Index of the next instruction.
     pub pc: u32,
     /// Index into the value stack where this frame's locals start.
@@ -116,7 +117,13 @@ impl Globals {
     pub fn lookup(&self, name: Sym) -> Option<Value> {
         self.names
             .get(&name)
-            .and_then(|&id| self.slots[id as usize].1.clone())
+            .and_then(|&id| self.slots[id as usize].1)
+    }
+
+    /// Every bound global value (the garbage collector's view of the
+    /// table: each machine's globals are a standing root set).
+    pub fn values(&self) -> Vec<Value> {
+        self.slots.iter().filter_map(|s| s.1).collect()
     }
 }
 
@@ -170,6 +177,10 @@ pub struct SuspendedRun {
     winders: Vec<Winder>,
     /// Prompt boundaries at suspension.
     meta: Vec<MetaFrame>,
+    /// Keeps every value frozen in this run registered as a GC root: a
+    /// suspended engine's state survives collections triggered by other
+    /// runs on the same thread, and resumes bit-identical.
+    _roots: RootGuard,
 }
 
 impl SuspendedRun {
@@ -196,7 +207,7 @@ impl SuspendedRun {
     /// reconstructs the Scheme-level stack with the continuation-marks
     /// machinery itself — no shadow stack.
     pub fn marks(&self) -> Value {
-        self.head.marks.clone()
+        self.head.marks
     }
 }
 
@@ -275,6 +286,14 @@ pub struct Machine {
     prim_count: u64,
     nested_depth: usize,
     winder_counter: u64,
+    /// Machine state saved around nested executions (winder thunks). Held
+    /// here — not in Rust locals — so the collector can reach the outer
+    /// run's values while a nested run hits safe points.
+    saved_states: Vec<SavedState>,
+    /// Values pinned across operations that run nested code while holding
+    /// them only in Rust locals (continuation application, winder
+    /// rewinding). Scanned as roots; balanced push/truncate.
+    temp_roots: Vec<Value>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -299,6 +318,10 @@ impl Machine {
     /// natives into it).
     pub fn with_globals(config: MachineConfig, globals: Rc<RefCell<Globals>>) -> Machine {
         prims::install(&mut globals.borrow_mut());
+        // The globals table is a standing GC root: values defined during
+        // this machine's runs must survive collections triggered by other
+        // machines on the same thread.
+        heap::register_globals_root(&globals);
         let fuel = config.fuel;
         let journal = if config.trace {
             TraceJournal::with_capacity(config.trace_capacity)
@@ -326,6 +349,8 @@ impl Machine {
             prim_count: 0,
             nested_depth: 0,
             winder_counter: 0,
+            saved_states: Vec::new(),
+            temp_roots: Vec::new(),
         }
     }
 
@@ -359,7 +384,7 @@ impl Machine {
 
     /// The current value of the marks (attachments) register.
     pub(crate) fn marks_snapshot(&self) -> Value {
-        self.marks.clone()
+        self.marks
     }
 
     /// Resets the step budget to the configured value.
@@ -391,10 +416,19 @@ impl Machine {
     pub fn run_code(&mut self, code: Rc<Code>) -> VmResult<Value> {
         self.ensure_idle();
         self.arm_limits();
+        heap::begin_run();
         let r = self
             .push_frame(code, None, Vec::new())
             .and_then(|()| self.run_until_done());
-        self.finish_run(r)
+        let out = self.finish_run(r);
+        self.drain_alloc_events();
+        heap::end_run();
+        if let Ok(v) = &out {
+            // The result escapes into embedder hands: tenure it so no
+            // later run's collection can free it.
+            heap::tenure_value(*v);
+        }
+        out
     }
 
     /// Calls a Scheme value from Rust (the machine must be idle).
@@ -406,11 +440,18 @@ impl Machine {
     pub fn call_value(&mut self, f: Value, args: Vec<Value>) -> VmResult<Value> {
         self.ensure_idle();
         self.arm_limits();
+        heap::begin_run();
         let r = (|| match self.do_call(f, args, CallMode::NonTail)? {
             Some(v) => Ok(v),
             None => self.run_until_done(),
         })();
-        self.finish_run(r)
+        let out = self.finish_run(r);
+        self.drain_alloc_events();
+        heap::end_run();
+        if let Ok(v) = &out {
+            heap::tenure_value(*v);
+        }
+        out
     }
 
     /// Runs a top-level code object for at most `slice` steps.
@@ -438,10 +479,17 @@ impl Machine {
         self.ensure_idle();
         self.arm_limits();
         self.begin_slice(slice);
+        heap::begin_run();
         let r = self
             .push_frame(code, None, Vec::new())
             .and_then(|()| self.run_loop());
-        self.finish_slice(r)
+        let out = self.finish_slice(r);
+        self.drain_alloc_events();
+        heap::end_run();
+        if let Ok(RunStatus::Done(v)) = &out {
+            heap::tenure_value(*v);
+        }
+        out
     }
 
     /// Resumes a [`SuspendedRun`] for at most `slice` further steps.
@@ -462,18 +510,29 @@ impl Machine {
         self.ensure_idle();
         self.arm_limits();
         self.begin_slice(slice);
+        heap::begin_run();
         self.trace(TraceKind::Resume);
         let SuspendedRun {
             head,
             base_marks,
             winders,
             meta,
+            _roots,
         } = run;
         self.base_marks = base_marks;
         self.winders = winders;
         self.meta = meta;
         let r = self.unfreeze_head(head).and_then(|()| self.run_loop());
-        self.finish_slice(r)
+        // The suspended state is live machine state now; its standing
+        // root registration can go.
+        drop(_roots);
+        let out = self.finish_slice(r);
+        self.drain_alloc_events();
+        heap::end_run();
+        if let Ok(RunStatus::Done(v)) = &out {
+            heap::tenure_value(*v);
+        }
+        out
     }
 
     /// Arms slice mode: fuel becomes the per-slice step budget and
@@ -488,7 +547,7 @@ impl Machine {
     /// segment, fusing when this machine holds the only reference (the
     /// same policy as [`Machine::underflow`]).
     fn unfreeze_head(&mut self, head: Rc<Underflow>) -> VmResult<()> {
-        self.marks = head.marks.clone();
+        self.marks = head.marks;
         self.next = head.next.clone();
         let fuse = self.config.one_shot_fusion
             && !self.config.fault_plan.force_clone
@@ -529,7 +588,7 @@ impl Machine {
             Ok(LoopExit::Done(v)) => self.finish_run(Ok(v)).map(RunStatus::Done),
             Ok(LoopExit::Suspended) => {
                 self.trace(TraceKind::Suspend);
-                self.freeze_current(self.marks.clone());
+                self.freeze_current(self.marks);
                 if self.config.check_invariants {
                     if let Err(msg) = self.check_invariants() {
                         debug_assert!(false, "suspension-point invariant violation: {msg}");
@@ -545,11 +604,24 @@ impl Machine {
                         "no frozen segment at suspension",
                     ));
                 };
+                let base_marks = mem::replace(&mut self.base_marks, Value::Nil);
+                let winders = mem::take(&mut self.winders);
+                let meta = mem::take(&mut self.meta);
+                // Register everything frozen in this run as a standing GC
+                // root for as long as the SuspendedRun lives.
+                let mut roots = Vec::new();
+                push_chain_roots(&Some(head.clone()), &mut roots);
+                roots.push(base_marks);
+                push_winder_roots(&winders, &mut roots);
+                for mf in &meta {
+                    push_meta_roots(mf, &mut roots);
+                }
                 let run = SuspendedRun {
                     head,
-                    base_marks: mem::replace(&mut self.base_marks, Value::Nil),
-                    winders: mem::take(&mut self.winders),
-                    meta: mem::take(&mut self.meta),
+                    base_marks,
+                    winders,
+                    meta,
+                    _roots: heap::add_extra_roots(roots),
                 };
                 self.marks = Value::Nil;
                 debug_assert!(self.is_idle(), "machine not idle after suspension");
@@ -636,6 +708,8 @@ impl Machine {
         self.winders.clear();
         self.meta.clear();
         self.mark_stack.clear();
+        self.saved_states.clear();
+        self.temp_roots.clear();
     }
 
     // ------------------------------------------------------------------
@@ -680,6 +754,15 @@ impl Machine {
                 } else {
                     *fuel -= 1;
                 }
+            }
+            // GC safe point: every live edge is reachable from machine
+            // state here (`gather_roots`), including nested runs (the
+            // outer state sits in `saved_states`). Alloc trace events are
+            // drained in `collect_garbage` (so they precede the
+            // `GcCollect` they triggered) and at run exit, not here — the
+            // hot path pays a single `Cell` read per instruction.
+            if self.config.gc_stress || heap::should_collect() {
+                self.collect_garbage();
             }
             self.trace(TraceKind::Step);
             tick = tick.wrapping_add(1);
@@ -732,15 +815,10 @@ impl Machine {
                     *slot = v;
                 }
                 Instr::CaptureRef(i) => {
-                    let f = self.top_frame("capture-ref")?;
-                    let v = f
-                        .closure
-                        .as_ref()
-                        .and_then(|cl| cl.captures.get(i as usize))
-                        .cloned()
-                        .ok_or_else(|| {
-                            VmError::internal("capture-ref", "capture out of range or no closure")
-                        })?;
+                    let cl = self.top_frame("capture-ref")?.closure;
+                    let v = cl.and_then(|cl| cl.capture(i as usize)).ok_or_else(|| {
+                        VmError::internal("capture-ref", "capture out of range or no closure")
+                    })?;
                     self.stack.push(v);
                 }
                 Instr::GlobalRef(id) => {
@@ -771,10 +849,10 @@ impl Machine {
                         .ok_or_else(|| {
                             VmError::internal("make-closure", "nested code index out of range")
                         })?;
-                    self.stack.push(Value::Closure(Rc::new(Closure {
+                    self.stack.push(Value::closure(Closure {
                         code,
                         captures: caps,
-                    })));
+                    }));
                 }
                 Instr::Jump(t) => self.top_frame_mut("jump")?.pc = t,
                 Instr::JumpIfFalse(t) => {
@@ -827,7 +905,7 @@ impl Machine {
                 Instr::PrimCall(op, argc) => prims::exec_prim(self, op, argc as usize)?,
                 Instr::PushAttach => {
                     let v = self.pop_value("push-attach")?;
-                    self.marks = Value::cons(v, self.marks.clone());
+                    self.marks = Value::cons(v, self.marks);
                     self.trace(TraceKind::AttachPush);
                 }
                 Instr::PopAttach => {
@@ -883,7 +961,7 @@ impl Machine {
                     self.stack.push(v);
                 }
                 Instr::CurrentAttachments => {
-                    self.stack.push(self.marks.clone());
+                    self.stack.push(self.marks);
                 }
                 Instr::EagerPushFrame => {
                     self.mark_stack.push(Vec::new());
@@ -964,15 +1042,16 @@ impl Machine {
         }
     }
 
-    fn call_closure(&mut self, cl: Rc<Closure>, args: Vec<Value>, mode: CallMode) -> VmResult<()> {
-        let args = check_arity(&cl.code, args)?;
+    fn call_closure(&mut self, cl: HClosure, args: Vec<Value>, mode: CallMode) -> VmResult<()> {
+        let code = cl.code();
+        let args = check_arity(&code, args)?;
         match mode {
             CallMode::NonTail => {
                 if self.frames.len() >= self.config.segment_frame_limit {
                     self.trace(TraceKind::OverflowSplit);
-                    self.freeze_current(self.marks.clone());
+                    self.freeze_current(self.marks);
                 }
-                self.push_frame(cl.code.clone(), Some(cl), args)?;
+                self.push_frame(code, Some(cl), args)?;
             }
             CallMode::EagerShared => {
                 // Like NonTail, but the callee's frame shares the mark
@@ -981,9 +1060,9 @@ impl Machine {
                 // callee's return pops it.
                 if self.frames.len() >= self.config.segment_frame_limit {
                     self.trace(TraceKind::OverflowSplit);
-                    self.freeze_current(self.marks.clone());
+                    self.freeze_current(self.marks);
                 }
-                self.push_frame_no_entry(cl.code.clone(), Some(cl), args)?;
+                self.push_frame_no_entry(code, Some(cl), args)?;
             }
             CallMode::Tail => {
                 let Some(f) = self.frames.last_mut() else {
@@ -992,7 +1071,7 @@ impl Machine {
                 self.stack.truncate(f.base as usize);
                 self.stack.extend(args);
                 f.pc = 0;
-                f.code = cl.code.clone();
+                f.code = code;
                 f.closure = Some(cl);
                 // The eager mark entry is intentionally retained: a tail
                 // call shares its caller's continuation frame, so the old
@@ -1004,7 +1083,7 @@ impl Machine {
                 let rest = self.marks_rest()?;
                 self.trace(TraceKind::Reify);
                 self.freeze_current(rest);
-                self.push_frame(cl.code.clone(), Some(cl), args)?;
+                self.push_frame(code, Some(cl), args)?;
             }
         }
         Ok(())
@@ -1067,7 +1146,7 @@ impl Machine {
     fn push_frame(
         &mut self,
         code: Rc<Code>,
-        closure: Option<Rc<Closure>>,
+        closure: Option<HClosure>,
         args: Vec<Value>,
     ) -> VmResult<()> {
         self.push_frame_no_entry(code, closure, args)?;
@@ -1081,7 +1160,7 @@ impl Machine {
     fn push_frame_no_entry(
         &mut self,
         code: Rc<Code>,
-        closure: Option<Rc<Closure>>,
+        closure: Option<HClosure>,
         args: Vec<Value>,
     ) -> VmResult<()> {
         let base = u32::try_from(self.stack.len()).map_err(|_| {
@@ -1140,7 +1219,7 @@ impl Machine {
             match self.next.take() {
                 Some(u) => {
                     self.trace(TraceKind::Underflow);
-                    self.marks = u.marks.clone();
+                    self.marks = u.marks;
                     self.next = u.next.clone();
                     let fuse = self.config.one_shot_fusion
                         && !self.config.fault_plan.force_clone
@@ -1222,7 +1301,7 @@ impl Machine {
                 frames: lower_frames,
                 mark_entries: lower_entries,
             })),
-            marks: self.marks.clone(),
+            marks: self.marks,
             next: self.next.take(),
         });
         self.next = Some(u);
@@ -1263,7 +1342,7 @@ impl Machine {
         let rest = if check_replace && self.frame_has_attachment() {
             self.marks_rest()?
         } else {
-            self.marks.clone()
+            self.marks
         };
         self.marks = Value::cons(v, rest);
         self.trace(TraceKind::AttachPush);
@@ -1287,7 +1366,7 @@ impl Machine {
                 let head = if self.frames.is_empty() {
                     self.next.clone()
                 } else {
-                    Some(self.freeze_current(self.marks.clone()))
+                    Some(self.freeze_current(self.marks))
                 };
                 // The old-Racket model has no segmented stacks: capturing
                 // a continuation copies the entire stack (and its mark
@@ -1302,13 +1381,13 @@ impl Machine {
                 if self.config.wrapped_control {
                     // Model the Racket CS wrapper: extra allocations for
                     // the wrapper record and saved winder/mark state.
-                    let _wrap = Value::vector(vec![Value::Nil, self.marks.clone()]);
+                    let _wrap = Value::vector(vec![Value::Nil, self.marks]);
                     let _winders_copy = self.winders.clone();
                 }
-                let k = Value::Cont(Rc::new(ContData {
+                let k = Value::cont(ContData {
                     kind: ContKind::Full { head },
-                    marks: self.marks.clone(),
-                    base_marks: self.base_marks.clone(),
+                    marks: self.marks,
+                    base_marks: self.base_marks,
                     winders: self.winders.clone(),
                     meta_depth: self.meta.len(),
                     nested_depth: self.nested_depth,
@@ -1317,7 +1396,7 @@ impl Machine {
                     } else {
                         None
                     },
-                }));
+                });
                 self.do_call(proc, vec![k], CallMode::NonTail)
             }
             ControlOp::Apply => {
@@ -1343,8 +1422,8 @@ impl Machine {
                     stack: mem::take(&mut self.stack),
                     frames: mem::take(&mut self.frames),
                     next: self.next.take(),
-                    marks: self.marks.clone(),
-                    base_marks: mem::replace(&mut self.base_marks, self.marks.clone()),
+                    marks: self.marks,
+                    base_marks: mem::replace(&mut self.base_marks, self.marks),
                     winders: mem::take(&mut self.winders),
                     mark_stack: mem::take(&mut self.mark_stack),
                 };
@@ -1359,7 +1438,7 @@ impl Machine {
                         return Err(VmErrorKind::NoMatchingPrompt(tag.write_string()).into());
                     };
                     if mf.tag.eq_value(&tag) {
-                        let handler = mf.handler.clone();
+                        let handler = mf.handler;
                         self.restore_meta(mf);
                         return self.do_call(handler, vec![v], CallMode::NonTail);
                     }
@@ -1382,11 +1461,11 @@ impl Machine {
                         if self.frames.is_empty() && !self.marks.eq_value(self.marks_boundary()) {
                             self.marks_rest()?
                         } else if self.frames.is_empty() {
-                            self.marks.clone()
+                            self.marks
                         } else {
                             self.trace(TraceKind::Reify);
-                            self.freeze_current(self.marks.clone());
-                            self.marks.clone()
+                            self.freeze_current(self.marks);
+                            self.marks
                         };
                     self.marks = Value::cons(val, rest);
                 } else {
@@ -1394,8 +1473,8 @@ impl Machine {
                     // conceptual frame (this is the unoptimized `call/cm`
                     // expansion the compiler avoids in §7.2).
                     self.trace(TraceKind::Reify);
-                    self.freeze_current(self.marks.clone());
-                    self.marks = Value::cons(val, self.marks.clone());
+                    self.freeze_current(self.marks);
+                    self.marks = Value::cons(val, self.marks);
                 }
                 self.trace(TraceKind::AttachPush);
                 self.do_call(thunk, vec![], CallMode::NonTail)
@@ -1458,17 +1537,20 @@ impl Machine {
     // Continuation application
     // ------------------------------------------------------------------
 
-    fn apply_continuation(&mut self, k: Rc<ContData>, v: Value) -> VmResult<Option<Value>> {
+    fn apply_continuation(&mut self, hk: HCont, v: Value) -> VmResult<Option<Value>> {
+        let k = hk.data();
         if k.nested_depth != self.nested_depth {
             return Err(VmError::other(
                 "cannot apply a continuation across a winder-thunk boundary",
             ));
         }
-        if let Some(used) = &k.one_shot_used {
-            if used.get() {
+        if k.one_shot_used.is_some() {
+            // The one-shot flag must be read and set on the heap's copy:
+            // `k` is a clone whose cell is not aliased with it.
+            if hk.one_shot_used() {
                 return Err(VmErrorKind::OneShotReused.into());
             }
-            used.set(true);
+            hk.set_one_shot_used();
         }
         match &k.kind {
             ContKind::Full { head } => {
@@ -1476,15 +1558,23 @@ impl Machine {
                     return Err(VmError::other("continuation's prompt is no longer active"));
                 }
                 self.meta.truncate(k.meta_depth);
-                self.rewind_winders(&k.winders)?;
+                // Pin the continuation and the delivered value: winder
+                // rewinding runs nested code with GC safe points, and `k`
+                // is only a Rust local.
+                let tr_base = self.temp_roots.len();
+                self.temp_roots.push(Value::Cont(hk));
+                self.temp_roots.push(v);
+                let rewound = self.rewind_winders(&k.winders);
+                self.temp_roots.truncate(tr_base);
+                rewound?;
                 if self.config.wrapped_control {
-                    let _wrap = Value::vector(vec![Value::Nil, k.marks.clone()]);
+                    let _wrap = Value::vector(vec![Value::Nil, k.marks]);
                 }
                 self.stack.clear();
                 self.frames.clear();
                 self.mark_stack.clear();
-                self.marks = k.marks.clone();
-                self.base_marks = k.base_marks.clone();
+                self.marks = k.marks;
+                self.base_marks = k.base_marks;
                 self.next = head.clone();
                 self.underflow(v)
             }
@@ -1502,14 +1592,24 @@ impl Machine {
             .take_while(|(a, b)| a.id == b.id)
             .count();
         let exits = self.winders.split_off(common);
-        for w in exits.into_iter().rev() {
-            self.run_winder_thunk(w.post.clone(), w.marks.clone())?;
-        }
-        for w in &target[common..] {
-            self.run_winder_thunk(w.pre.clone(), w.marks.clone())?;
-            self.winders.push(w.clone());
-        }
-        Ok(())
+        // Pin both winder lists: once split off (or while still only in
+        // `target`), their thunks and marks live in Rust locals, and each
+        // winder thunk runs nested code with GC safe points.
+        let tr_base = self.temp_roots.len();
+        push_winder_roots(&exits, &mut self.temp_roots);
+        push_winder_roots(&target[common..], &mut self.temp_roots);
+        let result = (|| {
+            for w in exits.iter().rev() {
+                self.run_winder_thunk(w.post, w.marks)?;
+            }
+            for w in &target[common..] {
+                self.run_winder_thunk(w.pre, w.marks)?;
+                self.winders.push(w.clone());
+            }
+            Ok(())
+        })();
+        self.temp_roots.truncate(tr_base);
+        result
     }
 
     /// Runs a winder thunk in a nested execution with the winder's saved
@@ -1538,16 +1638,26 @@ impl Machine {
             }
             .into());
         }
+        // The outer run's state parks in `saved_states` (a machine field,
+        // not a Rust local) so the collector can reach it while the
+        // nested run hits safe points.
         let saved = self.save_state();
+        self.saved_states.push(saved);
         self.nested_depth += 1;
-        self.marks = marks.clone();
+        self.marks = marks;
         self.base_marks = marks;
         let result = (|| match self.do_call(f, args, CallMode::NonTail)? {
             Some(v) => Ok(v),
             None => self.run_until_done(),
         })();
         self.nested_depth -= 1;
-        self.restore_state(saved);
+        match self.saved_states.pop() {
+            Some(saved) => self.restore_state(saved),
+            None => {
+                // Unreachable: pushes and pops are balanced above.
+                debug_assert!(false, "nested execution lost its saved state");
+            }
+        }
         result
     }
 
@@ -1573,6 +1683,85 @@ impl Machine {
         self.winders = s.winders;
         self.meta = s.meta;
         self.mark_stack = s.mark_stack;
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection
+    // ------------------------------------------------------------------
+
+    /// Every live edge of this machine's execution state, for the
+    /// collector: operand stack, frame closures, the marks/attachment
+    /// registers, winders, eager mark entries, the underflow chain, prompt
+    /// (meta) frames, state saved around nested executions, and
+    /// temporarily pinned values. (Globals, `Code` constant pools — which
+    /// are permanent by construction — suspended runs, and embedder-held
+    /// results are standing roots owned by the heap itself.)
+    fn gather_roots(&self, roots: &mut Vec<Value>) {
+        roots.extend_from_slice(&self.stack);
+        for f in &self.frames {
+            if let Some(cl) = f.closure {
+                roots.push(Value::Closure(cl));
+            }
+        }
+        roots.push(self.marks);
+        roots.push(self.base_marks);
+        push_winder_roots(&self.winders, roots);
+        for entry in &self.mark_stack {
+            push_entry_roots(entry, roots);
+        }
+        push_chain_roots(&self.next, roots);
+        for mf in &self.meta {
+            push_meta_roots(mf, roots);
+        }
+        for s in &self.saved_states {
+            push_saved_roots(s, roots);
+        }
+        roots.extend_from_slice(&self.temp_roots);
+    }
+
+    /// Collects garbage now, rooting this machine's live state (plus the
+    /// heap's standing roots). Called automatically at interpreter safe
+    /// points; public so embedders and tests can force a collection while
+    /// the machine is idle (or between slices).
+    pub fn collect_now(&mut self) -> GcReport {
+        self.collect_garbage()
+    }
+
+    /// Like [`Machine::collect_now`], additionally rooting `extra` —
+    /// values an embedder holds in locals that no machine register or
+    /// standing root reaches (e.g. a benchmark's working set built inside
+    /// an [`alloc_scope`](crate::alloc_scope)).
+    pub fn collect_now_rooting(&mut self, extra: &[Value]) -> GcReport {
+        let keep = self.temp_roots.len();
+        self.temp_roots.extend_from_slice(extra);
+        let report = self.collect_garbage();
+        self.temp_roots.truncate(keep);
+        report
+    }
+
+    /// Announces allocations made since the last drain as
+    /// [`TraceKind::Alloc`] events, keeping the stats counter and any
+    /// enabled journal in step with the heap.
+    fn drain_alloc_events(&mut self) {
+        let pending = heap::take_alloc_pending();
+        for _ in 0..pending {
+            self.trace(TraceKind::Alloc);
+        }
+    }
+
+    fn collect_garbage(&mut self) -> GcReport {
+        // Alloc events first, so the records for the allocations that
+        // triggered this collection precede its `GcCollect` record.
+        self.drain_alloc_events();
+        let mut roots = Vec::new();
+        self.gather_roots(&mut roots);
+        let report = heap::collect_with_roots(&roots);
+        self.trace(TraceKind::GcCollect);
+        self.stats.bytes_live = report.bytes_live;
+        if report.bytes_live > self.stats.bytes_live_peak {
+            self.stats.bytes_live_peak = report.bytes_live;
+        }
+        report
     }
 
     // ------------------------------------------------------------------
@@ -1693,7 +1882,7 @@ impl Machine {
             ))
             .into());
         }
-        let boundary = self.base_marks.clone();
+        let boundary = self.base_marks;
         let top_seg = Rc::new(Segment {
             stack: self.stack.clone(),
             frames: self.frames.clone(),
@@ -1713,36 +1902,36 @@ impl Machine {
             cur = u.next.clone();
         }
         self.trace(TraceKind::Capture);
-        Ok(Value::Cont(Rc::new(ContData {
+        Ok(Value::cont(ContData {
             kind: ContKind::Composable(CompData {
                 top_seg,
                 chain,
                 top_marks_prefix,
             }),
-            marks: self.marks.clone(),
+            marks: self.marks,
             base_marks: boundary,
             winders: Vec::new(),
             meta_depth: self.meta.len(),
             nested_depth: self.nested_depth,
             one_shot_used: None,
-        })))
+        }))
     }
 
     fn apply_composable(&mut self, comp: &CompData, v: Value) -> VmResult<Option<Value>> {
-        let app_marks = self.marks.clone();
+        let app_marks = self.marks;
         // Freeze the application-site continuation; the spliced chain
         // bottoms out into it.
         let base = if self.frames.is_empty() {
             self.next.take()
         } else {
-            self.freeze_current(app_marks.clone());
+            self.freeze_current(app_marks);
             self.next.take()
         };
         let mut next = base;
         for rec in comp.chain.iter().rev() {
             next = Some(Rc::new(Underflow {
                 seg: RefCell::new(Some((*rec.seg).clone())),
-                marks: cons_prefix(&rec.marks_prefix, app_marks.clone()),
+                marks: cons_prefix(&rec.marks_prefix, app_marks),
                 next,
             }));
         }
@@ -1771,7 +1960,7 @@ impl Machine {
             id: self.winder_counter,
             pre,
             post,
-            marks: self.marks.clone(),
+            marks: self.marks,
         });
     }
 
@@ -1865,11 +2054,92 @@ impl Machine {
     }
 }
 
+/// Pushes the values of one eager mark entry.
+fn push_entry_roots(entry: &MarkEntry, roots: &mut Vec<Value>) {
+    for (k, v) in entry {
+        roots.push(*k);
+        roots.push(*v);
+    }
+}
+
+/// Pushes a winder list's thunks and saved marks.
+fn push_winder_roots(winders: &[Winder], roots: &mut Vec<Value>) {
+    for w in winders {
+        roots.push(w.pre);
+        roots.push(w.post);
+        roots.push(w.marks);
+    }
+}
+
+/// Pushes everything a frozen segment holds.
+fn push_segment_roots(seg: &Segment, roots: &mut Vec<Value>) {
+    roots.extend_from_slice(&seg.stack);
+    for f in &seg.frames {
+        if let Some(cl) = f.closure {
+            roots.push(Value::Closure(cl));
+        }
+    }
+    for entry in &seg.mark_entries {
+        push_entry_roots(entry, roots);
+    }
+}
+
+/// Walks an underflow chain, pushing each record's restore-marks and
+/// segment contents. Chains are acyclic (a checked machine invariant), so
+/// plain iteration terminates; records shared with a continuation just
+/// get pushed more than once, which marking tolerates.
+fn push_chain_roots(head: &Option<Rc<Underflow>>, roots: &mut Vec<Value>) {
+    let mut cur = head.clone();
+    while let Some(u) = cur {
+        roots.push(u.marks);
+        if let Some(seg) = u.seg.borrow().as_ref() {
+            push_segment_roots(seg, roots);
+        }
+        cur = u.next.clone();
+    }
+}
+
+/// Pushes everything a prompt (meta) frame saved.
+fn push_meta_roots(mf: &MetaFrame, roots: &mut Vec<Value>) {
+    roots.push(mf.tag);
+    roots.push(mf.handler);
+    roots.push(mf.marks);
+    roots.push(mf.base_marks);
+    roots.extend_from_slice(&mf.stack);
+    for f in &mf.frames {
+        if let Some(cl) = f.closure {
+            roots.push(Value::Closure(cl));
+        }
+    }
+    push_chain_roots(&mf.next, roots);
+    push_winder_roots(&mf.winders, roots);
+    for entry in &mf.mark_stack {
+        push_entry_roots(entry, roots);
+    }
+}
+
+/// Pushes a nested execution's parked outer state.
+fn push_saved_roots(s: &SavedState, roots: &mut Vec<Value>) {
+    roots.extend_from_slice(&s.stack);
+    for f in &s.frames {
+        if let Some(cl) = f.closure {
+            roots.push(Value::Closure(cl));
+        }
+    }
+    roots.push(s.marks);
+    roots.push(s.base_marks);
+    push_chain_roots(&s.next, roots);
+    push_winder_roots(&s.winders, roots);
+    for mf in &s.meta {
+        push_meta_roots(mf, roots);
+    }
+    for entry in &s.mark_stack {
+        push_entry_roots(entry, roots);
+    }
+}
+
 fn lookup_entry(entry: &MarkEntry, key: &Value) -> Option<Value> {
-    entry
-        .iter()
-        .find(|(k, _)| k.eq_value(key))
-        .map(|(_, v)| v.clone())
+    entry.iter().find(|(k, _)| k.eq_value(key)).map(|(_, v)| *v)
 }
 
 /// Checks that a segment's frames have monotone bases within the value
@@ -1901,7 +2171,7 @@ fn check_frames_well_formed(frames: &[Frame], stack_len: usize, what: &str) -> R
 /// cap standing in for true cycle detection).
 fn check_proper_list(v: &Value, what: &str) -> Result<(), String> {
     const CAP: u64 = 10_000_000;
-    let mut cur = v.clone();
+    let mut cur = *v;
     let mut n = 0u64;
     loop {
         if matches!(cur, Value::Nil) {
@@ -1981,7 +2251,7 @@ fn check_arity(code: &Code, mut args: Vec<Value>) -> VmResult<Vec<Value>> {
 /// The marks that `marks` adds relative to `boundary`, newest first.
 fn marks_prefix(marks: &Value, boundary: &Value) -> VmResult<Vec<Value>> {
     let mut out = Vec::new();
-    let mut cur = marks.clone();
+    let mut cur = *marks;
     loop {
         if cur.eq_value(boundary) {
             return Ok(out);
@@ -2008,7 +2278,7 @@ fn deep_copy_chain(head: &Rc<Underflow>) -> Rc<Underflow> {
     let mut records = Vec::new();
     let mut cur = Some(head.clone());
     while let Some(u) = cur {
-        records.push((u.seg.borrow().clone(), u.marks.clone()));
+        records.push((u.seg.borrow().clone(), u.marks));
         cur = u.next.clone();
     }
     let mut next: Option<Rc<Underflow>> = None;
@@ -2030,7 +2300,7 @@ fn deep_copy_chain(head: &Rc<Underflow>) -> Rc<Underflow> {
 fn cons_prefix(prefix: &[Value], tail: Value) -> Value {
     let mut out = tail;
     for v in prefix.iter().rev() {
-        out = Value::cons(v.clone(), out);
+        out = Value::cons(*v, out);
     }
     out
 }

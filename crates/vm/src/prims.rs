@@ -13,8 +13,6 @@
 //! attachment-transparent, which is the knowledge behind the paper's
 //! "no prim" optimization (§7.2, §8.5).
 
-use std::rc::Rc;
-
 use crate::code::PrimOp;
 use crate::error::{VmError, VmResult};
 use crate::machine::Machine;
@@ -312,27 +310,18 @@ pub fn table() -> &'static [NativeDef] {
                 "positive?",
                 1,
                 Some(1),
-                Pure(
-                    |a| p_cmp(&[a[0].clone(), Value::Fixnum(0)], "positive?", |o| o
-                        == std::cmp::Ordering::Greater)
-                )
+                Pure(|a| p_cmp(&[a[0], Value::Fixnum(0)], "positive?", |o| o
+                    == std::cmp::Ordering::Greater))
             ),
             (
                 "negative?",
                 1,
                 Some(1),
-                Pure(
-                    |a| p_cmp(&[a[0].clone(), Value::Fixnum(0)], "negative?", |o| o
-                        == std::cmp::Ordering::Less)
-                )
+                Pure(|a| p_cmp(&[a[0], Value::Fixnum(0)], "negative?", |o| o
+                    == std::cmp::Ordering::Less))
             ),
             // Pairs and lists
-            (
-                "cons",
-                2,
-                Some(2),
-                Pure(|a| Ok(Value::cons(a[0].clone(), a[1].clone())))
-            ),
+            ("cons", 2, Some(2), Pure(|a| Ok(Value::cons(a[0], a[1])))),
             ("car", 1, Some(1), Pure(|a| p_car("car", &a[0]))),
             ("cdr", 1, Some(1), Pure(|a| p_cdr("cdr", &a[0]))),
             (
@@ -602,12 +591,7 @@ pub fn table() -> &'static [NativeDef] {
             ("list->vector", 1, Some(1), Pure(p_list_to_vector)),
             ("vector-fill!", 2, Some(2), Pure(p_vector_fill)),
             // Boxes
-            (
-                "box",
-                1,
-                Some(1),
-                Pure(|a| Ok(Value::Box(Rc::new(std::cell::RefCell::new(a[0].clone())))))
-            ),
+            ("box", 1, Some(1), Pure(|a| Ok(Value::boxed(a[0])))),
             ("unbox", 1, Some(1), Pure(p_unbox)),
             ("set-box!", 2, Some(2), Pure(p_set_box)),
             // Hash tables
@@ -736,7 +720,7 @@ pub fn prim_op(op: PrimOp, args: &[Value]) -> VmResult<Value> {
         PrimOp::Add1 => add_values("add1", &args[0], &Value::Fixnum(1)),
         PrimOp::Sub1 => sub_values("sub1", &args[0], &Value::Fixnum(1)),
         PrimOp::ZeroP => p_zero(args),
-        PrimOp::Cons => Ok(Value::cons(args[0].clone(), args[1].clone())),
+        PrimOp::Cons => Ok(Value::cons(args[0], args[1])),
         PrimOp::Car => p_car("car", &args[0]),
         PrimOp::Cdr => p_cdr("cdr", &args[0]),
         PrimOp::SetCar => p_set_car(args),
@@ -757,9 +741,7 @@ pub fn prim_op(op: PrimOp, args: &[Value]) -> VmResult<Value> {
         PrimOp::VectorSet => p_vector_set(args),
         PrimOp::VectorLength => p_vector_length(args),
         PrimOp::MakeVector => p_make_vector(args),
-        PrimOp::BoxNew => Ok(Value::Box(Rc::new(std::cell::RefCell::new(
-            args[0].clone(),
-        )))),
+        PrimOp::BoxNew => Ok(Value::boxed(args[0])),
         PrimOp::Unbox => p_unbox(args),
         PrimOp::SetBox => p_set_box(args),
     }
@@ -885,7 +867,7 @@ fn p_sub(args: &[Value]) -> VmResult<Value> {
     if args.len() == 1 {
         return sub_values("-", &Value::Fixnum(0), &args[0]);
     }
-    let mut acc = args[0].clone();
+    let mut acc = args[0];
     for a in &args[1..] {
         acc = sub_values("-", &acc, a)?;
     }
@@ -918,7 +900,7 @@ fn p_div(args: &[Value]) -> VmResult<Value> {
     if args.len() == 1 {
         return div2(&Value::Fixnum(1), &args[0]);
     }
-    let mut acc = args[0].clone();
+    let mut acc = args[0];
     for a in &args[1..] {
         acc = div2(&acc, a)?;
     }
@@ -998,20 +980,20 @@ fn p_abs(args: &[Value]) -> VmResult<Value> {
 }
 
 fn p_min(args: &[Value]) -> VmResult<Value> {
-    let mut best = args[0].clone();
+    let mut best = args[0];
     for a in &args[1..] {
         if num_cmp("min", a, &best)? == std::cmp::Ordering::Less {
-            best = a.clone();
+            best = *a;
         }
     }
     Ok(best)
 }
 
 fn p_max(args: &[Value]) -> VmResult<Value> {
-    let mut best = args[0].clone();
+    let mut best = args[0];
     for a in &args[1..] {
         if num_cmp("max", a, &best)? == std::cmp::Ordering::Greater {
-            best = a.clone();
+            best = *a;
         }
     }
     Ok(best)
@@ -1087,7 +1069,7 @@ fn p_cdr(who: &'static str, v: &Value) -> VmResult<Value> {
 fn p_set_car(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
         Value::Pair(p) => {
-            *p.car.borrow_mut() = args[1].clone();
+            p.set_car(args[1]);
             Ok(Value::Void)
         }
         v => Err(VmError::wrong_type("set-car!", "pair", v)),
@@ -1097,7 +1079,7 @@ fn p_set_car(args: &[Value]) -> VmResult<Value> {
 fn p_set_cdr(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
         Value::Pair(p) => {
-            *p.cdr.borrow_mut() = args[1].clone();
+            p.set_cdr(args[1]);
             Ok(Value::Void)
         }
         v => Err(VmError::wrong_type("set-cdr!", "pair", v)),
@@ -1115,7 +1097,7 @@ fn p_append(args: &[Value]) -> VmResult<Value> {
     let Some((last, init)) = args.split_last() else {
         return Ok(Value::Nil);
     };
-    let mut out = last.clone();
+    let mut out = *last;
     for lst in init.iter().rev() {
         let items = lst
             .list_to_vec()
@@ -1129,14 +1111,14 @@ fn p_append(args: &[Value]) -> VmResult<Value> {
 
 fn p_reverse(args: &[Value]) -> VmResult<Value> {
     let mut out = Value::Nil;
-    let mut cur = args[0].clone();
+    let mut cur = args[0];
     loop {
         match cur {
             Value::Nil => return Ok(out),
             Value::Pair(p) => {
-                out = Value::cons(p.car.borrow().clone(), out);
-                let next = p.cdr.borrow().clone();
-                cur = next;
+                let (car, cdr) = p.car_cdr();
+                out = Value::cons(car, out);
+                cur = cdr;
             }
             v => return Err(VmError::wrong_type("reverse", "proper list", &v)),
         }
@@ -1144,7 +1126,7 @@ fn p_reverse(args: &[Value]) -> VmResult<Value> {
 }
 
 fn p_list_tail(args: &[Value]) -> VmResult<Value> {
-    let mut cur = args[0].clone();
+    let mut cur = args[0];
     let n = as_fixnum("list-tail", &args[1])?;
     for _ in 0..n {
         cur = p_cdr("list-tail", &cur)?;
@@ -1157,16 +1139,16 @@ fn p_list_ref(args: &[Value]) -> VmResult<Value> {
 }
 
 fn p_mem(args: &[Value], eq: fn(&Value, &Value) -> bool) -> VmResult<Value> {
-    let mut cur = args[1].clone();
+    let mut cur = args[1];
     loop {
         match &cur {
             Value::Nil => return Ok(Value::Bool(false)),
             Value::Pair(p) => {
-                if eq(&p.car.borrow(), &args[0]) {
-                    return Ok(cur.clone());
+                let (car, cdr) = p.car_cdr();
+                if eq(&car, &args[0]) {
+                    return Ok(cur);
                 }
-                let next = p.cdr.borrow().clone();
-                cur = next;
+                cur = cdr;
             }
             v => return Err(VmError::wrong_type("member", "proper list", v)),
         }
@@ -1174,18 +1156,17 @@ fn p_mem(args: &[Value], eq: fn(&Value, &Value) -> bool) -> VmResult<Value> {
 }
 
 fn p_ass(args: &[Value], eq: fn(&Value, &Value) -> bool) -> VmResult<Value> {
-    let mut cur = args[1].clone();
+    let mut cur = args[1];
     loop {
         match &cur {
             Value::Nil => return Ok(Value::Bool(false)),
             Value::Pair(p) => {
-                let entry = p.car.borrow().clone();
+                let (entry, next) = p.car_cdr();
                 if let Some(key) = entry.car() {
                     if eq(&key, &args[0]) {
                         return Ok(entry);
                     }
                 }
-                let next = p.cdr.borrow().clone();
                 cur = next;
             }
             v => return Err(VmError::wrong_type("assoc", "association list", v)),
@@ -1199,7 +1180,7 @@ fn p_ass(args: &[Value], eq: fn(&Value, &Value) -> bool) -> VmResult<Value> {
 
 fn as_string(who: &'static str, v: &Value) -> VmResult<String> {
     match v {
-        Value::Str(s) => Ok(s.borrow().clone()),
+        Value::Str(s) => Ok(s.get()),
         _ => Err(VmError::wrong_type(who, "string", v)),
     }
 }
@@ -1365,9 +1346,7 @@ fn p_vector_ref(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
         Value::Vector(v) => {
             let i = as_fixnum("vector-ref", &args[1])? as usize;
-            v.borrow()
-                .get(i)
-                .cloned()
+            v.get(i)
                 .ok_or_else(|| VmError::other(format!("vector-ref: index {i} out of range")))
         }
         v => Err(VmError::wrong_type("vector-ref", "vector", v)),
@@ -1378,13 +1357,11 @@ fn p_vector_set(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
         Value::Vector(v) => {
             let i = as_fixnum("vector-set!", &args[1])? as usize;
-            let mut v = v.borrow_mut();
-            if i >= v.len() {
+            if !v.set(i, args[2]) {
                 return Err(VmError::other(format!(
                     "vector-set!: index {i} out of range"
                 )));
             }
-            v[i] = args[2].clone();
             Ok(Value::Void)
         }
         v => Err(VmError::wrong_type("vector-set!", "vector", v)),
@@ -1393,14 +1370,14 @@ fn p_vector_set(args: &[Value]) -> VmResult<Value> {
 
 fn p_vector_length(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
-        Value::Vector(v) => Ok(Value::Fixnum(v.borrow().len() as i64)),
+        Value::Vector(v) => Ok(Value::Fixnum(v.len() as i64)),
         v => Err(VmError::wrong_type("vector-length", "vector", v)),
     }
 }
 
 fn p_vector_to_list(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
-        Value::Vector(v) => Ok(Value::list(v.borrow().iter().cloned())),
+        Value::Vector(v) => Ok(Value::list(v.to_vec())),
         v => Err(VmError::wrong_type("vector->list", "vector", v)),
     }
 }
@@ -1415,8 +1392,8 @@ fn p_list_to_vector(args: &[Value]) -> VmResult<Value> {
 fn p_vector_fill(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
         Value::Vector(v) => {
-            for slot in v.borrow_mut().iter_mut() {
-                *slot = args[1].clone();
+            for i in 0..v.len() {
+                v.set(i, args[1]);
             }
             Ok(Value::Void)
         }
@@ -1430,7 +1407,7 @@ fn p_vector_fill(args: &[Value]) -> VmResult<Value> {
 
 fn p_unbox(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
-        Value::Box(b) => Ok(b.borrow().clone()),
+        Value::Box(b) => Ok(b.get()),
         v => Err(VmError::wrong_type("unbox", "box", v)),
     }
 }
@@ -1438,7 +1415,7 @@ fn p_unbox(args: &[Value]) -> VmResult<Value> {
 fn p_set_box(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
         Value::Box(b) => {
-            *b.borrow_mut() = args[1].clone();
+            b.set(args[1]);
             Ok(Value::Void)
         }
         v => Err(VmError::wrong_type("set-box!", "box", v)),
@@ -1448,7 +1425,7 @@ fn p_set_box(args: &[Value]) -> VmResult<Value> {
 fn p_hash_set(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
         Value::Table(t) => {
-            t.borrow_mut().insert(args[1].eq_key(), args[2].clone());
+            t.insert(args[1], args[2]);
             Ok(Value::Void)
         }
         v => Err(VmError::wrong_type("hashtable-set!", "hash-table", v)),
@@ -1457,18 +1434,14 @@ fn p_hash_set(args: &[Value]) -> VmResult<Value> {
 
 fn p_hash_ref(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
-        Value::Table(t) => Ok(t
-            .borrow()
-            .get(&args[1].eq_key())
-            .cloned()
-            .unwrap_or_else(|| args[2].clone())),
+        Value::Table(t) => Ok(t.get(&args[1].eq_key()).unwrap_or_else(|| args[2])),
         v => Err(VmError::wrong_type("hashtable-ref", "hash-table", v)),
     }
 }
 
 fn p_hash_contains(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
-        Value::Table(t) => Ok(Value::Bool(t.borrow().contains_key(&args[1].eq_key()))),
+        Value::Table(t) => Ok(Value::Bool(t.contains(&args[1].eq_key()))),
         v => Err(VmError::wrong_type("hashtable-contains?", "hash-table", v)),
     }
 }
@@ -1476,7 +1449,7 @@ fn p_hash_contains(args: &[Value]) -> VmResult<Value> {
 fn p_hash_delete(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
         Value::Table(t) => {
-            t.borrow_mut().remove(&args[1].eq_key());
+            t.remove(&args[1].eq_key());
             Ok(Value::Void)
         }
         v => Err(VmError::wrong_type("hashtable-delete!", "hash-table", v)),
@@ -1485,7 +1458,7 @@ fn p_hash_delete(args: &[Value]) -> VmResult<Value> {
 
 fn p_hash_size(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
-        Value::Table(t) => Ok(Value::Fixnum(t.borrow().len() as i64)),
+        Value::Table(t) => Ok(Value::Fixnum(t.len() as i64)),
         v => Err(VmError::wrong_type("hashtable-size", "hash-table", v)),
     }
 }
@@ -1499,14 +1472,14 @@ fn p_make_record(args: &[Value]) -> VmResult<Value> {
 
 fn p_record_is(args: &[Value]) -> VmResult<Value> {
     match (&args[0], &args[1]) {
-        (Value::Record(r), Value::Sym(tag)) => Ok(Value::Bool(r.tag == *tag)),
+        (Value::Record(r), Value::Sym(tag)) => Ok(Value::Bool(r.tag() == *tag)),
         _ => Ok(Value::Bool(false)),
     }
 }
 
 fn p_record_tag(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
-        Value::Record(r) => Ok(Value::Sym(r.tag)),
+        Value::Record(r) => Ok(Value::Sym(r.tag())),
         v => Err(VmError::wrong_type("record-tag", "record", v)),
     }
 }
@@ -1515,10 +1488,7 @@ fn p_record_ref(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
         Value::Record(r) => {
             let i = as_fixnum("record-ref", &args[1])? as usize;
-            r.fields
-                .borrow()
-                .get(i)
-                .cloned()
+            r.field(i)
                 .ok_or_else(|| VmError::other(format!("record-ref: field {i} out of range")))
         }
         v => Err(VmError::wrong_type("record-ref", "record", v)),
@@ -1529,13 +1499,11 @@ fn p_record_set(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
         Value::Record(r) => {
             let i = as_fixnum("record-set!", &args[1])? as usize;
-            let mut f = r.fields.borrow_mut();
-            if i >= f.len() {
+            if !r.set_field(i, args[2]) {
                 return Err(VmError::other(format!(
                     "record-set!: field {i} out of range"
                 )));
             }
-            f[i] = args[2].clone();
             Ok(Value::Void)
         }
         v => Err(VmError::wrong_type("record-set!", "record", v)),
@@ -1553,7 +1521,7 @@ fn p_error(args: &[Value]) -> VmResult<Value> {
 
 fn p_cont_attachments(args: &[Value]) -> VmResult<Value> {
     match &args[0] {
-        Value::Cont(k) => Ok(k.marks.clone()),
+        Value::Cont(k) => Ok(k.data().marks),
         v => Err(VmError::wrong_type("$cont-attachments", "continuation", v)),
     }
 }
@@ -1575,15 +1543,15 @@ fn mark_frame_tag() -> cm_sexpr::Sym {
 }
 
 fn dict_lookup(dict: &Value, key: &Value) -> Option<Value> {
-    let mut cur = dict.clone();
+    let mut cur = *dict;
     while let Value::Pair(p) = cur {
-        let entry = p.car.borrow().clone();
-        if let Value::Pair(e) = &entry {
-            if e.car.borrow().eq_value(key) {
-                return Some(e.cdr.borrow().clone());
+        let (entry, next) = p.car_cdr();
+        if let Value::Pair(e) = entry {
+            let (k, v) = e.car_cdr();
+            if k.eq_value(key) {
+                return Some(v);
             }
         }
-        let next = p.cdr.borrow().clone();
         cur = next;
     }
     None
@@ -1598,40 +1566,42 @@ const CACHE_MIN_DEPTH: usize = 4;
 fn p_marks_first(args: &[Value]) -> VmResult<Value> {
     let (atts, key, dflt) = (&args[0], &args[1], &args[2]);
     let tag = mark_frame_tag();
-    let mut node = atts.clone();
+    let mut node = *atts;
     let mut path: Vec<Value> = Vec::new();
     loop {
-        match node.clone() {
-            Value::Nil => return Ok(dflt.clone()),
+        match node {
+            Value::Nil => return Ok(*dflt),
             Value::Pair(p) => {
-                let elem = p.car.borrow().clone();
-                if let Value::Record(r) = &elem {
-                    if r.tag == tag {
-                        let found = {
-                            let fields = r.fields.borrow();
-                            // Cache probe first: a valid hit answers for
-                            // this node's whole tail.
-                            let cached = match fields.get(1) {
-                                Some(Value::Table(cache)) => {
-                                    cache.borrow().get(&key.eq_key()).and_then(|hit| match hit {
-                                        Value::Pair(h) if h.car.borrow().eq_value(&node) => {
-                                            Some(h.cdr.borrow().clone())
+                let (elem, next) = p.car_cdr();
+                if let Value::Record(r) = elem {
+                    if r.tag() == tag {
+                        let fields = r.fields();
+                        // Cache probe first: a valid hit answers for
+                        // this node's whole tail.
+                        let cached = match fields.get(1) {
+                            Some(Value::Table(cache)) => {
+                                cache.get(&key.eq_key()).and_then(|hit| match hit {
+                                    Value::Pair(h) => {
+                                        let (hn, hv) = h.car_cdr();
+                                        if hn.eq_value(&node) {
+                                            Some(hv)
+                                        } else {
+                                            None
                                         }
-                                        _ => None,
-                                    })
-                                }
-                                _ => None,
-                            };
-                            cached.or_else(|| dict_lookup(&fields[0], key))
+                                    }
+                                    _ => None,
+                                })
+                            }
+                            _ => None,
                         };
+                        let found = cached.or_else(|| dict_lookup(&fields[0], key));
                         if let Some(v) = found {
                             cache_halfway(&path, key, &v);
                             return Ok(v);
                         }
                     }
                 }
-                path.push(node.clone());
-                let next = p.cdr.borrow().clone();
+                path.push(node);
                 node = next;
             }
             other => {
@@ -1654,22 +1624,19 @@ fn cache_halfway(path: &[Value], key: &Value, value: &Value) {
     }
     let node = &path[n / 2];
     let Value::Pair(p) = node else { return };
-    let elem = p.car.borrow().clone();
-    let Value::Record(r) = &elem else { return };
-    if r.tag != mark_frame_tag() {
+    let elem = p.car();
+    let Value::Record(r) = elem else { return };
+    if r.tag() != mark_frame_tag() {
         return;
     }
-    let mut fields = r.fields.borrow_mut();
-    if fields.len() < 2 {
+    if r.field_count() < 2 {
         return;
     }
-    if !matches!(fields[1], Value::Table(_)) {
-        fields[1] = Value::table();
+    if !matches!(r.field(1), Some(Value::Table(_))) {
+        r.set_field(1, Value::table());
     }
-    if let Value::Table(cache) = &fields[1] {
-        cache
-            .borrow_mut()
-            .insert(key.eq_key(), Value::cons(node.clone(), value.clone()));
+    if let Some(Value::Table(cache)) = r.field(1) {
+        cache.insert(*key, Value::cons(*node, *value));
     }
 }
 
@@ -1678,20 +1645,19 @@ fn p_marks_to_list(args: &[Value]) -> VmResult<Value> {
     let (atts, key) = (&args[0], &args[1]);
     let tag = mark_frame_tag();
     let mut out = Vec::new();
-    let mut node = atts.clone();
+    let mut node = *atts;
     loop {
         match node {
             Value::Nil => return Ok(Value::list(out)),
             Value::Pair(p) => {
-                let elem = p.car.borrow().clone();
-                if let Value::Record(r) = &elem {
-                    if r.tag == tag {
-                        if let Some(v) = dict_lookup(&r.fields.borrow()[0], key) {
+                let (elem, next) = p.car_cdr();
+                if let Value::Record(r) = elem {
+                    if r.tag() == tag {
+                        if let Some(v) = dict_lookup(&r.fields()[0], key) {
                             out.push(v);
                         }
                     }
                 }
-                let next = p.cdr.borrow().clone();
                 node = next;
             }
             other => {
@@ -1756,8 +1722,7 @@ fn m_eager_set(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
 }
 
 fn m_eager_first(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
-    Ok(m.eager_first_mark(&args[0])
-        .unwrap_or_else(|| args[1].clone()))
+    Ok(m.eager_first_mark(&args[0]).unwrap_or_else(|| args[1]))
 }
 
 fn m_eager_marks(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
@@ -1765,8 +1730,7 @@ fn m_eager_marks(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
 }
 
 fn m_eager_immediate(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
-    Ok(m.eager_immediate_mark(&args[0])
-        .unwrap_or_else(|| args[1].clone()))
+    Ok(m.eager_immediate_mark(&args[0]).unwrap_or_else(|| args[1]))
 }
 
 fn m_display(m: &mut Machine, args: Vec<Value>) -> VmResult<Value> {
@@ -1864,12 +1828,12 @@ mod tests {
             .eq_value(&Value::fixnum(3)));
         let r = p_reverse(std::slice::from_ref(&l)).unwrap();
         assert_eq!(r.write_string(), "(3 2 1)");
-        let t = p_list_tail(&[l.clone(), Value::fixnum(1)]).unwrap();
+        let t = p_list_tail(&[l, Value::fixnum(1)]).unwrap();
         assert_eq!(t.write_string(), "(2 3)");
-        assert!(p_list_ref(&[l.clone(), Value::fixnum(2)])
+        assert!(p_list_ref(&[l, Value::fixnum(2)])
             .unwrap()
             .eq_value(&Value::fixnum(3)));
-        let a = p_append(&[l.clone(), Value::list([Value::fixnum(4)])]).unwrap();
+        let a = p_append(&[l, Value::list([Value::fixnum(4)])]).unwrap();
         assert_eq!(a.write_string(), "(1 2 3 4)");
     }
 
@@ -1879,7 +1843,7 @@ mod tests {
             Value::cons(Value::symbol("a"), Value::fixnum(1)),
             Value::cons(Value::symbol("b"), Value::fixnum(2)),
         ]);
-        let hit = p_ass(&[Value::symbol("b"), alist.clone()], |x, y| x.eq_value(y)).unwrap();
+        let hit = p_ass(&[Value::symbol("b"), alist], |x, y| x.eq_value(y)).unwrap();
         assert_eq!(hit.write_string(), "(b . 2)");
         let miss = p_ass(&[Value::symbol("c"), alist], |x, y| x.eq_value(y)).unwrap();
         assert!(!miss.is_true());
@@ -1896,7 +1860,7 @@ mod tests {
     fn string_ops() {
         let s = p_string_append(&[Value::string("foo"), Value::string("bar")]).unwrap();
         assert_eq!(s.display_string(), "foobar");
-        let sub = p_substring(&[s.clone(), Value::fixnum(1), Value::fixnum(4)]).unwrap();
+        let sub = p_substring(&[s, Value::fixnum(1), Value::fixnum(4)]).unwrap();
         assert_eq!(sub.display_string(), "oob");
         assert!(p_string_to_number(&[Value::string("42")])
             .unwrap()
@@ -1910,13 +1874,11 @@ mod tests {
     fn records() {
         let r =
             p_make_record(&[Value::symbol("point"), Value::fixnum(1), Value::fixnum(2)]).unwrap();
-        assert!(p_record_is(&[r.clone(), Value::symbol("point")])
-            .unwrap()
-            .is_true());
-        assert!(p_record_ref(&[r.clone(), Value::fixnum(1)])
+        assert!(p_record_is(&[r, Value::symbol("point")]).unwrap().is_true());
+        assert!(p_record_ref(&[r, Value::fixnum(1)])
             .unwrap()
             .eq_value(&Value::fixnum(2)));
-        p_record_set(&[r.clone(), Value::fixnum(0), Value::fixnum(9)]).unwrap();
+        p_record_set(&[r, Value::fixnum(0), Value::fixnum(9)]).unwrap();
         assert!(p_record_ref(&[r, Value::fixnum(0)])
             .unwrap()
             .eq_value(&Value::fixnum(9)));
@@ -1925,16 +1887,12 @@ mod tests {
     #[test]
     fn hash_tables() {
         let t = Value::table();
-        p_hash_set(&[t.clone(), Value::symbol("k"), Value::fixnum(1)]).unwrap();
-        assert!(
-            p_hash_ref(&[t.clone(), Value::symbol("k"), Value::Bool(false)])
-                .unwrap()
-                .eq_value(&Value::fixnum(1))
-        );
-        assert!(p_hash_contains(&[t.clone(), Value::symbol("k")])
+        p_hash_set(&[t, Value::symbol("k"), Value::fixnum(1)]).unwrap();
+        assert!(p_hash_ref(&[t, Value::symbol("k"), Value::Bool(false)])
             .unwrap()
-            .is_true());
-        p_hash_delete(&[t.clone(), Value::symbol("k")]).unwrap();
+            .eq_value(&Value::fixnum(1)));
+        assert!(p_hash_contains(&[t, Value::symbol("k")]).unwrap().is_true());
+        p_hash_delete(&[t, Value::symbol("k")]).unwrap();
         assert!(!p_hash_contains(&[t, Value::symbol("k")]).unwrap().is_true());
     }
 

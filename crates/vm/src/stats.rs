@@ -51,6 +51,21 @@ pub struct MachineStats {
     /// `fusions`/`copies` tell whether each resume fused (the one-shot
     /// fast path) or had to copy the frozen frames.
     pub resumes: u64,
+    /// Heap objects allocated by this machine's runs (drained from the
+    /// thread-local heap at each instruction-boundary safe point, so
+    /// allocations made by a different machine on the same thread are
+    /// attributed to whichever machine is running).
+    pub allocations: u64,
+    /// Garbage collections triggered during this machine's runs (threshold
+    /// or [`MachineConfig::gc_stress`](crate::MachineConfig)).
+    pub collections: u64,
+    /// Bytes live in the heap after the most recent collection. A *gauge*,
+    /// not a counter: it is overwritten per collection and has no
+    /// [`TraceKind`](crate::TraceKind) counterpart in the journal
+    /// consistency table.
+    pub bytes_live: u64,
+    /// High-water mark of `bytes_live` across collections (also a gauge).
+    pub bytes_live_peak: u64,
 }
 
 impl MachineStats {
@@ -82,6 +97,10 @@ impl MachineStats {
             steps_executed,
             suspensions,
             resumes,
+            allocations,
+            collections,
+            bytes_live,
+            bytes_live_peak,
         } = *self;
         vec![
             ("captures", captures),
@@ -99,6 +118,10 @@ impl MachineStats {
             ("steps_executed", steps_executed),
             ("suspensions", suspensions),
             ("resumes", resumes),
+            ("allocations", allocations),
+            ("collections", collections),
+            ("bytes_live", bytes_live),
+            ("bytes_live_peak", bytes_live_peak),
         ]
     }
 }
@@ -131,6 +154,10 @@ mod tests {
                 "steps_executed" => s.steps_executed = v,
                 "suspensions" => s.suspensions = v,
                 "resumes" => s.resumes = v,
+                "allocations" => s.allocations = v,
+                "collections" => s.collections = v,
+                "bytes_live" => s.bytes_live = v,
+                "bytes_live_peak" => s.bytes_live_peak = v,
                 other => panic!("fields() lists {other}, but all_nonzero cannot set it"),
             }
         }

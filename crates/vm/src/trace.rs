@@ -73,11 +73,24 @@ pub enum TraceKind {
     Suspend = 14,
     /// A suspended run was resumed.
     Resume = 15,
+    /// One heap object allocated. Allocations happen inside the
+    /// thread-local heap (no machine in scope), so the allocator counts
+    /// them and the machine drains the pending count into events at the
+    /// next instruction-boundary safe point — always *before* any
+    /// [`TraceKind::GcCollect`] at the same safe point, matching the order
+    /// things actually happened.
+    Alloc = 16,
+    /// One garbage collection (threshold-triggered or
+    /// [`MachineConfig::gc_stress`](crate::MachineConfig)). The
+    /// `bytes_live` / `bytes_live_peak` stats fields are gauges updated at
+    /// the same moment but deliberately have no [`TraceKind`]: the
+    /// counter/journal consistency table only covers monotone counters.
+    GcCollect = 17,
 }
 
 /// Number of distinct [`TraceKind`]s (the size of the per-kind count
 /// table).
-pub const TRACE_KIND_COUNT: usize = 16;
+pub const TRACE_KIND_COUNT: usize = 18;
 
 impl TraceKind {
     /// Every kind, in discriminant order.
@@ -98,6 +111,8 @@ impl TraceKind {
         TraceKind::Step,
         TraceKind::Suspend,
         TraceKind::Resume,
+        TraceKind::Alloc,
+        TraceKind::GcCollect,
     ];
 
     /// Stable, documented label (the `name` field of the exported JSON —
@@ -120,6 +135,8 @@ impl TraceKind {
             TraceKind::Step => "step",
             TraceKind::Suspend => "suspend",
             TraceKind::Resume => "resume",
+            TraceKind::Alloc => "alloc",
+            TraceKind::GcCollect => "gc-collect",
         }
     }
 
@@ -143,6 +160,8 @@ impl TraceKind {
             TraceKind::Step => Some(stats.steps_executed),
             TraceKind::Suspend => Some(stats.suspensions),
             TraceKind::Resume => Some(stats.resumes),
+            TraceKind::Alloc => Some(stats.allocations),
+            TraceKind::GcCollect => Some(stats.collections),
         }
     }
 
@@ -166,6 +185,8 @@ impl TraceKind {
             TraceKind::Step => stats.steps_executed += 1,
             TraceKind::Suspend => stats.suspensions += 1,
             TraceKind::Resume => stats.resumes += 1,
+            TraceKind::Alloc => stats.allocations += 1,
+            TraceKind::GcCollect => stats.collections += 1,
         }
     }
 }

@@ -1,26 +1,32 @@
 //! Runtime values.
 //!
-//! All heap-allocated values are reference-counted (`Rc`); the engine is
-//! single-threaded, matching the measured Chez Scheme kernel path. Equality
-//! follows Scheme's `eq?`: pointer identity for heap values, value identity
-//! for immediates.
+//! A [`Value`] is a `Copy`-able tagged word: immediates carry their
+//! payload inline, heap values carry a typed handle into the thread's
+//! [`heap`](crate::heap) arena (see that module for the collector).
+//! Allocation is a slab push, copying a value is a register move, and
+//! `eq?` is handle identity. The engine is single-threaded, matching the
+//! measured Chez Scheme kernel path. Equality follows Scheme's `eq?`:
+//! handle identity for heap values, value identity for immediates.
 
-use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
 use cm_sexpr::{Datum, DatumKind, Sym};
 
-use crate::code::Code;
+use crate::heap::{self, HBox, HClosure, HCont, HPair, HRecord, HStr, HTable, HVec};
 use crate::machine::control::ContData;
 use crate::prims::NativeId;
 
+pub use crate::heap::Closure;
+pub use crate::heap::RecordData;
+
 /// A Scheme value.
 ///
-/// Cloning is cheap (a refcount bump at most). Use [`Value::eq_value`] for
-/// `eq?` semantics; `PartialEq` is *not* implemented to keep call sites
+/// `Value` is `Copy`: heap variants hold typed handles, not pointers, so
+/// copying never touches a refcount. Use [`Value::eq_value`] for `eq?`
+/// semantics; `PartialEq` is *not* implemented to keep call sites
 /// explicit about which equality they mean.
-#[derive(Clone)]
+#[derive(Clone, Copy)]
 pub enum Value {
     /// An exact integer.
     Fixnum(i64),
@@ -39,76 +45,23 @@ pub enum Value {
     /// An interned symbol.
     Sym(Sym),
     /// A mutable string.
-    Str(Rc<RefCell<String>>),
+    Str(HStr),
     /// A mutable cons pair.
-    Pair(Rc<PairObj>),
+    Pair(HPair),
     /// A mutable vector.
-    Vector(Rc<RefCell<Vec<Value>>>),
+    Vector(HVec),
     /// A mutable box (also used internally for assignment conversion).
-    Box(Rc<RefCell<Value>>),
+    Box(HBox),
     /// An `eq?`-keyed mutable hash table.
-    Table(Rc<RefCell<std::collections::HashMap<EqKey, Value>>>),
+    Table(HTable),
     /// A record instance (tagged fixed-size mutable fields).
-    Record(Rc<RecordObj>),
+    Record(HRecord),
     /// A compiled closure.
-    Closure(Rc<Closure>),
+    Closure(HClosure),
     /// A native (Rust-implemented) procedure.
     Native(NativeId),
     /// A first-class continuation (from `call/cc` or `call/1cc`).
-    Cont(Rc<ContData>),
-}
-
-/// A mutable cons cell.
-#[derive(Debug)]
-pub struct PairObj {
-    /// The `car` field.
-    pub car: RefCell<Value>,
-    /// The `cdr` field.
-    pub cdr: RefCell<Value>,
-}
-
-impl Drop for PairObj {
-    fn drop(&mut self) {
-        // Unlink the cdr spine iteratively: a recursive drop of a long
-        // list (or a long marks/attachment chain) would overflow the
-        // native stack.
-        let mut next = std::mem::replace(self.cdr.get_mut(), Value::Nil);
-        while let Value::Pair(p) = next {
-            match Rc::try_unwrap(p) {
-                Ok(mut inner) => {
-                    next = std::mem::replace(inner.cdr.get_mut(), Value::Nil);
-                }
-                Err(_) => break, // shared tail: someone else keeps it alive
-            }
-        }
-    }
-}
-
-/// A record instance: a type tag plus mutable fields.
-///
-/// Records are the extension point that lets the `cm-core` marks layer
-/// attach evolving representations (mark dictionaries, caches) to
-/// attachment-list elements without the VM knowing about them.
-#[derive(Debug)]
-pub struct RecordObj {
-    /// The record's type tag (compared with `eq?`).
-    pub tag: Sym,
-    /// The record's fields.
-    pub fields: RefCell<Vec<Value>>,
-}
-
-/// A compiled closure: code plus captured free-variable values.
-pub struct Closure {
-    /// The compiled body.
-    pub code: Rc<Code>,
-    /// Captured free variables (boxes when mutated).
-    pub captures: Vec<Value>,
-}
-
-impl fmt::Debug for Closure {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "#<procedure {}>", self.code.name)
-    }
+    Cont(HCont),
 }
 
 /// A key with `eq?` hashing semantics, for [`Value::Table`].
@@ -130,8 +83,17 @@ pub enum EqKey {
     Eof,
     /// An interned symbol.
     Sym(Sym),
-    /// A heap object, identified by address.
+    /// A heap object. For handles this encodes `(kind << 48) | index`;
+    /// for continuation chains (and natives) it is derived from stable
+    /// addresses below the kind-tag range, so the two can never collide.
     Ptr(usize),
+}
+
+/// The default value is `Void` (used for poison/uninitialized slots).
+impl Default for Value {
+    fn default() -> Value {
+        Value::Void
+    }
 }
 
 impl Value {
@@ -157,15 +119,12 @@ impl Value {
 
     /// Constructs a fresh mutable string.
     pub fn string(s: impl Into<String>) -> Value {
-        Value::Str(Rc::new(RefCell::new(s.into())))
+        Value::Str(heap::with_heap(|h| h.alloc_string(s.into())))
     }
 
     /// Constructs a fresh cons pair.
     pub fn cons(car: Value, cdr: Value) -> Value {
-        Value::Pair(Rc::new(PairObj {
-            car: RefCell::new(car),
-            cdr: RefCell::new(cdr),
-        }))
+        Value::Pair(heap::with_heap(|h| h.alloc_pair(car, cdr)))
     }
 
     /// Constructs a proper list.
@@ -180,20 +139,32 @@ impl Value {
 
     /// Constructs a fresh vector.
     pub fn vector(items: Vec<Value>) -> Value {
-        Value::Vector(Rc::new(RefCell::new(items)))
+        Value::Vector(heap::with_heap(|h| h.alloc_vec(items)))
+    }
+
+    /// Constructs a fresh mutable box.
+    pub fn boxed(v: Value) -> Value {
+        Value::Box(heap::with_heap(|h| h.alloc_box(v)))
     }
 
     /// Constructs a fresh empty `eq?` hash table.
     pub fn table() -> Value {
-        Value::Table(Rc::new(RefCell::new(std::collections::HashMap::new())))
+        Value::Table(heap::with_heap(|h| h.alloc_table()))
     }
 
     /// Constructs a fresh record.
     pub fn record(tag: Sym, fields: Vec<Value>) -> Value {
-        Value::Record(Rc::new(RecordObj {
-            tag,
-            fields: RefCell::new(fields),
-        }))
+        Value::Record(heap::with_heap(|h| h.alloc_record(tag, fields)))
+    }
+
+    /// Allocates a closure on the heap.
+    pub fn closure(c: Closure) -> Value {
+        Value::Closure(heap::with_heap(|h| h.alloc_closure(c)))
+    }
+
+    /// Allocates a continuation on the heap.
+    pub fn cont(c: ContData) -> Value {
+        Value::Cont(heap::with_heap(|h| h.alloc_cont(c)))
     }
 
     /// Scheme truthiness: everything except `#f` is true.
@@ -211,7 +182,7 @@ impl Value {
         matches!(self, Value::Closure(_) | Value::Native(_) | Value::Cont(_))
     }
 
-    /// `eq?` — pointer identity for heap values, value identity for
+    /// `eq?` — handle identity for heap values, value identity for
     /// immediates. (Flonums compare by bits, as in `eqv?`; Chez's `eq?` on
     /// flonums is unspecified, and this choice keeps `eq?` usable as a
     /// mark-key comparison.)
@@ -230,25 +201,20 @@ impl Value {
             Value::Void => EqKey::Void,
             Value::Eof => EqKey::Eof,
             Value::Sym(s) => EqKey::Sym(*s),
-            Value::Str(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
-            Value::Pair(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
-            Value::Vector(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
-            Value::Box(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
-            Value::Table(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
-            Value::Record(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
-            Value::Closure(r) => EqKey::Ptr(Rc::as_ptr(r) as usize),
+            Value::Str(h) => h.eq_key(),
+            Value::Pair(h) => h.eq_key(),
+            Value::Vector(h) => h.eq_key(),
+            Value::Box(h) => h.eq_key(),
+            Value::Table(h) => h.eq_key(),
+            Value::Record(h) => h.eq_key(),
+            Value::Closure(h) => h.eq_key(),
             Value::Native(id) => EqKey::Ptr(0x1000_0000 + id.index()),
             // Two continuations captured at the same point share the same
             // underflow record (capture reuses an already-reified chain),
             // and Chez-style code — e.g. the paper's figure-3 imitation of
             // attachments — relies on such captures being `eq?`. Identify
             // a full continuation by its chain head.
-            Value::Cont(r) => match &r.kind {
-                crate::machine::control::ContKind::Full { head: Some(u) } => {
-                    EqKey::Ptr(Rc::as_ptr(u) as usize)
-                }
-                _ => EqKey::Ptr(Rc::as_ptr(r) as usize),
-            },
+            Value::Cont(h) => h.chain_eq_key(),
         }
     }
 
@@ -259,33 +225,33 @@ impl Value {
             (Value::Pair(_), Value::Pair(_)) => {
                 // Iterate along the cdr spine (recursion only on cars) so
                 // long lists don't overflow the native stack.
-                let (mut x, mut y) = (self.clone(), other.clone());
+                let (mut x, mut y) = (*self, *other);
                 loop {
                     match (x, y) {
                         (Value::Pair(a), Value::Pair(b)) => {
-                            if Rc::ptr_eq(&a, &b) {
+                            if a == b {
                                 return true;
                             }
-                            if !a.car.borrow().equal_value(&b.car.borrow()) {
+                            let (acar, acdr) = a.car_cdr();
+                            let (bcar, bcdr) = b.car_cdr();
+                            if !acar.equal_value(&bcar) {
                                 return false;
                             }
-                            let nx = a.cdr.borrow().clone();
-                            let ny = b.cdr.borrow().clone();
-                            x = nx;
-                            y = ny;
+                            x = acdr;
+                            y = bcdr;
                         }
                         (ref a, ref b) => return a.equal_value(b),
                     }
                 }
             }
             (Value::Vector(a), Value::Vector(b)) => {
-                if Rc::ptr_eq(a, b) {
+                if a == b {
                     return true;
                 }
-                let (a, b) = (a.borrow(), b.borrow());
+                let (a, b) = (a.to_vec(), b.to_vec());
                 a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.equal_value(y))
             }
-            (Value::Str(a), Value::Str(b)) => *a.borrow() == *b.borrow(),
+            (Value::Str(a), Value::Str(b)) => a == b || a.with(|s| b.with(|t| s == t)),
             (Value::Fixnum(a), Value::Flonum(b)) | (Value::Flonum(b), Value::Fixnum(a)) => {
                 // `equal?` implies `eqv?`, which distinguishes exactness; but
                 // many benchmark programs rely on numeric `=` instead, so
@@ -300,14 +266,14 @@ impl Value {
     /// Iterates over a proper list, returning `None` if improper.
     pub fn list_to_vec(&self) -> Option<Vec<Value>> {
         let mut out = Vec::new();
-        let mut cur = self.clone();
+        let mut cur = *self;
         loop {
             match cur {
                 Value::Nil => return Some(out),
                 Value::Pair(p) => {
-                    out.push(p.car.borrow().clone());
-                    let next = p.cdr.borrow().clone();
-                    cur = next;
+                    let (car, cdr) = p.car_cdr();
+                    out.push(car);
+                    cur = cdr;
                 }
                 _ => return None,
             }
@@ -317,7 +283,7 @@ impl Value {
     /// The `car` of a pair, if this is a pair.
     pub fn car(&self) -> Option<Value> {
         match self {
-            Value::Pair(p) => Some(p.car.borrow().clone()),
+            Value::Pair(p) => Some(p.car()),
             _ => None,
         }
     }
@@ -325,19 +291,24 @@ impl Value {
     /// The `cdr` of a pair, if this is a pair.
     pub fn cdr(&self) -> Option<Value> {
         match self {
-            Value::Pair(p) => Some(p.cdr.borrow().clone()),
+            Value::Pair(p) => Some(p.cdr()),
             _ => None,
         }
     }
 
     /// Converts a reader [`Datum`] into a value (used by `quote`).
+    ///
+    /// String literals are *interned*: the VM has no string mutators, and
+    /// the engine and reference model both build constants through this
+    /// path, so sharing is unobservable except through `eq?` — where both
+    /// sides agree.
     pub fn from_datum(d: &Datum) -> Value {
         match &d.kind {
             DatumKind::Fixnum(n) => Value::Fixnum(*n),
             DatumKind::Flonum(f) => Value::Flonum(*f),
             DatumKind::Bool(b) => Value::Bool(*b),
             DatumKind::Char(c) => Value::Char(*c),
-            DatumKind::Str(s) => Value::string(s.to_string()),
+            DatumKind::Str(s) => heap::intern_string(s),
             DatumKind::Symbol(s) => Value::Sym(*s),
             DatumKind::Nil => Value::Nil,
             DatumKind::Pair(p) => Value::cons(Value::from_datum(&p.0), Value::from_datum(&p.1)),
@@ -388,16 +359,17 @@ impl Value {
             Value::Eof => out.push_str("#<eof>"),
             Value::Sym(s) => out.push_str(s.name()),
             Value::Str(s) => {
+                let contents = s.get();
                 if write {
-                    let d = Datum::synth(DatumKind::Str(Rc::from(s.borrow().as_str())));
+                    let d = Datum::synth(DatumKind::Str(Rc::from(contents.as_str())));
                     out.push_str(&cm_sexpr::write_datum(&d));
                 } else {
-                    out.push_str(&s.borrow());
+                    out.push_str(&contents);
                 }
             }
             Value::Pair(_) => {
                 out.push('(');
-                let mut cur = self.clone();
+                let mut cur = *self;
                 let mut first = true;
                 let mut len = 0usize;
                 loop {
@@ -412,9 +384,9 @@ impl Value {
                                 out.push(' ');
                             }
                             first = false;
-                            p.car.borrow().print(out, write, depth + 1);
-                            let next = p.cdr.borrow().clone();
-                            cur = next;
+                            let (car, cdr) = p.car_cdr();
+                            car.print(out, write, depth + 1);
+                            cur = cdr;
                         }
                         Value::Nil => break,
                         other => {
@@ -428,7 +400,7 @@ impl Value {
             }
             Value::Vector(v) => {
                 out.push_str("#(");
-                for (i, item) in v.borrow().iter().enumerate() {
+                for (i, item) in v.to_vec().iter().enumerate() {
                     if i > 0 {
                         out.push(' ');
                     }
@@ -438,16 +410,16 @@ impl Value {
             }
             Value::Box(b) => {
                 out.push_str("#&");
-                b.borrow().print(out, write, depth + 1);
+                b.get().print(out, write, depth + 1);
             }
             Value::Table(t) => {
-                let _ = write!(out, "#<hash-table:{}>", t.borrow().len());
+                let _ = write!(out, "#<hash-table:{}>", t.len());
             }
             Value::Record(r) => {
-                let _ = write!(out, "#<{}>", r.tag.name());
+                let _ = write!(out, "#<{}>", r.tag().name());
             }
             Value::Closure(c) => {
-                let _ = write!(out, "#<procedure {}>", c.code.name);
+                let _ = write!(out, "#<procedure {}>", c.name());
             }
             Value::Native(id) => {
                 let _ = write!(out, "#<procedure {}>", crate::prims::native_name(*id));
@@ -499,7 +471,7 @@ mod tests {
     fn eq_is_identity_for_pairs() {
         let a = Value::cons(Value::fixnum(1), Value::Nil);
         let b = Value::cons(Value::fixnum(1), Value::Nil);
-        assert!(a.eq_value(&a.clone()));
+        assert!(a.eq_value(&a));
         assert!(!a.eq_value(&b));
         assert!(a.equal_value(&b));
     }
@@ -556,10 +528,23 @@ mod tests {
     }
 
     #[test]
+    fn boxes_read_back() {
+        let b = Value::boxed(Value::fixnum(9));
+        if let Value::Box(h) = b {
+            assert!(h.get().eq_value(&Value::fixnum(9)));
+            h.set(Value::fixnum(10));
+            assert!(h.get().eq_value(&Value::fixnum(10)));
+        } else {
+            panic!("not a box");
+        }
+        assert_eq!(b.write_string(), "#&10");
+    }
+
+    #[test]
     fn cyclic_print_terminates() {
         let p = Value::cons(Value::fixnum(1), Value::Nil);
-        if let Value::Pair(cell) = &p {
-            *cell.cdr.borrow_mut() = p.clone();
+        if let (Value::Pair(cell), cyc) = (p, p) {
+            cell.set_cdr(cyc);
         }
         // Should not hang or overflow; depth cap kicks in.
         let s = p.display_string();

@@ -193,12 +193,29 @@ impl AbsState {
 /// Returns every [`Violation`] found; an empty `Ok(())` means the code is
 /// well-formed.
 pub fn verify(code: &Code, model: MarkModel) -> Result<(), Vec<Violation>> {
+    // The root code runs without a closure: no captures are addressable.
+    verify_instantiated(code, 0, model)
+}
+
+/// Like [`verify`], but for a code object instantiated as a closure with
+/// `captures` addressable capture slots. Needed when verifying bytecode
+/// recovered from a durable snapshot: a closure's code can outlive the
+/// parent code whose `MakeClosure` site would otherwise supply the
+/// capture bound.
+///
+/// # Errors
+///
+/// Returns every [`Violation`] found, exactly as [`verify`] does.
+pub fn verify_instantiated(
+    code: &Code,
+    captures: u32,
+    model: MarkModel,
+) -> Result<(), Vec<Violation>> {
     let mut v = Verifier {
         model,
         violations: Vec::new(),
     };
-    // The root code runs without a closure: no captures are addressable.
-    v.verify_code(code, 0, &mut vec![code.name.clone()]);
+    v.verify_code(code, captures, &mut vec![code.name.clone()]);
     if v.violations.is_empty() {
         Ok(())
     } else {

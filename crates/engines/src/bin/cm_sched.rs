@@ -6,7 +6,18 @@
 //! cm-sched [--quick] [--tasks N] [--workers N] [--slice FUEL]
 //!          [--policy rr|edf] [--config NAME]... [--config all]
 //!          [--deadline-ms N] [--no-verify] [--per-task] [--invariants]
+//!          [--checkpoint] [--retry-budget N] [--backoff TICKS]
+//!          [--pool-budget-mb N] [--fail-prim-at N]
 //! ```
+//!
+//! With `--checkpoint` the per-worker schedulers become supervisors:
+//! every task is snapshotted at every suspension, and a faulting task
+//! (runtime error, injected fault, heap limit, deadline) restarts from
+//! its last checkpoint with exponential backoff instead of retiring.
+//! `--fail-prim-at N` arms deterministic fault injection on every
+//! engine, which together with `--checkpoint` demonstrates end-to-end
+//! crash recovery: the run exits zero only when every task still
+//! completes with the expected result.
 //!
 //! Every task is one engine: a §2 example or a small-scale workload
 //! entry, compiled against its worker's shared globals and preempted
@@ -31,6 +42,11 @@ struct Args {
     verify: bool,
     per_task: bool,
     invariants: bool,
+    checkpoint: bool,
+    retry_budget: u32,
+    backoff: u64,
+    pool_budget_mb: Option<u64>,
+    fail_prim_at: Option<u64>,
 }
 
 impl Default for Args {
@@ -45,24 +61,40 @@ impl Default for Args {
             verify: true,
             per_task: false,
             invariants: false,
+            checkpoint: false,
+            retry_budget: 3,
+            backoff: 2,
+            pool_budget_mb: None,
+            fail_prim_at: None,
         }
     }
 }
 
 const USAGE: &str = "usage: cm-sched [--quick] [--tasks N] [--workers N] [--slice FUEL]
                 [--policy rr|edf] [--config NAME|all]... [--deadline-ms N]
-                [--no-verify] [--per-task] [--invariants]
+                [--no-verify] [--per-task] [--invariants] [--checkpoint]
+                [--retry-budget N] [--backoff TICKS] [--pool-budget-mb N]
+                [--fail-prim-at N]
 
-  --quick         CI preset: 200 tasks, 4 workers, slice 2000, invariants on
-  --tasks N       total engines to schedule (default 1000)
-  --workers N     worker threads, each with its own scheduler (default 4)
-  --slice FUEL    instructions per slice (default 10000)
-  --policy P      rr (round-robin, default) or edf (earliest deadline first)
-  --config NAME   engine configuration (repeatable; `all` = the paper's 7)
-  --deadline-ms N per-task wall-clock timeout via MachineConfig::deadline
-  --no-verify     skip comparing sliced results against uninterrupted runs
-  --per-task      print one line per task
-  --invariants    check machine invariants at every suspension";
+  --quick           CI preset: 200 tasks, 4 workers, slice 2000, invariants on
+  --tasks N         total engines to schedule (default 1000)
+  --workers N       worker threads, each with its own scheduler (default 4)
+  --slice FUEL      instructions per slice (default 10000)
+  --policy P        rr (round-robin, default) or edf (earliest deadline first)
+  --config NAME     engine configuration (repeatable; `all` = the paper's 7)
+  --deadline-ms N   per-task wall-clock timeout via MachineConfig::deadline
+  --no-verify       skip comparing sliced results against uninterrupted runs
+  --per-task        print one line per task
+  --invariants      check machine invariants at every suspension
+  --checkpoint      supervise: snapshot tasks at every suspension and restart
+                    faulting tasks from their last checkpoint
+  --retry-budget N  max supervised restarts per task (default 3)
+  --backoff TICKS   scheduler ticks before the first restart, doubling per
+                    retry (default 2)
+  --pool-budget-mb N  prefer draining started tasks while aggregate live
+                    heap bytes exceed this budget (backpressure)
+  --fail-prim-at N  arm fault injection: every engine fails its Nth
+                    primitive call (pairs with --checkpoint for recovery)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -116,6 +148,31 @@ fn parse_args() -> Result<Args, String> {
             "--no-verify" => args.verify = false,
             "--per-task" => args.per_task = true,
             "--invariants" => args.invariants = true,
+            "--checkpoint" => args.checkpoint = true,
+            "--retry-budget" => {
+                args.retry_budget = take("--retry-budget")?
+                    .parse()
+                    .map_err(|e| format!("--retry-budget: {e}"))?;
+            }
+            "--backoff" => {
+                args.backoff = take("--backoff")?
+                    .parse()
+                    .map_err(|e| format!("--backoff: {e}"))?;
+            }
+            "--pool-budget-mb" => {
+                args.pool_budget_mb = Some(
+                    take("--pool-budget-mb")?
+                        .parse()
+                        .map_err(|e| format!("--pool-budget-mb: {e}"))?,
+                );
+            }
+            "--fail-prim-at" => {
+                args.fail_prim_at = Some(
+                    take("--fail-prim-at")?
+                        .parse()
+                        .map_err(|e| format!("--fail-prim-at: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -192,6 +249,22 @@ fn print_report(config_name: &str, args: &Args, report: &PoolReport) {
         "  fairness    Jain index {:.4} over per-task steps",
         m.fairness_jain
     );
+    if args.checkpoint {
+        let retries: u64 = report
+            .all_reports()
+            .iter()
+            .map(|r| u64::from(r.retries))
+            .sum();
+        let checkpoints: u64 = report.all_reports().iter().map(|r| r.checkpoints).sum();
+        let recovered = report
+            .all_reports()
+            .iter()
+            .filter(|r| r.retries > 0 && matches!(r.outcome, cm_engines::Outcome::Completed(_)))
+            .count();
+        println!(
+            "  recovery    {checkpoints} checkpoints, {retries} restarts, {recovered} tasks recovered"
+        );
+    }
     for w in &report.workers {
         println!(
             "    worker {}: {} tasks in {}{}",
@@ -259,6 +332,9 @@ fn main() -> ExitCode {
         if let Some(ms) = args.deadline_ms {
             engine_config.machine.deadline = Some(Duration::from_millis(ms));
         }
+        if let Some(n) = args.fail_prim_at {
+            engine_config.machine.fault_plan.fail_prim_at = Some(n);
+        }
         let config = PoolConfig {
             workers: args.workers,
             sched: SchedConfig {
@@ -266,6 +342,10 @@ fn main() -> ExitCode {
                 slice: args.slice,
                 check_invariants: args.invariants,
                 record_spans: false,
+                checkpoint: args.checkpoint,
+                retry_budget: args.retry_budget,
+                backoff_base: args.backoff,
+                pool_budget_bytes: args.pool_budget_mb.map(|mb| mb * 1024 * 1024),
             },
             engine: engine_config,
         };

@@ -20,7 +20,8 @@ use std::time::Duration;
 
 use cm_core::{EngineConfig, EngineError};
 use cm_vm::{
-    Code, Globals, Machine, MachineConfig, MachineStats, RunStatus, SuspendedRun, Value, VmError,
+    Code, Globals, Machine, MachineConfig, MachineStats, RestoredRun, RunStatus, SnapshotError,
+    SuspendedRun, Value, VmError,
 };
 
 use crate::spans::SpanSink;
@@ -192,6 +193,76 @@ impl Engine {
             _ => None,
         }
     }
+
+    /// Serializes this engine's full state — the suspended run, its
+    /// reachable heap graph, the shared globals, config, and accumulated
+    /// output — into durable snapshot bytes ([`Machine::snapshot_suspended`]).
+    /// Only a suspended engine can be snapshotted: a `Ready` engine is
+    /// just its code (re-spawn it), and a `Spent` engine has no state.
+    ///
+    /// The engine is left suspended and still resumable; the bytes can be
+    /// [`Engine::restore`]d later, on any thread.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Rejected`] when the engine is not suspended.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        // Destructure for disjoint borrows: the machine serializes a run
+        // it does not own.
+        let Engine { machine, state, .. } = self;
+        match state {
+            State::Suspended(run) => machine.snapshot_suspended(run),
+            State::Ready(_) => Err(SnapshotError::Rejected {
+                what: "engine has not started (snapshot requires a suspension)".into(),
+            }),
+            State::Spent => Err(SnapshotError::Rejected {
+                what: "engine is spent".into(),
+            }),
+        }
+    }
+
+    /// Rebuilds a suspended engine from snapshot bytes. Every code object
+    /// decoded from the snapshot is re-run through the bytecode verifier
+    /// before the engine can execute a single instruction, so a forged or
+    /// stale snapshot cannot smuggle ill-formed code past compile-time
+    /// checking. The restored engine starts with a fresh span sink
+    /// (attach one with [`Engine::with_span_sink`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from decoding, or
+    /// [`SnapshotError::Rejected`] when restored bytecode fails
+    /// verification.
+    pub fn restore(bytes: &[u8]) -> Result<Engine, SnapshotError> {
+        let RestoredRun {
+            machine,
+            run,
+            codes,
+            code_captures,
+        } = Machine::restore_snapshot(bytes)?;
+        let model = machine.config.mark_model;
+        for (code, captures) in codes.iter().zip(&code_captures) {
+            // Codes only reachable as children (`captures` is `None`) are
+            // covered by the recursive verification of their parents.
+            let Some(captures) = *captures else { continue };
+            if let Err(violations) = cm_analysis::verify_instantiated(code, captures, model) {
+                let first = violations
+                    .first()
+                    .map_or_else(|| "unknown violation".to_string(), ToString::to_string);
+                return Err(SnapshotError::Rejected {
+                    what: format!(
+                        "restored bytecode failed verification ({} violation(s); first: {first})",
+                        violations.len()
+                    ),
+                });
+            }
+        }
+        Ok(Engine {
+            machine: Box::new(machine),
+            state: State::Suspended(run),
+            span_sink: None,
+        })
+    }
 }
 
 /// A per-worker engine factory: one prelude-loaded [`cm_core::Engine`]
@@ -360,6 +431,75 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn engine_snapshot_restore_resumes_to_same_value() {
+        let mut host = WorkerHost::new(EngineConfig::default());
+        host.load(
+            "(define (loop n acc)
+               (if (zero? n)
+                   acc
+                   (with-continuation-mark 'k n (loop (- n 1) (+ acc n)))))",
+        )
+        .unwrap();
+        // Uninterrupted baseline.
+        let baseline = match host.spawn("(loop 500 0)").unwrap().run(10_000_000) {
+            RunResult::Done(v, _) => v.display_string(),
+            other => panic!("expected Done, got {other:?}"),
+        };
+        // Suspend mid-loop, snapshot, drop the live engine entirely,
+        // then restore from bytes and run to completion.
+        let engine = host.spawn("(loop 500 0)").unwrap();
+        let mut engine = match engine.run(64) {
+            RunResult::Suspended(e, _) => e,
+            other => panic!("expected Suspended, got {other:?}"),
+        };
+        let bytes = engine.snapshot().unwrap();
+        // The snapshot is non-destructive: the source engine still runs.
+        let (v, _) = engine.run_to_completion(64).unwrap();
+        assert_eq!(v.display_string(), baseline);
+        drop(host);
+        let mut restored = Engine::restore(&bytes).unwrap();
+        assert!(restored.is_suspended());
+        assert_eq!(restored.stats().restores, 1);
+        loop {
+            match restored.run(64) {
+                RunResult::Done(v, stats) => {
+                    assert_eq!(v.display_string(), baseline);
+                    assert_eq!(stats.restores, 1);
+                    break;
+                }
+                RunResult::Suspended(e, _) => restored = e,
+                RunResult::Failed(e, _) => panic!("restored engine failed: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn engine_snapshot_requires_suspension() {
+        let mut host = WorkerHost::new(EngineConfig::default());
+        // Ready (never run) engines reject snapshotting…
+        let mut ready = host.spawn("(+ 1 2)").unwrap();
+        assert!(matches!(
+            ready.snapshot(),
+            Err(SnapshotError::Rejected { .. })
+        ));
+        // …and corrupted bytes reject restoring, with a typed error.
+        let engine = host
+            .spawn("(let loop ((n 5000)) (if (zero? n) n (loop (- n 1))))")
+            .unwrap();
+        let mut engine = match engine.run(64) {
+            RunResult::Suspended(e, _) => e,
+            other => panic!("expected Suspended, got {other:?}"),
+        };
+        let mut bytes = engine.snapshot().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            Engine::restore(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

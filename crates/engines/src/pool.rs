@@ -161,6 +161,8 @@ fn run_worker(
                     collections: 0,
                     bytes_live_peak: 0,
                     turnaround: Duration::ZERO,
+                    retries: 0,
+                    checkpoints: 0,
                 });
             }
             return WorkerSummary {
@@ -214,6 +216,8 @@ fn run_worker(
                 collections: 0,
                 bytes_live_peak: 0,
                 turnaround: Duration::ZERO,
+                retries: 0,
+                checkpoints: 0,
             }),
         }
     }
@@ -254,6 +258,37 @@ fn run_worker(
     }
 }
 
+/// The summary for a worker whose thread panicked: every job on its
+/// shard gets a `Failed` report naming the panic, so a crashed worker
+/// never silently swallows its queue (the reports are what downstream
+/// accounting — retries, billing, `is_clean` — keys on).
+fn panicked_summary(worker: usize, manifest: Vec<(usize, String)>, msg: String) -> WorkerSummary {
+    let reports = manifest
+        .into_iter()
+        .map(|(id, name)| TaskReport {
+            id,
+            name,
+            outcome: Outcome::Failed(format!("worker panicked: {msg}")),
+            slices: 0,
+            steps: 0,
+            allocations: 0,
+            collections: 0,
+            bytes_live_peak: 0,
+            turnaround: Duration::ZERO,
+            retries: 0,
+            checkpoints: 0,
+        })
+        .collect();
+    WorkerSummary {
+        worker,
+        reports,
+        mismatches: Vec::new(),
+        wall: Duration::ZERO,
+        spans: Vec::new(),
+        panicked: Some(msg),
+    }
+}
+
 /// Runs a batch of jobs over `config.workers` threads and gathers the
 /// combined report. Worker panics are caught and surfaced in the
 /// summary, never propagated.
@@ -270,6 +305,10 @@ pub fn run_pool(config: &PoolConfig, spec: &PoolSpec) -> PoolReport {
             .enumerate()
             .map(|(w, shard)| {
                 scope.spawn(move || {
+                    let manifest: Vec<(usize, String)> = shard
+                        .iter()
+                        .map(|(id, job)| (*id, job.name.clone()))
+                        .collect();
                     catch_unwind(AssertUnwindSafe(|| {
                         run_worker(w, config, spec, shard, start)
                     }))
@@ -279,14 +318,7 @@ pub fn run_pool(config: &PoolConfig, spec: &PoolSpec) -> PoolReport {
                             .map(|s| (*s).to_string())
                             .or_else(|| payload.downcast_ref::<String>().cloned())
                             .unwrap_or_else(|| "non-string panic payload".into());
-                        WorkerSummary {
-                            worker: w,
-                            reports: Vec::new(),
-                            mismatches: Vec::new(),
-                            wall: Duration::ZERO,
-                            spans: Vec::new(),
-                            panicked: Some(msg),
-                        }
+                        panicked_summary(w, manifest, msg)
                     })
                 })
             })
@@ -383,6 +415,30 @@ mod tests {
         assert!(spans.iter().any(|s| s.cat == "slice"));
         let tids: std::collections::HashSet<u32> = spans.iter().map(|s| s.tid).collect();
         assert_eq!(tids, [0u32, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn panicked_worker_fails_every_queued_task() {
+        let manifest = vec![(3, "a".to_string()), (7, "b".to_string())];
+        let summary = panicked_summary(1, manifest, "boom".into());
+        assert_eq!(summary.panicked.as_deref(), Some("boom"));
+        assert_eq!(summary.reports.len(), 2);
+        assert_eq!(
+            summary.reports.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![3, 7]
+        );
+        assert!(summary.reports.iter().all(|r| matches!(
+            &r.outcome,
+            Outcome::Failed(msg) if msg == "worker panicked: boom"
+        )));
+        // A panicked shard must count as failed work, not clean work.
+        let report = PoolReport {
+            metrics: SchedMetrics::from_reports(&summary.reports, Duration::from_millis(1)),
+            workers: vec![summary],
+            wall: Duration::from_millis(1),
+        };
+        assert!(!report.is_clean());
+        assert_eq!(report.metrics.failed, 2);
     }
 
     #[test]

@@ -15,7 +15,29 @@
 //! scheduler enforces it *between* slices (queue wait counts), so a slice
 //! smaller than the machine's deadline-poll stride still times out.
 //!
+//! # Supervision
+//!
+//! With [`SchedConfig::checkpoint`] on, the scheduler snapshots every
+//! task at every suspension ([`Engine::snapshot`]) and becomes a
+//! supervisor: a task that *faults* — runtime error (including injected
+//! faults and [`VmErrorKind::HeapLimitExceeded`]) or deadline overrun —
+//! is restarted from its last checkpoint instead of retired, up to
+//! [`SchedConfig::retry_budget`] times, with exponential backoff
+//! ([`SchedConfig::backoff_base`] scheduler ticks, doubling per retry).
+//! A restarted task resumes on a restored engine with its own globals
+//! (recovery is isolated: post-checkpoint global writes are rolled
+//! back), and its deadline clock restarts with the attempt. Tasks that
+//! fault before their first checkpoint, or exhaust the budget, retire
+//! with the original outcome.
+//!
+//! [`SchedConfig::pool_budget_bytes`] adds admission control on top:
+//! while the aggregate live heap bytes of checkpointed tasks exceeds the
+//! budget, the scheduler prefers draining already-started tasks over
+//! admitting fresh ones (backpressure), falling back to fresh tasks only
+//! when nothing started is runnable.
+//!
 //! [`MachineConfig::deadline`]: cm_vm::MachineConfig
+//! [`VmErrorKind::HeapLimitExceeded`]: cm_vm::VmErrorKind
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -59,6 +81,22 @@ pub struct SchedConfig {
     /// [`Scheduler::spans`] (the timeline `cm-trace` exports). Off by
     /// default: a disabled scheduler takes no clock reads for spans.
     pub record_spans: bool,
+    /// Snapshot every task at every suspension and supervise it:
+    /// faulting tasks restart from their last checkpoint (see the
+    /// module docs). Off by default — checkpointing serializes the
+    /// task's reachable heap once per slice.
+    pub checkpoint: bool,
+    /// Maximum automatic restarts per task (only with `checkpoint`).
+    pub retry_budget: u32,
+    /// Backoff before the first restart, in scheduler ticks (one tick
+    /// per [`Scheduler::step`]); doubles with each further retry of the
+    /// same task. `0` restarts immediately.
+    pub backoff_base: u64,
+    /// Admission-control budget: while the aggregate
+    /// [`MachineStats::bytes_live`](cm_vm::MachineStats) of checkpointed
+    /// suspended tasks exceeds this, prefer already-started tasks over
+    /// fresh ones. `None` disables backpressure.
+    pub pool_budget_bytes: Option<u64>,
 }
 
 impl Default for SchedConfig {
@@ -68,6 +106,10 @@ impl Default for SchedConfig {
             slice: 10_000,
             check_invariants: false,
             record_spans: false,
+            checkpoint: false,
+            retry_budget: 3,
+            backoff_base: 2,
+            pool_budget_bytes: None,
         }
     }
 }
@@ -113,6 +155,12 @@ pub struct TaskReport {
     pub bytes_live_peak: u64,
     /// Submit-to-finish wall time (queue wait included).
     pub turnaround: Duration,
+    /// Supervised restarts this task consumed (`0` without
+    /// [`SchedConfig::checkpoint`] or when it never faulted).
+    pub retries: u32,
+    /// Checkpoints taken for this task (one per suspension when
+    /// [`SchedConfig::checkpoint`] is on).
+    pub checkpoints: u64,
 }
 
 struct Task {
@@ -124,6 +172,13 @@ struct Task {
     submitted_at: Instant,
     deadline_at: Option<Instant>,
     slices: u64,
+    // Last durable checkpoint (serialized engine), when supervising.
+    checkpoint: Option<Vec<u8>>,
+    checkpoints: u64,
+    retries: u32,
+    // Live heap bytes at the last suspension — the admission-control
+    // gauge. Zero until the task first checkpoints.
+    bytes_live: u64,
 }
 
 /// The scheduler: a set of tasks and a runnable queue.
@@ -131,6 +186,10 @@ pub struct Scheduler {
     config: SchedConfig,
     tasks: Vec<Option<Task>>,
     runnable: VecDeque<usize>,
+    // Faulted tasks waiting out their backoff: `(task id, tick at which
+    // it becomes runnable again)`.
+    parked: Vec<(usize, u64)>,
+    tick: u64,
     reports: Vec<TaskReport>,
     spans: SpanLog,
     /// Timeline lane for recorded spans (the pool sets this to the
@@ -145,6 +204,8 @@ impl Scheduler {
             config,
             tasks: Vec::new(),
             runnable: VecDeque::new(),
+            parked: Vec::new(),
+            tick: 0,
             reports: Vec::new(),
             spans: SpanLog::new(),
             tid: 0,
@@ -182,24 +243,81 @@ impl Scheduler {
             submitted_at: now,
             deadline_at,
             slices: 0,
+            checkpoint: None,
+            checkpoints: 0,
+            retries: 0,
+            bytes_live: 0,
         }));
         self.runnable.push_back(id);
         id
     }
 
-    /// Tasks still queued or suspended.
+    /// Tasks still queued, suspended, or parked in backoff.
     pub fn pending(&self) -> usize {
-        self.runnable.len()
+        self.runnable.len() + self.parked.len()
+    }
+
+    /// Aggregate live heap bytes across every task still in the
+    /// scheduler, as measured at each task's last checkpoint.
+    pub fn bytes_live(&self) -> u64 {
+        self.tasks.iter().flatten().map(|t| t.bytes_live).sum()
+    }
+
+    /// Moves parked tasks whose backoff has elapsed back to the runnable
+    /// queue; when nothing is runnable but tasks remain parked,
+    /// fast-forwards the tick to the earliest release.
+    fn unpark_due(&mut self) {
+        if self.runnable.is_empty() {
+            if let Some(&(_, next)) = self.parked.iter().min_by_key(|&&(_, at)| at) {
+                self.tick = self.tick.max(next);
+            }
+        }
+        let tick = self.tick;
+        let mut i = 0;
+        while i < self.parked.len() {
+            if self.parked[i].1 <= tick {
+                let (id, _) = self.parked.swap_remove(i);
+                self.runnable.push_back(id);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     fn pick(&mut self) -> Option<usize> {
+        // Backpressure: over budget, started tasks (which can shrink the
+        // pool by finishing) outrank fresh admissions — unless only
+        // fresh tasks are runnable, to avoid stalling the queue.
+        let over_budget = self
+            .config
+            .pool_budget_bytes
+            .is_some_and(|budget| self.bytes_live() > budget);
+        let admissible = |t: &Task| !over_budget || t.slices > 0;
+        let any_started = self
+            .runnable
+            .iter()
+            .any(|&id| self.tasks[id].as_ref().is_some_and(|t| t.slices > 0));
         match self.config.policy {
-            Policy::RoundRobin => self.runnable.pop_front(),
+            Policy::RoundRobin => {
+                if over_budget && any_started {
+                    let pos = self
+                        .runnable
+                        .iter()
+                        .position(|&id| self.tasks[id].as_ref().is_some_and(admissible))?;
+                    self.runnable.remove(pos)
+                } else {
+                    self.runnable.pop_front()
+                }
+            }
             Policy::EarliestDeadlineFirst => {
                 let best = self
                     .runnable
                     .iter()
                     .enumerate()
+                    .filter(|(_, &id)| {
+                        !(over_budget && any_started)
+                            || self.tasks[id].as_ref().is_some_and(admissible)
+                    })
                     .min_by_key(|(_, &id)| {
                         let t = self.tasks[id].as_ref().expect("runnable task exists");
                         // None sorts after every Some; FIFO among ties.
@@ -222,19 +340,69 @@ impl Scheduler {
             collections: stats.collections,
             bytes_live_peak: stats.bytes_live_peak,
             turnaround: task.submitted_at.elapsed(),
+            retries: task.retries,
+            checkpoints: task.checkpoints,
         });
     }
 
+    /// Handles a faulted task: restart from its last checkpoint with
+    /// exponential backoff while budget remains, else retire it with the
+    /// faulting outcome.
+    fn fault(&mut self, mut task: Task, outcome: Outcome, stats: &cm_vm::MachineStats) {
+        let can_restart = self.config.checkpoint
+            && task.retries < self.config.retry_budget
+            && task.checkpoint.is_some();
+        if !can_restart {
+            self.retire(task, outcome, stats);
+            return;
+        }
+        let bytes = task.checkpoint.as_deref().expect("checked above");
+        match Engine::restore(bytes) {
+            Ok(engine) => {
+                task.retries += 1;
+                // The attempt's deadline clock restarts with the attempt.
+                task.deadline_at = engine
+                    .deadline()
+                    .and_then(|d| Instant::now().checked_add(d));
+                let backoff = self
+                    .config
+                    .backoff_base
+                    .saturating_mul(1u64 << (task.retries - 1).min(62));
+                let release = self.tick.saturating_add(backoff);
+                task.engine = Some(engine);
+                let id = task.id;
+                self.tasks[id] = Some(task);
+                self.parked.push((id, release));
+            }
+            Err(e) => {
+                // A checkpoint that no longer restores is itself a fault;
+                // surface both failures rather than retrying blindly.
+                let orig = match outcome {
+                    Outcome::Failed(msg) | Outcome::Completed(msg) => msg,
+                    Outcome::TimedOut => "deadline exceeded".into(),
+                };
+                self.retire(
+                    task,
+                    Outcome::Failed(format!("{orig}; checkpoint restore failed: {e}")),
+                    stats,
+                );
+            }
+        }
+    }
+
     /// Runs one slice of one task. Returns `false` when no task is
-    /// runnable.
+    /// runnable (parked tasks count as runnable: their backoff is
+    /// fast-forwarded rather than busy-waited).
     pub fn step(&mut self) -> bool {
+        self.tick = self.tick.saturating_add(1);
+        self.unpark_due();
         let Some(id) = self.pick() else { return false };
         let mut task = self.tasks[id].take().expect("picked task exists");
         let engine = task.engine.take().expect("queued task holds its engine");
         if let Some(at) = task.deadline_at {
             if Instant::now() >= at {
                 let stats = engine.stats();
-                self.retire(task, Outcome::TimedOut, &stats);
+                self.fault(task, Outcome::TimedOut, &stats);
                 return true;
             }
         }
@@ -269,7 +437,7 @@ impl Scheduler {
             RunResult::Done(v, stats) => {
                 self.retire(task, Outcome::Completed(v.write_string()), &stats);
             }
-            RunResult::Suspended(engine, stats) => {
+            RunResult::Suspended(mut engine, stats) => {
                 if self.config.check_invariants {
                     if let Err(msg) = engine.check_invariants() {
                         self.retire(
@@ -278,6 +446,26 @@ impl Scheduler {
                             &stats,
                         );
                         return true;
+                    }
+                }
+                if self.config.checkpoint {
+                    match engine.snapshot() {
+                        Ok(bytes) => {
+                            task.checkpoint = Some(bytes);
+                            task.checkpoints += 1;
+                            task.bytes_live = stats.bytes_live;
+                        }
+                        Err(e) => {
+                            // A task whose state cannot checkpoint is not
+                            // supervisable; fail it rather than silently
+                            // running without crash coverage.
+                            self.retire(
+                                task,
+                                Outcome::Failed(format!("checkpoint failed: {e}")),
+                                &stats,
+                            );
+                            return true;
+                        }
                     }
                 }
                 task.engine = Some(engine);
@@ -290,7 +478,7 @@ impl Scheduler {
                 } else {
                     Outcome::Failed(e.to_string())
                 };
-                self.retire(task, outcome, &stats);
+                self.fault(task, outcome, &stats);
             }
         }
         true
@@ -576,6 +764,131 @@ mod tests {
             "heavy {heavy:?} vs light {light:?}"
         );
         assert!(heavy.bytes_live_peak > light.bytes_live_peak);
+    }
+
+    #[test]
+    fn checkpointing_counts_and_does_not_disturb_results() {
+        let mut host = spinner_host();
+        let mut sched = Scheduler::new(SchedConfig {
+            slice: 100,
+            checkpoint: true,
+            ..Default::default()
+        });
+        sched.submit("t", host.spawn("(spin 2000)").unwrap());
+        let reports = sched.run_all();
+        let r = &reports[0];
+        assert_eq!(r.outcome, Outcome::Completed("done".into()), "{r:?}");
+        assert_eq!(r.retries, 0);
+        // One checkpoint per suspension: every slice but the final one.
+        assert_eq!(r.checkpoints, r.slices - 1, "{r:?}");
+    }
+
+    #[test]
+    fn supervisor_restarts_after_deadline_and_completes() {
+        // The task needs far more wall time than one deadline grants, but
+        // checkpoints persist across attempts: each restart resumes from
+        // the last suspension with a fresh clock, so progress accumulates
+        // until the task completes. This is the crash-recovery payoff —
+        // without checkpointing the same config retires `TimedOut`.
+        let mut cfg = EngineConfig::default();
+        cfg.machine.deadline = Some(Duration::from_millis(20));
+        let mut host = WorkerHost::new(cfg);
+        host.load("(define (spin n) (if (zero? n) 'done (spin (- n 1))))")
+            .unwrap();
+        let mut sched = Scheduler::new(SchedConfig {
+            slice: 10_000,
+            checkpoint: true,
+            retry_budget: 500,
+            backoff_base: 1,
+            ..Default::default()
+        });
+        sched.submit("marathon", host.spawn("(spin 2000000)").unwrap());
+        let reports = sched.run_all();
+        let r = &reports[0];
+        assert_eq!(r.outcome, Outcome::Completed("done".into()), "{r:?}");
+        assert!(r.retries > 0, "never hit the deadline: {r:?}");
+        assert!(r.checkpoints > 0, "{r:?}");
+    }
+
+    #[test]
+    fn supervisor_exhausts_retry_budget_on_persistent_fault() {
+        // A heap-limit fault caused by *live* data refires after every
+        // restart (the checkpoint faithfully preserves the live graph),
+        // so the supervisor burns its whole budget and then surfaces the
+        // real failure.
+        let mut cfg = EngineConfig::default();
+        cfg.machine = cfg.machine.with_max_heap_bytes(32 * 1024);
+        cfg.machine.gc_stress = true;
+        let mut host = WorkerHost::new(cfg);
+        host.load(
+            "(define (build n acc)
+               (if (zero? n) acc (build (- n 1) (cons n acc))))",
+        )
+        .unwrap();
+        let mut sched = Scheduler::new(SchedConfig {
+            slice: 200,
+            checkpoint: true,
+            retry_budget: 2,
+            backoff_base: 1,
+            ..Default::default()
+        });
+        sched.submit("hog", host.spawn("(build 100000 '())").unwrap());
+        let reports = sched.run_all();
+        let r = &reports[0];
+        assert!(
+            matches!(&r.outcome, Outcome::Failed(msg) if msg.contains("heap limit")),
+            "{r:?}"
+        );
+        assert_eq!(r.retries, 2, "{r:?}");
+        assert!(r.checkpoints > 0, "{r:?}");
+    }
+
+    #[test]
+    fn fault_before_first_checkpoint_retires_immediately() {
+        // A fault early in the first slice leaves nothing to restart
+        // from; the supervisor must not loop on a task it has no
+        // checkpoint for.
+        let mut host = spinner_host();
+        let mut sched = Scheduler::new(SchedConfig {
+            slice: 10_000,
+            checkpoint: true,
+            retry_budget: 5,
+            ..Default::default()
+        });
+        sched.submit("doomed", host.spawn("(car 5)").unwrap());
+        let reports = sched.run_all();
+        let r = &reports[0];
+        assert!(matches!(&r.outcome, Outcome::Failed(_)), "{r:?}");
+        assert_eq!(r.retries, 0, "{r:?}");
+        assert_eq!(r.checkpoints, 0, "{r:?}");
+    }
+
+    #[test]
+    fn backpressure_prefers_started_tasks_over_fresh_admissions() {
+        // With a zero-byte pool budget, the moment the first task
+        // checkpoints (gc_stress keeps its live-byte gauge nonzero) the
+        // scheduler is over budget and must drain it before admitting the
+        // second — so the long first task retires *before* the short
+        // second one, inverting the round-robin order.
+        let mut cfg = EngineConfig::default();
+        cfg.machine.gc_stress = true;
+        let mut host = WorkerHost::new(cfg);
+        host.load("(define (spin n) (if (zero? n) 'done (spin (- n 1))))")
+            .unwrap();
+        let mut sched = Scheduler::new(SchedConfig {
+            slice: 100,
+            checkpoint: true,
+            pool_budget_bytes: Some(0),
+            ..Default::default()
+        });
+        sched.submit("long", host.spawn("(spin 3000)").unwrap());
+        sched.submit("short", host.spawn("(spin 50)").unwrap());
+        let reports = sched.run_all();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].name, "long", "{reports:?}");
+        assert!(reports
+            .iter()
+            .all(|r| matches!(r.outcome, Outcome::Completed(_))));
     }
 
     #[test]

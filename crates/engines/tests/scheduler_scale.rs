@@ -38,6 +38,7 @@ fn thousand_engines_across_four_workers() {
             slice: 5_000,
             check_invariants: false,
             record_spans: true,
+            ..Default::default()
         },
         engine: Default::default(),
     };

@@ -1,0 +1,296 @@
+//! Property-based coverage for the durable-snapshot guarantee: for
+//! random continuation-mark programs interrupted at a random fuel cut,
+//! `snapshot` → drop the live engine → `restore` → resume must produce
+//! exactly the result an uninterrupted run produces, under every one of
+//! the eight engine configurations — and, when the §3–§4 reference
+//! model can evaluate the program, that shared result must also agree
+//! with the model (so a snapshot bug and a semantics bug can't mask
+//! each other).
+//!
+//! The generated language is a compact core of the differential
+//! fuzzer's: marks (`with-continuation-mark` + observers), winders
+//! whose thunks log into a global (mutable global state must survive
+//! the round trip), `call/cc` with upward invocations, and enough
+//! lambda/let/if scaffolding to force real frames across the cut.
+
+use cm_core::all_configs;
+use cm_engines::{Engine, RunResult, WorkerHost};
+use cm_refmodel::RefInterp;
+use proptest::prelude::*;
+
+/// A generable expression; rendered to Scheme source with a scope.
+#[derive(Debug, Clone)]
+enum SExpr {
+    Num(i8),
+    VarRef(u8),
+    Add(Box<SExpr>, Box<SExpr>),
+    If(Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    Let(Box<SExpr>, Box<SExpr>),
+    /// ((lambda (x) body) arg) — a real call frame across the cut.
+    AppLambda(Box<SExpr>, Box<SExpr>),
+    Wcm(u8, Box<SExpr>, Box<SExpr>),
+    MarkList(u8),
+    MarkFirst(u8),
+    /// (call/cc (lambda (kN) body))
+    CallCc(Box<SExpr>),
+    /// (kI arg); renders as plain `arg` outside any `call/cc`.
+    InvokeK(u8, Box<SExpr>),
+    /// dynamic-wind with logging winders.
+    Dw(u8, Box<SExpr>),
+}
+
+fn key_name(k: u8) -> &'static str {
+    match k % 3 {
+        0 => "ka",
+        1 => "kb",
+        _ => "kc",
+    }
+}
+
+fn arb_sexpr() -> impl Strategy<Value = SExpr> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(SExpr::Num),
+        (0u8..4).prop_map(SExpr::VarRef),
+        (0u8..3).prop_map(SExpr::MarkList),
+        (0u8..3).prop_map(SExpr::MarkFirst),
+    ];
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| SExpr::If(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SExpr::Let(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| SExpr::AppLambda(Box::new(a), Box::new(b))),
+            (0u8..3, inner.clone(), inner.clone()).prop_map(|(k, v, b)| SExpr::Wcm(
+                k,
+                Box::new(v),
+                Box::new(b)
+            )),
+            inner.clone().prop_map(|a| SExpr::CallCc(Box::new(a))),
+            (0u8..2, inner.clone()).prop_map(|(i, a)| SExpr::InvokeK(i, Box::new(a))),
+            (0u8..3, inner.clone()).prop_map(|(t, a)| SExpr::Dw(t, Box::new(a))),
+        ]
+    })
+}
+
+/// Renders to source; `scope` = bound variables, `kdepth` = enclosing
+/// `call/cc` continuations in scope.
+fn render(e: &SExpr, scope: u32, kdepth: u32, out: &mut String) {
+    use std::fmt::Write as _;
+    match e {
+        SExpr::Num(n) => {
+            let _ = write!(out, "{n}");
+        }
+        SExpr::VarRef(i) => {
+            if scope == 0 {
+                out.push('0');
+            } else {
+                let _ = write!(out, "v{}", (*i as u32) % scope);
+            }
+        }
+        SExpr::Add(a, b) => {
+            out.push_str("(+ ");
+            render(a, scope, kdepth, out);
+            out.push(' ');
+            render(b, scope, kdepth, out);
+            out.push(')');
+        }
+        SExpr::If(t, c, a) => {
+            out.push_str("(if ");
+            render(t, scope, kdepth, out);
+            out.push(' ');
+            render(c, scope, kdepth, out);
+            out.push(' ');
+            render(a, scope, kdepth, out);
+            out.push(')');
+        }
+        SExpr::Let(init, body) => {
+            let _ = write!(out, "(let ([v{scope} ");
+            render(init, scope, kdepth, out);
+            out.push_str("]) ");
+            render(body, scope + 1, kdepth, out);
+            out.push(')');
+        }
+        SExpr::AppLambda(arg, body) => {
+            let _ = write!(out, "((lambda (v{scope}) ");
+            render(body, scope + 1, kdepth, out);
+            out.push_str(") ");
+            render(arg, scope, kdepth, out);
+            out.push(')');
+        }
+        SExpr::Wcm(k, v, body) => {
+            let _ = write!(out, "(with-continuation-mark '{} ", key_name(*k));
+            render(v, scope, kdepth, out);
+            out.push(' ');
+            render(body, scope, kdepth, out);
+            out.push(')');
+        }
+        SExpr::MarkList(k) => {
+            let _ = write!(out, "(mark-list '{})", key_name(*k));
+        }
+        SExpr::MarkFirst(k) => {
+            let _ = write!(out, "(mark-first '{} 'absent)", key_name(*k));
+        }
+        SExpr::CallCc(body) => {
+            let _ = write!(out, "(call/cc (lambda (k{kdepth}) ");
+            render(body, scope, kdepth + 1, out);
+            out.push_str("))");
+        }
+        SExpr::InvokeK(i, arg) => {
+            if kdepth == 0 {
+                render(arg, scope, kdepth, out);
+            } else {
+                let _ = write!(out, "(k{} ", (*i as u32) % kdepth);
+                render(arg, scope, kdepth, out);
+                out.push(')');
+            }
+        }
+        SExpr::Dw(tag, body) => {
+            let t = tag % 3;
+            let _ = write!(out, "(dynamic-wind (lambda () (note 'pre{t})) (lambda () ");
+            render(body, scope, kdepth, out);
+            let _ = write!(out, ") (lambda () (note 'post{t})))");
+        }
+    }
+}
+
+/// Winder log shared by the model and the engine: firing order is part
+/// of every program's observable result, so a restore that dropped or
+/// replayed a global `set!` would be caught here, not just wrong final
+/// values.
+const COMMON_HELPERS: &str = "(define dw-log '())
+(define (note t) (set! dw-log (cons t dw-log)))
+";
+
+/// Engine-only shims for the model's mark observers.
+const ENGINE_HELPERS: &str = r#"
+(define (mark-list k) (continuation-mark-set->list #f k))
+(define (mark-first k d) (continuation-mark-set-first #f k d))
+"#;
+
+fn program_source(e: &SExpr) -> String {
+    let mut body = String::new();
+    render(e, 0, 0, &mut body);
+    format!("{COMMON_HELPERS}(cons {body} dw-log)")
+}
+
+/// The observable outcome of a run: the displayed value, or the error
+/// text. A program that errors must error *identically* after a
+/// kill-restore — losing the fault (or changing it) is as much a
+/// snapshot bug as losing the value.
+#[derive(PartialEq, Debug)]
+enum Outcome {
+    Value(String),
+    Error(String),
+}
+
+/// Runs `src` on a fresh host, interrupting at `cut`-step slices and
+/// round-tripping through snapshot bytes at the first suspension.
+/// Returns (outcome, whether a restore happened).
+fn run_with_kill_restore(
+    config: &cm_core::EngineConfig,
+    src: &str,
+    cut: u64,
+) -> Result<(Outcome, bool), String> {
+    let mut host = WorkerHost::new(config.clone());
+    host.load(ENGINE_HELPERS).map_err(|e| e.to_string())?;
+    let mut engine = host.spawn(src).map_err(|e| e.to_string())?;
+    drop(host);
+    let mut restored = false;
+    loop {
+        engine = match engine.run(cut) {
+            RunResult::Done(v, _) => return Ok((Outcome::Value(v.display_string()), restored)),
+            RunResult::Failed(e, _) => return Ok((Outcome::Error(e.to_string()), restored)),
+            RunResult::Suspended(mut live, _) => {
+                if restored {
+                    live
+                } else {
+                    // The kill: serialize, drop the live machine, and
+                    // come back from bytes alone.
+                    let bytes = live.snapshot().map_err(|e| format!("snapshot: {e}"))?;
+                    drop(live);
+                    restored = true;
+                    Engine::restore(&bytes).map_err(|e| format!("restore: {e}"))?
+                }
+            }
+        };
+    }
+}
+
+/// Uninterrupted run on a fresh host: the ground truth the round trip
+/// must reproduce.
+fn run_uninterrupted(config: &cm_core::EngineConfig, src: &str) -> Result<Outcome, String> {
+    let mut host = WorkerHost::new(config.clone());
+    host.load(ENGINE_HELPERS).map_err(|e| e.to_string())?;
+    let engine = host.spawn(src).map_err(|e| e.to_string())?;
+    Ok(match engine.run_to_completion(u64::MAX) {
+        Ok((v, _)) => Outcome::Value(v.display_string()),
+        Err(e) => Outcome::Error(e.to_string()),
+    })
+}
+
+fn roundtrip_check(e: &SExpr, cut: u64) -> Result<(), String> {
+    let src = program_source(e);
+    let oracle = RefInterp::new().eval(&src).ok();
+    for (name, config) in all_configs() {
+        let baseline = run_uninterrupted(&config, &src)
+            .map_err(|e| format!("[{name}] uninterrupted run failed to start: {e}"))?;
+        let (resumed, restored) = run_with_kill_restore(&config, &src, cut)
+            .map_err(|e| format!("[{name}] kill-restore run failed: {e}"))?;
+        if resumed != baseline {
+            return Err(format!(
+                "[{name}] cut {cut} (restored: {restored}): resumed {resumed:?}, uninterrupted {baseline:?}"
+            ));
+        }
+        if let (Some(expected), Outcome::Value(got)) = (&oracle, &baseline) {
+            if got != expected {
+                return Err(format!(
+                    "[{name}] diverged from reference model: engine {got}, model {expected}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn snapshot_roundtrip_matches_uninterrupted_run(e in arb_sexpr(), cut in 1u64..96) {
+        if let Err(msg) = roundtrip_check(&e, cut) {
+            let src = program_source(&e);
+            prop_assert!(false, "{msg}\nprogram:\n{src}");
+        }
+    }
+}
+
+/// Deterministic regression cases: the constructs most likely to break
+/// a snapshot (captured continuations, pending winders, marks straddling
+/// the cut) pinned at aggressive single-step cuts.
+#[test]
+fn seed_programs_roundtrip_at_tiny_cuts() {
+    let seeds = [
+        "(with-continuation-mark 'ka 1 (+ (mark-first 'ka 'absent) (call/cc (lambda (k0) (k0 41)))))",
+        "(dynamic-wind (lambda () (note 'pre0)) (lambda () (call/cc (lambda (k0) (with-continuation-mark 'kb 2 (k0 (mark-list 'kb)))))) (lambda () (note 'post0)))",
+        "(let ([v0 (with-continuation-mark 'ka 1 (with-continuation-mark 'ka 2 (mark-list 'ka)))]) (cons v0 dw-log))",
+    ];
+    for body in seeds {
+        let src = format!("{COMMON_HELPERS}(cons {body} dw-log)");
+        for cut in [1, 2, 7] {
+            for (name, config) in all_configs() {
+                let baseline = run_uninterrupted(&config, &src).unwrap();
+                let (resumed, restored) = run_with_kill_restore(&config, &src, cut)
+                    .unwrap_or_else(|e| panic!("[{name}] cut {cut}: {e}"));
+                assert!(
+                    restored || cut > 1,
+                    "[{name}] cut {cut}: program never suspended"
+                );
+                assert_eq!(resumed, baseline, "[{name}] cut {cut}");
+            }
+        }
+    }
+}

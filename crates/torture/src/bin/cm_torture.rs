@@ -78,7 +78,7 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "cm-torture: {} mode — {} configs x {} targets (fuel cuts {}, segment limits {:?}, prim cuts {}, suspend cuts {})",
+        "cm-torture: {} mode — {} configs x {} targets (fuel cuts {}, segment limits {:?}, prim cuts {}, suspend cuts {}, kill-restore cuts {})",
         if quick { "quick" } else { "full" },
         configs.len(),
         targets.len(),
@@ -86,6 +86,7 @@ fn main() -> ExitCode {
         opts.segment_limits,
         opts.prim_cuts,
         opts.suspend_cuts,
+        opts.kill_restore_cuts,
     );
 
     let mut total = TortureReport::default();
@@ -93,7 +94,7 @@ fn main() -> ExitCode {
         for t in &targets {
             let rep = torture_target(name, config, t, &opts);
             println!(
-                "{:>10}/{:<24} {:>5} trials  {:>5} clean faults  {:>4} correct  {:>5} probes  {:>5} suspensions{}",
+                "{:>10}/{:<24} {:>5} trials  {:>5} clean faults  {:>4} correct  {:>5} probes  {:>5} suspensions  {:>4} restores  {:>4} corrupt rejected{}",
                 name,
                 t.name,
                 rep.trials,
@@ -101,6 +102,8 @@ fn main() -> ExitCode {
                 rep.correct_runs,
                 rep.probes,
                 rep.suspensions,
+                rep.restores,
+                rep.corrupt_rejected,
                 if rep.ok() {
                     String::new()
                 } else {
@@ -112,12 +115,15 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "total: {} trials, {} clean faults, {} correct runs, {} probes, {} suspensions, {} violations",
+        "total: {} trials, {} clean faults, {} correct runs, {} probes, {} suspensions, {} snapshots, {} restores, {} corrupt snapshots rejected, {} violations",
         total.trials,
         total.clean_faults,
         total.correct_runs,
         total.probes,
         total.suspensions,
+        total.snapshots,
+        total.restores,
+        total.corrupt_rejected,
         total.violation_count,
     );
     if total.ok() {

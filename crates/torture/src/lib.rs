@@ -26,7 +26,17 @@
 //!   [`cm_vm::SuspendedRun`] after *k* steps for dozens of *k* spread
 //!   over the full step count, then resume in *k*-step slices to
 //!   completion; the machine invariants must hold at **every**
-//!   suspension point and the final answer must match the baseline.
+//!   suspension point and the final answer must match the baseline,
+//! * **kill and restore** — preempt after *k* steps, serialize the
+//!   suspended run with [`cm_vm::Machine::snapshot_suspended`], *drop*
+//!   the live run (the simulated crash), rebuild machine and run from
+//!   bytes alone with [`cm_vm::Machine::restore_snapshot`], and resume
+//!   the restored run to completion: the answer must match the baseline
+//!   and re-snapshotting the restored run must reproduce the original
+//!   bytes bit-for-bit. The first snapshot per target also feeds a
+//!   corruption suite (truncations, bit flips, bad version): every
+//!   corrupted decode must yield a typed [`cm_vm::SnapshotError`],
+//!   never a panic.
 //!
 //! After **every** trial the harness checks
 //! [`Engine::check_invariants`], then requires the *same* engine to run
@@ -196,6 +206,11 @@ pub struct SweepOptions {
     /// on (a heap collection at every safe point) — alone, and combined
     /// with a tiny segment limit so collection hits mid-split state.
     pub gc_stress: bool,
+    /// Kill-and-restore cut points, spread evenly over the baseline
+    /// run's step count; each cut snapshots the suspended run, drops it,
+    /// restores from bytes into a fresh machine, and resumes to
+    /// completion. `0` disables the sweep.
+    pub kill_restore_cuts: u64,
 }
 
 impl SweepOptions {
@@ -207,6 +222,7 @@ impl SweepOptions {
             prim_cuts: 10,
             suspend_cuts: 50,
             gc_stress: true,
+            kill_restore_cuts: 12,
         }
     }
 
@@ -219,6 +235,7 @@ impl SweepOptions {
             prim_cuts: 60,
             suspend_cuts: 120,
             gc_stress: true,
+            kill_restore_cuts: 40,
         }
     }
 }
@@ -237,6 +254,13 @@ pub struct TortureReport {
     /// Suspension points taken (and invariant-checked) by the
     /// suspension-slicing sweep.
     pub suspensions: u64,
+    /// Snapshots serialized by the kill-and-restore sweep.
+    pub snapshots: u64,
+    /// Machines rebuilt from snapshot bytes by the kill-and-restore
+    /// sweep.
+    pub restores: u64,
+    /// Corrupted-snapshot decodes that correctly yielded a typed error.
+    pub corrupt_rejected: u64,
     /// Total violations (clamped list in [`TortureReport::violations`]).
     pub violation_count: u64,
     /// The first violations, with context (at most 20 kept).
@@ -256,6 +280,9 @@ impl TortureReport {
         self.correct_runs += other.correct_runs;
         self.probes += other.probes;
         self.suspensions += other.suspensions;
+        self.snapshots += other.snapshots;
+        self.restores += other.restores;
+        self.corrupt_rejected += other.corrupt_rejected;
         self.violation_count += other.violation_count;
         for v in other.violations {
             self.push_violation(v);
@@ -473,7 +500,172 @@ pub fn torture_target(
         opts,
     );
 
+    // Kill and restore: the durable-snapshot counterpart of the
+    // suspension sweep — serialize, crash, rebuild from bytes, finish.
+    kill_restore_sweep(
+        &mut rep,
+        &ctx,
+        &mut engine,
+        target,
+        &baseline,
+        fuel_used,
+        opts,
+    );
+
     rep
+}
+
+/// The kill-and-restore sweep of [`torture_target`]: at cut points
+/// spread over the run, suspend, snapshot, drop the live run (the
+/// simulated crash), restore a fresh machine from bytes alone, and
+/// resume it to completion. Checks, per cut: the restored run's answer
+/// equals the baseline, and re-snapshotting the restored run reproduces
+/// the original bytes bit-for-bit (the codec is deterministic and
+/// lossless). The first snapshot also runs the corruption suite.
+fn kill_restore_sweep(
+    rep: &mut TortureReport,
+    ctx: &str,
+    engine: &mut Engine,
+    target: &Target,
+    baseline: &str,
+    fuel_used: u64,
+    opts: &SweepOptions,
+) {
+    use cm_vm::{Machine, RunStatus};
+
+    if opts.kill_restore_cuts == 0 {
+        return;
+    }
+    let code = match engine.compile_only(&target.run) {
+        Ok(c) => c,
+        Err(e) => {
+            rep.violate(ctx, format!("kill-restore sweep: compile failed: {e}"));
+            return;
+        }
+    };
+    let cuts = opts.kill_restore_cuts.min(fuel_used.max(1));
+    let mut corruption_done = false;
+    for i in 0..cuts {
+        let k = (fuel_used * i / cuts).max(1);
+        let what = format!("kill-restore@{k}");
+        rep.trials += 1;
+        match engine.machine_mut().run_code_sliced(code.clone(), k) {
+            Ok(RunStatus::Done(v)) => {
+                // The cut landed past the program's end; nothing to kill.
+                let out = v.write_string();
+                if out == baseline {
+                    rep.correct_runs += 1;
+                } else {
+                    rep.violate(ctx, format!("{what}: produced {out}, expected {baseline}"));
+                }
+            }
+            Ok(RunStatus::Suspended(run)) => {
+                rep.suspensions += 1;
+                let bytes = match engine.machine_mut().snapshot_suspended(&run) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        rep.violate(ctx, format!("{what}: snapshot failed: {e}"));
+                        continue;
+                    }
+                };
+                rep.snapshots += 1;
+                // The crash: the only surviving state is `bytes`.
+                drop(run);
+                if !corruption_done {
+                    corruption_done = true;
+                    corruption_suite(rep, ctx, &bytes, &what);
+                }
+                let restored = match Machine::restore_snapshot(&bytes) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        rep.violate(ctx, format!("{what}: restore failed: {e}"));
+                        continue;
+                    }
+                };
+                rep.restores += 1;
+                let mut machine = restored.machine;
+                match machine.snapshot_suspended(&restored.run) {
+                    Ok(again) if again == bytes => {}
+                    Ok(_) => rep.violate(
+                        ctx,
+                        format!("{what}: re-snapshot of the restored run differs from the original bytes"),
+                    ),
+                    Err(e) => rep.violate(ctx, format!("{what}: re-snapshot failed: {e}")),
+                }
+                let mut budget = fuel_used / k + 16;
+                let mut status = machine.resume(restored.run, k);
+                let outcome = loop {
+                    match status {
+                        Ok(RunStatus::Done(v)) => break Ok(v),
+                        Ok(RunStatus::Suspended(run)) => {
+                            if budget == 0 {
+                                break Err("restored run made no progress".to_string());
+                            }
+                            budget -= 1;
+                            status = machine.resume(run, k);
+                        }
+                        Err(e) => break Err(format!("unexpected error: {}", e.detailed())),
+                    }
+                };
+                match outcome {
+                    Ok(v) => {
+                        let out = v.write_string();
+                        if out == baseline {
+                            rep.correct_runs += 1;
+                        } else {
+                            rep.violate(
+                                ctx,
+                                format!("{what}: restored run produced {out}, expected {baseline}"),
+                            );
+                        }
+                    }
+                    Err(msg) => rep.violate(ctx, format!("{what}: {msg}")),
+                }
+            }
+            Err(e) => {
+                rep.violate(ctx, format!("{what}: unexpected error: {}", e.detailed()));
+            }
+        }
+        // The original engine survived the kill (snapshots are
+        // non-destructive reads); it must still run programs correctly.
+        probe(rep, ctx, engine, &what);
+    }
+}
+
+/// The corrupted-snapshot suite: every truncation (strided), every
+/// single-bit flip (strided), a wrong version, and a wrong magic must
+/// decode to a typed [`cm_vm::SnapshotError`] — `Ok` here means the
+/// checksum or structural validation failed to catch tampering. A panic
+/// crashes the harness, which is itself the failure signal.
+fn corruption_suite(rep: &mut TortureReport, ctx: &str, bytes: &[u8], what: &str) {
+    use cm_vm::Machine;
+
+    let trunc_stride = (bytes.len() / 64).max(1);
+    for end in (0..bytes.len()).step_by(trunc_stride) {
+        rep.trials += 1;
+        match Machine::restore_snapshot(&bytes[..end]) {
+            Err(_) => rep.corrupt_rejected += 1,
+            Ok(_) => rep.violate(
+                ctx,
+                format!("{what}: truncation to {end} bytes decoded successfully"),
+            ),
+        }
+    }
+    let flip_stride = (bytes.len() / 48).max(1);
+    for pos in (0..bytes.len()).step_by(flip_stride) {
+        for bit in [0, 4, 7] {
+            let mut bad = bytes.to_vec();
+            bad[pos] ^= 1 << bit;
+            rep.trials += 1;
+            match Machine::restore_snapshot(&bad) {
+                Err(_) => rep.corrupt_rejected += 1,
+                Ok(_) => rep.violate(
+                    ctx,
+                    format!("{what}: bit flip at byte {pos} bit {bit} decoded successfully"),
+                ),
+            }
+        }
+    }
 }
 
 /// The suspension-slicing sweep of [`torture_target`].
@@ -659,6 +851,7 @@ mod tests {
             prim_cuts: 3,
             suspend_cuts: 6,
             gc_stress: true,
+            kill_restore_cuts: 4,
         }
     }
 
@@ -709,6 +902,35 @@ mod tests {
         // Collection at every safe point is part of the CI matrix.
         assert!(SweepOptions::quick().gc_stress);
         assert!(SweepOptions::full().gc_stress);
+        // Crash recovery (kill + restore from snapshot) is too.
+        assert!(SweepOptions::quick().kill_restore_cuts >= 10);
+        assert!(SweepOptions::full().kill_restore_cuts >= 40);
+    }
+
+    #[test]
+    fn kill_restore_survives_on_every_config() {
+        let mut opts = tiny_opts();
+        opts.fuel_cuts = 0;
+        opts.prim_cuts = 0;
+        opts.segment_limits = &[];
+        opts.suspend_cuts = 0;
+        opts.gc_stress = false;
+        opts.kill_restore_cuts = 5;
+        let targets = torture_targets(true);
+        let t = targets
+            .iter()
+            .find(|t| t.name == "sec2-deep")
+            .expect("sec2-deep target present");
+        for (name, config) in engine_configs() {
+            let rep = torture_target(name, &config, t, &opts);
+            assert!(rep.ok(), "{name}: {:?}", rep.violations);
+            assert!(rep.snapshots > 0, "{name}: no snapshots taken");
+            assert_eq!(rep.snapshots, rep.restores, "{name}: a restore failed");
+            assert!(
+                rep.corrupt_rejected > 0,
+                "{name}: corruption suite did not run"
+            );
+        }
     }
 
     #[test]

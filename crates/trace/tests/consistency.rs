@@ -39,6 +39,8 @@ fn every_stats_field_equals_its_journal_count_across_all_configs() {
                 (TraceKind::Resume, s.resumes),
                 (TraceKind::Alloc, s.allocations),
                 (TraceKind::GcCollect, s.collections),
+                (TraceKind::Snapshot, s.snapshots),
+                (TraceKind::Restore, s.restores),
             ];
             // bytes_live / bytes_live_peak are gauges, overwritten per
             // collection; they have no TraceKind and are excluded here.

@@ -104,6 +104,53 @@ pub enum PrimOp {
 }
 
 impl PrimOp {
+    /// Every primitive, in declaration order, so `ALL[op as usize] == op`.
+    /// The snapshot codec serializes a `PrimCall`'s operation as its
+    /// discriminant byte and decodes it through this table (an
+    /// out-of-range byte is a typed decode error, never a panic).
+    pub const ALL: [PrimOp; 40] = [
+        PrimOp::Add,
+        PrimOp::Sub,
+        PrimOp::Mul,
+        PrimOp::Div,
+        PrimOp::Quotient,
+        PrimOp::Remainder,
+        PrimOp::Modulo,
+        PrimOp::NumEq,
+        PrimOp::Lt,
+        PrimOp::Le,
+        PrimOp::Gt,
+        PrimOp::Ge,
+        PrimOp::Add1,
+        PrimOp::Sub1,
+        PrimOp::ZeroP,
+        PrimOp::Cons,
+        PrimOp::Car,
+        PrimOp::Cdr,
+        PrimOp::SetCar,
+        PrimOp::SetCdr,
+        PrimOp::PairP,
+        PrimOp::NullP,
+        PrimOp::EqP,
+        PrimOp::EqvP,
+        PrimOp::Not,
+        PrimOp::SymbolP,
+        PrimOp::ProcedureP,
+        PrimOp::FixnumP,
+        PrimOp::FlonumP,
+        PrimOp::BooleanP,
+        PrimOp::StringP,
+        PrimOp::VectorP,
+        PrimOp::CharP,
+        PrimOp::VectorRef,
+        PrimOp::VectorSet,
+        PrimOp::VectorLength,
+        PrimOp::MakeVector,
+        PrimOp::BoxNew,
+        PrimOp::Unbox,
+        PrimOp::SetBox,
+    ];
+
     /// The Scheme-level name of the primitive.
     pub fn name(self) -> &'static str {
         use PrimOp::*;
@@ -412,6 +459,17 @@ mod tests {
     fn prim_names_cover_all_ops() {
         assert_eq!(PrimOp::Add.name(), "+");
         assert_eq!(PrimOp::VectorSet.name(), "vector-set!");
+    }
+
+    #[test]
+    fn all_table_matches_discriminants() {
+        for (i, op) in PrimOp::ALL.iter().enumerate() {
+            assert_eq!(*op as usize, i, "ALL[{i}] is {op:?}");
+        }
+        let mut seen = std::collections::HashSet::new();
+        for op in PrimOp::ALL {
+            assert!(seen.insert(op.name()), "duplicate entry {op:?}");
+        }
     }
 
     #[test]

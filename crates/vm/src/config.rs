@@ -110,6 +110,15 @@ pub struct MachineConfig {
     /// the next access panics); the torture harness runs its quick matrix
     /// with this on.
     pub gc_stress: bool,
+    /// Optional cap on live heap bytes, enforced at instruction-boundary
+    /// safe points: when the heap's live-plus-allocated estimate crosses
+    /// the cap the machine collects, and if the *live* bytes still exceed
+    /// it the run fails with a recoverable
+    /// [`VmErrorKind::HeapLimitExceeded`](crate::VmErrorKind) —
+    /// graceful degradation instead of unbounded growth. The measure is
+    /// the thread heap (machines sharing a thread share the budget);
+    /// `None` means unlimited.
+    pub max_heap_bytes: Option<u64>,
 }
 
 /// Default journal ring capacity: deep enough to hold every non-`Step`
@@ -133,6 +142,7 @@ impl Default for MachineConfig {
             trace: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
             gc_stress: false,
+            max_heap_bytes: None,
         }
     }
 }
@@ -207,6 +217,13 @@ impl MachineConfig {
         self.gc_stress = on;
         self
     }
+
+    /// Caps live heap bytes; crossing the cap at a safe point raises a
+    /// recoverable [`VmErrorKind::HeapLimitExceeded`](crate::VmErrorKind).
+    pub fn with_max_heap_bytes(mut self, limit: u64) -> MachineConfig {
+        self.max_heap_bytes = Some(limit);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +287,14 @@ mod tests {
         assert!(!c.gc_stress);
         let c = c.with_gc_stress(true);
         assert!(c.gc_stress);
+    }
+
+    #[test]
+    fn heap_limit_defaults_off_with_builder() {
+        let c = MachineConfig::default();
+        assert!(c.max_heap_bytes.is_none());
+        let c = c.with_max_heap_bytes(1 << 20);
+        assert_eq!(c.max_heap_bytes, Some(1 << 20));
     }
 
     #[test]

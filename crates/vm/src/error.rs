@@ -61,6 +61,15 @@ pub enum VmErrorKind {
         /// The configured limit.
         limit: usize,
     },
+    /// Live heap bytes exceeded
+    /// [`MachineConfig::max_heap_bytes`](crate::MachineConfig) even after
+    /// a collection at the safe point that detected the crossing.
+    HeapLimitExceeded {
+        /// The configured cap.
+        limit: u64,
+        /// Live bytes after the collection that failed to get under it.
+        live: u64,
+    },
     /// A fault injected by the torture harness's
     /// [`FaultPlan`](crate::FaultPlan) at a primitive boundary.
     InjectedFault {
@@ -102,6 +111,9 @@ impl fmt::Display for VmErrorKind {
             VmErrorKind::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
             VmErrorKind::NativeDepthExceeded { limit } => {
                 write!(f, "nested execution depth exceeded (limit {limit})")
+            }
+            VmErrorKind::HeapLimitExceeded { limit, live } => {
+                write!(f, "heap limit exceeded ({live} bytes live, limit {limit})")
             }
             VmErrorKind::InjectedFault { site, at } => {
                 write!(
@@ -249,14 +261,15 @@ impl VmError {
         self
     }
 
-    /// Whether this is a resource-limit fault (fuel, deadline, or nested
-    /// native depth) rather than a program error.
+    /// Whether this is a resource-limit fault (fuel, deadline, nested
+    /// native depth, or heap cap) rather than a program error.
     pub fn is_resource_limit(&self) -> bool {
         matches!(
             self.kind,
             VmErrorKind::OutOfFuel
                 | VmErrorKind::DeadlineExceeded
                 | VmErrorKind::NativeDepthExceeded { .. }
+                | VmErrorKind::HeapLimitExceeded { .. }
         )
     }
 
@@ -315,6 +328,21 @@ mod tests {
     #[test]
     fn resource_limits_are_classified() {
         assert!(VmError::from(VmErrorKind::OutOfFuel).is_resource_limit());
+        assert!(VmError::from(VmErrorKind::HeapLimitExceeded {
+            limit: 100,
+            live: 200
+        })
+        .is_resource_limit());
         assert!(!VmError::other("boom").is_resource_limit());
+    }
+
+    #[test]
+    fn heap_limit_display_carries_both_numbers() {
+        let e = VmError::from(VmErrorKind::HeapLimitExceeded {
+            limit: 4096,
+            live: 8192,
+        });
+        let s = e.to_string();
+        assert!(s.contains("4096") && s.contains("8192"), "{s}");
     }
 }

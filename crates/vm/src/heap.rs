@@ -119,7 +119,65 @@ pub(crate) struct PairData {
 /// key *value* is retained so the collector keeps table keys alive
 /// (identity-keyed entries would otherwise dangle when a key's slot is
 /// reused).
-pub(crate) type TableData = HashMap<EqKey, (Value, Value)>;
+///
+/// Entries iterate in insertion order (an update keeps its original
+/// position). `EqKey`s embed heap slot indices, which relocate across a
+/// snapshot/restore, so a hash-ordered walk would serialize the same
+/// table differently on every machine; insertion order survives the
+/// round trip and keeps snapshot bytes canonical.
+#[derive(Default)]
+pub(crate) struct TableData {
+    index: HashMap<EqKey, u32>,
+    entries: Vec<(EqKey, Value, Value)>,
+}
+
+impl TableData {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn get(&self, key: &EqKey) -> Option<Value> {
+        self.index.get(key).map(|&i| self.entries[i as usize].2)
+    }
+
+    pub(crate) fn insert(&mut self, key: EqKey, kv: (Value, Value)) {
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                let i = *slot.get() as usize;
+                self.entries[i] = (key, kv.0, kv.1);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(self.entries.len() as u32);
+                self.entries.push((key, kv.0, kv.1));
+            }
+        }
+    }
+
+    pub(crate) fn remove(&mut self, key: &EqKey) -> bool {
+        let Some(i) = self.index.remove(key) else {
+            return false;
+        };
+        self.entries.remove(i as usize);
+        for idx in self.index.values_mut() {
+            if *idx > i {
+                *idx -= 1;
+            }
+        }
+        true
+    }
+
+    pub(crate) fn contains_key(&self, key: &EqKey) -> bool {
+        self.index.contains_key(key)
+    }
+
+    pub(crate) fn values(&self) -> impl Iterator<Item = (Value, Value)> + '_ {
+        self.entries.iter().map(|&(_, k, v)| (k, v))
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Slabs
@@ -634,8 +692,8 @@ impl Heap {
                 }
                 Value::Table(h) if self.tables.mark(h.0) => {
                     for (k, v) in self.tables.get(h.0).values() {
-                        tr.gray.push(*k);
-                        tr.gray.push(*v);
+                        tr.gray.push(k);
+                        tr.gray.push(v);
                     }
                 }
                 Value::Record(h) if self.records.mark(h.0) => {
@@ -716,8 +774,8 @@ impl Heap {
                 Value::Table(h) if self.tables.make_perm(h.0) => {
                     self.perm_roots.push(v);
                     for (k, val) in self.tables.get(h.0).values() {
-                        tr.gray.push(*k);
-                        tr.gray.push(*val);
+                        tr.gray.push(k);
+                        tr.gray.push(val);
                     }
                 }
                 Value::Record(h) if self.records.make_perm(h.0) => {
@@ -1126,7 +1184,7 @@ impl HTable {
 
     /// The value stored under `key`'s identity.
     pub fn get(self, key: &EqKey) -> Option<Value> {
-        with_heap(|h| h.tables.get(self.0).get(key).map(|(_, v)| *v))
+        with_heap(|h| h.tables.get(self.0).get(key))
     }
 
     /// Stores `val` under `key` (the key value is retained for tracing).
@@ -1138,7 +1196,7 @@ impl HTable {
 
     /// Removes `key`'s entry; `true` if it was present.
     pub fn remove(self, key: &EqKey) -> bool {
-        with_heap(|h| h.tables.get_mut(self.0).remove(key).is_some())
+        with_heap(|h| h.tables.get_mut(self.0).remove(key))
     }
 
     /// Whether `key` has an entry.
@@ -1146,9 +1204,10 @@ impl HTable {
         with_heap(|h| h.tables.get(self.0).contains_key(key))
     }
 
-    /// Every (key, value) pair (cloned out, unspecified order).
+    /// Every (key, value) pair, cloned out in insertion order (an update
+    /// keeps its original position).
     pub fn entries(self) -> Vec<(Value, Value)> {
-        with_heap(|h| h.tables.get(self.0).values().copied().collect())
+        with_heap(|h| h.tables.get(self.0).values().collect())
     }
 }
 
@@ -1245,6 +1304,32 @@ impl HCont {
             _ => self.eq_key(),
         })
     }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot-restore support. The decoder allocates placeholder objects
+// first (so every handle exists before any cross-reference is filled)
+// and then overwrites the closure/continuation slots wholesale — the
+// only two kinds whose contents cannot be patched through the public
+// accessors above.
+
+/// Replaces the closure at `h` (snapshot decode only).
+pub(crate) fn set_closure(h: HClosure, c: Closure) {
+    with_heap(|heap| *heap.closures.get_mut(h.0) = c);
+}
+
+/// Replaces the continuation payload at `h` (snapshot decode only).
+pub(crate) fn set_cont_data(h: HCont, c: ContData) {
+    with_heap(|heap| *heap.conts.get_mut(h.0) = c);
+}
+
+/// Estimated bytes the thread heap would hold live if a collection ran
+/// now: the last collection's survivors plus everything allocated since.
+/// An over-approximation (recent allocations may already be garbage),
+/// which is the safe direction for the heap-cap check — the machine
+/// collects to get the true figure before failing a run.
+pub(crate) fn bytes_estimate() -> u64 {
+    with_heap(|h| h.bytes_live + h.bytes_since_gc)
 }
 
 /// Whether `v`'s handle still names a live heap slot (diagnostics/tests;

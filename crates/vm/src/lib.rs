@@ -62,7 +62,7 @@ pub use heap::{
     alloc_scope, heap_stats, AllocScope, GcReport, HBox, HClosure, HCont, HPair, HRecord, HStr,
     HTable, HVec, HeapStats, RootGuard,
 };
-pub use machine::{Globals, Machine, RunStatus, SuspendedRun};
+pub use machine::{Globals, Machine, RestoredRun, RunStatus, SnapshotError, SuspendedRun};
 pub use prims::{
     lookup as lookup_native, native_name, prim_attachment_transparent, prim_op as prim_op_value,
     NativeId,

@@ -19,6 +19,9 @@
 //! pushes onto `marks`; the pop happens for free at underflow.
 
 pub mod control;
+mod snapshot;
+
+pub use snapshot::{RestoredRun, SnapshotError};
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -124,6 +127,14 @@ impl Globals {
     /// table: each machine's globals are a standing root set).
     pub fn values(&self) -> Vec<Value> {
         self.slots.iter().filter_map(|s| s.1).collect()
+    }
+
+    /// Every slot in id order, name and (possibly unbound) value. Slot
+    /// *order* is the serialization contract: compiled bytecode refers to
+    /// globals by slot id, so a snapshot stores bindings in this order and
+    /// restore re-interns them in the same order to reproduce the ids.
+    pub fn bindings(&self) -> &[(Sym, Option<Value>)] {
+        &self.slots
     }
 }
 
@@ -764,6 +775,7 @@ impl Machine {
             if self.config.gc_stress || heap::should_collect() {
                 self.collect_garbage();
             }
+            self.check_heap_limit()?;
             self.trace(TraceKind::Step);
             tick = tick.wrapping_add(1);
             if tick & 1023 == 0 {
@@ -1749,6 +1761,30 @@ impl Machine {
         }
     }
 
+    /// Enforces [`MachineConfig::max_heap_bytes`] at the safe point: when
+    /// the heap's live-plus-allocated estimate crosses the cap, collect
+    /// (the estimate over-approximates), and only if the *live* bytes
+    /// still exceed it fail the run with a recoverable
+    /// [`VmErrorKind::HeapLimitExceeded`]. The uncapped path costs one
+    /// `Option` branch per instruction.
+    fn check_heap_limit(&mut self) -> VmResult<()> {
+        let Some(limit) = self.config.max_heap_bytes else {
+            return Ok(());
+        };
+        if heap::bytes_estimate() <= limit {
+            return Ok(());
+        }
+        let report = self.collect_garbage();
+        if report.bytes_live > limit {
+            return Err(VmErrorKind::HeapLimitExceeded {
+                limit,
+                live: report.bytes_live,
+            }
+            .into());
+        }
+        Ok(())
+    }
+
     fn collect_garbage(&mut self) -> GcReport {
         // Alloc events first, so the records for the allocations that
         // triggered this collection precede its `GcCollect` record.
@@ -2314,6 +2350,58 @@ mod tests {
         let code = Code::build("test", 0, false, instrs, consts, vec![]);
         let mut m = Machine::new(MachineConfig::default());
         m.run_code(Rc::new(code)).unwrap()
+    }
+
+    #[test]
+    fn heap_limit_faults_recoverably_at_safe_point() {
+        use crate::error::VmErrorKind;
+        // Grow a global list forever; the heap cap must stop it with a
+        // recoverable HeapLimitExceeded (fuel is only a backstop so a
+        // broken limit check cannot hang the test).
+        let mut m = Machine::new(
+            MachineConfig::default()
+                .with_max_heap_bytes(64 * 1024)
+                .with_fuel(2_000_000),
+        );
+        let gid = m
+            .globals
+            .borrow_mut()
+            .define(cm_sexpr::sym("heap-acc"), Value::Nil);
+        let code = Rc::new(Code::build(
+            "alloc-loop",
+            0,
+            false,
+            vec![
+                Instr::Const(0),
+                Instr::GlobalRef(gid),
+                Instr::PrimCall(PrimOp::Cons, 2),
+                Instr::GlobalSet(gid),
+                Instr::Jump(0),
+            ],
+            vec![Value::fixnum(1)],
+            vec![],
+        ));
+        let err = m.run_code(code).expect_err("allocation loop must fault");
+        match &err.kind {
+            VmErrorKind::HeapLimitExceeded { limit, live } => {
+                assert_eq!(*limit, 64 * 1024);
+                assert!(*live > *limit, "reported {live} live <= limit {limit}");
+            }
+            other => panic!("expected HeapLimitExceeded, got {other:?}"),
+        }
+        // The fault is recoverable: the machine is idle and can run again.
+        assert!(m.is_idle());
+        let v = m
+            .run_code(Rc::new(Code::build(
+                "after-fault",
+                0,
+                false,
+                vec![Instr::Const(0), Instr::Return],
+                vec![Value::fixnum(7)],
+                vec![],
+            )))
+            .expect("machine reusable after heap fault");
+        assert!(v.eq_value(&Value::fixnum(7)));
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub struct MachineStats {
     /// Garbage collections triggered during this machine's runs (threshold
     /// or [`MachineConfig::gc_stress`](crate::MachineConfig)).
     pub collections: u64,
+    /// Suspended runs serialized to durable snapshot bytes
+    /// (`Machine::snapshot_suspended`).
+    pub snapshots: u64,
+    /// Machines rebuilt from snapshot bytes; counted on the restored
+    /// machine (`Machine::restore_snapshot`).
+    pub restores: u64,
     /// Bytes live in the heap after the most recent collection. A *gauge*,
     /// not a counter: it is overwritten per collection and has no
     /// [`TraceKind`](crate::TraceKind) counterpart in the journal
@@ -99,6 +105,8 @@ impl MachineStats {
             resumes,
             allocations,
             collections,
+            snapshots,
+            restores,
             bytes_live,
             bytes_live_peak,
         } = *self;
@@ -120,6 +128,8 @@ impl MachineStats {
             ("resumes", resumes),
             ("allocations", allocations),
             ("collections", collections),
+            ("snapshots", snapshots),
+            ("restores", restores),
             ("bytes_live", bytes_live),
             ("bytes_live_peak", bytes_live_peak),
         ]
@@ -156,6 +166,8 @@ mod tests {
                 "resumes" => s.resumes = v,
                 "allocations" => s.allocations = v,
                 "collections" => s.collections = v,
+                "snapshots" => s.snapshots = v,
+                "restores" => s.restores = v,
                 "bytes_live" => s.bytes_live = v,
                 "bytes_live_peak" => s.bytes_live_peak = v,
                 other => panic!("fields() lists {other}, but all_nonzero cannot set it"),

@@ -86,11 +86,18 @@ pub enum TraceKind {
     /// the same moment but deliberately have no [`TraceKind`]: the
     /// counter/journal consistency table only covers monotone counters.
     GcCollect = 17,
+    /// A [`SuspendedRun`](crate::SuspendedRun) and its reachable heap
+    /// graph were serialized to durable bytes
+    /// (`Machine::snapshot_suspended`).
+    Snapshot = 18,
+    /// A machine plus suspended run were rebuilt from snapshot bytes
+    /// (`Machine::restore_snapshot`); recorded on the *restored* machine.
+    Restore = 19,
 }
 
 /// Number of distinct [`TraceKind`]s (the size of the per-kind count
 /// table).
-pub const TRACE_KIND_COUNT: usize = 18;
+pub const TRACE_KIND_COUNT: usize = 20;
 
 impl TraceKind {
     /// Every kind, in discriminant order.
@@ -113,6 +120,8 @@ impl TraceKind {
         TraceKind::Resume,
         TraceKind::Alloc,
         TraceKind::GcCollect,
+        TraceKind::Snapshot,
+        TraceKind::Restore,
     ];
 
     /// Stable, documented label (the `name` field of the exported JSON —
@@ -137,6 +146,8 @@ impl TraceKind {
             TraceKind::Resume => "resume",
             TraceKind::Alloc => "alloc",
             TraceKind::GcCollect => "gc-collect",
+            TraceKind::Snapshot => "snapshot",
+            TraceKind::Restore => "restore",
         }
     }
 
@@ -162,6 +173,8 @@ impl TraceKind {
             TraceKind::Resume => Some(stats.resumes),
             TraceKind::Alloc => Some(stats.allocations),
             TraceKind::GcCollect => Some(stats.collections),
+            TraceKind::Snapshot => Some(stats.snapshots),
+            TraceKind::Restore => Some(stats.restores),
         }
     }
 
@@ -187,6 +200,8 @@ impl TraceKind {
             TraceKind::Resume => stats.resumes += 1,
             TraceKind::Alloc => stats.allocations += 1,
             TraceKind::GcCollect => stats.collections += 1,
+            TraceKind::Snapshot => stats.snapshots += 1,
+            TraceKind::Restore => stats.restores += 1,
         }
     }
 }

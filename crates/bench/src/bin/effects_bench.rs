@@ -1,0 +1,166 @@
+//! Emits `BENCH_effects.json`: the effects workload group (the libseff
+//! benchmark shapes — producer/consumer pipes, handler-chain depth
+//! sweeps, request storms — plus the canonical-handler stress shapes)
+//! timed under the two continuation-capture strategies the paper's §6
+//! compares:
+//!
+//! * **one-shot-fused** (`full` config): capture freezes the live
+//!   segment with an O(1) move and *shares* the frozen segments with
+//!   the machine's own chain; copies happen lazily, only when an
+//!   application actually resumes into a shared segment (one top-seg
+//!   copy per resume, for multi-shot safety), and a chain record whose
+//!   other reference is gone by resume time fuses back copy-free.
+//! * **reify-and-copy** (`no-1cc` config, one-shot fusion disabled):
+//!   capture takes a private copy of every segment up to the prompt,
+//!   and each application copies again — the eager cost model a
+//!   segment-sharing-free implementation pays on every `perform`.
+//!
+//! Both sides run the same compiled programs against the pinned
+//! workload checksums first, so a timing row is only published for runs
+//! that computed the right answer. Capture-path machine counters
+//! (captures, fusions, copies) ride along per side, making the *why* of
+//! each ratio auditable: fused handler round-trips show
+//! `copies ≈ captures` (only the application's top-segment copy), the
+//! eager side shows `copies ≈ 3 × captures`, and the gap widens with
+//! capture depth — the `deep` workload performs from under a
+//! 1800-frame tower to make per-capture segment volume dominate the
+//! interpreter's dispatch overhead.
+//!
+//! ```text
+//! effects_bench [OUT.json]    # default: BENCH_effects.json
+//! ```
+
+use std::time::Instant;
+
+use cm_core::{Engine, EngineConfig};
+
+struct Measurement {
+    median_ms: f64,
+    stdev_ms: f64,
+}
+
+fn time_runs(runs: usize, mut f: impl FnMut()) -> Measurement {
+    f(); // warmup
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+    samples.sort_by(|a, b| a.total_cmp(b));
+    // The median, not the mean: one descheduled run must not swing the
+    // published ratio.
+    Measurement {
+        median_ms: samples[samples.len() / 2],
+        stdev_ms: var.sqrt(),
+    }
+}
+
+/// Per-side capture-path counters over one timed region.
+struct CaptureStats {
+    captures: u64,
+    fusions: u64,
+    copies: u64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_effects.json".to_owned());
+    let runs = 5;
+    let group = cm_workloads::effects();
+    assert!(
+        group.len() >= 4,
+        "need at least 4 libseff workload shapes, found {}",
+        group.len()
+    );
+
+    let sides = [
+        ("one-shot-fused", EngineConfig::full()),
+        ("reify-and-copy", EngineConfig::no_one_shot()),
+    ];
+    let mut engines: Vec<Engine> = sides
+        .iter()
+        .map(|(side, config)| {
+            let mut e = Engine::new(config.clone());
+            e.eval(group[0].source)
+                .unwrap_or_else(|err| panic!("[{side}] load: {err}"));
+            e
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"cm-bench-effects-v1\",\n");
+    out.push_str("  \"group\": \"effects\",\n");
+    out.push_str("  \"sides\": [\"one-shot-fused\", \"reify-and-copy\"],\n");
+    out.push_str("  \"workloads\": [\n");
+    let mut ratios = Vec::new();
+    for (i, w) in group.iter().enumerate() {
+        let check = format!("({} {})", w.entry, w.small_n);
+        let call = format!("({} {})", w.entry, w.bench_n);
+        let expected = w
+            .expected
+            .unwrap_or_else(|| panic!("{}: no pinned answer", w.name));
+
+        let mut rows = Vec::new();
+        for ((side, _), engine) in sides.iter().zip(engines.iter_mut()) {
+            // Correctness first: a fast wrong answer is not a result.
+            let got = engine
+                .eval_to_string(&check)
+                .unwrap_or_else(|err| panic!("[{side}] {}: {err}", w.name));
+            assert_eq!(
+                got, expected,
+                "[{side}] {} computes the wrong answer",
+                w.name
+            );
+
+            let before = engine.stats();
+            let m = time_runs(runs, || {
+                engine
+                    .eval(&call)
+                    .unwrap_or_else(|err| panic!("[{side}] {}: {err}", w.name));
+            });
+            let after = engine.stats();
+            let stats = CaptureStats {
+                captures: after.captures - before.captures,
+                fusions: after.fusions - before.fusions,
+                copies: after.copies - before.copies,
+            };
+            rows.push((side, m, stats));
+        }
+
+        let fused = &rows[0].1;
+        let copied = &rows[1].1;
+        let ratio = copied.median_ms / fused.median_ms;
+        ratios.push(ratio);
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        out.push_str(&format!("      \"n\": {},\n", w.bench_n));
+        for (side, m, stats) in &rows {
+            out.push_str(&format!(
+                "      \"{side}\": {{\"median-ms\": {:.3}, \"stdev-ms\": {:.3}, \
+                 \"captures\": {}, \"fusions\": {}, \"copies\": {}}},\n",
+                m.median_ms, m.stdev_ms, stats.captures, stats.fusions, stats.copies
+            ));
+        }
+        out.push_str(&format!("      \"copy-over-fused\": {ratio:.3}\n"));
+        out.push_str(if i + 1 == group.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+        println!(
+            "{:10} fused {:8.3} ms, copy {:8.3} ms, ratio ×{:.2}",
+            w.name, fused.median_ms, copied.median_ms, ratio
+        );
+    }
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"geomean-copy-over-fused\": {geomean:.3}\n"));
+    out.push_str("}\n");
+    std::fs::write(&out_path, &out).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path} (geomean copy/fused ×{geomean:.2})");
+}

@@ -484,6 +484,81 @@ impl Expander {
                 let rewritten = expand_quasiquote(&items[1], 1);
                 return Ok(Some(self.expand_expr(&rewritten, depth + 1)?));
             }
+            // Effects surface forms: pure rewrites onto the prelude's
+            // `$reset`/`$shift`/`$with-handler`/`$perform` procedures
+            // (crates/effects/src/effects.scm), which in turn bottom out
+            // in `%call-with-prompt`/`%abort`/
+            // `%call-with-composable-continuation` plus one continuation
+            // mark per handler activation.
+            "reset" => {
+                if items.len() < 2 {
+                    return Err(err(span, "reset: missing body"));
+                }
+                let rewritten = Datum::list([Datum::symbol("$reset"), thunk_of(&items[1..])]);
+                return Ok(Some(self.expand_expr(&rewritten, depth + 1)?));
+            }
+            "shift" => {
+                if items.len() < 3 {
+                    return Err(err(span, "shift: expected (shift k body ...)"));
+                }
+                let k = items[1]
+                    .as_sym()
+                    .ok_or_else(|| err(items[1].span, "shift: expected continuation name"))?;
+                let mut lam = vec![Datum::symbol("lambda"), Datum::list([Datum::from_sym(k)])];
+                lam.extend(items[2..].iter().cloned());
+                let rewritten = Datum::list([Datum::symbol("$shift"), Datum::list(lam)]);
+                return Ok(Some(self.expand_expr(&rewritten, depth + 1)?));
+            }
+            "perform" => {
+                if items.len() < 2 {
+                    return Err(err(span, "perform: expected (perform op arg ...)"));
+                }
+                let op = items[1]
+                    .as_sym()
+                    .ok_or_else(|| err(items[1].span, "perform: expected operation symbol"))?;
+                let mut argl = vec![Datum::symbol("list")];
+                argl.extend(items[2..].iter().cloned());
+                let rewritten = Datum::list([
+                    Datum::symbol("$perform"),
+                    Datum::list([Datum::symbol("quote"), Datum::from_sym(op)]),
+                    Datum::list(argl),
+                ]);
+                return Ok(Some(self.expand_expr(&rewritten, depth + 1)?));
+            }
+            "handle" | "handle-shallow" => {
+                if items.len() < 2 {
+                    return Err(err(
+                        span,
+                        format!("{form}: expected ({form} body clause ...)"),
+                    ));
+                }
+                let (clauses, ret) = parse_handler_clauses(form, &items[2..])?;
+                let rewritten = Datum::list([
+                    Datum::symbol("$with-handler"),
+                    Datum::bool(form == "handle"),
+                    clauses,
+                    ret,
+                    thunk_of(std::slice::from_ref(&items[1])),
+                ]);
+                return Ok(Some(self.expand_expr(&rewritten, depth + 1)?));
+            }
+            "handler" | "handler-shallow" => {
+                let (clauses, ret) = parse_handler_clauses(form, &items[1..])?;
+                let rewritten = Datum::list([
+                    Datum::symbol("$make-handler"),
+                    Datum::bool(form == "handler"),
+                    clauses,
+                    ret,
+                ]);
+                return Ok(Some(self.expand_expr(&rewritten, depth + 1)?));
+            }
+            "async" => {
+                if items.len() < 2 {
+                    return Err(err(span, "async: missing body"));
+                }
+                let rewritten = Datum::list([Datum::symbol("async-spawn"), thunk_of(&items[1..])]);
+                return Ok(Some(self.expand_expr(&rewritten, depth + 1)?));
+            }
             "with-continuation-mark" => {
                 expect_len(&items, 4, span, "with-continuation-mark")?;
                 let key = self.expand_expr(&items[1], depth)?;
@@ -783,6 +858,82 @@ impl Expander {
         }
         Err(err(d.span, format!("no matching syntax rule for {name}")))
     }
+}
+
+/// `(lambda () body ...)`.
+fn thunk_of(body: &[Datum]) -> Datum {
+    let mut l = vec![Datum::symbol("lambda"), Datum::list([])];
+    l.extend(body.iter().cloned());
+    Datum::list(l)
+}
+
+/// Parses `handle`/`handler` clauses `[(op arg ... k) body ...]` into a
+/// `(list (list 'op (lambda (arg ... k) body ...)) ...)` datum plus the
+/// return-clause lambda (`#f` when absent). The clause head's last
+/// parameter binds the resume continuation; the head symbol `return` is
+/// reserved for the return clause, whose single parameter binds the
+/// handled body's normal result.
+fn parse_handler_clauses(form: &str, clauses: &[Datum]) -> Result<(Datum, Datum), CompileError> {
+    let mut listed = vec![Datum::symbol("list")];
+    let mut ret = Datum::bool(false);
+    let mut saw_ret = false;
+    for c in clauses {
+        let parts = c.proper_list().ok_or_else(|| {
+            err(
+                c.span,
+                format!("{form}: expected [(op arg ... k) body ...]"),
+            )
+        })?;
+        if parts.len() < 2 {
+            return Err(err(c.span, format!("{form}: clause needs a body")));
+        }
+        let head = parts[0].proper_list().ok_or_else(|| {
+            err(
+                parts[0].span,
+                format!("{form}: clause head must be (op arg ... k)"),
+            )
+        })?;
+        let op = head.first().and_then(Datum::as_sym).ok_or_else(|| {
+            err(
+                parts[0].span,
+                format!("{form}: clause head must name an operation"),
+            )
+        })?;
+        let mut lam = vec![
+            Datum::symbol("lambda"),
+            Datum::list(head[1..].iter().cloned()),
+        ];
+        lam.extend(parts[1..].iter().cloned());
+        let lam = Datum::list(lam);
+        if op.name() == "return" {
+            if head.len() != 2 {
+                return Err(err(
+                    parts[0].span,
+                    format!("{form}: return clause takes exactly one binder"),
+                ));
+            }
+            if saw_ret {
+                return Err(err(c.span, format!("{form}: duplicate return clause")));
+            }
+            saw_ret = true;
+            ret = lam;
+        } else {
+            if head.len() < 2 {
+                return Err(err(
+                    parts[0].span,
+                    format!(
+                        "{form}: clause must bind the resume continuation as its last parameter"
+                    ),
+                ));
+            }
+            listed.push(Datum::list([
+                Datum::symbol("list"),
+                Datum::list([Datum::symbol("quote"), Datum::from_sym(op)]),
+                lam,
+            ]));
+        }
+    }
+    Ok((Datum::list(listed), ret))
 }
 
 fn expect_len(items: &[Datum], n: usize, span: Span, who: &str) -> Result<(), CompileError> {

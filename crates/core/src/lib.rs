@@ -57,6 +57,12 @@ const PRELUDE_COMMON: &str = include_str!("prelude_common.scm");
 const MARKS_ATTACHMENTS: &str = include_str!("marks_attachments.scm");
 const MARKS_EAGER: &str = include_str!("marks_eager.scm");
 const FEATURES: &str = include_str!("features.scm");
+// The effects library lives in `crates/effects` (its own crate for the
+// Rust-side API, tests, and docs) but is loaded here as the last
+// prelude layer so every engine — every config, every crate — speaks
+// `handle`/`perform`/`async`. Included by path to keep the dependency
+// arrow pointing from cm-effects to cm-core, not the other way.
+const EFFECTS: &str = include_str!("../../effects/src/effects.scm");
 
 /// An error from compiling or running a program.
 #[derive(Debug, Clone)]
@@ -243,6 +249,7 @@ impl Engine {
             ("prelude", PRELUDE_COMMON),
             ("marks layer", marks_layer),
             ("features", FEATURES),
+            ("effects", EFFECTS),
         ] {
             engine
                 .eval(src)

@@ -1,0 +1,430 @@
+;; Effects library: shift/reset, algebraic effect handlers (deep and
+;; shallow), canonical handler instances, and a cooperative async
+;; runtime — built entirely on the VM surface the paper motivates:
+;; multi-prompt delimited control plus continuation marks. Loaded as
+;; the last layer of the engine prelude (see cm-core), so every engine
+;; config gets the same library compiled without mark-flow rewriting.
+;;
+;; Conventions (see DESIGN.md "Effects"):
+;; * Prompt bodies and aborts both deliver *thunks*; the thunk runs
+;;   outside the prompt, so handler clause bodies execute at the
+;;   `handle` (or resume) call site with the prompt already popped.
+;; * A handler activation is advertised with a continuation mark keyed
+;;   by `$effects-key` whose value is the activation descriptor; the
+;;   innermost mark is found with `continuation-mark-set-first` in
+;;   amortized O(1). Dispatch to outer handlers forwards hop-by-hop
+;;   through each intervening activation's prompt, because composable
+;;   capture never crosses a prompt boundary.
+
+;; ---------------------------------------------------------------------
+;; Delimited-control plumbing.
+;; ---------------------------------------------------------------------
+
+;; Runs `body` (a thunk returning a thunk) under a prompt at `tag` and
+;; applies the resulting thunk outside the prompt. `%abort` to `tag`
+;; must likewise deliver a thunk.
+(define ($run-delimited tag body)
+  ((%call-with-prompt tag body (lambda (t) t))))
+
+;; ---------------------------------------------------------------------
+;; shift / reset (single dynamic delimiter class, nearest-reset match).
+;; ---------------------------------------------------------------------
+
+(define $shift-tag (box 'shift-reset))
+
+(define ($reset thunk)
+  ($run-delimited $shift-tag
+    (lambda ()
+      (let ([v (thunk)])
+        (lambda () v)))))
+
+(define ($shift proc)
+  (%call-with-composable-continuation $shift-tag
+    (lambda (k)
+      (%abort $shift-tag
+        (lambda ()
+          (proc (lambda (v)
+                  ($run-delimited $shift-tag (lambda () (k v))))))))))
+
+;; ---------------------------------------------------------------------
+;; Handler core. An activation descriptor is
+;;   #(tag clauses return-proc deep? active-box)
+;; where clauses is an assq list of (op-symbol clause-proc) and the
+;; clause proc receives the operation arguments followed by the resume
+;; procedure. `active-box` is shared with every captured continuation,
+;; so deactivating a shallow handler is visible to later resumes.
+;; ---------------------------------------------------------------------
+
+(define $effects-key (gensym "effects"))
+
+(define ($make-activation deep? clauses return)
+  (vector (box 'effect-prompt) clauses return deep? (box #t)))
+
+(define ($activation-tag d) (vector-ref d 0))
+(define ($activation-clauses d) (vector-ref d 1))
+(define ($activation-return d) (vector-ref d 2))
+(define ($activation-deep? d) (vector-ref d 3))
+(define ($activation-active d) (vector-ref d 4))
+
+;; The value delivered when the handled body returns normally: the
+;; return clause applies unless the activation was deactivated (a
+;; shallow handler that already handled its one operation).
+(define ($on-return d v)
+  (let ([ret ($activation-return d)])
+    (if (and ret (unbox ($activation-active d)))
+        (ret v)
+        v)))
+
+;; Runs `thunk` under the activation `d`: installs the prompt, marks
+;; the body with the descriptor, and routes the normal return through
+;; `$on-return` outside the prompt.
+(define ($activate d thunk)
+  ($run-delimited ($activation-tag d)
+    (lambda ()
+      (let ([v (with-continuation-mark $effects-key d (thunk))])
+        (lambda () ($on-return d v))))))
+
+(define ($with-handler deep? clauses return thunk)
+  ($activate ($make-activation deep? clauses return) thunk))
+
+;; First-class handlers: templates instantiated per activation so the
+;; same handler value nests correctly.
+(define ($make-handler deep? clauses return)
+  (vector 'handler deep? clauses return))
+
+(define (handler? h)
+  (and (vector? h) (= (vector-length h) 4) (eq? (vector-ref h 0) 'handler)))
+
+(define (call-with-handler h thunk)
+  ($activate ($make-activation (vector-ref h 1) (vector-ref h 2) (vector-ref h 3))
+             thunk))
+
+;; The resume procedure handed to clause bodies: reinstalls the
+;; activation's prompt and continues the captured (composable, hence
+;; multi-shot) continuation. Deep semantics come for free: the captured
+;; slice carries the descriptor mark, so the handler stays installed in
+;; the resumed extent.
+(define ($make-resume d k)
+  (lambda (v)
+    ($run-delimited ($activation-tag d) (lambda () (k v)))))
+
+;; Dispatches `op` to activation `d`'s clause: capture to the prompt,
+;; abort with a thunk that runs the clause outside it. A shallow
+;; activation is deactivated first, so the resumed extent no longer
+;; handles (its mark stays visible but inert, and later performs
+;; forward through its reinstalled prompt).
+(define ($dispatch d clause-proc args)
+  (let ([tag ($activation-tag d)])
+    (%call-with-composable-continuation tag
+      (lambda (k)
+        (%abort tag
+          (lambda ()
+            (unless ($activation-deep? d)
+              (set-box! ($activation-active d) #f))
+            (apply clause-proc (append args (list ($make-resume d k))))))))))
+
+;; The innermost activation does not handle `op`: hop outside its
+;; prompt, re-perform there (reaching the next activation out), and on
+;; resume reinstall the prompt and continue the original continuation.
+;; The let frame below is part of what an outer handler captures, so
+;; multi-shot resumes re-enter every intervening prompt correctly.
+(define ($forward d op args)
+  (let ([tag ($activation-tag d)])
+    (%call-with-composable-continuation tag
+      (lambda (k)
+        (%abort tag
+          (lambda ()
+            (let ([v ($perform op args)])
+              ($run-delimited tag (lambda () (k v))))))))))
+
+(define ($perform op args)
+  (let ([d (continuation-mark-set-first #f $effects-key #f)])
+    (if d
+        (let ([clause (and (unbox ($activation-active d))
+                           (assq op ($activation-clauses d)))])
+          (if clause
+              ($dispatch d (cadr clause) args)
+              ($forward d op args)))
+        (error "perform: unhandled effect" op))))
+
+;; Is there an active activation handling `op` somewhere in the dynamic
+;; extent? Used by surface operations that want a synchronous fallback
+;; (e.g. `await` outside `async-run`).
+(define ($effect-handled? op)
+  (let loop ([descs (continuation-mark-set->list
+                     (current-continuation-marks) $effects-key)])
+    (cond
+      [(null? descs) #f]
+      [(and (unbox ($activation-active (car descs)))
+            (assq op ($activation-clauses (car descs))))
+       #t]
+      [else (loop (cdr descs))])))
+
+;; Number of activations (active or not) visible from here — a probe
+;; used by tests and the chain-depth workloads.
+(define (effects-depth)
+  (length (continuation-mark-set->list (current-continuation-marks) $effects-key)))
+
+;; ---------------------------------------------------------------------
+;; Canonical handler: state (state-passing interpretation).
+;; ---------------------------------------------------------------------
+
+(define (with-state init thunk)
+  (($with-handler #t
+     (list (list 'get (lambda (k) (lambda (s) ((k s) s))))
+           (list 'put (lambda (ns k) (lambda (s) ((k (void)) ns)))))
+     (lambda (v) (lambda (s) v))
+     thunk)
+   init))
+
+;; Variant that returns (cons result final-state).
+(define (with-state* init thunk)
+  (($with-handler #t
+     (list (list 'get (lambda (k) (lambda (s) ((k s) s))))
+           (list 'put (lambda (ns k) (lambda (s) ((k (void)) ns)))))
+     (lambda (v) (lambda (s) (cons v s)))
+     thunk)
+   init))
+
+(define (state-get) ($perform 'get '()))
+(define (state-put v) ($perform 'put (list v)))
+
+;; ---------------------------------------------------------------------
+;; Canonical handler: exceptions (abortive — the resume is dropped, so
+;; the captured continuation is discarded and the handler body's value
+;; becomes the value of the whole `effect-try`).
+;; ---------------------------------------------------------------------
+
+(define (effect-try thunk on-raise)
+  ($with-handler #t
+    (list (list 'raise (lambda (e k) (on-raise e))))
+    #f
+    thunk))
+
+(define (effect-raise e) ($perform 'raise (list e)))
+
+;; ---------------------------------------------------------------------
+;; Canonical handler: nondeterminism (multi-shot — the resume is called
+;; once per choice, exercising reify-and-copy continuation application).
+;; ---------------------------------------------------------------------
+
+(define (amb-collect thunk)
+  ($with-handler #t
+    (list (list 'choose (lambda (choices k)
+                          (apply append (map k choices)))))
+    (lambda (v) (list v))
+    thunk))
+
+(define (amb-choose choices) ($perform 'choose (list choices)))
+(define (amb-fail) ($perform 'choose (list '())))
+(define (amb-require ok) (if ok (void) (amb-fail)))
+
+;; ---------------------------------------------------------------------
+;; Canonical handler: generators as effects. One deep handler per
+;; generator; each step costs one capture + one resume, O(1) frames.
+;; The generator procedure returns the next yielded value, or 'done
+;; once the producer finishes; an argument to the generator becomes the
+;; value of the producer's pending `yield`.
+;; ---------------------------------------------------------------------
+
+(define (make-generator producer)
+  (let ([next (box #f)])
+    (set-box! next
+      (lambda (send)
+        ($with-handler #t
+          (list (list 'yield
+                      (lambda (v resume)
+                        (set-box! next (lambda (send) (resume send)))
+                        (cons v #f))))
+          (lambda (r)
+            (set-box! next #f)
+            (cons r #t))
+          (lambda () (producer (lambda (v) ($perform 'yield (list v))))))))
+    (lambda args
+      (let ([send (if (null? args) (void) (car args))]
+            [step (unbox next)])
+        (if step
+            (let ([r (step send)])
+              (if (cdr r) 'done (car r)))
+            'done)))))
+
+(define (generator->list gen)
+  (let loop ([acc '()])
+    (let ([v (gen)])
+      (if (eq? v 'done)
+          (reverse acc)
+          (loop (cons v acc))))))
+
+;; ---------------------------------------------------------------------
+;; Cooperative async runtime. Deterministic: a FIFO ready queue plus a
+;; virtual-time timer wheel, all in Scheme, so every engine config and
+;; every slicing schedule computes the same answer. Parking operations
+;; call `%engine-block`, which asks a sliced engine (cm-engines) to
+;; suspend at the next safe point — and is a documented no-op outside a
+;; sliced run, so `async-run` also completes under plain `eval`.
+;; ---------------------------------------------------------------------
+
+;; FIFO queue: a box holding (front . back-reversed).
+(define (make-queue) (box (cons '() '())))
+(define (queue-empty? q)
+  (let ([p (unbox q)]) (and (null? (car p)) (null? (cdr p)))))
+(define (queue-push! q x)
+  (let ([p (unbox q)]) (set-box! q (cons (car p) (cons x (cdr p))))))
+(define (queue-pop! q)
+  (let ([p (unbox q)])
+    (if (null? (car p))
+        (let ([front (reverse (cdr p))])
+          (set-box! q (cons (cdr front) '()))
+          (car front))
+        (begin
+          (set-box! q (cons (cdr (car p)) (cdr p)))
+          (car (car p))))))
+(define (queue-length q)
+  (let ([p (unbox q)]) (+ (length (car p)) (length (cdr p)))))
+
+;; Futures: #(future done? value waiters).
+(define (make-future) (vector 'future #f #f '()))
+(define (future? x)
+  (and (vector? x) (= (vector-length x) 4) (eq? (vector-ref x 0) 'future)))
+(define (future-done? f) (vector-ref f 1))
+(define (future-value f) (vector-ref f 2))
+
+;; Bounded channels: #(channel cap items senders receivers); a parked
+;; sender is (value . wake-thunk), a parked receiver a wake procedure.
+(define (make-channel cap) (vector 'channel cap (make-queue) (make-queue) (make-queue)))
+(define (channel? x)
+  (and (vector? x) (= (vector-length x) 5) (eq? (vector-ref x 0) 'channel)))
+
+(define ($insert-timer lst tm)
+  (if (null? lst)
+      (list tm)
+      (let ([h (car lst)])
+        (if (or (< (vector-ref tm 0) (vector-ref h 0))
+                (and (= (vector-ref tm 0) (vector-ref h 0))
+                     (< (vector-ref tm 1) (vector-ref h 1))))
+            (cons tm lst)
+            (cons h ($insert-timer (cdr lst) tm))))))
+
+(define (async-run main)
+  (let ([ready (make-queue)]
+        [timers (box '())]
+        [timer-seq (box 0)]
+        [vtime (box 0)])
+    (define (schedule! thunk) (queue-push! ready thunk))
+    (define (schedule-at! t thunk)
+      (let ([seq (unbox timer-seq)])
+        (set-box! timer-seq (+ seq 1))
+        (set-box! timers ($insert-timer (unbox timers) (vector t seq thunk)))))
+    (define (resolve! fut v)
+      (vector-set! fut 1 #t)
+      (vector-set! fut 2 v)
+      (for-each (lambda (w) (schedule! (lambda () (w v))))
+                (reverse (vector-ref fut 3)))
+      (vector-set! fut 3 '()))
+    (define (chan-send ch v resume)
+      (let ([cap (vector-ref ch 1)]
+            [items (vector-ref ch 2)]
+            [senders (vector-ref ch 3)]
+            [receivers (vector-ref ch 4)])
+        (cond
+          [(not (queue-empty? receivers))
+           (let ([r (queue-pop! receivers)])
+             (schedule! (lambda () (r v))))
+           (resume (void))]
+          [(< (queue-length items) cap)
+           (queue-push! items v)
+           (resume (void))]
+          [else
+           (%engine-block)
+           (queue-push! senders (cons v (lambda () (resume (void)))))
+           (void)])))
+    (define (chan-recv ch resume)
+      (let ([items (vector-ref ch 2)]
+            [senders (vector-ref ch 3)]
+            [receivers (vector-ref ch 4)])
+        (cond
+          [(not (queue-empty? items))
+           (let ([v (queue-pop! items)])
+             (unless (queue-empty? senders)
+               (let ([s (queue-pop! senders)])
+                 (queue-push! items (car s))
+                 (schedule! (cdr s))))
+             (resume v))]
+          [(not (queue-empty? senders))
+           ;; cap-0 rendezvous: take the value straight from the sender.
+           (let ([s (queue-pop! senders)])
+             (schedule! (cdr s))
+             (resume (car s)))]
+          [else
+           (%engine-block)
+           (queue-push! receivers (lambda (v) (resume v)))
+           (void)])))
+    (define (spawn-task! fut thunk)
+      (schedule!
+       (lambda ()
+         ($with-handler #t
+           (list
+            (list 'spawn
+                  (lambda (t resume)
+                    (let ([f (make-future)])
+                      (spawn-task! f t)
+                      (resume f))))
+            (list 'await
+                  (lambda (f resume)
+                    (if (future-done? f)
+                        (resume (future-value f))
+                        (begin
+                          (%engine-block)
+                          (vector-set! f 3 (cons (lambda (v) (resume v))
+                                                 (vector-ref f 3)))
+                          (void)))))
+            (list 'yield
+                  (lambda (resume)
+                    (%engine-block)
+                    (schedule! (lambda () (resume (void))))
+                    (void)))
+            (list 'sleep
+                  (lambda (n resume)
+                    (%engine-block)
+                    (schedule-at! (+ (unbox vtime) n)
+                                  (lambda () (resume (void))))
+                    (void)))
+            (list 'now (lambda (resume) (resume (unbox vtime))))
+            (list 'chan-send (lambda (ch v resume) (chan-send ch v resume)))
+            (list 'chan-recv (lambda (ch resume) (chan-recv ch resume))))
+           (lambda (v) (resolve! fut v))
+           thunk))))
+    (let ([main-fut (make-future)])
+      (spawn-task! main-fut main)
+      (let loop ()
+        (cond
+          [(not (queue-empty? ready))
+           ((queue-pop! ready))
+           (loop)]
+          [(pair? (unbox timers))
+           (let ([tm (car (unbox timers))])
+             (set-box! timers (cdr (unbox timers)))
+             (set-box! vtime (vector-ref tm 0))
+             ((vector-ref tm 2))
+             (loop))]
+          [else (void)]))
+      (if (future-done? main-fut)
+          (future-value main-fut)
+          (error "async-run: deadlock, main future unresolved")))))
+
+;; Surface operations. `await` degrades gracefully outside `async-run`:
+;; a resolved future's value is returned synchronously (there is no
+;; scheduler to park on, and `%engine-block` outside a sliced run is a
+;; no-op by contract).
+(define (async-spawn thunk) ($perform 'spawn (list thunk)))
+(define (await f)
+  (if ($effect-handled? 'await)
+      ($perform 'await (list f))
+      (if (future-done? f)
+          (future-value f)
+          (error "await: unresolved future outside async-run"))))
+(define (async-yield) ($perform 'yield '()))
+(define (async-sleep n) ($perform 'sleep (list n)))
+(define (async-now) ($perform 'now '()))
+(define (channel-send ch v) ($perform 'chan-send (list ch v)))
+(define (channel-recv ch) ($perform 'chan-recv (list ch)))

@@ -1,0 +1,297 @@
+//! Algebraic effect handlers and a cooperative async runtime for the
+//! continuation-marks engine — the paper's thesis put to work: every
+//! abstraction here is library code over multi-prompt delimited control
+//! and continuation marks, with zero VM changes.
+//!
+//! The Scheme library ([`EFFECTS_PRELUDE`], `src/effects.scm`) is loaded
+//! into every [`cm_core::Engine`] as the last prelude layer, so all of
+//! the following are available to any evaluated program on any engine
+//! config:
+//!
+//! * **`shift` / `reset`** — classic delimited control, nearest-reset
+//!   matching.
+//! * **`handle` / `handle-shallow` / `perform`** — algebraic effect
+//!   handlers. `handle` installs a *deep* handler (it stays installed in
+//!   resumed continuations); `handle-shallow` deactivates after handling
+//!   one operation. Clause bodies run *outside* the handler's prompt and
+//!   receive a multi-shot `resume` as their last argument. Operations
+//!   not handled by the innermost handler forward hop-by-hop to outer
+//!   handlers.
+//! * **Canonical handlers** — `with-state`/`state-get`/`state-put`
+//!   (state-passing), `effect-try`/`effect-raise` (abortive exceptions),
+//!   `amb-collect`/`amb-choose` (multi-shot nondeterminism), and
+//!   `make-generator` (generators as effects, O(1) frames per step).
+//! * **Async runtime** — `async-run`, `async`/`async-spawn`, `await`,
+//!   `async-yield`, `async-sleep`, bounded `make-channel` with
+//!   `channel-send`/`channel-recv`. Deterministic (FIFO ready queue +
+//!   virtual-time timers); parking operations call `%engine-block` so a
+//!   sliced engine (cm-engines) suspends at task switches, and complete
+//!   unchanged under plain `eval` where `%engine-block` is a no-op.
+//!
+//! # Examples
+//!
+//! A deep state handler:
+//!
+//! ```
+//! use cm_core::{Engine, EngineConfig};
+//! let mut e = Engine::new(EngineConfig::full());
+//! let v = e.eval_to_string(
+//!     "(with-state 10
+//!        (lambda ()
+//!          (state-put (+ (state-get) 32))
+//!          (state-get)))").unwrap();
+//! assert_eq!(v, "42");
+//! ```
+//!
+//! Multi-shot nondeterminism and the `handle` surface form:
+//!
+//! ```
+//! use cm_core::{Engine, EngineConfig};
+//! let mut e = Engine::new(EngineConfig::full());
+//! let v = e.eval_to_string(
+//!     "(amb-collect
+//!        (lambda ()
+//!          (let ([x (amb-choose '(1 2 3))]
+//!                [y (amb-choose '(10 20))])
+//!            (+ x y))))").unwrap();
+//! assert_eq!(v, "(11 21 12 22 13 23)");
+//! ```
+//!
+//! Async tasks over a bounded channel:
+//!
+//! ```
+//! use cm_core::{Engine, EngineConfig};
+//! let mut e = Engine::new(EngineConfig::full());
+//! let v = e.eval_to_string(
+//!     "(async-run
+//!        (lambda ()
+//!          (let ([ch (make-channel 2)])
+//!            (async (do ([i 0 (+ i 1)]) ((= i 5)) (channel-send ch i)))
+//!            (let loop ([n 5] [acc 0])
+//!              (if (zero? n) acc (loop (- n 1) (+ acc (channel-recv ch))))))))")
+//!     .unwrap();
+//! assert_eq!(v, "10");
+//! ```
+
+/// The effects library source, loaded by `cm_core::Engine::new` as the
+/// final prelude layer (after the marks layer and feature libraries,
+/// before the mark-flow optimizer is armed).
+pub const EFFECTS_PRELUDE: &str = include_str!("effects.scm");
+
+/// Names the library defines that user programs are expected to reach
+/// for — used by tests to assert the prelude actually exports them.
+pub const SURFACE_BINDINGS: &[&str] = &[
+    // delimited control
+    "$reset",
+    "$shift",
+    // handler core
+    "$with-handler",
+    "$perform",
+    "$make-handler",
+    "handler?",
+    "call-with-handler",
+    "effects-depth",
+    // canonical handlers
+    "with-state",
+    "with-state*",
+    "state-get",
+    "state-put",
+    "effect-try",
+    "effect-raise",
+    "amb-collect",
+    "amb-choose",
+    "amb-fail",
+    "amb-require",
+    "make-generator",
+    "generator->list",
+    // async runtime
+    "async-run",
+    "async-spawn",
+    "await",
+    "async-yield",
+    "async-sleep",
+    "async-now",
+    "make-future",
+    "future?",
+    "future-done?",
+    "future-value",
+    "make-channel",
+    "channel?",
+    "channel-send",
+    "channel-recv",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_core::{all_configs, Engine, EngineConfig};
+
+    fn eval(src: &str) -> String {
+        Engine::new(EngineConfig::full())
+            .eval_to_string(src)
+            .unwrap()
+    }
+
+    #[test]
+    fn surface_bindings_are_defined() {
+        let machine_names = SURFACE_BINDINGS.join(" ");
+        let probe = format!("(map procedure? (list {machine_names}))");
+        let out = eval(&probe);
+        assert!(
+            !out.contains("#f"),
+            "some surface binding is not a procedure: {out}"
+        );
+    }
+
+    #[test]
+    fn shift_reset_classics() {
+        assert_eq!(eval("(reset (+ 1 (shift k (k (k 1)))))"), "3");
+        assert_eq!(eval("(+ 2 (reset (+ 1 (shift k 10))))"), "12");
+        assert_eq!(eval("(+ 2 (reset (+ 1 (shift k (k 5)))))"), "8");
+        // shift's continuation is delimited: only the part inside reset.
+        assert_eq!(
+            eval("(cons 'a (reset (cons 'b (shift k (k (k '()))))))"),
+            "(a b b)"
+        );
+    }
+
+    #[test]
+    fn deep_handler_stays_installed_across_resumes() {
+        // One handler, many performs: deep semantics means the single
+        // `handle` serves every operation in the body.
+        let v = eval(
+            "(handle
+               (let loop ([i 0] [acc 0])
+                 (if (= i 5) acc (loop (+ i 1) (+ acc (perform tick i)))))
+               [(tick i k) (k (* 2 i))])",
+        );
+        assert_eq!(v, "20");
+    }
+
+    #[test]
+    fn shallow_handler_handles_exactly_once() {
+        // The shallow handler serves one op; the second `tick` must
+        // forward outward to the deep handler.
+        let v = eval(
+            "(handle
+               (handle-shallow
+                 (+ (perform tick 1) (perform tick 1))
+                 [(tick i k) (k 100)])
+               [(tick i k) (k 1)])",
+        );
+        assert_eq!(v, "101");
+    }
+
+    #[test]
+    fn return_clause_applies_on_normal_return_only() {
+        assert_eq!(
+            eval("(handle 21 [(return v) (* 2 v)])"),
+            "42",
+            "return clause transforms the normal result"
+        );
+        // Abortive clause (drops resume): return clause must not run.
+        assert_eq!(
+            eval("(handle (+ 1 (perform stop)) [(stop k) 'stopped] [(return v) 'normal])"),
+            "stopped"
+        );
+    }
+
+    #[test]
+    fn forwarding_reaches_outer_handlers_through_inner_prompts() {
+        let v = eval(
+            "(handle
+               (handle
+                 (handle
+                   (list (perform outer) (perform inner))
+                   [(inner k) (k 'i)])
+                 [(mid k) (k 'm)])
+               [(outer k) (k 'o)])",
+        );
+        assert_eq!(v, "(o i)");
+    }
+
+    #[test]
+    fn first_class_handlers_instantiate_per_activation() {
+        let v = eval(
+            "(let ([h (handler [(tick k) (k 1)] [(return v) (list v)])])
+               (call-with-handler h
+                 (lambda ()
+                   (+ (perform tick)
+                      (car (call-with-handler h
+                             (lambda () (perform tick))))))))",
+        );
+        assert_eq!(v, "(2)");
+    }
+
+    #[test]
+    fn exceptions_unwind_and_generators_step() {
+        assert_eq!(
+            eval(
+                "(effect-try (lambda () (+ 1 (effect-raise 'boom))) (lambda (e) (list 'caught e)))"
+            ),
+            "(caught boom)"
+        );
+        assert_eq!(
+            eval(
+                "(generator->list
+                   (make-generator (lambda (yield) (yield 1) (yield 2) (yield 3))))"
+            ),
+            "(1 2 3)"
+        );
+        // Two generators interleave without interfering.
+        assert_eq!(
+            eval(
+                "(let ([a (make-generator (lambda (y) (y 1) (y 2)))]
+                       [b (make-generator (lambda (y) (y 10) (y 20)))])
+                   (list (a) (b) (a) (b) (a) (b)))"
+            ),
+            "(1 10 2 20 done done)"
+        );
+    }
+
+    #[test]
+    fn async_runtime_is_deterministic_across_all_configs() {
+        let program = r#"
+            (async-run
+              (lambda ()
+                (let ([ch (make-channel 1)]
+                      [log (box '())])
+                  (define (push! x) (set-box! log (cons x (unbox log))))
+                  (let ([producer (async
+                                    (do ([i 0 (+ i 1)]) ((= i 4) 'made)
+                                      (channel-send ch i)
+                                      (push! (list 'sent i))))]
+                        [ticker (async
+                                  (async-sleep 5)
+                                  (push! 'tick)
+                                  'ticked)])
+                    (do ([j 0 (+ j 1)]) ((= j 4))
+                      (push! (list 'got (channel-recv ch))))
+                    (let ([a (await producer)] [b (await ticker)])
+                      (list a b (async-now) (reverse (unbox log))))))))
+        "#;
+        let mut expected: Option<String> = None;
+        for (name, config) in all_configs() {
+            let got = Engine::new(config)
+                .eval_to_string(program)
+                .unwrap_or_else(|e| panic!("[{name}] {e}"));
+            match &expected {
+                None => expected = Some(got),
+                Some(want) => assert_eq!(&got, want, "config {name} diverges"),
+            }
+        }
+        let out = expected.unwrap();
+        assert!(out.contains("made") && out.contains("ticked"), "{out}");
+    }
+
+    #[test]
+    fn set_bang_in_async_test_program_brackets() {
+        // `do` + `set!` shape used above must behave under the handler.
+        let v = eval(
+            "(async-run (lambda ()
+               (let ([f (async 1)] [g (async 2)])
+                 (+ (await f) (await g)))))",
+        );
+        assert_eq!(v, "3");
+    }
+}

@@ -1,0 +1,57 @@
+//! Differential gate for the effects workload group: every workload, at
+//! its small-scale check size, must print the pinned answer on all
+//! eight engine configs. The torture harness re-checks this under
+//! faults; this suite is the fast, always-on version that points at the
+//! exact (config, workload) pair when something drifts.
+
+use cm_core::all_configs;
+use cm_engines::WorkerHost;
+
+#[test]
+fn every_effects_workload_agrees_on_every_config() {
+    let group = cm_workloads::effects();
+    assert!(group.len() >= 7, "effects workload group shrank");
+    for (name, config) in all_configs() {
+        let mut host = WorkerHost::new(config);
+        host.load(group[0].source)
+            .unwrap_or_else(|e| panic!("[{name}] load: {e}"));
+        for w in group {
+            let expected = w
+                .expected
+                .unwrap_or_else(|| panic!("effects workload {} has no pinned answer", w.name));
+            let got = host
+                .eval(&format!("({} {})", w.entry, w.small_n))
+                .unwrap_or_else(|e| panic!("[{name}] {}: {e}", w.name))
+                .write_string();
+            assert_eq!(got, expected, "[{name}] {} diverges", w.name);
+        }
+    }
+}
+
+#[test]
+fn capture_strategies_agree_at_larger_scale() {
+    // The two capture strategies the benchmark compares (one-shot fusion
+    // on vs off) get a deeper differential run than the quick gate
+    // above: same answers at 4x the check scale.
+    let group = cm_workloads::effects();
+    let mut answers: Vec<Option<String>> = vec![None; group.len()];
+    for (name, config) in all_configs() {
+        if name != "full" && name != "no-1cc" {
+            continue;
+        }
+        let mut host = WorkerHost::new(config);
+        host.load(group[0].source).unwrap();
+        for (i, w) in group.iter().enumerate() {
+            let got = host
+                .eval(&format!("({} {})", w.entry, w.small_n * 4))
+                .unwrap_or_else(|e| panic!("[{name}] {}: {e}", w.name))
+                .write_string();
+            match &answers[i] {
+                None => answers[i] = Some(got),
+                Some(want) => {
+                    assert_eq!(&got, want, "[{name}] {} diverges at 4x scale", w.name)
+                }
+            }
+        }
+    }
+}

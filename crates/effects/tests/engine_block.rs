@@ -1,0 +1,147 @@
+//! The `%engine-block` contract, from both sides:
+//!
+//! * **Outside a sliced run it is a no-op.** Plain `Engine::eval` never
+//!   suspends, so a program peppered with `%engine-block` calls — the
+//!   async runtime's parking paths — must complete normally and compute
+//!   the same answer. This is what lets `async-run` degrade gracefully
+//!   under ordinary evaluation.
+//! * **Inside a sliced run it requests suspension at the next safe
+//!   point.** A cm-engines `Engine` running with an effectively
+//!   unlimited fuel slice must still be preempted at every park, and the
+//!   final answer must match the un-sliced baseline exactly.
+
+use cm_core::{all_configs, Engine, EngineConfig};
+use cm_engines::{RunResult, WorkerHost};
+
+#[test]
+fn engine_block_is_a_noop_under_plain_eval() {
+    for (name, config) in all_configs() {
+        let mut e = Engine::new(config);
+        let v = e
+            .eval_to_string("(begin (%engine-block) (%engine-block) 42)")
+            .unwrap_or_else(|err| panic!("[{name}] {err}"));
+        assert_eq!(v, "42", "config {name}");
+    }
+}
+
+#[test]
+fn async_run_completes_under_plain_eval() {
+    // Every parking path in one program: channel backpressure (cap 1),
+    // await on a pending future, yield, and a virtual-clock sleep.
+    let program = "(async-run
+                     (lambda ()
+                       (let ([ch (make-channel 1)])
+                         (let ([t (async
+                                    (async-sleep 3)
+                                    (do ([i 0 (+ i 1)]) ((= i 4) 'sent)
+                                      (channel-send ch i)))])
+                           (async-yield)
+                           (let loop ([n 4] [acc 0])
+                             (if (zero? n)
+                                 (list acc (await t) (async-now))
+                                 (loop (- n 1) (+ acc (channel-recv ch)))))))))";
+    for (name, config) in all_configs() {
+        let mut e = Engine::new(config);
+        let v = e
+            .eval_to_string(program)
+            .unwrap_or_else(|err| panic!("[{name}] {err}"));
+        assert_eq!(v, "(6 sent 3)", "config {name}");
+    }
+}
+
+#[test]
+fn await_outside_the_scheduler_returns_resolved_values() {
+    // `async-run` drains its queues before returning, so a future that
+    // escapes is resolved; `await` falls back to a synchronous read when
+    // no scheduler handler is in dynamic extent.
+    let mut e = Engine::new(EngineConfig::full());
+    let v = e
+        .eval_to_string("(await (async-run (lambda () (async (+ 3 4)))))")
+        .unwrap();
+    assert_eq!(v, "7");
+    // future? / future-done? agree from outside too.
+    let v = e
+        .eval_to_string(
+            "(let ([f (async-run (lambda () (async 'x)))])
+               (list (future? f) (future-done? f) (future-value f)))",
+        )
+        .unwrap();
+    assert_eq!(v, "(#t #t x)");
+}
+
+#[test]
+fn await_outside_the_scheduler_rejects_unresolved_futures() {
+    // No scheduler, nothing will ever resolve it: parking would hang, so
+    // the library refuses loudly instead.
+    let mut e = Engine::new(EngineConfig::full());
+    let err = e.eval_to_string("(await (make-future))").unwrap_err();
+    assert!(
+        err.to_string()
+            .contains("unresolved future outside async-run"),
+        "unexpected error: {err}"
+    );
+}
+
+/// Runs `expr` on a sliced cm-engines engine and returns
+/// `(answer, slices_taken)`.
+fn run_sliced(host: &mut WorkerHost, expr: &str, slice: u64) -> (String, u64) {
+    let engine = host.spawn(expr).expect("spawn");
+    let (v, slices) = engine.run_to_completion(slice).expect("sliced run");
+    (v.write_string(), slices)
+}
+
+#[test]
+fn sliced_engines_suspend_at_every_park_and_agree_with_plain_eval() {
+    let src = cm_workloads::effects()
+        .iter()
+        .map(|w| w.source)
+        .next()
+        .expect("effects workload group is non-empty");
+    for (name, config) in all_configs() {
+        let mut host = WorkerHost::new(config);
+        host.load(src)
+            .unwrap_or_else(|e| panic!("[{name}] load: {e}"));
+        for (expr, parky) in [
+            ("(eff-pipes-bench 8)", true),
+            ("(eff-storm-bench 6)", true),
+            ("(eff-chain-bench 12)", false),
+        ] {
+            let baseline = host
+                .eval(expr)
+                .unwrap_or_else(|e| panic!("[{name}] {expr}: {e}"))
+                .write_string();
+            // A slice far larger than the whole program: any suspension
+            // beyond the first slice can only come from `%engine-block`.
+            let (sliced, slices) = run_sliced(&mut host, expr, 50_000_000);
+            assert_eq!(sliced, baseline, "[{name}] {expr} sliced diverges");
+            if parky {
+                assert!(
+                    slices > 10,
+                    "[{name}] {expr}: only {slices} slices — \
+                     %engine-block did not preempt the sliced run"
+                );
+            }
+            // And with a small slice, fuel preemption interleaves with
+            // voluntary blocks; the answer must not move.
+            let (sliced, _) = run_sliced(&mut host, expr, 701);
+            assert_eq!(sliced, baseline, "[{name}] {expr} small-slice diverges");
+        }
+    }
+}
+
+#[test]
+fn voluntary_block_suspends_without_spending_the_slice() {
+    // Pin the mechanism itself: a program whose only suspension source
+    // is `%engine-block` suspends exactly once under a huge slice.
+    let mut host = WorkerHost::new(EngineConfig::full());
+    let engine = host
+        .spawn("(begin (%engine-block) 'past-the-block)")
+        .unwrap();
+    match engine.run(1_000_000) {
+        RunResult::Suspended(engine, _) => match engine.run(1_000_000) {
+            RunResult::Done(v, _) => assert_eq!(v.write_string(), "past-the-block"),
+            other => panic!("second run did not finish: {other:?}"),
+        },
+        other => panic!("%engine-block did not suspend the sliced run: {other:?}"),
+    }
+}

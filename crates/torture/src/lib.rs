@@ -123,6 +123,7 @@ pub fn torture_targets(quick: bool) -> Vec<Target> {
     let attach = cm_workloads::attachment_micros();
     let marks = cm_workloads::mark_micros();
     let gabriel = cm_workloads::gabriel();
+    let effects = cm_workloads::effects();
     let mut targets = vec![
         // §2.1/§2.2: the team-color examples.
         sec2_target(
@@ -169,6 +170,19 @@ pub fn torture_targets(quick: bool) -> Vec<Target> {
         workload_target("ctak", cm_workloads::ctak(), "ctak"),
         workload_target("triple", cm_workloads::triple(), "triple-native"),
         workload_target("gabriel", gabriel, "fib"),
+        // The full effects group rides in the quick corpus: the
+        // acceptance bar is that every handler workload survives fuel
+        // slicing, snapshot kill-and-restore, gc_stress, and the trace
+        // matrix on all 8 configs, and every one of those suites draws
+        // from torture_targets(true).
+        workload_target("effects", effects, "pipes"),
+        workload_target("effects", effects, "chain"),
+        workload_target("effects", effects, "storm"),
+        workload_target("effects", effects, "state"),
+        workload_target("effects", effects, "gen"),
+        workload_target("effects", effects, "amb"),
+        workload_target("effects", effects, "deep"),
+        workload_target("effects", effects, "shift"),
     ];
     if !quick {
         targets.extend([
@@ -592,16 +606,26 @@ fn kill_restore_sweep(
                     ),
                     Err(e) => rep.violate(ctx, format!("{what}: re-snapshot failed: {e}")),
                 }
-                let mut budget = fuel_used / k + 16;
+                // Same progress metric as the suspension sweep: executed
+                // instructions, because `%engine-block` suspends without
+                // spending the slice's fuel.
+                let mut stalls = 0u32;
+                let mut steps_before = machine.stats.steps_executed;
                 let mut status = machine.resume(restored.run, k);
                 let outcome = loop {
                     match status {
                         Ok(RunStatus::Done(v)) => break Ok(v),
                         Ok(RunStatus::Suspended(run)) => {
-                            if budget == 0 {
-                                break Err("restored run made no progress".to_string());
+                            let steps_now = machine.stats.steps_executed;
+                            if steps_now == steps_before {
+                                stalls += 1;
+                                if stalls > 16 {
+                                    break Err("restored run made no progress".to_string());
+                                }
+                            } else {
+                                stalls = 0;
                             }
-                            budget -= 1;
+                            steps_before = steps_now;
                             status = machine.resume(run, k);
                         }
                         Err(e) => break Err(format!("unexpected error: {}", e.detailed())),
@@ -695,9 +719,13 @@ fn suspension_sweep(
         let k = (fuel_used * i / cuts).max(1);
         let what = format!("suspend-slice={k}");
         rep.trials += 1;
-        // Far more resumes than the step count can demand means the
-        // machine stopped making progress.
-        let mut budget = fuel_used / k + 16;
+        // Progress is measured in executed instructions, not resumes: a
+        // `%engine-block` ends a slice early without spending its fuel,
+        // so resume counts say nothing. A resume that suspends again
+        // after executing zero instructions is a stall; a bounded run of
+        // stalls means the machine stopped making progress.
+        let mut stalls = 0u32;
+        let mut steps_before = engine.machine_mut().stats.steps_executed;
         let mut status = engine.machine_mut().run_code_sliced(code.clone(), k);
         let outcome = loop {
             match status {
@@ -711,10 +739,16 @@ fn suspension_sweep(
                         );
                     }
                     check_journal(rep, ctx, engine, &what);
-                    if budget == 0 {
-                        break Err("suspended run made no progress".to_string());
+                    let steps_now = engine.machine_mut().stats.steps_executed;
+                    if steps_now == steps_before {
+                        stalls += 1;
+                        if stalls > 16 {
+                            break Err("suspended run made no progress".to_string());
+                        }
+                    } else {
+                        stalls = 0;
                     }
-                    budget -= 1;
+                    steps_before = steps_now;
                     status = engine.machine_mut().resume(run, k);
                 }
                 Err(e) => break Err(format!("unexpected error: {}", e.detailed())),

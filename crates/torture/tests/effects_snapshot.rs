@@ -1,0 +1,89 @@
+//! Crash recovery inside the effects subsystem: kill the engine (drop
+//! everything except the snapshot bytes) at cut points that land inside
+//! an *active effect handler* and inside an *awaiting async task*, then
+//! restore and finish. The sweep in `torture_target` also re-snapshots
+//! the restored run and demands the bytes are identical to the original
+//! — so a passing report certifies bit-stable round-trips with handler
+//! prompts, pending resumes, and parked tasks live in the image.
+
+use cm_torture::{engine_configs, torture_target, torture_targets, SweepOptions, Target};
+
+/// Kill-and-restore only: every other sweep zeroed so the report's
+/// trial counts isolate the crash-recovery path.
+fn kill_only(cuts: u64) -> SweepOptions {
+    SweepOptions {
+        fuel_cuts: 0,
+        segment_limits: &[],
+        prim_cuts: 0,
+        suspend_cuts: 0,
+        gc_stress: false,
+        kill_restore_cuts: cuts,
+    }
+}
+
+fn target(name: &str) -> Target {
+    torture_targets(true)
+        .into_iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| panic!("{name} missing from the torture corpus"))
+}
+
+/// Runs the kill-restore sweep for `name` on every engine config and
+/// asserts it is violation-free and actually exercised restores.
+fn sweep_on_all_configs(name: &str, cuts: u64) {
+    let t = target(name);
+    let opts = kill_only(cuts);
+    for (config_name, config) in engine_configs() {
+        let rep = torture_target(config_name, &config, &t, &opts);
+        assert!(rep.ok(), "{config_name}/{name}: {:?}", rep.violations);
+        assert!(
+            rep.restores >= 1,
+            "{config_name}/{name}: no cut point landed mid-run \
+             (restores = {}); the target is too small for {cuts} cuts",
+            rep.restores
+        );
+        assert_eq!(
+            rep.snapshots, rep.restores,
+            "{config_name}/{name}: a snapshot failed to restore"
+        );
+    }
+}
+
+#[test]
+fn kill_restore_inside_a_deep_state_handler() {
+    // Every instant of eff-state's run is inside the state handler's
+    // prompt, so every cut snapshots an active activation descriptor
+    // plus its continuation-mark frame.
+    sweep_on_all_configs("effects/state", 6);
+}
+
+#[test]
+fn kill_restore_inside_nested_forwarding_handlers() {
+    // eff-chain nests up to 9 activations; mid-run cuts land during
+    // hop-by-hop forwarding, with partially-unwound handler prompts in
+    // the meta-continuation.
+    sweep_on_all_configs("effects/chain", 6);
+}
+
+#[test]
+fn kill_restore_inside_awaiting_async_tasks() {
+    // eff-storm keeps tasks parked on timers, channels, and futures for
+    // almost its whole run; cuts land while the scheduler holds parked
+    // resumes and `%engine-block` suspensions interleave with the kill.
+    sweep_on_all_configs("effects/storm", 5);
+}
+
+#[test]
+fn kill_restore_inside_channel_pipeline() {
+    // eff-pipes: bounded-channel backpressure means senders and
+    // receivers are parked mid-handoff at most cut points.
+    sweep_on_all_configs("effects/pipes", 5);
+}
+
+#[test]
+fn kill_restore_during_multi_shot_search() {
+    // eff-amb: cuts land while reified multi-shot continuations are
+    // queued for re-application — the copy-on-apply path must survive
+    // serialization.
+    sweep_on_all_configs("effects/amb", 5);
+}

@@ -516,6 +516,22 @@ impl Heap {
         }
     }
 
+    /// Credits VM-external bytes (frozen continuation segments, which
+    /// live outside the slabs) against the collection budget. Without
+    /// this, a capture-heavy program whose continuations pin large
+    /// segments looks allocation-quiet to the trigger — the slabs stay
+    /// small while real memory balloons until the next incidental
+    /// collection finally sweeps the continuation values that own the
+    /// segments.
+    #[inline]
+    fn note_external(&mut self, bytes: u64) {
+        self.bytes_since_gc += bytes;
+        if self.bytes_since_gc > self.threshold && !self.collect_requested {
+            self.collect_requested = true;
+            SHOULD_COLLECT.with(|c| c.set(true));
+        }
+    }
+
     #[inline]
     fn perm(&self) -> bool {
         self.run_depth == 0
@@ -915,6 +931,13 @@ pub(crate) fn with_heap<R>(f: impl FnOnce(&mut Heap) -> R) -> R {
 #[inline]
 pub(crate) fn should_collect() -> bool {
     SHOULD_COLLECT.with(|c| c.get())
+}
+
+/// Charges `bytes` of VM-external allocation (continuation segments) to
+/// the collection budget; see [`Heap::note_external`].
+#[inline]
+pub(crate) fn note_external_bytes(bytes: u64) {
+    with_heap(|h| h.note_external(bytes));
 }
 
 /// Takes the count of allocations not yet announced as

@@ -40,8 +40,12 @@ pub struct Segment {
 pub struct Underflow {
     /// The frozen segment. `None` only after the segment was *fused* back
     /// onto the live stack (the record is then dead: fusion requires the
-    /// machine to hold the only reference).
-    pub seg: RefCell<Option<Segment>>,
+    /// machine to hold the only reference). The inner `Rc` lets a
+    /// composable capture share the frozen segment instead of copying it
+    /// eagerly (§6's one-shot trick applied to `shift`-style capture):
+    /// whichever owner turns out to be the last pays nothing, and any
+    /// earlier resume pays its copy lazily at underflow time.
+    pub seg: RefCell<Option<Rc<Segment>>>,
     /// Marks register value to restore on underflow.
     pub marks: Value,
     /// The rest of the continuation.
@@ -108,7 +112,8 @@ pub struct MetaFrame {
 /// One rebuildable link of a composable continuation.
 #[derive(Debug, Clone)]
 pub struct CompChainRec {
-    /// Shared frozen segment (cloned on each application).
+    /// Shared frozen segment (copied lazily, when an application
+    /// actually resumes into it).
     pub seg: Rc<Segment>,
     /// The marks this record adds relative to the prompt boundary,
     /// newest first; spliced onto the application-site marks.
@@ -194,7 +199,7 @@ mod tests {
     #[test]
     fn underflow_fusion_slot_can_be_emptied() {
         let u = Underflow {
-            seg: RefCell::new(Some(Segment::default())),
+            seg: RefCell::new(Some(Rc::new(Segment::default()))),
             marks: Value::Nil,
             next: None,
         };

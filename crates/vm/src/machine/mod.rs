@@ -560,20 +560,7 @@ impl Machine {
     fn unfreeze_head(&mut self, head: Rc<Underflow>) -> VmResult<()> {
         self.marks = head.marks;
         self.next = head.next.clone();
-        let fuse = self.config.one_shot_fusion
-            && !self.config.fault_plan.force_clone
-            && Rc::strong_count(&head) == 1;
-        let seg = if fuse {
-            self.trace(TraceKind::Fuse);
-            head.seg.borrow_mut().take().ok_or_else(|| {
-                VmError::internal_recoverable("resume", "suspended segment already fused away")
-            })?
-        } else {
-            self.trace(TraceKind::Copy);
-            head.seg.borrow().as_ref().cloned().ok_or_else(|| {
-                VmError::internal_recoverable("resume", "suspended segment already fused away")
-            })?
-        };
+        let seg = self.extract_segment(&head, "resume")?;
         self.stack = seg.stack;
         self.frames = seg.frames;
         self.mark_stack = seg.mark_entries;
@@ -1215,12 +1202,47 @@ impl Machine {
             mark_entries: mem::take(&mut self.mark_stack),
         };
         let u = Rc::new(Underflow {
-            seg: RefCell::new(Some(seg)),
+            seg: RefCell::new(Some(Rc::new(seg))),
             marks: restore_marks,
             next: self.next.take(),
         });
         self.next = Some(u.clone());
         u
+    }
+
+    /// Extracts an underflow record's segment under the one-shot policy
+    /// (§6): when this machine holds the only reference to the record
+    /// *and* to its segment, the segment is moved back without copying
+    /// (fusion); when the record is unshared but the segment handle is
+    /// still held by a composable capture, the record gives up its
+    /// handle and only then pays the copy; otherwise — shared record, or
+    /// fusion disabled — the segment is deep-copied and the record left
+    /// intact for the other owners.
+    fn extract_segment(&mut self, u: &Rc<Underflow>, site: &'static str) -> VmResult<Segment> {
+        let fusible = self.config.one_shot_fusion && !self.config.fault_plan.force_clone;
+        if fusible && Rc::strong_count(u) == 1 {
+            let rc =
+                u.seg.borrow_mut().take().ok_or_else(|| {
+                    VmError::internal_recoverable(site, "segment already fused away")
+                })?;
+            return Ok(match Rc::try_unwrap(rc) {
+                Ok(seg) => {
+                    self.trace(TraceKind::Fuse);
+                    seg
+                }
+                Err(rc) => {
+                    self.trace(TraceKind::Copy);
+                    (*rc).clone()
+                }
+            });
+        }
+        let rc = u
+            .seg
+            .borrow()
+            .clone()
+            .ok_or_else(|| VmError::internal_recoverable(site, "segment already fused away"))?;
+        self.trace(TraceKind::Copy);
+        Ok((*rc).clone())
     }
 
     /// Control has returned past the bottom of the live segment: resume
@@ -1233,23 +1255,7 @@ impl Machine {
                     self.trace(TraceKind::Underflow);
                     self.marks = u.marks;
                     self.next = u.next.clone();
-                    let fuse = self.config.one_shot_fusion
-                        && !self.config.fault_plan.force_clone
-                        && Rc::strong_count(&u) == 1;
-                    let seg = if fuse {
-                        // Opportunistic one-shot: nothing else can resume
-                        // this record, so fuse the segment back without
-                        // copying (§6).
-                        self.trace(TraceKind::Fuse);
-                        u.seg.borrow_mut().take().ok_or_else(|| {
-                            VmError::internal_recoverable("underflow", "segment already fused away")
-                        })?
-                    } else {
-                        self.trace(TraceKind::Copy);
-                        u.seg.borrow().as_ref().cloned().ok_or_else(|| {
-                            VmError::internal_recoverable("underflow", "segment already fused away")
-                        })?
-                    };
+                    let seg = self.extract_segment(&u, "underflow")?;
                     self.stack = seg.stack;
                     self.frames = seg.frames;
                     self.mark_stack = seg.mark_entries;
@@ -1308,11 +1314,11 @@ impl Machine {
         };
         let lower_entries = mem::take(&mut self.mark_stack);
         let u = Rc::new(Underflow {
-            seg: RefCell::new(Some(Segment {
+            seg: RefCell::new(Some(Rc::new(Segment {
                 stack: lower_stack,
                 frames: lower_frames,
                 mark_entries: lower_entries,
-            })),
+            }))),
             marks: self.marks,
             next: self.next.take(),
         });
@@ -1919,25 +1925,73 @@ impl Machine {
             .into());
         }
         let boundary = self.base_marks;
-        let top_seg = Rc::new(Segment {
-            stack: self.stack.clone(),
-            frames: self.frames.clone(),
-            mark_entries: self.mark_stack.clone(),
-        });
         let top_marks_prefix = marks_prefix(&self.marks, &boundary)?;
+        let fusible = self.config.one_shot_fusion && !self.config.fault_plan.force_clone;
+        // Chain records reference the frozen segments *below* the live
+        // one, so collect them before the live segment is (possibly)
+        // frozen onto `self.next` itself.
         let mut chain = Vec::new();
         let mut cur = self.next.clone();
         while let Some(u) = cur {
-            let seg = u.seg.borrow().as_ref().cloned().ok_or_else(|| {
+            let seg = if fusible {
+                // Share the frozen segment's handle; an owner that turns
+                // out to be last fuses it back copy-free, earlier
+                // resumes pay their copy lazily at underflow.
+                u.seg.borrow().clone()
+            } else {
+                // Reify-and-copy model: the capture owns a private copy
+                // of every segment from the word go.
+                self.trace(TraceKind::Copy);
+                u.seg.borrow().as_deref().cloned().map(Rc::new)
+            }
+            .ok_or_else(|| {
                 VmError::internal_recoverable("composable-capture", "segment already fused away")
             })?;
             chain.push(CompChainRec {
-                seg: Rc::new(seg),
+                seg,
                 marks_prefix: marks_prefix(&u.marks, &boundary)?,
             });
             cur = u.next.clone();
         }
+        let top_seg = if fusible {
+            // §6's one-shot capture applied to composable capture: freeze
+            // the live segment (an O(1) move) and share the handle. The
+            // machine keeps the frozen record on `self.next`, so falling
+            // out of the handler thunk resumes through it as usual; in
+            // the common perform-then-abort protocol the abort drops that
+            // reference and the continuation becomes sole owner, making
+            // its one resume copy-free.
+            let marks = self.marks;
+            let u = self.freeze_current(marks);
+            let shared = u.seg.borrow().clone();
+            match shared {
+                Some(rc) => rc,
+                // Unreachable: `freeze_current` just filled the slot.
+                None => {
+                    return Err(VmError::internal_recoverable(
+                        "composable-capture",
+                        "freshly frozen segment missing",
+                    ))
+                }
+            }
+        } else {
+            self.trace(TraceKind::Copy);
+            Rc::new(Segment {
+                stack: self.stack.clone(),
+                frames: self.frames.clone(),
+                mark_entries: self.mark_stack.clone(),
+            })
+        };
         self.trace(TraceKind::Capture);
+        // The continuation value pins these segments until a sweep frees
+        // it; charge their bytes to the collection budget so a
+        // capture-heavy loop cannot balloon resident memory while the
+        // slabs look quiet.
+        let mut pinned = segment_bytes(&top_seg);
+        for rec in &chain {
+            pinned += segment_bytes(&rec.seg);
+        }
+        heap::note_external_bytes(pinned);
         Ok(Value::cont(ContData {
             kind: ContKind::Composable(CompData {
                 top_seg,
@@ -1965,13 +2019,22 @@ impl Machine {
         };
         let mut next = base;
         for rec in comp.chain.iter().rev() {
+            // Share the handle: the continuation value keeps its own
+            // reference, so resuming through this record copies then —
+            // unless the continuation has been dropped by the time
+            // control returns this deep, in which case it fuses.
             next = Some(Rc::new(Underflow {
-                seg: RefCell::new(Some((*rec.seg).clone())),
+                seg: RefCell::new(Some(rec.seg.clone())),
                 marks: cons_prefix(&rec.marks_prefix, app_marks),
                 next,
             }));
         }
         self.next = next;
+        // The continuation value keeps its own segment handle (it may be
+        // applied again), so installing the top as live mutable state is
+        // a copy on every application — the multi-shot-safety cost the
+        // capture-strategy benchmark measures.
+        self.trace(TraceKind::Copy);
         let top = (*comp.top_seg).clone();
         self.stack = top.stack;
         self.frames = top.frames;
@@ -2025,46 +2088,73 @@ impl Machine {
         entry.push((key, val));
     }
 
-    /// The newest mark for `key` visible from the current continuation.
-    pub(crate) fn eager_first_mark(&self, key: &Value) -> Option<Value> {
-        for entry in self.mark_stack.iter().rev() {
-            if let Some(v) = lookup_entry(entry, key) {
-                return Some(v);
-            }
-        }
-        let mut cur = self.next.clone();
-        while let Some(u) = cur {
-            if let Some(seg) = u.seg.borrow().as_ref() {
-                for entry in seg.mark_entries.iter().rev() {
-                    if let Some(v) = lookup_entry(entry, key) {
-                        return Some(v);
+    /// Visits every eager mark entry newest-first: the live mark stack,
+    /// its underflow chain, then each meta frame's saved mark stack and
+    /// chain (innermost prompt first). Prompts delimit *capture*, not
+    /// mark visibility — the attachments model sees marks below a
+    /// prompt, so the eager model must too. The visitor returns `true`
+    /// to stop early.
+    fn eager_walk_entries(&self, mut visit: impl FnMut(&MarkEntry) -> bool) {
+        fn walk_chain(
+            start: &Option<Rc<Underflow>>,
+            visit: &mut dyn FnMut(&MarkEntry) -> bool,
+        ) -> bool {
+            let mut cur = start.clone();
+            while let Some(u) = cur {
+                if let Some(seg) = u.seg.borrow().as_ref() {
+                    for entry in seg.mark_entries.iter().rev() {
+                        if visit(entry) {
+                            return true;
+                        }
                     }
                 }
+                cur = u.next.clone();
             }
-            cur = u.next.clone();
+            false
         }
-        None
+        for entry in self.mark_stack.iter().rev() {
+            if visit(entry) {
+                return;
+            }
+        }
+        if walk_chain(&self.next, &mut visit) {
+            return;
+        }
+        for mf in self.meta.iter().rev() {
+            for entry in mf.mark_stack.iter().rev() {
+                if visit(entry) {
+                    return;
+                }
+            }
+            if walk_chain(&mf.next, &mut visit) {
+                return;
+            }
+        }
+    }
+
+    /// The newest mark for `key` visible from the current continuation.
+    pub(crate) fn eager_first_mark(&self, key: &Value) -> Option<Value> {
+        let mut found = None;
+        self.eager_walk_entries(|entry| {
+            if let Some(v) = lookup_entry(entry, key) {
+                found = Some(v);
+                true
+            } else {
+                false
+            }
+        });
+        found
     }
 
     /// All marks for `key`, newest first.
     pub(crate) fn eager_marks_list(&self, key: &Value) -> Vec<Value> {
         let mut out = Vec::new();
-        for entry in self.mark_stack.iter().rev() {
+        self.eager_walk_entries(|entry| {
             if let Some(v) = lookup_entry(entry, key) {
                 out.push(v);
             }
-        }
-        let mut cur = self.next.clone();
-        while let Some(u) = cur {
-            if let Some(seg) = u.seg.borrow().as_ref() {
-                for entry in seg.mark_entries.iter().rev() {
-                    if let Some(v) = lookup_entry(entry, key) {
-                        out.push(v);
-                    }
-                }
-            }
-            cur = u.next.clone();
-        }
+            false
+        });
         out
     }
 
@@ -2076,16 +2166,13 @@ impl Machine {
     }
 
     /// Materializes every mark entry (newest first), following the
-    /// underflow chain.
+    /// underflow chain and the meta-continuation.
     pub(crate) fn eager_all_entries(&self) -> Vec<MarkEntry> {
-        let mut out: Vec<MarkEntry> = self.mark_stack.iter().rev().cloned().collect();
-        let mut cur = self.next.clone();
-        while let Some(u) = cur {
-            if let Some(seg) = u.seg.borrow().as_ref() {
-                out.extend(seg.mark_entries.iter().rev().cloned());
-            }
-            cur = u.next.clone();
-        }
+        let mut out: Vec<MarkEntry> = Vec::new();
+        self.eager_walk_entries(|entry| {
+            out.push(entry.clone());
+            false
+        });
         out
     }
 }
@@ -2314,7 +2401,9 @@ fn deep_copy_chain(head: &Rc<Underflow>) -> Rc<Underflow> {
     let mut records = Vec::new();
     let mut cur = Some(head.clone());
     while let Some(u) = cur {
-        records.push((u.seg.borrow().clone(), u.marks));
+        // A genuine deep copy (not an `Rc` bump): this path exists to
+        // model the eager capture's O(stack size) cost.
+        records.push((u.seg.borrow().as_deref().cloned().map(Rc::new), u.marks));
         cur = u.next.clone();
     }
     let mut next: Option<Rc<Underflow>> = None;
@@ -2330,6 +2419,15 @@ fn deep_copy_chain(head: &Rc<Underflow>) -> Rc<Underflow> {
         // Unreachable: the chain contains at least `head`.
         None => head.clone(),
     }
+}
+
+/// Approximate VM-external footprint of a frozen segment (the vector
+/// payloads; the slab objects its values point at are accounted
+/// separately by the allocator).
+fn segment_bytes(seg: &Segment) -> u64 {
+    (mem::size_of_val(&seg.stack[..])
+        + mem::size_of_val(&seg.frames[..])
+        + mem::size_of_val(&seg.mark_entries[..])) as u64
 }
 
 /// Builds `prefix[0] :: prefix[1] :: ... :: tail`.

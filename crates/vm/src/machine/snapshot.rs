@@ -1966,7 +1966,7 @@ fn materialize(p: &Parsed) -> Result<Mat, SnapshotError> {
                 None => None,
             };
             let seg = match &raw.seg {
-                Some(rs) => Some(mat.build_seg(rs, "restored segment")?),
+                Some(rs) => Some(Rc::new(mat.build_seg(rs, "restored segment")?)),
                 None => None,
             };
             unders[i] = Some(Rc::new(Underflow {

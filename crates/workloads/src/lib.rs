@@ -54,6 +54,7 @@ const CONTRACT: &str = include_str!("scm/contract.scm");
 const APPS: &str = include_str!("scm/apps.scm");
 const BOYER: &str = include_str!("scm/boyer.scm");
 const MARKFLOW: &str = include_str!("scm/markflow.scm");
+const EFFECTS: &str = include_str!("scm/effects.scm");
 
 /// Loads a workload's source into an engine (idempotent per engine).
 ///
@@ -448,6 +449,23 @@ pub fn markflow_micros() -> &'static [Workload] {
     ]
 }
 
+/// The libseff-shaped effect-handler workloads (pipes, handler-chain
+/// depth sweep, request storm) plus the canonical-handler stress shapes
+/// (state, generators, multi-shot amb, shift/reset) — all running on
+/// the `crates/effects` library shipped in the prelude.
+pub fn effects() -> &'static [Workload] {
+    workloads![
+        ("pipes", EFFECTS, "eff-pipes-bench", 8, Some("60"), 400),
+        ("chain", EFFECTS, "eff-chain-bench", 12, Some("312"), 400),
+        ("storm", EFFECTS, "eff-storm-bench", 6, Some("451"), 120),
+        ("state", EFFECTS, "eff-state-bench", 20, Some("190"), 3_000),
+        ("gen", EFFECTS, "eff-gen-bench", 12, Some("90"), 800),
+        ("amb", EFFECTS, "eff-amb-bench", 6, Some("112"), 13),
+        ("deep", EFFECTS, "eff-deep-bench", 20, Some("1990"), 600),
+        ("shift", EFFECTS, "eff-shift-bench", 10, Some("120"), 4_000),
+    ]
+}
+
 /// Every workload group, for exhaustive validation.
 pub fn all_groups() -> Vec<(&'static str, &'static [Workload])> {
     vec![
@@ -459,6 +477,7 @@ pub fn all_groups() -> Vec<(&'static str, &'static [Workload])> {
         ("contract", contract()),
         ("applications", applications()),
         ("markflow-micros", markflow_micros()),
+        ("effects", effects()),
     ]
 }
 

@@ -1,6 +1,13 @@
 //! Exceptions and contracts — the library-level language extensions the
 //! paper builds on marks (§2.3, §8.4) with no compiler changes.
 //!
+//! Exceptions here come from the effects library: `effect-try` installs
+//! an *abortive* handler (its `raise` clause drops the resume, so the
+//! captured continuation is discarded and the clause's value becomes the
+//! value of the whole `effect-try`). Because the handler is an ordinary
+//! effect handler, exceptions compose with resumable effects — something
+//! a bare catch/throw cannot express.
+//!
 //! Run with `cargo run --example exceptions_and_contracts`.
 
 use continuation_marks::{Engine, EngineConfig, EngineError};
@@ -8,26 +15,46 @@ use continuation_marks::{Engine, EngineConfig, EngineError};
 fn main() -> Result<(), EngineError> {
     let mut engine = Engine::new(EngineConfig::default());
 
-    // §2.3: catch/throw built from call/cc + one continuation mark.
+    // Abortive raise: the rest of `(+ 1 _)` is unwound, the handler's
+    // value replaces it.
     let caught = engine.eval(
         r#"
-        (catch (lambda (exn) (list 'recovered exn))
-          (+ 1 (throw 'division-by-zero)))
+        (effect-try
+          (lambda () (+ 1 (effect-raise 'division-by-zero)))
+          (lambda (exn) (list 'recovered exn)))
         "#,
     )?;
     println!("caught: {caught}");
 
-    // Handlers nest; the innermost applicable one wins.
+    // Handlers nest; the innermost one wins, and `perform` forwards past
+    // handlers that lack a matching clause.
     let nested = engine.eval(
         r#"
-        (catch (lambda (exn) (list 'outer exn))
-          (car (cons
-            (catch (lambda (exn) (list 'inner exn))
-              (throw 'oops))
-            0)))
+        (effect-try
+          (lambda ()
+            (car (cons
+              (effect-try
+                (lambda () (effect-raise 'oops))
+                (lambda (exn) (list 'inner exn)))
+              0)))
+          (lambda (exn) (list 'outer exn)))
         "#,
     )?;
     println!("nested: {nested}");
+
+    // *Resumable* exceptions, written with the surface `handle` form: the
+    // clause keeps `k`, so it can patch the bad value and continue the
+    // interrupted computation instead of unwinding it.
+    let resumed = engine.eval(
+        r#"
+        (define (checked-div n d)
+          (if (= d 0) (perform bad-divisor d) (quotient n d)))
+        (handle
+          (list (checked-div 100 4) (checked-div 100 0) (checked-div 100 5))
+          [(bad-divisor d k) (k 1)])   ; repair: divide by 1 and resume
+        "#,
+    )?;
+    println!("resumable recovery: {resumed}");
 
     // Function contracts: the wrapper checks the domain, runs the call
     // under a blame mark, checks the range.
@@ -44,19 +71,22 @@ fn main() -> Result<(), EngineError> {
         Err(e) => println!("contract rejected bad input: {e}"),
     }
 
-    // Blame context is visible *during* the wrapped call:
+    // Contracts and effects compose: the blame mark set by the contract
+    // wrapper is visible inside an effect clause's resumed continuation,
+    // because composable resumes splice marks rather than hiding them.
     let blame = engine.eval(
         r#"
         (define observed-blame #f)
         (define observe
           ((contract-> integer? integer? 'observer)
            (lambda (x)
-             (set! observed-blame (current-contract-blame))
-             x)))
+             (handle
+               (begin (perform ping) (set! observed-blame (current-contract-blame)) x)
+               [(ping k) (k (void))]))))
         (observe 7)
         observed-blame
         "#,
     )?;
-    println!("blame during call: {blame}");
+    println!("blame during resumed call: {blame}");
     Ok(())
 }

@@ -19,7 +19,10 @@
 //!   old-Racket model constructors,
 //! * [`workloads`] (`cm-workloads`) — every benchmark of the paper's §8,
 //! * [`engines`] (`cm-engines`) — suspendable engines over the VM's
-//!   preemption path, plus a multi-tenant scheduler and worker pool.
+//!   preemption path, plus a multi-tenant scheduler and worker pool,
+//! * [`effects`] (`cm-effects`) — `shift`/`reset` and algebraic effect
+//!   handlers built purely on the VM's delimited-control and
+//!   continuation-mark surface, plus a cooperative async runtime.
 //!
 //! # Quickstart
 //!
@@ -36,10 +39,28 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Effect handlers (and `shift`/`reset`, generators, async) are part of
+//! the default prelude:
+//!
+//! ```
+//! use continuation_marks::{Engine, EngineConfig};
+//!
+//! # fn main() -> Result<(), continuation_marks::EngineError> {
+//! let mut engine = Engine::new(EngineConfig::default());
+//! let v = engine.eval(
+//!     "(handle (+ (perform ask) (perform ask))
+//!        [(ask k) (k 21)])",
+//! )?;
+//! assert_eq!(v.display_string(), "42");
+//! # Ok(())
+//! # }
+//! ```
 
 pub use cm_baseline as baseline;
 pub use cm_compiler as compiler;
 pub use cm_core as engine;
+pub use cm_effects as effects;
 pub use cm_engines as engines;
 pub use cm_refmodel as refmodel;
 pub use cm_sexpr as sexpr;

@@ -8,6 +8,8 @@
 //!          [--deadline-ms N] [--no-verify] [--per-task] [--invariants]
 //!          [--checkpoint] [--retry-budget N] [--backoff TICKS]
 //!          [--pool-budget-mb N] [--fail-prim-at N]
+//!          [--steal] [--migrate] [--record-schedule PATH]
+//!          [--replay-schedule PATH]
 //! ```
 //!
 //! With `--checkpoint` the per-worker schedulers become supervisors:
@@ -25,11 +27,23 @@
 //! each task's sliced result is compared against the uninterrupted
 //! expectation — a mismatch means suspend/resume corrupted marks,
 //! winders, or frames, and the run exits nonzero.
+//!
+//! With `--steal` the pool becomes a work-stealing serving tier: idle
+//! workers take fresh jobs from the back of other workers' queues, and
+//! with `--migrate` they also take *started* engines, serialized
+//! through the snapshot codec at the victim's next suspension.
+//! `--record-schedule PATH` writes every cross-worker move as a
+//! deterministic steal schedule; `--replay-schedule PATH` re-runs it in
+//! the single-threaded simulator, reproducing every migration decision
+//! exactly.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use cm_engines::{run_pool, JobSpec, Policy, PoolConfig, PoolReport, PoolSpec, SchedConfig};
+use cm_engines::{
+    run_pool, JobSpec, Policy, PoolConfig, PoolReport, PoolSpec, SchedConfig, StealConfig,
+    StealSchedule,
+};
 use cm_torture::{engine_configs, torture_targets};
 
 struct Args {
@@ -47,6 +61,10 @@ struct Args {
     backoff: u64,
     pool_budget_mb: Option<u64>,
     fail_prim_at: Option<u64>,
+    steal: bool,
+    migrate: bool,
+    record_schedule: Option<std::path::PathBuf>,
+    replay_schedule: Option<std::path::PathBuf>,
 }
 
 impl Default for Args {
@@ -66,6 +84,10 @@ impl Default for Args {
             backoff: 2,
             pool_budget_mb: None,
             fail_prim_at: None,
+            steal: false,
+            migrate: false,
+            record_schedule: None,
+            replay_schedule: None,
         }
     }
 }
@@ -74,7 +96,8 @@ const USAGE: &str = "usage: cm-sched [--quick] [--tasks N] [--workers N] [--slic
                 [--policy rr|edf] [--config NAME|all]... [--deadline-ms N]
                 [--no-verify] [--per-task] [--invariants] [--checkpoint]
                 [--retry-budget N] [--backoff TICKS] [--pool-budget-mb N]
-                [--fail-prim-at N]
+                [--fail-prim-at N] [--steal] [--migrate]
+                [--record-schedule PATH] [--replay-schedule PATH]
 
   --quick           CI preset: 200 tasks, 4 workers, slice 2000, invariants on
   --tasks N         total engines to schedule (default 1000)
@@ -94,7 +117,15 @@ const USAGE: &str = "usage: cm-sched [--quick] [--tasks N] [--workers N] [--slic
   --pool-budget-mb N  prefer draining started tasks while aggregate live
                     heap bytes exceed this budget (backpressure)
   --fail-prim-at N  arm fault injection: every engine fails its Nth
-                    primitive call (pairs with --checkpoint for recovery)";
+                    primitive call (pairs with --checkpoint for recovery)
+  --steal           work-stealing pool: idle workers take fresh jobs from
+                    the back of other workers' queues
+  --migrate         with --steal: also migrate *started* engines via the
+                    snapshot codec at the victim's next suspension
+  --record-schedule PATH  write every cross-worker move as a replayable
+                    steal schedule (implies --steal)
+  --replay-schedule PATH  replay a recorded schedule deterministically in
+                    the single-threaded simulator (implies --steal)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -173,6 +204,19 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--fail-prim-at: {e}"))?,
                 );
             }
+            "--steal" => args.steal = true,
+            "--migrate" => {
+                args.steal = true;
+                args.migrate = true;
+            }
+            "--record-schedule" => {
+                args.steal = true;
+                args.record_schedule = Some(take("--record-schedule")?.into());
+            }
+            "--replay-schedule" => {
+                args.steal = true;
+                args.replay_schedule = Some(take("--replay-schedule")?.into());
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -182,6 +226,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.tasks == 0 {
         return Err("--tasks must be at least 1".into());
+    }
+    if args.steal && args.checkpoint {
+        // Checkpoint supervision belongs to the static pool's
+        // single-threaded scheduler; the stealing pool drives engines
+        // with its own queue loop.
+        return Err("--steal and --checkpoint are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -239,16 +289,24 @@ fn print_report(config_name: &str, args: &Args, report: &PoolReport) {
         m.total_slices,
     );
     println!(
-        "  latency     mean {} / p50 {} / p95 {} / max {}",
+        "  latency     mean {} / p50 {} / p95 {} / p99 {} / max {}",
         ms(m.latency_mean),
         ms(m.latency_p50),
         ms(m.latency_p95),
+        ms(m.latency_p99),
         ms(m.latency_max),
     );
     println!(
-        "  fairness    Jain index {:.4} over per-task steps",
-        m.fairness_jain
+        "  fairness    Jain index {:.4} over per-task steps, {:.4} over per-worker load",
+        m.fairness_jain,
+        cm_engines::jain_index(report.workers.iter().map(|w| w.steps_executed as f64)),
     );
+    if args.steal {
+        println!(
+            "  stealing    {} steals, {} migrations through the snapshot codec",
+            m.total_steals, m.total_migrations
+        );
+    }
     if args.checkpoint {
         let retries: u64 = report
             .all_reports()
@@ -267,9 +325,10 @@ fn print_report(config_name: &str, args: &Args, report: &PoolReport) {
     }
     for w in &report.workers {
         println!(
-            "    worker {}: {} tasks in {}{}",
+            "    worker {}: {} tasks, {} steps in {}{}",
             w.worker,
             w.reports.len(),
+            w.steps_executed,
             ms(w.wall),
             w.panicked
                 .as_deref()
@@ -326,6 +385,22 @@ fn main() -> ExitCode {
         }
         out
     };
+    let replay = match &args.replay_schedule {
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match StealSchedule::parse(&text) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("cm-sched: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("cm-sched: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let spec = build_spec(args.tasks, args.verify);
     let mut clean = true;
     for (name, mut engine_config) in selected {
@@ -348,9 +423,28 @@ fn main() -> ExitCode {
                 pool_budget_bytes: args.pool_budget_mb.map(|mb| mb * 1024 * 1024),
             },
             engine: engine_config,
+            steal: args.steal.then(|| StealConfig {
+                migrate: args.migrate,
+                record: args.record_schedule.is_some(),
+                replay: replay.clone(),
+                kill_workers: Vec::new(),
+            }),
         };
         let report = run_pool(&config, &spec);
         print_report(&name, &args, &report);
+        if let (Some(path), Some(schedule)) = (&args.record_schedule, &report.schedule) {
+            match std::fs::write(path, schedule.to_text()) {
+                Ok(()) => println!(
+                    "  schedule    {} steal events written to {}",
+                    schedule.events.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("cm-sched: cannot write {}: {e}", path.display());
+                    clean = false;
+                }
+            }
+        }
         // Deadline-induced timeouts are a requested behavior, not a
         // correctness failure.
         let acceptable_timeouts = args.deadline_ms.is_some();

@@ -263,6 +263,62 @@ impl Engine {
             span_sink: None,
         })
     }
+
+    /// Serializes this engine into a [`MigrationTicket`] — the `Send`
+    /// hand-off unit for cross-worker work stealing. The engine is
+    /// consumed: migration is a *move*, and leaving a resumable copy on
+    /// the victim would break the one-shot discipline (two workers could
+    /// resume the same continuation).
+    ///
+    /// The ticket carries the engine's accumulated [`MachineStats`]
+    /// because a restored machine starts with fresh counters (only
+    /// `restores` is pre-set): the thief adds the carried stats to the
+    /// task's running totals so fairness accounting survives the hop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine (unconsumed) plus the [`SnapshotError`] when
+    /// the engine is not suspended or serialization fails.
+    // The Err variant hands the engine back by value on purpose: a
+    // refused donation must stay runnable on the victim. Boxing it
+    // would add an allocation to a path that exists to avoid loss.
+    #[allow(clippy::result_large_err)]
+    pub fn into_ticket(mut self) -> Result<MigrationTicket, (Engine, SnapshotError)> {
+        match self.snapshot() {
+            Ok(bytes) => Ok(MigrationTicket {
+                bytes,
+                stats: self.machine.stats,
+            }),
+            Err(e) => Err((self, e)),
+        }
+    }
+
+    /// Rebuilds an engine from a migration ticket on the *receiving*
+    /// worker — [`Engine::restore`] plus the full re-verification it
+    /// implies. The carried stats are in [`MigrationTicket::stats`]; the
+    /// restored engine's own counters start fresh.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from decoding or re-verification.
+    pub fn from_ticket(ticket: &MigrationTicket) -> Result<Engine, SnapshotError> {
+        Engine::restore(&ticket.bytes)
+    }
+}
+
+/// A suspended engine serialized for cross-worker migration: snapshot
+/// bytes plus the accounting accumulated before the hop. Unlike
+/// [`Engine`] (which is `Rc`-pinned to its thread), a ticket is plain
+/// `Send` data — this is the only form in which a started task crosses
+/// worker threads.
+#[derive(Debug, Clone)]
+pub struct MigrationTicket {
+    /// CMSN snapshot bytes ([`Engine::snapshot`] output): versioned,
+    /// checksummed, re-verified on restore.
+    pub bytes: Vec<u8>,
+    /// The machine's counters at serialization time. Restored machines
+    /// count from zero, so schedulers sum carried stats across hops.
+    pub stats: MachineStats,
 }
 
 /// A per-worker engine factory: one prelude-loaded [`cm_core::Engine`]

@@ -50,8 +50,10 @@ pub mod engine;
 pub mod pool;
 pub mod sched;
 pub mod spans;
+pub mod steal;
 
-pub use engine::{Engine, RunResult, WorkerHost};
+pub use engine::{Engine, MigrationTicket, RunResult, WorkerHost};
 pub use pool::{run_pool, JobSpec, PoolConfig, PoolReport, PoolSpec, WorkerSummary};
-pub use sched::{Outcome, Policy, SchedConfig, SchedMetrics, Scheduler, TaskReport};
+pub use sched::{jain_index, Outcome, Policy, SchedConfig, SchedMetrics, Scheduler, TaskReport};
 pub use spans::{span_sink, Span, SpanLog, SpanSink};
+pub use steal::{StealConfig, StealEvent, StealSchedule};

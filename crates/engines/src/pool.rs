@@ -11,7 +11,11 @@
 //! Sharding is static round-robin by submission index — deterministic, no
 //! work stealing — which keeps per-worker results reproducible and makes
 //! the fairness numbers attributable to the *scheduler*, not to shard
-//! luck.
+//! luck. Setting [`PoolConfig::steal`] replaces the static sharding with
+//! per-worker run queues, work stealing, and snapshot-based engine
+//! migration (see [`steal`](crate::steal)); the static path stays the
+//! default so the sliced-vs-uninterrupted oracle keeps running against
+//! an unmoving pool.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -21,6 +25,7 @@ use cm_core::EngineConfig;
 use crate::engine::WorkerHost;
 use crate::sched::{Outcome, SchedConfig, SchedMetrics, Scheduler, TaskReport};
 use crate::spans::{Span, SpanLog};
+use crate::steal::{self, StealConfig, StealSchedule};
 
 /// One unit of work: an expression to run (against the pool's shared
 /// setup definitions), plus what it should produce.
@@ -60,6 +65,11 @@ pub struct PoolConfig {
     /// Engine configuration (one of the eight engine variants), cloned
     /// into every worker.
     pub engine: EngineConfig,
+    /// Work-stealing mode. `None` (the default) keeps the static
+    /// sharded pool. `Some` with [`StealConfig::replay`] unset runs the
+    /// multithreaded stealing pool; with `replay` set it runs the
+    /// deterministic single-threaded simulator instead.
+    pub steal: Option<StealConfig>,
 }
 
 impl Default for PoolConfig {
@@ -68,6 +78,7 @@ impl Default for PoolConfig {
             workers: 4,
             sched: SchedConfig::default(),
             engine: EngineConfig::default(),
+            steal: None,
         }
     }
 }
@@ -89,6 +100,12 @@ pub struct WorkerSummary {
     /// worker's index as `tid`. Empty unless
     /// [`SchedConfig::record_spans`].
     pub spans: Vec<Span>,
+    /// Instructions this worker actually executed (across every task it
+    /// ran slices of, including tasks that later migrated away). The
+    /// Jain index over these is the pool's *load-balance* measure —
+    /// unlike per-task fairness, it stays meaningful when tasks want
+    /// wildly different amounts of work.
+    pub steps_executed: u64,
     /// Set if the worker thread panicked; its remaining jobs are lost.
     pub panicked: Option<String>,
 }
@@ -102,6 +119,15 @@ pub struct PoolReport {
     pub wall: Duration,
     /// Metrics over every task from every worker.
     pub metrics: SchedMetrics,
+    /// Every cross-worker move, when the stealing pool ran with
+    /// [`StealConfig::record`] (or replayed a schedule). Feed it back
+    /// through [`StealConfig::replay`] to reproduce the run
+    /// deterministically.
+    pub schedule: Option<StealSchedule>,
+    /// Pool-level spans (one `"pool"` metrics span carrying
+    /// p50/p95/p99, Jain fairness, and migration counts). Empty unless
+    /// [`SchedConfig::record_spans`].
+    pub pool_spans: Vec<Span>,
 }
 
 impl PoolReport {
@@ -119,9 +145,13 @@ impl PoolReport {
     }
 
     /// All timeline spans across workers (one shared time origin, lanes
-    /// keyed by `tid`).
+    /// keyed by `tid`), plus the pool-level metrics span.
     pub fn all_spans(&self) -> Vec<&Span> {
-        self.workers.iter().flat_map(|w| &w.spans).collect()
+        self.workers
+            .iter()
+            .flat_map(|w| &w.spans)
+            .chain(&self.pool_spans)
+            .collect()
     }
 
     /// True when every job completed with the expected result and no
@@ -163,6 +193,8 @@ fn run_worker(
                     turnaround: Duration::ZERO,
                     retries: 0,
                     checkpoints: 0,
+                    migrations: 0,
+                    steals: 0,
                 });
             }
             return WorkerSummary {
@@ -171,6 +203,7 @@ fn run_worker(
                 mismatches,
                 wall: start.elapsed(),
                 spans: Vec::new(),
+                steps_executed: 0,
                 panicked: None,
             };
         }
@@ -218,6 +251,8 @@ fn run_worker(
                 turnaround: Duration::ZERO,
                 retries: 0,
                 checkpoints: 0,
+                migrations: 0,
+                steals: 0,
             }),
         }
     }
@@ -248,12 +283,16 @@ fn run_worker(
         );
         spans.extend(whole.into_spans());
     }
+    // Tasks never leave a static worker, so its executed steps are
+    // exactly the steps its reports account for.
+    let steps_executed = reports.iter().map(|r| r.steps).sum();
     WorkerSummary {
         worker,
         reports,
         mismatches,
         wall: start.elapsed(),
         spans,
+        steps_executed,
         panicked: None,
     }
 }
@@ -262,7 +301,18 @@ fn run_worker(
 /// shard gets a `Failed` report naming the panic, so a crashed worker
 /// never silently swallows its queue (the reports are what downstream
 /// accounting — retries, billing, `is_clean` — keys on).
-fn panicked_summary(worker: usize, manifest: Vec<(usize, String)>, msg: String) -> WorkerSummary {
+///
+/// Wall time and turnarounds are measured from the pool epoch to the
+/// panic, never zero: a `Duration::ZERO` summary would drag the batch's
+/// latency percentiles toward zero, making a *crash* look like the
+/// fastest work of the run.
+fn panicked_summary(
+    worker: usize,
+    manifest: Vec<(usize, String)>,
+    msg: String,
+    epoch: Instant,
+) -> WorkerSummary {
+    let elapsed = epoch.elapsed();
     let reports = manifest
         .into_iter()
         .map(|(id, name)| TaskReport {
@@ -274,25 +324,72 @@ fn panicked_summary(worker: usize, manifest: Vec<(usize, String)>, msg: String) 
             allocations: 0,
             collections: 0,
             bytes_live_peak: 0,
-            turnaround: Duration::ZERO,
+            turnaround: elapsed,
             retries: 0,
             checkpoints: 0,
+            migrations: 0,
+            steals: 0,
         })
         .collect();
     WorkerSummary {
         worker,
         reports,
         mismatches: Vec::new(),
-        wall: Duration::ZERO,
+        wall: elapsed,
         spans: Vec::new(),
+        steps_executed: 0,
         panicked: Some(msg),
     }
+}
+
+/// The pool-level metrics span: one `"pool"`-category span spanning the
+/// whole batch, carrying the latency percentiles (p50/p95/p99), Jain
+/// fairness, and migration counters as args — the numbers `cm-trace`
+/// surfaces on the exported timeline.
+pub(crate) fn pool_metrics_spans(
+    workers: usize,
+    metrics: &SchedMetrics,
+    enabled: bool,
+) -> Vec<Span> {
+    if !enabled {
+        return Vec::new();
+    }
+    vec![Span {
+        name: "pool".into(),
+        cat: "pool",
+        // One lane past the last worker, so the summary span doesn't
+        // overlay a worker's own timeline.
+        tid: u32::try_from(workers).unwrap_or(u32::MAX),
+        start_us: 0,
+        dur_us: u64::try_from(metrics.wall.as_micros()).unwrap_or(u64::MAX),
+        args: vec![
+            ("tasks", metrics.tasks.to_string()),
+            ("p50_us", metrics.latency_p50.as_micros().to_string()),
+            ("p95_us", metrics.latency_p95.as_micros().to_string()),
+            ("p99_us", metrics.latency_p99.as_micros().to_string()),
+            ("jain", format!("{:.4}", metrics.fairness_jain)),
+            ("migrations", metrics.total_migrations.to_string()),
+            ("steals", metrics.total_steals.to_string()),
+        ],
+    }]
 }
 
 /// Runs a batch of jobs over `config.workers` threads and gathers the
 /// combined report. Worker panics are caught and surfaced in the
 /// summary, never propagated.
+///
+/// With [`PoolConfig::steal`] set this dispatches to the work-stealing
+/// pool (multithreaded, or the deterministic replay simulator when
+/// [`StealConfig::replay`] is set); otherwise the static sharded pool
+/// runs below.
 pub fn run_pool(config: &PoolConfig, spec: &PoolSpec) -> PoolReport {
+    if let Some(sc) = &config.steal {
+        return if sc.replay.is_some() || !sc.kill_workers.is_empty() {
+            steal::run_pool_replay(config, spec, sc)
+        } else {
+            steal::run_pool_stealing(config, spec, sc)
+        };
+    }
     let workers = config.workers.max(1);
     let mut shards: Vec<Vec<(usize, JobSpec)>> = (0..workers).map(|_| Vec::new()).collect();
     for (id, job) in spec.jobs.iter().enumerate() {
@@ -318,7 +415,7 @@ pub fn run_pool(config: &PoolConfig, spec: &PoolSpec) -> PoolReport {
                             .map(|s| (*s).to_string())
                             .or_else(|| payload.downcast_ref::<String>().cloned())
                             .unwrap_or_else(|| "non-string panic payload".into());
-                        panicked_summary(w, manifest, msg)
+                        panicked_summary(w, manifest, msg, start)
                     })
                 })
             })
@@ -334,10 +431,14 @@ pub fn run_pool(config: &PoolConfig, spec: &PoolSpec) -> PoolReport {
         .iter()
         .flat_map(|s| s.reports.iter().cloned())
         .collect();
+    let metrics = SchedMetrics::from_reports(&all, wall);
+    let pool_spans = pool_metrics_spans(workers, &metrics, config.sched.record_spans);
     PoolReport {
-        metrics: SchedMetrics::from_reports(&all, wall),
+        metrics,
         workers: summaries,
         wall,
+        schedule: None,
+        pool_spans,
     }
 }
 
@@ -413,14 +514,18 @@ mod tests {
         let spans = report.all_spans();
         assert_eq!(spans.iter().filter(|s| s.cat == "worker").count(), 2);
         assert!(spans.iter().any(|s| s.cat == "slice"));
+        // Workers occupy lanes 0..N; the pool-level metrics span sits in
+        // its own lane just past the last worker.
         let tids: std::collections::HashSet<u32> = spans.iter().map(|s| s.tid).collect();
-        assert_eq!(tids, [0u32, 1].into_iter().collect());
+        assert_eq!(tids, [0u32, 1, 2].into_iter().collect());
+        assert_eq!(spans.iter().filter(|s| s.cat == "pool").count(), 1);
     }
 
     #[test]
     fn panicked_worker_fails_every_queued_task() {
+        let epoch = Instant::now() - Duration::from_millis(40);
         let manifest = vec![(3, "a".to_string()), (7, "b".to_string())];
-        let summary = panicked_summary(1, manifest, "boom".into());
+        let summary = panicked_summary(1, manifest, "boom".into(), epoch);
         assert_eq!(summary.panicked.as_deref(), Some("boom"));
         assert_eq!(summary.reports.len(), 2);
         assert_eq!(
@@ -436,9 +541,34 @@ mod tests {
             metrics: SchedMetrics::from_reports(&summary.reports, Duration::from_millis(1)),
             workers: vec![summary],
             wall: Duration::from_millis(1),
+            schedule: None,
+            pool_spans: Vec::new(),
         };
         assert!(!report.is_clean());
         assert_eq!(report.metrics.failed, 2);
+    }
+
+    #[test]
+    fn panicked_summary_carries_real_wall_time_not_zero() {
+        // Regression: a panicked worker used to report `wall: ZERO` and
+        // zero turnarounds, dragging the batch's latency percentiles
+        // toward zero. The crash must be charged the time it actually
+        // consumed (pool epoch → panic).
+        let epoch = Instant::now() - Duration::from_millis(25);
+        let summary = panicked_summary(0, vec![(0, "t".into())], "boom".into(), epoch);
+        assert!(
+            summary.wall >= Duration::from_millis(25),
+            "{:?}",
+            summary.wall
+        );
+        assert!(summary
+            .reports
+            .iter()
+            .all(|r| r.turnaround >= Duration::from_millis(25)));
+        // And the aggregate percentiles see the real latency, not zero.
+        let metrics = SchedMetrics::from_reports(&summary.reports, summary.wall);
+        assert!(metrics.latency_p50 >= Duration::from_millis(25));
+        assert!(metrics.latency_p99 >= Duration::from_millis(25));
     }
 
     #[test]

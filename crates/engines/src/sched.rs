@@ -161,6 +161,15 @@ pub struct TaskReport {
     /// Checkpoints taken for this task (one per suspension when
     /// [`SchedConfig::checkpoint`] is on).
     pub checkpoints: u64,
+    /// Cross-worker moves of this task's *suspended* state — each one a
+    /// serialize-on-victim / restore-on-thief round trip through
+    /// [`Engine::snapshot`](crate::Engine::snapshot). Always `0` outside
+    /// the work-stealing pool.
+    pub migrations: u32,
+    /// Times this task was taken by a worker other than the one holding
+    /// it — fresh-job steals included, so every migration is also a
+    /// steal. Always `0` outside the work-stealing pool.
+    pub steals: u32,
 }
 
 struct Task {
@@ -342,6 +351,8 @@ impl Scheduler {
             turnaround: task.submitted_at.elapsed(),
             retries: task.retries,
             checkpoints: task.checkpoints,
+            migrations: 0,
+            steals: 0,
         });
     }
 
@@ -537,12 +548,39 @@ pub struct SchedMetrics {
     pub latency_p50: Duration,
     /// 95th-percentile turnaround.
     pub latency_p95: Duration,
+    /// 99th-percentile turnaround — the serving tier's tail-latency
+    /// headline number.
+    pub latency_p99: Duration,
     /// Worst turnaround.
     pub latency_max: Duration,
     /// Jain fairness index over per-task `steps` — 1.0 when every task got
     /// identical CPU, approaching `1/n` under total starvation. Only
     /// meaningful when tasks want similar amounts of work.
     pub fairness_jain: f64,
+    /// Sum of per-task [`TaskReport::migrations`] — suspended-engine
+    /// moves through the snapshot codec.
+    pub total_migrations: u64,
+    /// Sum of per-task [`TaskReport::steals`] — work items taken by a
+    /// worker other than the one holding them.
+    pub total_steals: u64,
+}
+
+/// Jain's fairness index over arbitrary nonnegative shares: `1.0` when
+/// every share is identical, approaching `1/n` when one share holds
+/// everything. The pool uses it both over per-task steps (CPU fairness)
+/// and over per-worker executed steps (load balance).
+pub fn jain_index(shares: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut n, mut sum, mut sum_sq) = (0usize, 0.0f64, 0.0f64);
+    for s in shares {
+        n += 1;
+        sum += s;
+        sum_sq += s * s;
+    }
+    if n == 0 || sum_sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (n as f64 * sum_sq)
+    }
 }
 
 impl SchedMetrics {
@@ -596,8 +634,11 @@ impl SchedMetrics {
             latency_mean,
             latency_p50: pick(0.50),
             latency_p95: pick(0.95),
+            latency_p99: pick(0.99),
             latency_max: lat.last().copied().unwrap_or(Duration::ZERO),
             fairness_jain,
+            total_migrations: reports.iter().map(|r| u64::from(r.migrations)).sum(),
+            total_steals: reports.iter().map(|r| u64::from(r.steals)).sum(),
         }
     }
 }

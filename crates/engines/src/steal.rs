@@ -1,0 +1,1442 @@
+//! Work stealing and snapshot-based engine migration for the pool.
+//!
+//! The static pool ([`run_pool`](crate::pool::run_pool) with
+//! [`PoolConfig::steal`] unset) shards jobs by `id % workers` and never
+//! moves work. This module adds the serving-tier story on top:
+//!
+//! * **Per-worker run queues.** Every worker owns a shared inbox of
+//!   [`Packet`]s — fresh job specs or parked (serialized) engines. A
+//!   worker drains its own inbox front-to-back; an idle worker steals
+//!   from the *back* of another worker's inbox.
+//! * **Migration via the snapshot codec.** Engines are `Rc`-based and
+//!   thread-pinned, so a *started* task can only cross threads as bytes:
+//!   the victim serializes the just-suspended engine with
+//!   [`Engine::into_ticket`] and the thief rebuilds it with
+//!   [`Engine::from_ticket`] — the PR-8 path, so migrated bytecode is
+//!   re-verified and the restored engine runs on any thread. Because a
+//!   one-shot continuation is consumed by serialization-as-a-move, a
+//!   migrated engine can never be resumed twice.
+//! * **Cooperative donation.** A victim never has its suspended engines
+//!   taken from under it (they are not `Send`, and pausing a foreign
+//!   thread is not a thing). Instead a hungry thief raises a flag; the
+//!   victim checks the flags at its next suspension — the natural safe
+//!   point — and donates the engine it just suspended, provided it
+//!   retains other work.
+//! * **Deterministic replay.** The multithreaded pool is timing-
+//!   dependent by nature, so every cross-worker move is describable as a
+//!   [`StealEvent`] keyed by `(task, suspension count)` — a key that
+//!   depends only on the task's own progress, never on wall-clock. A
+//!   recorded [`StealSchedule`] replays in a single-threaded simulator
+//!   ([`StealConfig::replay`]) where worker `w` takes exactly one slice
+//!   per virtual tick, so every migration decision — including simulated
+//!   worker kills ([`StealConfig::kill_workers`]) — is reproducible
+//!   bit-for-bit.
+//!
+//! Semantics note: a migrated engine resumes with a *private* copy of
+//! the globals captured in its snapshot (the same isolation the
+//! supervisor's checkpoint-restore path imposes), so serving-tier tasks
+//! must not rely on observing other tasks' global writes after a hop.
+//! The scheduler's own oracle — sliced-and-stolen results bit-identical
+//! to uninterrupted runs — holds for any task that computes through its
+//! own state, which is what the workload corpus does.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use cm_vm::VmErrorKind;
+
+use crate::engine::{Engine, MigrationTicket, RunResult, WorkerHost};
+use crate::pool::{JobSpec, PoolConfig, PoolReport, PoolSpec, WorkerSummary};
+use crate::sched::{Outcome, SchedMetrics, TaskReport};
+use crate::spans::SpanLog;
+
+/// Most engines a worker keeps live (materialized) at once; further
+/// work waits in its inbox where thieves can reach it.
+const LOCAL_CAP: usize = 32;
+
+/// Work-stealing knobs, gated behind [`PoolConfig::steal`] so the
+/// static pool (and the oracle tests running against it) is untouched
+/// when unset.
+///
+/// The stealing pool drives engines with its own queue loop, not the
+/// single-threaded [`Scheduler`](crate::Scheduler): locals run FIFO
+/// (round-robin), and [`SchedConfig`](crate::SchedConfig) supplies only
+/// `slice`, `check_invariants`, and `record_spans` — checkpoint
+/// supervision and EDF stay on the static path.
+#[derive(Debug, Clone, Default)]
+pub struct StealConfig {
+    /// Allow *started* (suspended) engines to migrate via the snapshot
+    /// codec. Off, only fresh (never-run) jobs are stolen.
+    pub migrate: bool,
+    /// Record every cross-worker move into
+    /// [`PoolReport::schedule`](crate::pool::PoolReport) for later
+    /// replay.
+    pub record: bool,
+    /// Replay this schedule in the deterministic single-threaded
+    /// simulator instead of running real worker threads. The schedule's
+    /// `workers` field overrides [`PoolConfig::workers`] when nonzero.
+    pub replay: Option<StealSchedule>,
+    /// Simulated worker kills, `(tick, worker)`: at the start of that
+    /// virtual tick the worker dies and survivors re-steal its queue —
+    /// started tasks hop through the snapshot codec. Replay mode only.
+    pub kill_workers: Vec<(u64, usize)>,
+}
+
+/// One cross-worker move, keyed by the task's own progress so the same
+/// schedule replays identically regardless of thread timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealEvent {
+    /// Global task id ([`JobSpec`] submission index).
+    pub task: usize,
+    /// The task's cumulative slice count when it moved. `0` means the
+    /// task had never run — a fresh steal, no snapshot involved.
+    /// `k ≥ 1` means it moved after its `k`-th suspension, serialized
+    /// through the snapshot codec.
+    pub suspension: u64,
+    /// Worker whose queue held the task.
+    pub from: usize,
+    /// Worker that took it.
+    pub to: usize,
+}
+
+/// A complete record of every cross-worker move in one pool run —
+/// enough to reproduce all placement decisions deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StealSchedule {
+    /// Worker count the schedule was recorded against.
+    pub workers: usize,
+    /// Moves in the order they were decided. Several events may share a
+    /// `(task, suspension)` key when a parked engine was re-stolen from
+    /// a queue before anyone resumed it; replay applies them in order
+    /// (one serialization, several queue hops).
+    pub events: Vec<StealEvent>,
+}
+
+impl StealSchedule {
+    /// Serializes to the `cm-steal-schedule-v1` text format:
+    ///
+    /// ```text
+    /// cm-steal-schedule-v1 workers=4
+    /// steal 17 0 1 3
+    /// steal 17 4 3 0
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = format!("cm-steal-schedule-v1 workers={}\n", self.workers);
+        for e in &self.events {
+            out.push_str(&format!(
+                "steal {} {} {} {}\n",
+                e.task, e.suspension, e.from, e.to
+            ));
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`StealSchedule::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed line.
+    pub fn parse(text: &str) -> Result<StealSchedule, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty schedule")?;
+        let rest = header
+            .strip_prefix("cm-steal-schedule-v1 workers=")
+            .ok_or_else(|| format!("bad header: {header:?}"))?;
+        let workers: usize = rest
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad worker count {rest:?}: {e}"))?;
+        let mut events = Vec::new();
+        for line in lines {
+            let mut f = line.split_whitespace();
+            if f.next() != Some("steal") {
+                return Err(format!("bad event line: {line:?}"));
+            }
+            let mut num = |what: &str| -> Result<u64, String> {
+                f.next()
+                    .ok_or_else(|| format!("missing {what}: {line:?}"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad {what} in {line:?}: {e}"))
+            };
+            events.push(StealEvent {
+                task: num("task")? as usize,
+                suspension: num("suspension")?,
+                from: num("from")? as usize,
+                to: num("to")? as usize,
+            });
+        }
+        Ok(StealSchedule { workers, events })
+    }
+}
+
+/// Accounting a task accumulates across migration hops. A restored
+/// machine counts from zero, so everything before the hop lives here;
+/// retirement sums the carried totals with the final machine's stats.
+#[derive(Debug, Clone, Copy, Default)]
+struct Carried {
+    slices: u64,
+    steps: u64,
+    allocations: u64,
+    collections: u64,
+    bytes_live_peak: u64,
+    migrations: u32,
+    steals: u32,
+}
+
+impl Carried {
+    /// Folds one machine-epoch's counters in (called at each
+    /// serialization hop and once at retirement).
+    fn absorb(&mut self, stats: &cm_vm::MachineStats) {
+        self.steps += stats.steps_executed;
+        self.allocations += stats.allocations;
+        self.collections += stats.collections;
+        self.bytes_live_peak = self.bytes_live_peak.max(stats.bytes_live_peak);
+    }
+
+    fn report(
+        &self,
+        id: usize,
+        name: String,
+        outcome: Outcome,
+        turnaround: Duration,
+    ) -> TaskReport {
+        TaskReport {
+            id,
+            name,
+            outcome,
+            slices: self.slices,
+            steps: self.steps,
+            allocations: self.allocations,
+            collections: self.collections,
+            bytes_live_peak: self.bytes_live_peak,
+            turnaround,
+            retries: 0,
+            checkpoints: 0,
+            migrations: self.migrations,
+            steals: self.steals,
+        }
+    }
+}
+
+/// What sits in a worker's inbox. Both variants are plain `Send` data —
+/// engines only exist materialized inside one worker.
+enum Packet {
+    /// A job that has never run; any worker can compile and start it.
+    Fresh {
+        id: usize,
+        job: JobSpec,
+        carried: Carried,
+    },
+    /// A started engine serialized at a suspension.
+    Parked {
+        id: usize,
+        name: String,
+        expected: Option<String>,
+        ticket: MigrationTicket,
+        carried: Carried,
+    },
+}
+
+impl Packet {
+    fn id(&self) -> usize {
+        match self {
+            Packet::Fresh { id, .. } | Packet::Parked { id, .. } => *id,
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            Packet::Fresh { job, .. } => &job.name,
+            Packet::Parked { name, .. } => name,
+        }
+    }
+
+    fn carried_mut(&mut self) -> &mut Carried {
+        match self {
+            Packet::Fresh { carried, .. } | Packet::Parked { carried, .. } => carried,
+        }
+    }
+
+    fn carried(&self) -> &Carried {
+        match self {
+            Packet::Fresh { carried, .. } | Packet::Parked { carried, .. } => carried,
+        }
+    }
+}
+
+/// Poison-tolerant lock: a panicked worker must not cascade into every
+/// survivor that touches the same queue.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A materialized (running or suspended-in-place) task on one worker.
+struct Local {
+    id: usize,
+    name: String,
+    expected: Option<String>,
+    engine: Engine,
+    carried: Carried,
+}
+
+/// Cross-thread pool state shared by every worker.
+struct Shared<'a> {
+    queues: &'a [Mutex<VecDeque<Packet>>],
+    hungry: &'a [AtomicBool],
+    remaining: &'a AtomicUsize,
+    custody: &'a [Mutex<HashMap<usize, String>>],
+    recorded: &'a Mutex<Vec<StealEvent>>,
+}
+
+fn failed_report(pkt: &Packet, msg: &str, epoch: Instant) -> TaskReport {
+    pkt.carried().report(
+        pkt.id(),
+        pkt.name().to_string(),
+        Outcome::Failed(msg.to_string()),
+        epoch.elapsed(),
+    )
+}
+
+/// Turns an inbox packet into a live engine on this worker: compile a
+/// fresh job (computing its verification baseline first if needed) or
+/// restore a parked one through the codec's re-verifying path.
+// Err is the complete failure TaskReport; it flows straight into the
+// reports vec, so boxing would only add an unwrap at the one call site.
+#[allow(clippy::result_large_err)]
+fn materialize(
+    pkt: Packet,
+    host: &mut WorkerHost,
+    verify: bool,
+    mismatches: &mut Vec<String>,
+    epoch: Instant,
+) -> Result<Local, TaskReport> {
+    match pkt {
+        Packet::Fresh { id, job, carried } => {
+            let mut expected = job.expected.clone();
+            if expected.is_none() && verify {
+                match host.eval(&job.run) {
+                    Ok(v) => expected = Some(v.write_string()),
+                    Err(e) => mismatches.push(format!("{}: baseline run failed: {e}", job.name)),
+                }
+            }
+            match host.spawn(&job.run) {
+                Ok(engine) => Ok(Local {
+                    id,
+                    name: job.name,
+                    expected,
+                    engine,
+                    carried,
+                }),
+                Err(e) => Err(carried.report(
+                    id,
+                    job.name,
+                    Outcome::Failed(format!("compile failed: {e}")),
+                    epoch.elapsed(),
+                )),
+            }
+        }
+        Packet::Parked {
+            id,
+            name,
+            expected,
+            ticket,
+            carried,
+        } => match Engine::from_ticket(&ticket) {
+            Ok(engine) => Ok(Local {
+                id,
+                name,
+                expected,
+                engine,
+                carried,
+            }),
+            Err(e) => Err(carried.report(
+                id,
+                name,
+                Outcome::Failed(format!("migration restore failed: {e}")),
+                epoch.elapsed(),
+            )),
+        },
+    }
+}
+
+/// One worker thread of the stealing pool. Returns its summary; panics
+/// are caught by the caller, which reports the engines this worker held
+/// (its custody set) as failed.
+#[allow(clippy::too_many_lines)]
+fn steal_worker(
+    w: usize,
+    config: &PoolConfig,
+    spec: &PoolSpec,
+    sc: &StealConfig,
+    shared: &Shared<'_>,
+    epoch: Instant,
+) -> WorkerSummary {
+    let start = Instant::now();
+    let workers = shared.queues.len();
+    let tid = u32::try_from(w).unwrap_or(u32::MAX);
+    let record_spans = config.sched.record_spans;
+    let mut spans = SpanLog::with_origin(epoch);
+    let mut reports = Vec::new();
+    let mut mismatches = Vec::new();
+    let mut steps_executed = 0u64;
+    let mut host = WorkerHost::new(config.engine.clone());
+    let mut setup_ok = true;
+    for (i, setup) in spec.setups.iter().enumerate() {
+        if let Err(e) = host.load(setup) {
+            // This worker can't run anything; fail whatever is in its
+            // inbox right now. (Thieves may already have taken part of
+            // it — each packet is handled exactly once either way.)
+            let msg = format!("worker setup #{i} failed: {e}");
+            let drained: Vec<Packet> = {
+                let mut q = lock(&shared.queues[w]);
+                q.drain(..).collect()
+            };
+            for pkt in drained {
+                reports.push(failed_report(&pkt, &msg, epoch));
+                shared.remaining.fetch_sub(1, Ordering::SeqCst);
+            }
+            setup_ok = false;
+            break;
+        }
+    }
+    let mut locals: VecDeque<Local> = VecDeque::new();
+    if setup_ok {
+        loop {
+            // Admit from the inbox while there is local capacity.
+            while locals.len() < LOCAL_CAP {
+                let Some(pkt) = lock(&shared.queues[w]).pop_front() else {
+                    break;
+                };
+                match materialize(pkt, &mut host, spec.verify, &mut mismatches, epoch) {
+                    Ok(local) => {
+                        lock(&shared.custody[w]).insert(local.id, local.name.clone());
+                        locals.push_back(local);
+                    }
+                    Err(report) => {
+                        reports.push(report);
+                        shared.remaining.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            let Some(local) = locals.pop_front() else {
+                // Empty-handed: exit if the batch is done, otherwise steal.
+                if shared.remaining.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                shared.hungry[w].store(true, Ordering::SeqCst);
+                let mut got = false;
+                for d in 1..workers {
+                    let v = (w + d) % workers;
+                    let Ok(mut q) = shared.queues[v].try_lock() else {
+                        continue;
+                    };
+                    let Some(mut pkt) = q.pop_back() else {
+                        continue;
+                    };
+                    drop(q);
+                    shared.hungry[w].store(false, Ordering::SeqCst);
+                    let suspension = pkt.carried().slices;
+                    pkt.carried_mut().steals += 1;
+                    if sc.record {
+                        lock(shared.recorded).push(StealEvent {
+                            task: pkt.id(),
+                            suspension,
+                            from: v,
+                            to: w,
+                        });
+                    }
+                    if record_spans {
+                        let now = Instant::now();
+                        spans.record(
+                            pkt.name().to_string(),
+                            "steal",
+                            tid,
+                            now,
+                            now,
+                            vec![
+                                ("task", pkt.id().to_string()),
+                                ("from", v.to_string()),
+                                ("suspension", suspension.to_string()),
+                            ],
+                        );
+                    }
+                    lock(&shared.queues[w]).push_back(pkt);
+                    got = true;
+                    break;
+                }
+                if !got {
+                    if lock(&shared.queues[w]).is_empty() {
+                        // Nothing stealable anywhere yet (remaining tasks are
+                        // live on other workers); leave the hungry flag up so
+                        // a victim donates at its next suspension.
+                        std::thread::yield_now();
+                        std::thread::sleep(Duration::from_micros(50));
+                    } else {
+                        // A donation landed in our own inbox meanwhile.
+                        shared.hungry[w].store(false, Ordering::SeqCst);
+                    }
+                }
+                continue;
+            };
+            shared.hungry[w].store(false, Ordering::SeqCst);
+            // Run one slice of the front local task.
+            let Local {
+                id,
+                name,
+                expected,
+                engine,
+                mut carried,
+            } = local;
+            carried.slices += 1;
+            let steps_before = engine.stats().steps_executed;
+            let slice_start = record_spans.then(Instant::now);
+            let result = engine.run(config.sched.slice);
+            if let Some(started) = slice_start {
+                let (outcome, stats) = match &result {
+                    RunResult::Done(_, s) => ("done", s),
+                    RunResult::Suspended(_, s) => ("suspended", s),
+                    RunResult::Failed(_, s) => ("failed", s),
+                };
+                spans.record(
+                    name.clone(),
+                    "slice",
+                    tid,
+                    started,
+                    Instant::now(),
+                    vec![
+                        ("task", id.to_string()),
+                        ("slice", carried.slices.to_string()),
+                        ("steps", (stats.steps_executed - steps_before).to_string()),
+                        ("outcome", outcome.to_string()),
+                    ],
+                );
+            }
+            match result {
+                RunResult::Done(v, stats) => {
+                    steps_executed += stats.steps_executed - steps_before;
+                    carried.absorb(&stats);
+                    let got = v.write_string();
+                    if let Some(want) = &expected {
+                        if got != *want {
+                            mismatches.push(format!(
+                            "{name}: stolen run produced {got}, uninterrupted run produced {want}"
+                        ));
+                        }
+                    }
+                    lock(&shared.custody[w]).remove(&id);
+                    reports.push(carried.report(
+                        id,
+                        name,
+                        Outcome::Completed(got),
+                        epoch.elapsed(),
+                    ));
+                    shared.remaining.fetch_sub(1, Ordering::SeqCst);
+                }
+                RunResult::Failed(e, stats) => {
+                    steps_executed += stats.steps_executed - steps_before;
+                    carried.absorb(&stats);
+                    let outcome = if e.kind == VmErrorKind::DeadlineExceeded {
+                        Outcome::TimedOut
+                    } else {
+                        Outcome::Failed(e.to_string())
+                    };
+                    lock(&shared.custody[w]).remove(&id);
+                    reports.push(carried.report(id, name, outcome, epoch.elapsed()));
+                    shared.remaining.fetch_sub(1, Ordering::SeqCst);
+                }
+                RunResult::Suspended(engine, stats) => {
+                    steps_executed += stats.steps_executed - steps_before;
+                    if config.sched.check_invariants {
+                        if let Err(msg) = engine.check_invariants() {
+                            carried.absorb(&stats);
+                            lock(&shared.custody[w]).remove(&id);
+                            reports.push(carried.report(
+                                id,
+                                name,
+                                Outcome::Failed(format!("invariant violated: {msg}")),
+                                epoch.elapsed(),
+                            ));
+                            shared.remaining.fetch_sub(1, Ordering::SeqCst);
+                            continue;
+                        }
+                    }
+                    // Donation check: this suspension is the migration safe
+                    // point. Donate the just-suspended engine to a hungry
+                    // thief, provided we keep other work (otherwise the hop
+                    // just moves the idleness).
+                    let thief = if sc.migrate
+                        && (!locals.is_empty() || !lock(&shared.queues[w]).is_empty())
+                    {
+                        (1..workers)
+                            .map(|d| (w + d) % workers)
+                            .find(|&v| shared.hungry[v].swap(false, Ordering::SeqCst))
+                    } else {
+                        None
+                    };
+                    let Some(thief) = thief else {
+                        locals.push_back(Local {
+                            id,
+                            name,
+                            expected,
+                            engine,
+                            carried,
+                        });
+                        continue;
+                    };
+                    match engine.into_ticket() {
+                        Ok(ticket) => {
+                            carried.absorb(&ticket.stats);
+                            carried.migrations += 1;
+                            carried.steals += 1;
+                            let suspension = carried.slices;
+                            if sc.record {
+                                lock(shared.recorded).push(StealEvent {
+                                    task: id,
+                                    suspension,
+                                    from: w,
+                                    to: thief,
+                                });
+                            }
+                            if record_spans {
+                                let now = Instant::now();
+                                spans.record(
+                                    name.clone(),
+                                    "migrate",
+                                    tid,
+                                    now,
+                                    now,
+                                    vec![
+                                        ("task", id.to_string()),
+                                        ("to", thief.to_string()),
+                                        ("suspension", suspension.to_string()),
+                                        ("bytes", ticket.bytes.len().to_string()),
+                                    ],
+                                );
+                            }
+                            lock(&shared.custody[w]).remove(&id);
+                            lock(&shared.queues[thief]).push_back(Packet::Parked {
+                                id,
+                                name,
+                                expected,
+                                ticket,
+                                carried,
+                            });
+                        }
+                        Err((undonated, _)) => {
+                            // Serialization refused; keep running it here.
+                            // The thief re-raises its flag next loop.
+                            locals.push_back(Local {
+                                id,
+                                name,
+                                expected,
+                                engine: undonated,
+                                carried,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let summary_spans = if record_spans {
+        let mut whole = SpanLog::with_origin(epoch);
+        whole.record(
+            format!("worker-{w}"),
+            "worker",
+            tid,
+            start,
+            Instant::now(),
+            vec![("steps", steps_executed.to_string())],
+        );
+        let mut all = spans.into_spans();
+        all.extend(whole.into_spans());
+        all
+    } else {
+        Vec::new()
+    };
+    WorkerSummary {
+        worker: w,
+        reports,
+        mismatches,
+        wall: start.elapsed(),
+        spans: summary_spans,
+        steps_executed,
+        panicked: None,
+    }
+}
+
+/// Runs the batch over real worker threads with work stealing. See the
+/// module docs for the protocol.
+pub(crate) fn run_pool_stealing(
+    config: &PoolConfig,
+    spec: &PoolSpec,
+    sc: &StealConfig,
+) -> PoolReport {
+    let workers = config.workers.max(1);
+    let queues: Vec<Mutex<VecDeque<Packet>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (id, job) in spec.jobs.iter().enumerate() {
+        lock(&queues[id % workers]).push_back(Packet::Fresh {
+            id,
+            job: job.clone(),
+            carried: Carried::default(),
+        });
+    }
+    let hungry: Vec<AtomicBool> = (0..workers).map(|_| AtomicBool::new(false)).collect();
+    let remaining = AtomicUsize::new(spec.jobs.len());
+    let custody: Vec<Mutex<HashMap<usize, String>>> =
+        (0..workers).map(|_| Mutex::new(HashMap::new())).collect();
+    let recorded = Mutex::new(Vec::<StealEvent>::new());
+    let shared = Shared {
+        queues: &queues,
+        hungry: &hungry,
+        remaining: &remaining,
+        custody: &custody,
+        recorded: &recorded,
+    };
+    let epoch = Instant::now();
+    let mut summaries: Vec<WorkerSummary> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let shared = &shared;
+                scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        steal_worker(w, config, spec, sc, shared, epoch)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        // The engines this worker held are gone; report
+                        // them from the custody set and release their
+                        // completion slots so survivors can terminate.
+                        // Its *queue* survives (it lives outside the
+                        // thread) and is drained by thieves.
+                        let held: Vec<(usize, String)> = {
+                            let mut c = lock(&shared.custody[w]);
+                            c.drain().collect()
+                        };
+                        let reports: Vec<TaskReport> = held
+                            .into_iter()
+                            .map(|(id, name)| {
+                                shared.remaining.fetch_sub(1, Ordering::SeqCst);
+                                TaskReport {
+                                    id,
+                                    name,
+                                    outcome: Outcome::Failed(format!("worker panicked: {msg}")),
+                                    slices: 0,
+                                    steps: 0,
+                                    allocations: 0,
+                                    collections: 0,
+                                    bytes_live_peak: 0,
+                                    turnaround: epoch.elapsed(),
+                                    retries: 0,
+                                    checkpoints: 0,
+                                    migrations: 0,
+                                    steals: 0,
+                                }
+                            })
+                            .collect();
+                        WorkerSummary {
+                            worker: w,
+                            reports,
+                            mismatches: Vec::new(),
+                            wall: epoch.elapsed(),
+                            spans: Vec::new(),
+                            steps_executed: 0,
+                            panicked: Some(msg),
+                        }
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("panic already caught"))
+            .collect()
+    });
+    summaries.sort_by_key(|s| s.worker);
+    // If every worker died there may be unclaimed packets left; surface
+    // them rather than silently dropping jobs.
+    for (w, q) in queues.iter().enumerate() {
+        let leftover: Vec<Packet> = {
+            let mut q = lock(q);
+            q.drain(..).collect()
+        };
+        for pkt in leftover {
+            summaries[w].reports.push(failed_report(
+                &pkt,
+                "pool shut down before the task ran",
+                epoch,
+            ));
+        }
+    }
+    let wall = epoch.elapsed();
+    let all: Vec<TaskReport> = summaries
+        .iter()
+        .flat_map(|s| s.reports.iter().cloned())
+        .collect();
+    let metrics = SchedMetrics::from_reports(&all, wall);
+    let schedule = sc.record.then(|| StealSchedule {
+        workers,
+        events: recorded
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    });
+    let pool_spans = crate::pool::pool_metrics_spans(workers, &metrics, config.sched.record_spans);
+    PoolReport {
+        metrics,
+        workers: summaries,
+        wall,
+        schedule,
+        pool_spans,
+    }
+}
+
+/// One simulated task in the deterministic replay scheduler.
+struct SimTask {
+    name: String,
+    run: String,
+    expected: Option<String>,
+    engine: Option<Engine>,
+    started: bool,
+    done: bool,
+    carried: Carried,
+}
+
+/// One simulated worker: a real host and queue, driven round-robin on a
+/// single thread in virtual ticks.
+struct SimWorker {
+    host: WorkerHost,
+    queue: VecDeque<usize>,
+    reports: Vec<TaskReport>,
+    mismatches: Vec<String>,
+    steps_executed: u64,
+    spans: SpanLog,
+}
+
+/// Next live worker at or after `want`, searching forward cyclically.
+fn route_alive(want: usize, alive: &[bool]) -> Option<usize> {
+    let n = alive.len();
+    (0..n).map(|d| (want + d) % n).find(|&w| alive[w])
+}
+
+/// Runs the batch in the deterministic single-threaded simulator,
+/// replaying `sc.replay` (empty schedule = no moves). Worker `w` takes
+/// exactly one slice per virtual tick, in worker order, so the whole
+/// run — including migrations and kills — is a pure function of the
+/// spec, the config, and the schedule.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run_pool_replay(
+    config: &PoolConfig,
+    spec: &PoolSpec,
+    sc: &StealConfig,
+) -> PoolReport {
+    let schedule = sc.replay.clone().unwrap_or_default();
+    let workers = if schedule.workers > 0 {
+        schedule.workers
+    } else {
+        config.workers.max(1)
+    };
+    let record_spans = config.sched.record_spans;
+    let epoch = Instant::now();
+    let mut recorded: Vec<StealEvent> = schedule.events.clone();
+    let mut sims: Vec<SimWorker> = (0..workers)
+        .map(|_| SimWorker {
+            host: WorkerHost::new(config.engine.clone()),
+            queue: VecDeque::new(),
+            reports: Vec::new(),
+            mismatches: Vec::new(),
+            steps_executed: 0,
+            spans: SpanLog::with_origin(epoch),
+        })
+        .collect();
+    let mut alive = vec![true; workers];
+    let mut tasks: Vec<Option<SimTask>> = spec
+        .jobs
+        .iter()
+        .map(|job| {
+            Some(SimTask {
+                name: job.name.clone(),
+                run: job.run.clone(),
+                expected: job.expected.clone(),
+                engine: None,
+                started: false,
+                done: false,
+                carried: Carried::default(),
+            })
+        })
+        .collect();
+    let total = tasks.len();
+    let mut retired = 0usize;
+    // Setups; a failed setup kills the worker and fails its shard, like
+    // the static pool.
+    let mut setup_failure: Vec<Option<String>> = vec![None; workers];
+    for (w, sim) in sims.iter_mut().enumerate() {
+        for (i, setup) in spec.setups.iter().enumerate() {
+            if let Err(e) = sim.host.load(setup) {
+                setup_failure[w] = Some(format!("worker setup #{i} failed: {e}"));
+                alive[w] = false;
+                break;
+            }
+        }
+    }
+    // Initial placement: the same `id % workers` sharding as the static
+    // and multithreaded pools, so recorded schedules line up.
+    for (id, slot) in tasks.iter_mut().enumerate() {
+        let w = id % workers;
+        if let Some(msg) = &setup_failure[w] {
+            let task = slot.take().expect("fresh task");
+            sims[w].reports.push(task.carried.report(
+                id,
+                task.name,
+                Outcome::Failed(msg.clone()),
+                epoch.elapsed(),
+            ));
+            retired += 1;
+        } else {
+            sims[w].queue.push_back(id);
+        }
+    }
+    // Verification baselines, computed per shard before any sliced run
+    // (matching the static pool's ordering guarantees).
+    if spec.verify {
+        for sim in &mut sims {
+            let ids: Vec<usize> = sim.queue.iter().copied().collect();
+            for id in ids {
+                let task = tasks[id].as_mut().expect("queued task");
+                if task.expected.is_none() {
+                    match sim.host.eval(&task.run) {
+                        Ok(v) => task.expected = Some(v.write_string()),
+                        Err(e) => {
+                            let name = task.name.clone();
+                            sim.mismatches
+                                .push(format!("{name}: baseline run failed: {e}"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Fresh steals (suspension = 0) are placement decisions: apply them
+    // before the first tick, in event order.
+    for ev in schedule.events.iter().filter(|e| e.suspension == 0) {
+        if ev.task >= total {
+            continue;
+        }
+        let Some(task) = tasks[ev.task].as_mut() else {
+            continue;
+        };
+        if task.started || task.done {
+            continue;
+        }
+        let Some(dest) = route_alive(ev.to, &alive) else {
+            continue;
+        };
+        for sim in sims.iter_mut() {
+            sim.queue.retain(|&id| id != ev.task);
+        }
+        task.carried.steals += 1;
+        sims[dest].queue.push_back(ev.task);
+    }
+    // Migration events, keyed by the task's suspension count. Several
+    // events may share a key (a parked engine re-stolen before resume):
+    // one serialization, hop to the last destination.
+    let mut moves: HashMap<(usize, u64), Vec<StealEvent>> = HashMap::new();
+    for ev in schedule.events.iter().filter(|e| e.suspension > 0) {
+        moves.entry((ev.task, ev.suspension)).or_default().push(*ev);
+    }
+    let mut tick = 0u64;
+    while retired < total {
+        tick += 1;
+        // Kills scheduled for this tick.
+        for &(at, kw) in &sc.kill_workers {
+            if at != tick || kw >= workers || !alive[kw] {
+                continue;
+            }
+            alive[kw] = false;
+            let victims: Vec<usize> = sims[kw].queue.drain(..).collect();
+            let survivors: Vec<usize> = (0..workers).filter(|&x| alive[x]).collect();
+            for (i, id) in victims.into_iter().enumerate() {
+                let mut task = tasks[id].take().expect("queued task");
+                if survivors.is_empty() {
+                    sims[kw].reports.push(task.carried.report(
+                        id,
+                        task.name,
+                        Outcome::Failed("worker killed with no survivors".into()),
+                        epoch.elapsed(),
+                    ));
+                    retired += 1;
+                    continue;
+                }
+                let dest = survivors[i % survivors.len()];
+                // A started task crosses through the snapshot codec —
+                // exactly what a survivor re-stealing from a dead
+                // worker's shard does.
+                if let Some(engine) = task.engine.take() {
+                    match engine.into_ticket() {
+                        Ok(ticket) => {
+                            task.carried.absorb(&ticket.stats);
+                            task.carried.migrations += 1;
+                            task.carried.steals += 1;
+                            if sc.record {
+                                recorded.push(StealEvent {
+                                    task: id,
+                                    suspension: task.carried.slices,
+                                    from: kw,
+                                    to: dest,
+                                });
+                            }
+                            match Engine::from_ticket(&ticket) {
+                                Ok(e2) => {
+                                    task.engine = Some(e2);
+                                    sims[dest].queue.push_back(id);
+                                    tasks[id] = Some(task);
+                                }
+                                Err(e) => {
+                                    sims[dest].reports.push(task.carried.report(
+                                        id,
+                                        task.name,
+                                        Outcome::Failed(format!("re-steal restore failed: {e}")),
+                                        epoch.elapsed(),
+                                    ));
+                                    retired += 1;
+                                }
+                            }
+                        }
+                        Err((_, e)) => {
+                            sims[dest].reports.push(task.carried.report(
+                                id,
+                                task.name,
+                                Outcome::Failed(format!("re-steal snapshot failed: {e}")),
+                                epoch.elapsed(),
+                            ));
+                            retired += 1;
+                        }
+                    }
+                } else {
+                    task.carried.steals += 1;
+                    if sc.record {
+                        recorded.push(StealEvent {
+                            task: id,
+                            suspension: 0,
+                            from: kw,
+                            to: dest,
+                        });
+                    }
+                    sims[dest].queue.push_back(id);
+                    tasks[id] = Some(task);
+                }
+            }
+        }
+        let mut progressed = false;
+        for w in 0..workers {
+            if !alive[w] {
+                continue;
+            }
+            let Some(id) = sims[w].queue.pop_front() else {
+                continue;
+            };
+            progressed = true;
+            let mut task = tasks[id].take().expect("queued task exists");
+            if task.engine.is_none() {
+                match sims[w].host.spawn(&task.run) {
+                    Ok(engine) => {
+                        task.engine = Some(engine);
+                        task.started = true;
+                    }
+                    Err(e) => {
+                        sims[w].reports.push(task.carried.report(
+                            id,
+                            task.name,
+                            Outcome::Failed(format!("compile failed: {e}")),
+                            epoch.elapsed(),
+                        ));
+                        retired += 1;
+                        continue;
+                    }
+                }
+            }
+            let engine = task.engine.take().expect("just ensured");
+            task.carried.slices += 1;
+            let steps_before = engine.stats().steps_executed;
+            let slice_start = record_spans.then(Instant::now);
+            let result = engine.run(config.sched.slice);
+            let tid = u32::try_from(w).unwrap_or(u32::MAX);
+            if let Some(started) = slice_start {
+                let (outcome, stats) = match &result {
+                    RunResult::Done(_, s) => ("done", s),
+                    RunResult::Suspended(_, s) => ("suspended", s),
+                    RunResult::Failed(_, s) => ("failed", s),
+                };
+                sims[w].spans.record(
+                    task.name.clone(),
+                    "slice",
+                    tid,
+                    started,
+                    Instant::now(),
+                    vec![
+                        ("task", id.to_string()),
+                        ("slice", task.carried.slices.to_string()),
+                        ("steps", (stats.steps_executed - steps_before).to_string()),
+                        ("outcome", outcome.to_string()),
+                    ],
+                );
+            }
+            match result {
+                RunResult::Done(v, stats) => {
+                    sims[w].steps_executed += stats.steps_executed - steps_before;
+                    task.carried.absorb(&stats);
+                    let got = v.write_string();
+                    if let Some(want) = &task.expected {
+                        if got != *want {
+                            sims[w].mismatches.push(format!(
+                                "{}: replayed run produced {got}, uninterrupted run produced {want}",
+                                task.name
+                            ));
+                        }
+                    }
+                    sims[w].reports.push(task.carried.report(
+                        id,
+                        task.name,
+                        Outcome::Completed(got),
+                        epoch.elapsed(),
+                    ));
+                    retired += 1;
+                    continue;
+                }
+                RunResult::Failed(e, stats) => {
+                    sims[w].steps_executed += stats.steps_executed - steps_before;
+                    task.carried.absorb(&stats);
+                    let outcome = if e.kind == VmErrorKind::DeadlineExceeded {
+                        Outcome::TimedOut
+                    } else {
+                        Outcome::Failed(e.to_string())
+                    };
+                    sims[w].reports.push(task.carried.report(
+                        id,
+                        task.name,
+                        outcome,
+                        epoch.elapsed(),
+                    ));
+                    retired += 1;
+                    continue;
+                }
+                RunResult::Suspended(engine, stats) => {
+                    sims[w].steps_executed += stats.steps_executed - steps_before;
+                    if config.sched.check_invariants {
+                        if let Err(msg) = engine.check_invariants() {
+                            task.carried.absorb(&stats);
+                            sims[w].reports.push(task.carried.report(
+                                id,
+                                task.name,
+                                Outcome::Failed(format!("invariant violated: {msg}")),
+                                epoch.elapsed(),
+                            ));
+                            retired += 1;
+                            continue;
+                        }
+                    }
+                    let key = (id, task.carried.slices);
+                    if let Some(chain) = moves.get(&key) {
+                        let want = chain.last().expect("nonempty chain").to;
+                        let dest = route_alive(want, &alive).unwrap_or(w);
+                        let hops = u32::try_from(chain.len()).unwrap_or(u32::MAX);
+                        match engine.into_ticket() {
+                            Ok(ticket) => {
+                                task.carried.absorb(&ticket.stats);
+                                task.carried.migrations += 1;
+                                task.carried.steals += hops;
+                                if record_spans {
+                                    let now = Instant::now();
+                                    sims[w].spans.record(
+                                        task.name.clone(),
+                                        "migrate",
+                                        tid,
+                                        now,
+                                        now,
+                                        vec![
+                                            ("task", id.to_string()),
+                                            ("to", dest.to_string()),
+                                            ("suspension", task.carried.slices.to_string()),
+                                            ("bytes", ticket.bytes.len().to_string()),
+                                        ],
+                                    );
+                                }
+                                match Engine::from_ticket(&ticket) {
+                                    Ok(e2) => {
+                                        task.engine = Some(e2);
+                                        sims[dest].queue.push_back(id);
+                                    }
+                                    Err(e) => {
+                                        sims[w].reports.push(task.carried.report(
+                                            id,
+                                            task.name,
+                                            Outcome::Failed(format!(
+                                                "migration restore failed: {e}"
+                                            )),
+                                            epoch.elapsed(),
+                                        ));
+                                        retired += 1;
+                                        continue;
+                                    }
+                                }
+                            }
+                            Err((kept, _)) => {
+                                // Not serializable at this suspension;
+                                // the move is skipped, the task stays.
+                                task.engine = Some(kept);
+                                sims[w].queue.push_back(id);
+                            }
+                        }
+                    } else {
+                        task.engine = Some(engine);
+                        sims[w].queue.push_back(id);
+                    }
+                }
+            }
+            tasks[id] = Some(task);
+        }
+        if !progressed && retired < total {
+            // Tasks stranded (e.g. queued to a worker killed with no
+            // survivors able to hold them). Fail them explicitly.
+            let before = retired;
+            for sim in &mut sims {
+                let stranded: Vec<usize> = sim.queue.drain(..).collect();
+                for id in stranded {
+                    let task = tasks[id].take().expect("stranded task");
+                    sim.reports.push(task.carried.report(
+                        id,
+                        task.name,
+                        Outcome::Failed("stranded: no live worker to run the task".into()),
+                        epoch.elapsed(),
+                    ));
+                    retired += 1;
+                }
+            }
+            if retired == before {
+                // No queued work anywhere yet no progress: nothing left
+                // to do but bail rather than spin forever.
+                break;
+            }
+        }
+    }
+    let wall = epoch.elapsed();
+    let summaries: Vec<WorkerSummary> = sims
+        .into_iter()
+        .enumerate()
+        .map(|(w, sim)| WorkerSummary {
+            worker: w,
+            reports: sim.reports,
+            mismatches: sim.mismatches,
+            wall,
+            spans: sim.spans.into_spans(),
+            steps_executed: sim.steps_executed,
+            panicked: None,
+        })
+        .collect();
+    let all: Vec<TaskReport> = summaries
+        .iter()
+        .flat_map(|s| s.reports.iter().cloned())
+        .collect();
+    let metrics = SchedMetrics::from_reports(&all, wall);
+    let out_schedule = Some(StealSchedule {
+        workers,
+        events: recorded,
+    });
+    let pool_spans = crate::pool::pool_metrics_spans(workers, &metrics, record_spans);
+    PoolReport {
+        metrics,
+        workers: summaries,
+        wall,
+        schedule: out_schedule,
+        pool_spans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::run_pool;
+    use crate::sched::SchedConfig;
+
+    fn spin_spec(jobs: usize) -> PoolSpec {
+        PoolSpec {
+            setups: vec!["(define (spin n) (if (zero? n) 'done (spin (- n 1))))".into()],
+            jobs: (0..jobs)
+                .map(|i| JobSpec {
+                    name: format!("spin-{i}"),
+                    run: format!("(spin {})", 200 + (i % 5) * 120),
+                    expected: Some("done".into()),
+                })
+                .collect(),
+            verify: true,
+        }
+    }
+
+    #[test]
+    fn schedule_text_round_trips() {
+        let sched = StealSchedule {
+            workers: 4,
+            events: vec![
+                StealEvent {
+                    task: 17,
+                    suspension: 0,
+                    from: 1,
+                    to: 3,
+                },
+                StealEvent {
+                    task: 17,
+                    suspension: 4,
+                    from: 3,
+                    to: 0,
+                },
+            ],
+        };
+        let text = sched.to_text();
+        assert_eq!(StealSchedule::parse(&text).unwrap(), sched);
+        assert!(StealSchedule::parse("garbage").is_err());
+        assert!(StealSchedule::parse("cm-steal-schedule-v1 workers=2\nsteal 1 2\n").is_err());
+    }
+
+    #[test]
+    fn stealing_pool_completes_and_verifies() {
+        let config = PoolConfig {
+            workers: 4,
+            sched: SchedConfig {
+                slice: 64,
+                ..Default::default()
+            },
+            engine: Default::default(),
+            steal: Some(StealConfig {
+                migrate: true,
+                record: true,
+                ..Default::default()
+            }),
+        };
+        let report = run_pool(&config, &spin_spec(24));
+        assert_eq!(report.metrics.tasks, 24);
+        assert_eq!(report.metrics.completed, 24);
+        assert!(report.is_clean(), "{:?}", report.all_mismatches());
+        // Exactly-once: every global id retires exactly once.
+        let mut ids: Vec<usize> = report.all_reports().iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..24).collect::<Vec<_>>());
+        assert!(report.schedule.is_some());
+    }
+
+    #[test]
+    fn replay_empty_schedule_is_deterministic_and_clean() {
+        let config = PoolConfig {
+            workers: 3,
+            sched: SchedConfig {
+                slice: 64,
+                ..Default::default()
+            },
+            engine: Default::default(),
+            steal: Some(StealConfig {
+                replay: Some(StealSchedule {
+                    workers: 3,
+                    events: vec![],
+                }),
+                ..Default::default()
+            }),
+        };
+        let a = run_pool(&config, &spin_spec(9));
+        let b = run_pool(&config, &spin_spec(9));
+        assert!(a.is_clean(), "{:?}", a.all_mismatches());
+        let values = |r: &PoolReport| -> Vec<(usize, Outcome)> {
+            let mut v: Vec<(usize, Outcome)> = r
+                .all_reports()
+                .iter()
+                .map(|t| (t.id, t.outcome.clone()))
+                .collect();
+            v.sort_by_key(|(id, _)| *id);
+            v
+        };
+        assert_eq!(values(&a), values(&b));
+        assert_eq!(a.metrics.total_migrations, 0);
+    }
+
+    #[test]
+    fn replayed_migration_is_counted_and_bit_identical() {
+        let schedule = StealSchedule {
+            workers: 2,
+            events: vec![
+                StealEvent {
+                    task: 0,
+                    suspension: 1,
+                    from: 0,
+                    to: 1,
+                },
+                StealEvent {
+                    task: 3,
+                    suspension: 0,
+                    from: 1,
+                    to: 0,
+                },
+            ],
+        };
+        let config = PoolConfig {
+            workers: 2,
+            sched: SchedConfig {
+                slice: 50,
+                ..Default::default()
+            },
+            engine: Default::default(),
+            steal: Some(StealConfig {
+                migrate: true,
+                replay: Some(schedule),
+                ..Default::default()
+            }),
+        };
+        let report = run_pool(&config, &spin_spec(6));
+        assert!(report.is_clean(), "{:?}", report.all_mismatches());
+        assert_eq!(report.metrics.total_migrations, 1);
+        assert_eq!(report.metrics.total_steals, 2);
+        let migrated = report
+            .all_reports()
+            .into_iter()
+            .find(|r| r.id == 0)
+            .cloned()
+            .unwrap();
+        assert_eq!(migrated.migrations, 1);
+        // The migrated task retired on the thief.
+        assert!(report.workers[1].reports.iter().any(|r| r.id == 0));
+    }
+
+    #[test]
+    fn replay_kill_worker_resteals_everything() {
+        let config = PoolConfig {
+            workers: 3,
+            sched: SchedConfig {
+                slice: 40,
+                ..Default::default()
+            },
+            engine: Default::default(),
+            steal: Some(StealConfig {
+                migrate: true,
+                replay: Some(StealSchedule {
+                    workers: 3,
+                    events: vec![],
+                }),
+                kill_workers: vec![(3, 1)],
+                ..Default::default()
+            }),
+        };
+        let report = run_pool(&config, &spin_spec(9));
+        assert!(report.is_clean(), "{:?}", report.all_mismatches());
+        assert_eq!(report.metrics.completed, 9);
+        // Worker 1's started tasks crossed the codec to survivors.
+        assert!(report.metrics.total_migrations > 0);
+        // Exactly-once even through the kill.
+        let mut ids: Vec<usize> = report.all_reports().iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..9).collect::<Vec<_>>());
+    }
+}

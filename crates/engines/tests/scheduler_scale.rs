@@ -41,6 +41,7 @@ fn thousand_engines_across_four_workers() {
             ..Default::default()
         },
         engine: Default::default(),
+        steal: None,
     };
     let report = run_pool(&pool, &spec);
 
@@ -86,5 +87,9 @@ fn thousand_engines_across_four_workers() {
     assert_eq!(slice_spans, total_slices);
     assert_eq!(spans.iter().filter(|s| s.cat == "worker").count(), 4);
     let tids: std::collections::HashSet<u32> = spans.iter().map(|s| s.tid).collect();
-    assert_eq!(tids.len(), 4, "expected one timeline lane per worker");
+    assert_eq!(
+        tids.len(),
+        5,
+        "expected one timeline lane per worker plus the pool metrics lane"
+    );
 }

@@ -45,6 +45,7 @@ fn every_workload_sliced_equals_uninterrupted_on_all_configs() {
                 ..Default::default()
             },
             engine: config,
+            steal: None,
         };
         let report = run_pool(&pool, &spec);
         assert_eq!(report.metrics.tasks, spec.jobs.len(), "{config_name}");

@@ -78,7 +78,7 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "cm-torture: {} mode — {} configs x {} targets (fuel cuts {}, segment limits {:?}, prim cuts {}, suspend cuts {}, kill-restore cuts {})",
+        "cm-torture: {} mode — {} configs x {} targets (fuel cuts {}, segment limits {:?}, prim cuts {}, suspend cuts {}, kill-restore cuts {}, resteal cuts {})",
         if quick { "quick" } else { "full" },
         configs.len(),
         targets.len(),
@@ -87,6 +87,7 @@ fn main() -> ExitCode {
         opts.prim_cuts,
         opts.suspend_cuts,
         opts.kill_restore_cuts,
+        opts.resteal_cuts,
     );
 
     let mut total = TortureReport::default();
@@ -94,7 +95,7 @@ fn main() -> ExitCode {
         for t in &targets {
             let rep = torture_target(name, config, t, &opts);
             println!(
-                "{:>10}/{:<24} {:>5} trials  {:>5} clean faults  {:>4} correct  {:>5} probes  {:>5} suspensions  {:>4} restores  {:>4} corrupt rejected{}",
+                "{:>10}/{:<24} {:>5} trials  {:>5} clean faults  {:>4} correct  {:>5} probes  {:>5} suspensions  {:>4} restores  {:>4} resteal hops  {:>4} corrupt rejected{}",
                 name,
                 t.name,
                 rep.trials,
@@ -103,6 +104,7 @@ fn main() -> ExitCode {
                 rep.probes,
                 rep.suspensions,
                 rep.restores,
+                rep.resteal_hops,
                 rep.corrupt_rejected,
                 if rep.ok() {
                     String::new()
@@ -115,7 +117,7 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "total: {} trials, {} clean faults, {} correct runs, {} probes, {} suspensions, {} snapshots, {} restores, {} corrupt snapshots rejected, {} violations",
+        "total: {} trials, {} clean faults, {} correct runs, {} probes, {} suspensions, {} snapshots, {} restores, {} resteal hops, {} corrupt snapshots rejected, {} violations",
         total.trials,
         total.clean_faults,
         total.correct_runs,
@@ -123,6 +125,7 @@ fn main() -> ExitCode {
         total.suspensions,
         total.snapshots,
         total.restores,
+        total.resteal_hops,
         total.corrupt_rejected,
         total.violation_count,
     );

@@ -37,6 +37,13 @@
 //!   corruption suite (truncations, bit flips, bad version): every
 //!   corrupted decode must yield a typed [`cm_vm::SnapshotError`],
 //!   never a panic.
+//! * **kill worker and resteal** — the serving-tier migration torture:
+//!   run in *k*-step slices, and at **every** suspension serialize the
+//!   run, drop the live machine (the worker died), and restore into a
+//!   brand-new machine (a thief worker picked the engine out of the dead
+//!   worker's queue). An engine that hops machines at every single
+//!   suspension point must still produce the baseline answer, and the
+//!   first hop must re-snapshot bit-identically.
 //!
 //! After **every** trial the harness checks
 //! [`Engine::check_invariants`], then requires the *same* engine to run
@@ -225,6 +232,15 @@ pub struct SweepOptions {
     /// restores from bytes into a fresh machine, and resumes to
     /// completion. `0` disables the sweep.
     pub kill_restore_cuts: u64,
+    /// Kill-worker-and-resteal cut points: for each slice size *k*
+    /// spread over the run, execute in *k*-step slices with a
+    /// snapshot → drop → restore-into-a-fresh-machine hop at **every**
+    /// suspension — the worst-case serving-tier migration pattern, where
+    /// the engine is re-stolen by a different worker each time it
+    /// suspends. Hops are capped at [`RESTEAL_HOP_CAP`] per trial (the
+    /// last thief then finishes the run locally) so small slices over
+    /// long programs stay bounded. `0` disables the sweep.
+    pub resteal_cuts: u64,
 }
 
 impl SweepOptions {
@@ -237,6 +253,7 @@ impl SweepOptions {
             suspend_cuts: 50,
             gc_stress: true,
             kill_restore_cuts: 12,
+            resteal_cuts: 8,
         }
     }
 
@@ -250,6 +267,7 @@ impl SweepOptions {
             suspend_cuts: 120,
             gc_stress: true,
             kill_restore_cuts: 40,
+            resteal_cuts: 24,
         }
     }
 }
@@ -273,6 +291,10 @@ pub struct TortureReport {
     /// Machines rebuilt from snapshot bytes by the kill-and-restore
     /// sweep.
     pub restores: u64,
+    /// Machine hops taken by the kill-worker-and-resteal sweep: every
+    /// hop is one snapshot + one restore into a brand-new machine at a
+    /// suspension point.
+    pub resteal_hops: u64,
     /// Corrupted-snapshot decodes that correctly yielded a typed error.
     pub corrupt_rejected: u64,
     /// Total violations (clamped list in [`TortureReport::violations`]).
@@ -296,6 +318,7 @@ impl TortureReport {
         self.suspensions += other.suspensions;
         self.snapshots += other.snapshots;
         self.restores += other.restores;
+        self.resteal_hops += other.resteal_hops;
         self.corrupt_rejected += other.corrupt_rejected;
         self.violation_count += other.violation_count;
         for v in other.violations {
@@ -526,7 +549,156 @@ pub fn torture_target(
         opts,
     );
 
+    // Kill worker and resteal: hop the run into a brand-new machine at
+    // every suspension — the serving tier's migration path, pushed to
+    // its worst case.
+    resteal_sweep(
+        &mut rep,
+        &ctx,
+        &mut engine,
+        target,
+        &baseline,
+        fuel_used,
+        opts,
+    );
+
     rep
+}
+
+/// Most codec hops a single resteal trial takes before the last thief
+/// keeps the engine and finishes it locally. Without the cap a small
+/// slice over a long program (slice 1 over a million-step run) costs a
+/// full serialize + restore per step, which is the same property tested
+/// a million times; 64 consecutive hops already exercises every
+/// restored-state shape the program cycles through.
+pub const RESTEAL_HOP_CAP: u64 = 64;
+
+/// The kill-worker-and-resteal sweep of [`torture_target`]: run the
+/// target in *k*-step slices, and at **every** suspension serialize the
+/// run, drop the live machine (the worker crashed mid-flight), restore
+/// the bytes into a brand-new machine (an idle worker stole the engine
+/// out of the dead worker's queue), and resume there for one more slice
+/// — until [`RESTEAL_HOP_CAP`], after which the last thief runs the
+/// engine to completion. This is exactly what the stealing pool's
+/// migration path does, iterated at every hand-off point the cap
+/// admits: the final answer must equal the baseline, and the first hop
+/// must re-snapshot bit-for-bit.
+fn resteal_sweep(
+    rep: &mut TortureReport,
+    ctx: &str,
+    engine: &mut Engine,
+    target: &Target,
+    baseline: &str,
+    fuel_used: u64,
+    opts: &SweepOptions,
+) {
+    use cm_vm::{Machine, RunStatus};
+
+    if opts.resteal_cuts == 0 {
+        return;
+    }
+    let code = match engine.compile_only(&target.run) {
+        Ok(c) => c,
+        Err(e) => {
+            rep.violate(ctx, format!("resteal sweep: compile failed: {e}"));
+            return;
+        }
+    };
+    let cuts = opts.resteal_cuts.min(fuel_used.max(1));
+    for i in 0..cuts {
+        let k = (fuel_used * i / cuts).max(1);
+        let what = format!("resteal@{k}");
+        rep.trials += 1;
+        // The first slice runs on the original engine's machine; every
+        // later slice runs on the machine restored at the previous hop.
+        let mut pending = engine.machine_mut().run_code_sliced(code.clone(), k);
+        let mut current: Option<Machine> = None;
+        let mut first_hop_checked = false;
+        let mut stalls = 0u32;
+        let mut hops = 0u64;
+        let outcome = loop {
+            match pending {
+                Ok(RunStatus::Done(v)) => break Ok(v),
+                Ok(RunStatus::Suspended(run)) => {
+                    rep.suspensions += 1;
+                    // A restored machine's stats start at zero, so
+                    // `steps_executed` is exactly this hop's progress; a
+                    // bounded run of zero-step hops means the program
+                    // stopped advancing (e.g. `%engine-block` spinning).
+                    if let Some(m) = &current {
+                        if m.stats.steps_executed == 0 {
+                            stalls += 1;
+                            if stalls > 16 {
+                                break Err("restolen run made no progress".to_string());
+                            }
+                        } else {
+                            stalls = 0;
+                        }
+                    }
+                    if hops >= RESTEAL_HOP_CAP {
+                        // Cap reached: the last thief keeps the engine
+                        // and drains it with whole-run slices.
+                        let slice = fuel_used.max(k);
+                        pending = match current.as_mut() {
+                            Some(m) => m.resume(run, slice),
+                            None => engine.machine_mut().resume(run, slice),
+                        };
+                        continue;
+                    }
+                    let bytes = match current.as_mut() {
+                        Some(m) => m.snapshot_suspended(&run),
+                        None => engine.machine_mut().snapshot_suspended(&run),
+                    };
+                    let bytes = match bytes {
+                        Ok(b) => b,
+                        Err(e) => break Err(format!("snapshot failed: {e}")),
+                    };
+                    rep.snapshots += 1;
+                    // The crash: the victim machine dies with the run;
+                    // only the bytes cross to the thief.
+                    drop(run);
+                    drop(current.take());
+                    let restored = match Machine::restore_snapshot(&bytes) {
+                        Ok(r) => r,
+                        Err(e) => break Err(format!("restore failed: {e}")),
+                    };
+                    rep.restores += 1;
+                    rep.resteal_hops += 1;
+                    hops += 1;
+                    let mut machine = restored.machine;
+                    if !first_hop_checked {
+                        first_hop_checked = true;
+                        match machine.snapshot_suspended(&restored.run) {
+                            Ok(again) if again == bytes => {}
+                            Ok(_) => {
+                                break Err(
+                                    "re-snapshot on the thief differs from the stolen bytes".into()
+                                )
+                            }
+                            Err(e) => break Err(format!("re-snapshot failed: {e}")),
+                        }
+                    }
+                    pending = machine.resume(restored.run, k);
+                    current = Some(machine);
+                }
+                Err(e) => break Err(format!("unexpected error: {}", e.detailed())),
+            }
+        };
+        match outcome {
+            Ok(v) => {
+                let out = v.write_string();
+                if out == baseline {
+                    rep.correct_runs += 1;
+                } else {
+                    rep.violate(ctx, format!("{what}: produced {out}, expected {baseline}"));
+                }
+            }
+            Err(msg) => rep.violate(ctx, format!("{what}: {msg}")),
+        }
+        // The original engine only donated its first slice; it must
+        // still be healthy.
+        probe(rep, ctx, engine, &what);
+    }
 }
 
 /// The kill-and-restore sweep of [`torture_target`]: at cut points
@@ -886,6 +1058,7 @@ mod tests {
             suspend_cuts: 6,
             gc_stress: true,
             kill_restore_cuts: 4,
+            resteal_cuts: 3,
         }
     }
 
@@ -939,6 +1112,43 @@ mod tests {
         // Crash recovery (kill + restore from snapshot) is too.
         assert!(SweepOptions::quick().kill_restore_cuts >= 10);
         assert!(SweepOptions::full().kill_restore_cuts >= 40);
+        // ... and so is serving-tier migration (a machine hop at every
+        // suspension).
+        assert!(SweepOptions::quick().resteal_cuts >= 8);
+        assert!(SweepOptions::full().resteal_cuts >= 24);
+    }
+
+    #[test]
+    fn resteal_hops_machines_at_every_suspension_on_every_config() {
+        let mut opts = tiny_opts();
+        opts.fuel_cuts = 0;
+        opts.prim_cuts = 0;
+        opts.segment_limits = &[];
+        opts.suspend_cuts = 0;
+        opts.gc_stress = false;
+        opts.kill_restore_cuts = 0;
+        opts.resteal_cuts = 4;
+        let targets = torture_targets(true);
+        let t = targets
+            .iter()
+            .find(|t| t.name == "sec2-deep")
+            .expect("sec2-deep target present");
+        for (name, config) in engine_configs() {
+            let rep = torture_target(name, &config, t, &opts);
+            assert!(rep.ok(), "{name}: {:?}", rep.violations);
+            // Small slices force several suspensions per trial, and the
+            // sweep must hop machines at every one of them.
+            assert!(
+                rep.resteal_hops > opts.resteal_cuts,
+                "{name}: only {} hops across {} trials",
+                rep.resteal_hops,
+                opts.resteal_cuts
+            );
+            assert_eq!(
+                rep.snapshots, rep.restores,
+                "{name}: a hop lost its restore"
+            );
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn kill_only(cuts: u64) -> SweepOptions {
         suspend_cuts: 0,
         gc_stress: false,
         kill_restore_cuts: cuts,
+        resteal_cuts: 0,
     }
 }
 

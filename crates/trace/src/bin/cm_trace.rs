@@ -169,7 +169,14 @@ fn profile_scenario(args: &Args) -> Result<(), String> {
 fn timeline_scenario(args: &Args) -> Result<(), String> {
     let tasks = if args.quick { 64 } else { 1000 };
     let workers = 4;
-    println!("timeline: {tasks} engines across {workers} workers, spans on");
+    // The work-stealing pool with migration on: the exported timeline
+    // shows `steal` / `migrate` spans for every cross-worker move, plus
+    // the pool-level metrics span (p50/p95/p99, Jain, migrations).
+    let steal_config = Some(cm_engines::StealConfig {
+        migrate: true,
+        ..Default::default()
+    });
+    println!("timeline: {tasks} engines across {workers} workers, spans on, stealing on");
     let targets = torture_targets(true);
     let mut setups = Vec::new();
     for t in &targets {
@@ -199,6 +206,7 @@ fn timeline_scenario(args: &Args) -> Result<(), String> {
             ..SchedConfig::default()
         },
         engine: EngineConfig::full(),
+        steal: steal_config,
     };
     let report = run_pool(&config, &spec);
     if report.metrics.failed > 0 || report.metrics.timed_out > 0 {
@@ -215,9 +223,15 @@ fn timeline_scenario(args: &Args) -> Result<(), String> {
     }
     let spans = report.all_spans();
     println!(
-        "  {} tasks completed, {} spans recorded",
+        "  {} tasks completed, {} spans recorded ({} steals, {} migrations)",
         report.metrics.completed,
-        spans.len()
+        spans.len(),
+        report.metrics.total_steals,
+        report.metrics.total_migrations
+    );
+    println!(
+        "  latency p50 {:?} / p95 {:?} / p99 {:?}",
+        report.metrics.latency_p50, report.metrics.latency_p95, report.metrics.latency_p99
     );
     emit(
         &args.out.join("timeline.json"),
